@@ -1,0 +1,1 @@
+bench/main.ml: Array List Microbench Printf Sb_experiments String Sys

@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Bytes Hashtbl Instance List Measure Printf Sb_flow Sb_mat Sb_nf Sb_packet Speedybox Staged String Test Time Toolkit

@@ -1,0 +1,48 @@
+(* The SpeedyBox benchmark harness.
+
+   With no arguments it regenerates every table and figure of the paper's
+   evaluation (each printed with the paper's reference numbers for
+   comparison), runs the ablation benches and finishes with Bechamel
+   wall-clock microbenchmarks of the hot operations.  Individual sections
+   run via `dune exec bench/main.exe -- <section>`; see `--help`. *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [
+    ("fig4", "header action consolidation (Fig. 4)", Sb_experiments.Fig4.run);
+    ("table3", "early packet drop (Table III)", Sb_experiments.Table3.run);
+    ("fig5", "state function parallelism (Fig. 5)", Sb_experiments.Fig5.run);
+    ("fig6", "Snort+Monitor chain (Fig. 6)", Sb_experiments.Fig6.run);
+    ("fig7", "latency reduction split (Fig. 7)", Sb_experiments.Fig7.run);
+    ("fig8", "chain length sweep (Fig. 8)", Sb_experiments.Fig8.run);
+    ("fig9", "real-world chain CDFs (Fig. 9)", Sb_experiments.Fig9.run);
+    ("fig4nfs", "Fig. 4 sweep for other NFs (paper's [7])", Sb_experiments.Fig4_other_nfs.run);
+    ("table2", "NF integration LOC (Table II)", Sb_experiments.Table2.run);
+    ("baselines", "OpenBox/ParaBox-style baseline comparison", Sb_experiments.Baseline_compare.run);
+    ("loadsweep", "latency/loss vs offered load (queueing extension)", Sb_experiments.Load_sweep.run);
+    ("eventrate", "fast-path cost vs event frequency (extension)", Sb_experiments.Event_rate.run);
+    ("staged", "staged ONVM executor: races, reordering, queueing (extension)", Sb_experiments.Staged_pipeline.run);
+    ("ablations", "design-choice ablations (A1-A4)", Sb_experiments.Ablations.run);
+    ("micro", "Bechamel wall-clock microbenchmarks", Microbench.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [section...]";
+  print_endline "sections:";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) sections;
+  print_endline "with no arguments, every section runs in order."
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: ("-h" | "--help" | "help") :: _ -> usage ()
+  | [ _ ] -> List.iter (fun (_, _, run) -> run ()) sections
+  | _ :: requested ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> String.equal n name) sections with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Printf.eprintf "unknown section %S\n" name;
+              usage ();
+              exit 2)
+        requested
+  | [] -> usage ()

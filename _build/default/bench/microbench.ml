@@ -1,0 +1,115 @@
+(* Wall-clock microbenchmarks (Bechamel) of the fast-path hot operations.
+
+   These complement the cycle-model experiments: the model predicts what
+   the paper's testbed would do, while these measure what the OCaml
+   implementation actually costs on this machine. *)
+
+open Bechamel
+open Toolkit
+
+let ip = Sb_packet.Ipv4_addr.of_string
+
+let sample_packet () =
+  Sb_packet.Packet.tcp
+    ~payload:(String.make 256 'x')
+    ~src:(ip "10.0.0.1") ~dst:(ip "192.168.1.10") ~src_port:40000 ~dst_port:80 ()
+
+let sample_tuple =
+  {
+    Sb_flow.Five_tuple.src_ip = ip "10.0.0.1";
+    dst_ip = ip "192.168.1.10";
+    src_port = 40000;
+    dst_port = 80;
+    proto = 6;
+  }
+
+let consolidation_actions =
+  [
+    Sb_mat.Header_action.Forward;
+    Sb_mat.Header_action.Modify
+      [ (Sb_packet.Field.Src_ip, Sb_packet.Field.Ip (ip "203.0.113.1")) ];
+    Sb_mat.Header_action.Modify [ (Sb_packet.Field.Dst_port, Sb_packet.Field.Port 8080) ];
+    Sb_mat.Header_action.Forward;
+  ]
+
+let test_consolidate =
+  Test.make ~name:"consolidate/of_actions (4 actions)"
+    (Staged.stage (fun () -> Sb_mat.Consolidate.of_actions consolidation_actions))
+
+let test_apply =
+  let consolidated = Sb_mat.Consolidate.of_actions consolidation_actions in
+  let packet = sample_packet () in
+  Test.make ~name:"consolidate/apply (2 fields + checksums)"
+    (Staged.stage (fun () -> Sb_mat.Consolidate.apply consolidated packet))
+
+let test_fid =
+  Test.make ~name:"classifier/fid-hash"
+    (Staged.stage (fun () -> Sb_flow.Fid.of_tuple sample_tuple))
+
+let test_aho_corasick =
+  let automaton =
+    Sb_nf.Aho_corasick.create
+      [ "attack"; "exploit"; "beacon"; "malware"; "inject"; "overflow"; "shell"; "xmas" ]
+  in
+  let payload = Bytes.make 1400 'a' in
+  Bytes.blit_string "exploit" 0 payload 700 7;
+  Test.make ~name:"snort/aho-corasick scan (1400B, 8 patterns)"
+    (Staged.stage (fun () -> Sb_nf.Aho_corasick.scan automaton payload 0 1400))
+
+let test_fast_path =
+  (* A pre-recorded NAT+Monitor flow; each run sends one subsequent packet
+     through the full SpeedyBox fast path. *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench" [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let warm = sample_packet () in
+  let _ = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm) in
+  Test.make ~name:"runtime/fast-path packet (NAT+Monitor)"
+    (Staged.stage (fun () ->
+         Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
+
+let test_checksum_full =
+  let packet = sample_packet () in
+  let l3 = Sb_packet.Packet.l3_offset packet in
+  Test.make ~name:"checksum/full ipv4 header recompute"
+    (Staged.stage (fun () -> Sb_packet.Ipv4.update_checksum packet.Sb_packet.Packet.buf l3))
+
+let test_checksum_incremental =
+  (* The RFC 1624 path a NAT takes for one address rewrite. *)
+  let old_word = ip "10.0.0.1" in
+  let new_word = ip "203.0.113.77" in
+  Test.make ~name:"checksum/rfc1624 incremental (32-bit field)"
+    (Staged.stage (fun () ->
+         Sb_packet.Checksum.incremental32 ~old_checksum:0x1c46 ~old_word ~new_word))
+
+let tests () =
+  Test.make_grouped ~name:"speedybox"
+    [
+      test_consolidate;
+      test_apply;
+      test_fid;
+      test_aho_corasick;
+      test_fast_path;
+      test_checksum_full;
+      test_checksum_incremental;
+    ]
+
+let run () =
+  print_endline "\n=== Microbench: wall-clock costs of hot operations (Bechamel) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         let ns =
+           match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+         in
+         Printf.printf "  %-46s %10.1f ns/run\n" name ns)

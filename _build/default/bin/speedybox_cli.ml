@@ -1,0 +1,269 @@
+(* The speedybox command-line tool.
+
+   `run`          process a workload through a chain, print statistics
+   `equivalence`  check SpeedyBox output/state against the original chain
+   `chains`       list predefined chains and the chain-spec language
+   `trace`        generate, describe and optionally save a workload *)
+
+open Cmdliner
+
+let make_trace ~seed ~flows ~mean_packets =
+  Sb_trace.Workload.dcn_trace
+    {
+      Sb_trace.Workload.seed;
+      n_flows = flows;
+      mean_flow_packets = float_of_int mean_packets;
+      payload_len = (16, 512);
+      udp_fraction = 0.1;
+      malicious_fraction = 0.05;
+      tokens = [ "attack"; "exploit"; "beacon" ];
+    }
+
+let load_or_make_trace ~trace_file ~seed ~flows ~mean_packets =
+  match trace_file with
+  | Some path -> Sb_trace.Trace_io.load path
+  | None -> make_trace ~seed ~flows ~mean_packets
+
+(* Common options *)
+
+let chain_arg =
+  let doc =
+    "Chain to run: a predefined name (see $(b,chains)) or a spec such as \
+     $(b,mazunat,maglev:4,monitor)."
+  in
+  Arg.(value & opt string "chain1" & info [ "c"; "chain" ] ~docv:"CHAIN" ~doc)
+
+let platform_arg =
+  let doc = "Execution platform model: $(b,bess) or $(b,onvm)." in
+  let platform_conv =
+    Arg.enum [ ("bess", Sb_sim.Platform.Bess); ("onvm", Sb_sim.Platform.Onvm) ]
+  in
+  Arg.(
+    value
+    & opt platform_conv Sb_sim.Platform.Bess
+    & info [ "p"; "platform" ] ~docv:"PLATFORM" ~doc)
+
+let mode_arg =
+  let doc = "Processing mode: $(b,original) or $(b,speedybox)." in
+  let mode_conv =
+    Arg.enum
+      [ ("original", Speedybox.Runtime.Original); ("speedybox", Speedybox.Runtime.Speedybox) ]
+  in
+  Arg.(
+    value
+    & opt mode_conv Speedybox.Runtime.Speedybox
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let seed_arg =
+  let doc = "Workload seed (runs are fully deterministic)." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let flows_arg =
+  let doc = "Number of flows to generate." in
+  Arg.(value & opt int 100 & info [ "f"; "flows" ] ~docv:"N" ~doc)
+
+let packets_arg =
+  let doc = "Mean packets per flow (heavy-tailed)." in
+  Arg.(value & opt int 12 & info [ "k"; "mean-packets" ] ~docv:"N" ~doc)
+
+let trace_file_arg =
+  let doc = "Replay a saved trace file instead of generating a workload." in
+  Arg.(value & opt (some file) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
+
+let show_state_arg =
+  let doc = "Print per-NF state digests after the run." in
+  Arg.(value & flag & info [ "show-state" ] ~doc)
+
+let show_rules_arg =
+  let doc = "Print up to $(docv) consolidated Global MAT rules after the run." in
+  Arg.(value & opt int 0 & info [ "show-rules" ] ~docv:"N" ~doc)
+
+let show_stages_arg =
+  let doc = "Print the per-stage cycle breakdown after the run." in
+  Arg.(value & flag & info [ "show-stages" ] ~doc)
+
+let staged_rate_arg =
+  let doc =
+    "Run on the staged ONVM executor with Poisson arrivals at $(docv) Mpps \
+     (real queueing: consolidation races, reordering, ring loss)."
+  in
+  Arg.(value & opt (some float) None & info [ "staged-rate" ] ~docv:"MPPS" ~doc)
+
+(* run ------------------------------------------------------------------ *)
+
+let staged_run build trace rate =
+  let trace = Sb_trace.Workload.with_poisson_times ~seed:97 ~rate_mpps:rate trace in
+  let r = Speedybox.Staged_runtime.run (build ()) trace in
+  Printf.printf "staged ONVM executor at %.2f Mpps offered:\n" rate;
+  Printf.printf "  verdicts   : %d forwarded, %d dropped by NFs, %d ring overflow\n"
+    r.Speedybox.Staged_runtime.forwarded r.Speedybox.Staged_runtime.dropped_by_chain
+    r.Speedybox.Staged_runtime.dropped_overflow;
+  Printf.printf "  paths      : slow %d, fast %d\n" r.Speedybox.Staged_runtime.slow_path
+    r.Speedybox.Staged_runtime.fast_path;
+  Printf.printf "  reordered  : %d packets overtook their flow\n"
+    r.Speedybox.Staged_runtime.reordered;
+  Printf.printf "  sojourn    : p50 %.2fus p99 %.2fus\n"
+    (Sb_sim.Stats.percentile r.Speedybox.Staged_runtime.sojourn_us 50.)
+    (Sb_sim.Stats.percentile r.Speedybox.Staged_runtime.sojourn_us 99.);
+  if r.Speedybox.Staged_runtime.events_fired > 0 then
+    Printf.printf "  events     : %d fired\n" r.Speedybox.Staged_runtime.events_fired;
+  0
+
+let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
+    show_stages staged_rate =
+  match Sb_experiments.Chain_registry.build chain with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok build when staged_rate <> None ->
+      staged_run build
+        (load_or_make_trace ~trace_file ~seed ~flows ~mean_packets)
+        (Option.get staged_rate)
+  | Ok build ->
+      let trace = load_or_make_trace ~trace_file ~seed ~flows ~mean_packets in
+      let built = build () in
+      let rt =
+        Speedybox.Runtime.create (Speedybox.Runtime.config ~platform ~mode ()) built
+      in
+      let result = Speedybox.Runtime.run_trace rt trace in
+      print_string
+        (Speedybox.Report.run_summary
+           ~label:
+             (Printf.sprintf "%s on %s (%s)" chain
+                (Sb_sim.Platform.name platform)
+                (match mode with
+                | Speedybox.Runtime.Original -> "original"
+                | Speedybox.Runtime.Speedybox -> "speedybox"))
+           rt result);
+      if show_stages then print_string (Speedybox.Report.stage_breakdown result);
+      if show_state then print_string (Speedybox.Report.chain_state built);
+      if show_rules > 0 then begin
+        print_endline "consolidated rules:";
+        print_string (Speedybox.Report.flow_rules rt ~limit:show_rules)
+      end;
+      0
+
+let run_cmd =
+  let doc = "Run a workload through a chain and report statistics." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run_cmd_impl $ chain_arg $ platform_arg $ mode_arg $ seed_arg $ flows_arg
+      $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
+      $ staged_rate_arg)
+
+(* equivalence ----------------------------------------------------------- *)
+
+let equivalence_cmd_impl chain platform seed flows mean_packets trace_file =
+  match Sb_experiments.Chain_registry.build chain with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok build ->
+      let trace = load_or_make_trace ~trace_file ~seed ~flows ~mean_packets in
+      let report =
+        Speedybox.Equivalence.check
+          ~config_a:(Speedybox.Runtime.config ~platform ~mode:Speedybox.Runtime.Original ())
+          ~config_b:(Speedybox.Runtime.config ~platform ~mode:Speedybox.Runtime.Speedybox ())
+          ~build_chain:build trace
+      in
+      Format.printf "%a@." Speedybox.Equivalence.pp_report report;
+      if Speedybox.Equivalence.equivalent report then begin
+        print_endline "EQUIVALENT: SpeedyBox matches the original chain";
+        0
+      end
+      else begin
+        print_endline "NOT EQUIVALENT";
+        1
+      end
+
+let equivalence_cmd =
+  let doc = "Check SpeedyBox vs original-chain equivalence on a workload." in
+  Cmd.v
+    (Cmd.info "equivalence" ~doc)
+    Term.(
+      const equivalence_cmd_impl $ chain_arg $ platform_arg $ seed_arg $ flows_arg
+      $ packets_arg $ trace_file_arg)
+
+(* chains ----------------------------------------------------------------- *)
+
+let chains_cmd =
+  let doc = "List predefined chains and the spec language." in
+  Cmd.v
+    (Cmd.info "chains" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (name, descr) -> Printf.printf "%-14s %s\n" name descr)
+            (Sb_experiments.Chain_registry.registry ());
+          print_endline "";
+          print_endline
+            "or give a spec: mazunat | maglev[:n] | monitor | ipfilter[:port] | statefulfw";
+          print_endline
+            "  | gateway[:port] | snort | dosguard[:k] | vpn-in | vpn-out | synthetic[:c]";
+          print_endline "e.g.  -c mazunat,maglev:4,monitor,ipfilter:22";
+          0)
+      $ const ())
+
+(* deploy ----------------------------------------------------------------- *)
+
+let deploy_cmd_impl path show_stages =
+  match Sb_experiments.Deployment.load path with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok deployment -> (
+      match Sb_experiments.Deployment.build_runtime deployment with
+      | Error msg ->
+          prerr_endline msg;
+          1
+      | Ok rt ->
+          let result =
+            Speedybox.Runtime.run_trace rt (Sb_experiments.Deployment.workload deployment)
+          in
+          print_string
+            (Speedybox.Report.run_summary
+               ~label:(Printf.sprintf "deployment %s" (Filename.basename path))
+               rt result);
+          if show_stages then print_string (Speedybox.Report.stage_breakdown result);
+          0)
+
+let deploy_cmd =
+  let doc = "Run the deployment described by a file (see lib/experiments/deployment.mli)." in
+  let path_arg =
+    let doc = "Deployment file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "deploy" ~doc) Term.(const deploy_cmd_impl $ path_arg $ show_stages_arg)
+
+(* trace ------------------------------------------------------------------ *)
+
+let trace_cmd_impl seed flows mean_packets save_file =
+  let trace = make_trace ~seed ~flows ~mean_packets in
+  let sizes = Sb_sim.Stats.create () in
+  List.iter (fun p -> Sb_sim.Stats.add_int sizes p.Sb_packet.Packet.len) trace;
+  let summary = Sb_sim.Stats.summarize sizes in
+  Printf.printf "packets     : %d\n" (List.length trace);
+  Printf.printf "frame bytes : mean %.0f p50 %.0f p90 %.0f max %.0f\n"
+    summary.Sb_sim.Stats.mean summary.Sb_sim.Stats.p50 summary.Sb_sim.Stats.p90
+    summary.Sb_sim.Stats.max;
+  (match save_file with
+  | Some path ->
+      Sb_trace.Trace_io.save path trace;
+      Printf.printf "saved       : %s\n" path
+  | None -> ());
+  0
+
+let trace_cmd =
+  let doc = "Generate a workload, describe it and optionally save it." in
+  let save_arg =
+    let doc = "Write the generated trace to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace_cmd_impl $ seed_arg $ flows_arg $ packets_arg $ save_arg)
+
+let () =
+  let doc = "low-latency NFV service chains with cross-NF runtime consolidation" in
+  let info = Cmd.info "speedybox" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; equivalence_cmd; chains_cmd; trace_cmd; deploy_cmd ]))

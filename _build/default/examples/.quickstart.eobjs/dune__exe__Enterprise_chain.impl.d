@@ -1,0 +1,1 @@
+examples/enterprise_chain.ml: Format Hashtbl List Printf Sb_nf Sb_packet Sb_sim Sb_trace Speedybox

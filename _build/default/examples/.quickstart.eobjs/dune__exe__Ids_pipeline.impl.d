@@ -1,0 +1,1 @@
+examples/ids_pipeline.ml: List Printf Sb_nf Sb_sim Sb_trace Speedybox

@@ -1,0 +1,1 @@
+examples/ids_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/maglev_failover.ml: Ipv4_addr List Packet Printf Sb_flow Sb_nf Sb_packet Speedybox String

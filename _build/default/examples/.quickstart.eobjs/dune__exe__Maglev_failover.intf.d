@@ -1,0 +1,1 @@
+examples/maglev_failover.mli:

@@ -1,0 +1,1 @@
+examples/multi_chain.ml: List Printf Sb_flow Sb_mat Sb_nf Sb_packet Sb_trace Speedybox

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Field Format Ipv4_addr List Packet Printf Sb_mat Sb_nf Sb_packet Sb_sim Speedybox Tcp

@@ -1,0 +1,1 @@
+examples/scope_limits.ml: Ipv4_addr List Packet Printf Sb_mat Sb_nf Sb_packet Speedybox String

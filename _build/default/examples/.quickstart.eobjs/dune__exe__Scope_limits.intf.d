@@ -1,0 +1,1 @@
+examples/scope_limits.mli:

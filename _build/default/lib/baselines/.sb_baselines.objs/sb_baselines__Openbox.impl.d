@@ -1,0 +1,1 @@
+lib/baselines/openbox.ml: List Sb_sim

@@ -1,0 +1,1 @@
+lib/baselines/openbox.mli: Sb_sim

@@ -1,0 +1,1 @@
+lib/baselines/parabox.ml: Array Field List Sb_mat Sb_packet Sb_sim String

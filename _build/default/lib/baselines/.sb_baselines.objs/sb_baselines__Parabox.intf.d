@@ -1,0 +1,1 @@
+lib/baselines/parabox.mli: Sb_mat Sb_packet Sb_sim

@@ -1,0 +1,28 @@
+let shared_front_end = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify
+
+let transform_item item =
+  match item with
+  | Sb_sim.Cost_profile.Serial c -> Sb_sim.Cost_profile.Serial (max 0 (c - shared_front_end))
+  | Sb_sim.Cost_profile.Parallel _ -> item
+
+let transform_profile profile =
+  match profile with
+  | [] -> []
+  | first :: rest ->
+      first
+      :: List.map
+           (fun stage ->
+             {
+               stage with
+               Sb_sim.Cost_profile.items =
+                 (match stage.Sb_sim.Cost_profile.items with
+                 | [] -> []
+                 | head :: tail -> transform_item head :: tail);
+             })
+           rest
+
+let latency_cycles platform profile =
+  Sb_sim.Platform.latency_cycles platform (transform_profile profile)
+
+let service_cycles platform profile =
+  Sb_sim.Platform.service_cycles platform (transform_profile profile)

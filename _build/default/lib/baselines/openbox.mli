@@ -1,0 +1,24 @@
+(** The OpenBox-style baseline (Bremler-Barr et al., SIGCOMM 2016).
+
+    OpenBox eliminates cross-NF redundancy {e statically}: at deployment it
+    dissects NFs into elements, merges the duplicated protocol-parse and
+    classification elements, and rebuilds the graph.  It therefore removes
+    the repeated parse/classify work (redundancy R1) for every packet, but —
+    as the paper's related-work section stresses — it enables neither early
+    packet drop (R2) nor runtime action merging (R3) nor state-function
+    parallelism, because those need per-flow runtime knowledge.
+
+    The model: every NF stage after the first reuses the first stage's
+    parse and classification results, so its cost drops by
+    [Cycles.parse + Cycles.classify]. *)
+
+val transform_profile : Sb_sim.Cost_profile.t -> Sb_sim.Cost_profile.t
+(** Rewrites an original-chain per-packet profile into its OpenBox
+    equivalent.  Stages are assumed to each include one parse+classify
+    charge (as every NF in this repository does); the first stage keeps
+    it. *)
+
+val latency_cycles : Sb_sim.Platform.t -> Sb_sim.Cost_profile.t -> int
+(** Latency of the transformed profile under the platform model. *)
+
+val service_cycles : Sb_sim.Platform.t -> Sb_sim.Cost_profile.t -> int

@@ -1,0 +1,62 @@
+open Sb_packet
+
+type nf_profile = {
+  name : string;
+  header_reads : Field.t list;
+  header_writes : Field.t list;
+  payload : Sb_mat.State_function.payload_mode;
+  may_drop : bool;
+}
+
+let profile ?(reads = []) ?(writes = []) ?(payload = Sb_mat.State_function.Ignore)
+    ?(may_drop = false) name =
+  { name; header_reads = reads; header_writes = writes; payload; may_drop }
+
+let overlaps a b = List.exists (fun f -> List.exists (Field.equal f) b) a
+
+let independent earlier later =
+  (not earlier.may_drop)
+  && (not (overlaps earlier.header_writes later.header_reads))
+  && (not (overlaps earlier.header_writes later.header_writes))
+  && (not (overlaps earlier.header_reads later.header_writes))
+  && Sb_mat.Parallel.compatible earlier.payload later.payload
+
+let plan profiles =
+  let rec go i wave acc = function
+    | [] -> List.rev (if wave = [] then acc else List.rev wave :: acc)
+    | p :: rest ->
+        (* Members joined earlier in chain order, so only the
+           earlier-to-later direction is checked ([independent] is
+           symmetric in its data-hazard part; may_drop is what makes the
+           direction matter). *)
+        let joins =
+          wave <> [] && List.for_all (fun (_, member) -> independent member p) wave
+        in
+        if wave = [] || joins then go (i + 1) ((i, p) :: wave) acc rest
+        else go (i + 1) [ (i, p) ] (List.rev wave :: acc) rest
+  in
+  let waves = go 0 [] [] profiles in
+  List.map (List.map fst) waves
+
+let transform_profile ~plan profile =
+  let stages = Array.of_list profile in
+  let n = Array.length stages in
+  List.filter_map
+    (fun wave ->
+      match List.filter (fun i -> i < n) wave with
+      | [] -> None
+      | [ i ] -> Some stages.(i)
+      | wave ->
+          let costs = List.map (fun i -> Sb_sim.Cost_profile.stage_cycles stages.(i)) wave in
+          let label =
+            String.concat "||"
+              (List.map (fun i -> stages.(i).Sb_sim.Cost_profile.label) wave)
+          in
+          Some (Sb_sim.Cost_profile.stage label [ Sb_sim.Cost_profile.Parallel costs ]))
+    plan
+
+let latency_cycles platform ~plan profile =
+  Sb_sim.Platform.latency_cycles platform (transform_profile ~plan profile)
+
+let service_cycles platform ~plan profile =
+  Sb_sim.Platform.service_cycles platform (transform_profile ~plan profile)

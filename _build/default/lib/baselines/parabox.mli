@@ -1,0 +1,51 @@
+(** The ParaBox/NFP-style baseline (Zhang et al., SOSR 2017; Sun et al.,
+    SIGCOMM 2017): {e widen} the data path by running whole NFs in parallel
+    when they have no pairwise dependency, keeping every NF's processing
+    intact (no consolidation, no early drop).
+
+    Dependencies between two NFs arise from header fields (one writes what
+    the other reads or writes) and from payload access (same hazard rule as
+    the Table I state-function analysis).  An NF that may drop packets acts
+    as a barrier for everything after it: its verdict gates whether
+    downstream NFs should have processed the packet at all, and the
+    merge-based recovery ParaBox describes is out of scope here. *)
+
+(** Declared behaviour of one NF, supplied by the experiment. *)
+type nf_profile = {
+  name : string;
+  header_reads : Sb_packet.Field.t list;
+  header_writes : Sb_packet.Field.t list;
+  payload : Sb_mat.State_function.payload_mode;
+  may_drop : bool;
+}
+
+val profile :
+  ?reads:Sb_packet.Field.t list ->
+  ?writes:Sb_packet.Field.t list ->
+  ?payload:Sb_mat.State_function.payload_mode ->
+  ?may_drop:bool ->
+  string ->
+  nf_profile
+(** Defaults: no header access, payload IGNORE, never drops. *)
+
+val independent : nf_profile -> nf_profile -> bool
+(** [independent earlier later]: may the two NFs process the same packet
+    concurrently?  False on header WAW/RAW/WAR hazards, payload hazards,
+    or when [earlier] may drop. *)
+
+val plan : nf_profile list -> int list list
+(** Greedy wave grouping in chain order, like the state-function planner
+    but at NF granularity. *)
+
+val transform_profile :
+  plan:int list list -> Sb_sim.Cost_profile.t -> Sb_sim.Cost_profile.t
+(** Collapses the original chain's per-NF stages into one stage per wave;
+    each multi-NF wave becomes a parallel group.  The profile must have
+    exactly one stage per planned NF (packets dropped mid-chain have
+    shorter profiles: surplus plan entries are ignored). *)
+
+val latency_cycles :
+  Sb_sim.Platform.t -> plan:int list list -> Sb_sim.Cost_profile.t -> int
+
+val service_cycles :
+  Sb_sim.Platform.t -> plan:int list list -> Sb_sim.Cost_profile.t -> int

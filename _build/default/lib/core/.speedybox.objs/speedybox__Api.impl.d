@@ -1,0 +1,1 @@
+lib/core/api.ml: Sb_flow Sb_mat Sb_packet

@@ -1,0 +1,1 @@
+lib/core/api.mli: Sb_flow Sb_mat Sb_packet

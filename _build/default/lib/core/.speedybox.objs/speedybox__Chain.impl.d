@@ -1,0 +1,1 @@
+lib/core/chain.ml: List Nf Printf Sb_mat String

@@ -1,0 +1,1 @@
+lib/core/chain.mli: Nf Sb_flow Sb_mat

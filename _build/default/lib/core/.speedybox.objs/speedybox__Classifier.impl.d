@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Sb_flow Sb_packet Sb_sim

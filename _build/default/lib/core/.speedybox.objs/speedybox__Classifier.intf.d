@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Sb_flow Sb_packet

@@ -1,0 +1,1 @@
+lib/core/dispatcher.ml: List Option Runtime Sb_flow String

@@ -1,0 +1,1 @@
+lib/core/dispatcher.mli: Runtime Sb_flow Sb_packet

@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Chain Format List Option Printf Runtime Sb_mat Sb_packet String

@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Chain Format Runtime Sb_packet

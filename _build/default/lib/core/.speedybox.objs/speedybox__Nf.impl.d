@@ -1,0 +1,1 @@
+lib/core/nf.ml: Api Sb_mat Sb_packet

@@ -1,0 +1,1 @@
+lib/core/nf.mli: Api Sb_mat Sb_packet

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Chain Float Format Hashtbl Int List Nf Printf Runtime Sb_flow Sb_mat Sb_sim String

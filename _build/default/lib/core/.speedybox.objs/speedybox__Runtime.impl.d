@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Api Chain Classifier Float Format Hashtbl List Nf Option Printf Sb_flow Sb_mat Sb_packet Sb_sim

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Chain Classifier Format Hashtbl Sb_mat Sb_packet Sb_sim

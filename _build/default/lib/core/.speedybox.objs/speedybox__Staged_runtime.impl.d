@@ -1,0 +1,1 @@
+lib/core/staged_runtime.ml: Api Array Chain Classifier Hashtbl Int List Nf Option Packet Sb_flow Sb_mat Sb_packet Sb_sim

@@ -1,0 +1,1 @@
+lib/core/staged_runtime.mli: Chain Sb_mat Sb_packet Sb_sim

@@ -1,0 +1,23 @@
+type nf_context = {
+  fid : Sb_flow.Fid.t;
+  local_mat : Sb_mat.Local_mat.t;
+  events : Sb_mat.Event_table.t;
+  recording : bool;
+}
+
+let nf_extract_fid (p : Sb_packet.Packet.t) =
+  if p.Sb_packet.Packet.fid < 0 then invalid_arg "Api.nf_extract_fid: packet has no FID";
+  p.Sb_packet.Packet.fid
+
+let localmat_add_ha ctx action =
+  if ctx.recording then Sb_mat.Local_mat.add_header_action ctx.local_mat ctx.fid action
+
+let localmat_add_sf ctx sf =
+  if ctx.recording then Sb_mat.Local_mat.add_state_function ctx.local_mat ctx.fid sf
+
+let register_event ctx ?one_shot ~condition ?new_actions ?new_state_functions ?update_fn
+    () =
+  if ctx.recording then
+    Sb_mat.Event_table.register ctx.events ~fid:ctx.fid
+      ~nf:(Sb_mat.Local_mat.nf_name ctx.local_mat)
+      ?one_shot ~condition ?new_actions ?new_state_functions ?update_fn ()

@@ -1,0 +1,41 @@
+(** The SpeedyBox instrumentation APIs (Fig. 2 of the paper).
+
+    An NF developer adds a handful of calls to these functions to an
+    existing NF — the paper's Snort integration is 27 lines — and the NF
+    becomes consolidation-ready.  The calls only {e record} behaviour; they
+    never change the NF's own processing, so an instrumented NF behaves
+    identically when the framework runs in [Original] mode (where the
+    context has [recording = false] and every call is a no-op). *)
+
+type nf_context = {
+  fid : Sb_flow.Fid.t;  (** the classifier-assigned FID of the packet *)
+  local_mat : Sb_mat.Local_mat.t;  (** this NF's Local MAT *)
+  events : Sb_mat.Event_table.t;  (** the chain's Event Table *)
+  recording : bool;
+      (** true only while the flow's initial packet traverses the chain
+          under SpeedyBox *)
+}
+
+val nf_extract_fid : Sb_packet.Packet.t -> Sb_flow.Fid.t
+(** [nf_extract_fid p] reads the FID metadata the Packet Classifier
+    attached.  @raise Invalid_argument when the packet carries none. *)
+
+val localmat_add_ha : nf_context -> Sb_mat.Header_action.t -> unit
+(** Records a header action for the context's flow, in execution order. *)
+
+val localmat_add_sf : nf_context -> Sb_mat.State_function.t -> unit
+(** Records a state-function handler for the context's flow. *)
+
+val register_event :
+  nf_context ->
+  ?one_shot:bool ->
+  condition:(unit -> bool) ->
+  ?new_actions:(unit -> Sb_mat.Header_action.t list) ->
+  ?new_state_functions:(unit -> Sb_mat.State_function.t list) ->
+  ?update_fn:(unit -> unit) ->
+  unit ->
+  unit
+(** Registers a runtime event for the flow: when [condition] becomes true
+    the NF's recorded header actions (and, when given, state functions) are
+    replaced with the freshly computed lists and [update_fn] runs, after
+    which the Global MAT re-consolidates. *)

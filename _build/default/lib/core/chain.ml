@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  nfs : Nf.t list;
+  local_mats : Sb_mat.Local_mat.t list;
+  events : Sb_mat.Event_table.t;
+}
+
+let create ~name nfs =
+  if nfs = [] then invalid_arg "Chain.create: empty chain";
+  let names = List.map (fun nf -> nf.Nf.name) nfs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Chain.create: duplicate NF names";
+  {
+    name;
+    nfs;
+    local_mats = List.map (fun nf -> Sb_mat.Local_mat.create ~nf:nf.Nf.name) nfs;
+    events = Sb_mat.Event_table.create ();
+  }
+
+let name t = t.name
+
+let nfs t = t.nfs
+
+let length t = List.length t.nfs
+
+let local_mats t = t.local_mats
+
+let local_mat_for t nf =
+  match
+    List.find_opt
+      (fun mat -> String.equal (Sb_mat.Local_mat.nf_name mat) nf.Nf.name)
+      t.local_mats
+  with
+  | Some mat -> mat
+  | None -> invalid_arg (Printf.sprintf "Chain.local_mat_for: NF %s not in chain" nf.Nf.name)
+
+let events t = t.events
+
+let consolidable t = List.for_all (fun nf -> nf.Nf.consolidable) t.nfs
+
+let state_digest t =
+  String.concat "\n"
+    (List.map (fun nf -> Printf.sprintf "%s: %s" nf.Nf.name (nf.Nf.state_digest ())) t.nfs)
+
+let remove_flow t fid =
+  List.iter (fun mat -> Sb_mat.Local_mat.remove_flow mat fid) t.local_mats;
+  Sb_mat.Event_table.remove_flow t.events fid

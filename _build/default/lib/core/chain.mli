@@ -1,0 +1,33 @@
+(** A service chain: an ordered list of NFs with their Local MATs and the
+    shared Event Table. *)
+
+type t
+
+val create : name:string -> Nf.t list -> t
+(** Builds a chain, instantiating one Local MAT per NF (in chain order) and
+    one Event Table for the chain.
+    @raise Invalid_argument on an empty NF list or duplicate NF names
+    (event updates address Local MATs by NF name). *)
+
+val name : t -> string
+
+val nfs : t -> Nf.t list
+
+val length : t -> int
+
+val local_mats : t -> Sb_mat.Local_mat.t list
+(** Same order as [nfs]. *)
+
+val local_mat_for : t -> Nf.t -> Sb_mat.Local_mat.t
+
+val events : t -> Sb_mat.Event_table.t
+
+val consolidable : t -> bool
+(** False when any NF opted out of consolidation (§IV-A3); the runtime
+    then keeps every packet on the original path. *)
+
+val state_digest : t -> string
+(** Concatenated per-NF state digests, for equivalence comparison. *)
+
+val remove_flow : t -> Sb_flow.Fid.t -> unit
+(** Deletes the flow's record from every Local MAT and the Event Table. *)

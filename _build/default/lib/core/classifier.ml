@@ -1,0 +1,31 @@
+type classification = {
+  fid : Sb_flow.Fid.t;
+  tuple : Sb_flow.Five_tuple.t;
+  established : bool;
+  final : bool;
+  cycles : int;
+}
+
+type t = { conntrack : Sb_flow.Conntrack.t; fid_bits : int }
+
+let create ?(fid_bits = Sb_flow.Fid.default_bits) () =
+  { conntrack = Sb_flow.Conntrack.create (); fid_bits }
+
+let fid_bits t = t.fid_bits
+
+let classify t packet =
+  let tuple = Sb_flow.Five_tuple.of_packet packet in
+  let fid = Sb_flow.Fid.of_tuple ~bits:t.fid_bits tuple in
+  packet.Sb_packet.Packet.fid <- fid;
+  let verdict = Sb_flow.Conntrack.observe t.conntrack tuple packet in
+  {
+    fid;
+    tuple;
+    established = verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
+    final = verdict.Sb_flow.Conntrack.final;
+    cycles = Sb_sim.Cycles.classifier;
+  }
+
+let forget t tuple = Sb_flow.Conntrack.forget t.conntrack tuple
+
+let active_flows t = Sb_flow.Conntrack.active_flows t.conntrack

@@ -1,0 +1,37 @@
+(** The Packet Classifier (§VI-B).
+
+    For every arriving packet the classifier hashes the 5-tuple to a
+    20-bit FID (configurable width) and attaches it to the packet as
+    metadata that stays consistent along the chain even when NFs rewrite
+    the tuple.  It also tracks connection state: the paper defines a flow's
+    {e initial packet} as the first packet after the connection is
+    established (post 3-way handshake), and treats FIN/RST as the final
+    packet that triggers rule cleanup. *)
+
+type classification = {
+  fid : Sb_flow.Fid.t;
+  tuple : Sb_flow.Five_tuple.t;
+      (** the tuple as seen at chain ingress, before any NF rewrites it *)
+  established : bool;
+      (** the flow is past its handshake — recording may begin when no
+          consolidated rule exists yet *)
+  final : bool;  (** FIN or RST: delete the flow's rules after processing *)
+  cycles : int;  (** classifier work for this packet *)
+}
+
+type t
+
+val create : ?fid_bits:int -> unit -> t
+(** [fid_bits] defaults to {!Sb_flow.Fid.default_bits} (20, as the paper). *)
+
+val fid_bits : t -> int
+
+val classify : t -> Sb_packet.Packet.t -> classification
+(** Assigns the FID (writing it into the packet metadata) and advances the
+    flow's connection state. *)
+
+val forget : t -> Sb_flow.Five_tuple.t -> unit
+(** Drops connection state for the flow with this ingress tuple (rule
+    cleanup after the final packet). *)
+
+val active_flows : t -> int

@@ -1,0 +1,54 @@
+type policy = {
+  name : string;
+  matches : Sb_flow.Five_tuple.t -> bool;
+  runtime : Runtime.t;
+}
+
+let policy ~name ~matches runtime = { name; matches; runtime }
+
+type slot = { p : policy; mutable packets : int }
+
+type t = {
+  slots : slot list;
+  default : slot option;
+  mutable unmatched : int;
+}
+
+let create ?default policies =
+  if policies = [] && default = None then
+    invalid_arg "Dispatcher.create: no policies and no default";
+  let names = List.map (fun p -> p.name) policies in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Dispatcher.create: duplicate policy names";
+  {
+    slots = List.map (fun p -> { p; packets = 0 }) policies;
+    default =
+      Option.map
+        (fun runtime ->
+          { p = { name = "default"; matches = (fun _ -> true); runtime }; packets = 0 })
+        default;
+    unmatched = 0;
+  }
+
+type dispatch = { output : Runtime.output option; policy_name : string }
+
+let process_packet t packet =
+  let tuple = Sb_flow.Five_tuple.of_packet packet in
+  let slot =
+    match List.find_opt (fun slot -> slot.p.matches tuple) t.slots with
+    | Some slot -> Some slot
+    | None -> t.default
+  in
+  match slot with
+  | Some slot ->
+      slot.packets <- slot.packets + 1;
+      { output = Some (Runtime.process_packet slot.p.runtime packet); policy_name = slot.p.name }
+  | None ->
+      t.unmatched <- t.unmatched + 1;
+      { output = None; policy_name = "none" }
+
+let unmatched t = t.unmatched
+
+let per_policy_packets t =
+  List.map (fun slot -> (slot.p.name, slot.packets)) t.slots
+  @ match t.default with Some slot -> [ (slot.p.name, slot.packets) ] | None -> []

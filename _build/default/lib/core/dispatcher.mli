@@ -1,0 +1,39 @@
+(** Multi-chain dispatch (deployment extension).
+
+    The paper evaluates one service chain; production NFV deployments run
+    several chains on one box and steer traffic classes to them (the SFC
+    use cases the paper cites).  A dispatcher holds an ordered list of
+    policies, each owning a full SpeedyBox runtime (its own chain, Local
+    and Global MATs, classifier); the first matching policy takes the
+    packet, and an optional default runtime takes the rest (packets with
+    no home are dropped and counted).
+
+    Policy matching keys on the {e ingress} 5-tuple, so a flow stays with
+    one chain even after that chain rewrites its headers. *)
+
+type policy = {
+  name : string;
+  matches : Sb_flow.Five_tuple.t -> bool;
+  runtime : Runtime.t;
+}
+
+val policy : name:string -> matches:(Sb_flow.Five_tuple.t -> bool) -> Runtime.t -> policy
+
+type t
+
+val create : ?default:Runtime.t -> policy list -> t
+(** @raise Invalid_argument on an empty dispatcher (no policies and no
+    default) or duplicate policy names. *)
+
+type dispatch = {
+  output : Runtime.output option;  (** [None] when no policy matched *)
+  policy_name : string;  (** matching policy, ["default"], or ["none"] *)
+}
+
+val process_packet : t -> Sb_packet.Packet.t -> dispatch
+
+val unmatched : t -> int
+(** Packets that found no policy and no default. *)
+
+val per_policy_packets : t -> (string * int) list
+(** Packet counts per policy, in policy order (including ["default"]). *)

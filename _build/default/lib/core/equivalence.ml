@@ -1,0 +1,71 @@
+type report = {
+  packets : int;
+  verdict_mismatches : int;
+  output_mismatches : int;
+  state_equal : bool;
+  first_mismatch : string option;
+}
+
+let equivalent r = r.verdict_mismatches = 0 && r.output_mismatches = 0 && r.state_equal
+
+let pp_report fmt r =
+  Format.fprintf fmt "packets=%d verdict_mismatches=%d output_mismatches=%d state_equal=%b"
+    r.packets r.verdict_mismatches r.output_mismatches r.state_equal;
+  match r.first_mismatch with
+  | None -> ()
+  | Some m -> Format.fprintf fmt "@ first: %s" m
+
+let check ?config_a ?config_b ~build_chain trace =
+  let config_a =
+    Option.value config_a ~default:(Runtime.config ~mode:Runtime.Original ())
+  in
+  let config_b =
+    Option.value config_b ~default:(Runtime.config ~mode:Runtime.Speedybox ())
+  in
+  let chain_a = build_chain () in
+  let chain_b = build_chain () in
+  let rt_a = Runtime.create config_a chain_a in
+  let rt_b = Runtime.create config_b chain_b in
+  let verdict_mismatches = ref 0 in
+  let output_mismatches = ref 0 in
+  let first_mismatch = ref None in
+  let note idx msg =
+    if !first_mismatch = None then
+      first_mismatch := Some (Printf.sprintf "packet %d: %s" idx msg)
+  in
+  List.iteri
+    (fun idx original ->
+      let pa = Sb_packet.Packet.copy original in
+      let pb = Sb_packet.Packet.copy original in
+      let out_a = Runtime.process_packet rt_a pa in
+      let out_b = Runtime.process_packet rt_b pb in
+      match (out_a.Runtime.verdict, out_b.Runtime.verdict) with
+      | Sb_mat.Header_action.Forwarded, Sb_mat.Header_action.Forwarded ->
+          if not (Sb_packet.Packet.equal_wire out_a.Runtime.packet out_b.Runtime.packet)
+          then begin
+            incr output_mismatches;
+            note idx
+              (Format.asprintf "frames differ: A=%a B=%a" Sb_packet.Packet.pp
+                 out_a.Runtime.packet Sb_packet.Packet.pp out_b.Runtime.packet)
+          end
+      | Sb_mat.Header_action.Dropped, Sb_mat.Header_action.Dropped -> ()
+      | va, vb ->
+          incr verdict_mismatches;
+          let show = function
+            | Sb_mat.Header_action.Forwarded -> "forwarded"
+            | Sb_mat.Header_action.Dropped -> "dropped"
+          in
+          note idx (Printf.sprintf "verdicts differ: A=%s B=%s" (show va) (show vb)))
+    trace;
+  let digest_a = Chain.state_digest chain_a in
+  let digest_b = Chain.state_digest chain_b in
+  let state_equal = String.equal digest_a digest_b in
+  if (not state_equal) && !first_mismatch = None then
+    first_mismatch := Some (Printf.sprintf "state digests differ:\nA: %s\nB: %s" digest_a digest_b);
+  {
+    packets = List.length trace;
+    verdict_mismatches = !verdict_mismatches;
+    output_mismatches = !output_mismatches;
+    state_equal;
+    first_mismatch = !first_mismatch;
+  }

@@ -1,0 +1,31 @@
+(** Logic-equivalence checking (§VII-C).
+
+    SpeedyBox is designed to be output- and state-equivalent to the
+    original chain.  This module runs the same trace through two
+    independently constructed instances of a chain — one in [Original]
+    mode, one in [Speedybox] mode (or any two configurations) — and
+    compares, per packet, the verdict and the output frame bytes, and at
+    the end the NF state digests (counters, logs, NAT mappings). *)
+
+type report = {
+  packets : int;
+  verdict_mismatches : int;
+  output_mismatches : int;  (** both forwarded but frames differ *)
+  state_equal : bool;  (** chain state digests match after the run *)
+  first_mismatch : string option;  (** description of the earliest diff *)
+}
+
+val equivalent : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val check :
+  ?config_a:Runtime.config ->
+  ?config_b:Runtime.config ->
+  build_chain:(unit -> Chain.t) ->
+  Sb_packet.Packet.t list ->
+  report
+(** [check ~build_chain trace] builds two fresh chains with [build_chain]
+    (so NF state starts identical), runs [trace] through configuration A
+    (default: Original on BESS) and B (default: SpeedyBox on BESS), and
+    reports the differences. *)

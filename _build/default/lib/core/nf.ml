@@ -1,0 +1,15 @@
+type result = { verdict : Sb_mat.Header_action.verdict; cycles : int }
+
+type t = {
+  name : string;
+  process : Api.nf_context -> Sb_packet.Packet.t -> result;
+  state_digest : unit -> string;
+  consolidable : bool;
+}
+
+let forwarded cycles = { verdict = Sb_mat.Header_action.Forwarded; cycles }
+
+let dropped cycles = { verdict = Sb_mat.Header_action.Dropped; cycles }
+
+let make ~name ?(state_digest = fun () -> "") ?(consolidable = true) process =
+  { name; process; state_digest; consolidable }

@@ -1,0 +1,39 @@
+(** The network-function abstraction the framework chains together.
+
+    An NF is its original packet-processing code plus the SpeedyBox
+    instrumentation calls.  [process] runs the NF's full logic on a packet
+    — parsing, classification, state updates, header rewriting — and
+    returns the verdict together with the cycles the work cost under the
+    {!Sb_sim.Cycles} model.  The instrumentation records into the context's
+    Local MAT only while [ctx.recording] is set. *)
+
+type result = { verdict : Sb_mat.Header_action.verdict; cycles : int }
+
+type t = {
+  name : string;
+  process : Api.nf_context -> Sb_packet.Packet.t -> result;
+  state_digest : unit -> string;
+      (** A stable rendering of the NF's internal state (counters, logs,
+          mappings), compared by the equivalence checker; [""] for
+          stateless NFs. *)
+  consolidable : bool;
+      (** The paper's applicable-scope boundary (§IV-A3): an NF whose
+          per-packet behaviour is not determined per flow — buffering NFs,
+          samplers, anything sequence-dependent — must opt out.  A chain
+          containing a non-consolidable NF never builds a fast path (every
+          packet walks the chain), keeping it correct at the cost of the
+          speedup; instrumenting such an NF naively instead produces wrong
+          fast-path behaviour, which the scope tests demonstrate. *)
+}
+
+val forwarded : int -> result
+
+val dropped : int -> result
+
+val make :
+  name:string ->
+  ?state_digest:(unit -> string) ->
+  ?consolidable:bool ->
+  (Api.nf_context -> Sb_packet.Packet.t -> result) ->
+  t
+(** [consolidable] defaults to [true]. *)

@@ -1,0 +1,79 @@
+let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let run_summary ?(label = "run") rt (result : Runtime.run_result) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let summary = Sb_sim.Stats.summarize result.Runtime.latency_us in
+  line "%s: %d packets (%d forwarded, %d dropped)" label result.Runtime.packets
+    result.Runtime.forwarded result.Runtime.dropped;
+  line "  paths      : slow %d (%.1f%%), fast %d (%.1f%%)" result.Runtime.slow_path
+    (pct result.Runtime.slow_path result.Runtime.packets)
+    result.Runtime.fast_path
+    (pct result.Runtime.fast_path result.Runtime.packets);
+  line "  latency    : mean %.2fus p50 %.2fus p90 %.2fus p99 %.2fus max %.2fus"
+    summary.Sb_sim.Stats.mean summary.Sb_sim.Stats.p50 summary.Sb_sim.Stats.p90
+    summary.Sb_sim.Stats.p99 summary.Sb_sim.Stats.max;
+  line "  throughput : %.3f Mpps (model)" (Runtime.rate_mpps result);
+  let mat = Runtime.global_mat rt in
+  let mem = Sb_mat.Global_mat.memory_stats mat in
+  line "  global mat : %d rules, %d distinct actions, %d batches"
+    mem.Sb_mat.Global_mat.rules mem.Sb_mat.Global_mat.distinct_actions
+    mem.Sb_mat.Global_mat.batches;
+  if result.Runtime.events_fired > 0 then
+    line "  events     : %d fired" result.Runtime.events_fired;
+  if Sb_mat.Global_mat.evictions mat > 0 then
+    line "  evictions  : %d (LRU rule cap)" (Sb_mat.Global_mat.evictions mat);
+  if Runtime.expired_flows rt > 0 then
+    line "  expiry     : %d idle flows" (Runtime.expired_flows rt);
+  Buffer.contents buf
+
+let chain_state chain =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "chain %s:\n" (Chain.name chain));
+  List.iter
+    (fun nf ->
+      Buffer.add_string buf (Printf.sprintf "  [%s]\n" nf.Nf.name);
+      let digest = nf.Nf.state_digest () in
+      if digest <> "" then
+        String.split_on_char '\n' digest
+        |> List.iter (fun line -> Buffer.add_string buf (Printf.sprintf "    %s\n" line)))
+    (Chain.nfs chain);
+  Buffer.contents buf
+
+let stage_breakdown (result : Runtime.run_result) =
+  let rows =
+    Hashtbl.fold
+      (fun label stats acc ->
+        let total = Sb_sim.Stats.mean stats *. float_of_int (Sb_sim.Stats.count stats) in
+        (label, Sb_sim.Stats.count stats, Sb_sim.Stats.mean stats, total) :: acc)
+      result.Runtime.stage_cycles []
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
+  in
+  let grand_total = List.fold_left (fun acc (_, _, _, t) -> acc +. t) 0. rows in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "stage breakdown (cycles):\n";
+  List.iter
+    (fun (label, n, mean, total) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s %7d pkts  mean %6.0f  share %5.1f%%\n" label n mean
+           (100. *. total /. Float.max 1. grand_total)))
+    rows;
+  Buffer.contents buf
+
+let flow_rules rt ~limit =
+  let buf = Buffer.create 256 in
+  let mat = Runtime.global_mat rt in
+  let total = Sb_mat.Global_mat.flow_count mat in
+  let rules =
+    Sb_mat.Global_mat.fold (fun fid rule acc -> (fid, rule) :: acc) mat []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iteri
+    (fun i (fid, rule) ->
+      if i < limit then
+        Buffer.add_string buf
+          (Format.asprintf "  %a: %a@." Sb_flow.Fid.pp fid Sb_mat.Global_mat.pp_rule rule))
+    rules;
+  if total > limit then
+    Buffer.add_string buf (Printf.sprintf "  ... and %d more\n" (total - limit));
+  Buffer.contents buf

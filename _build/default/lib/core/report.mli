@@ -1,0 +1,19 @@
+(** Human-readable reports over runtime results: the run summary the CLI
+    prints, and a chain-state inspection for debugging deployments. *)
+
+val run_summary :
+  ?label:string -> Runtime.t -> Runtime.run_result -> string
+(** A multi-line summary: packet/verdict/path counters, latency
+    percentiles, model throughput, Global MAT occupancy and sharing, and
+    eviction/expiry counters when those features are active. *)
+
+val chain_state : Chain.t -> string
+(** Per-NF state digests, indented under the chain name. *)
+
+val flow_rules : Runtime.t -> limit:int -> string
+(** The first [limit] consolidated rules (FID and fast-path structure),
+    for inspecting what the Global MAT actually installed. *)
+
+val stage_breakdown : Runtime.run_result -> string
+(** Where the cycles went: per-stage packet counts, mean cycles and share
+    of the total, sorted by total cycles descending. *)

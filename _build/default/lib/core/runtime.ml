@@ -1,0 +1,307 @@
+type mode = Original | Speedybox
+
+let pp_mode fmt m =
+  Format.pp_print_string fmt (match m with Original -> "Original" | Speedybox -> "SpeedyBox")
+
+type config = {
+  platform : Sb_sim.Platform.t;
+  mode : mode;
+  policy : Sb_mat.Parallel.policy;
+  fid_bits : int;
+  idle_timeout_cycles : int option;
+  max_rules : int option;
+}
+
+let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
+    ?(policy = Sb_mat.Parallel.Table_one) ?(fid_bits = Sb_flow.Fid.default_bits)
+    ?idle_timeout_cycles ?max_rules () =
+  { platform; mode; policy; fid_bits; idle_timeout_cycles; max_rules }
+
+type liveness = { mutable last_seen : int; tuple : Sb_flow.Five_tuple.t }
+
+type t = {
+  cfg : config;
+  chain : Chain.t;
+  global : Sb_mat.Global_mat.t;
+  classifier : Classifier.t;
+  live : liveness Sb_flow.Flow_table.t;  (* idle-expiry bookkeeping *)
+  mutable expired : int;
+  mutable packets_since_sweep : int;
+}
+
+let create cfg chain =
+  (match Sb_sim.Platform.max_chain_length cfg.platform with
+  | Some limit when Chain.length chain > limit ->
+      invalid_arg
+        (Printf.sprintf "Runtime.create: %s supports at most %d NFs (chain %s has %d)"
+           (Sb_sim.Platform.name cfg.platform)
+           limit (Chain.name chain) (Chain.length chain))
+  | Some _ | None -> ());
+  {
+    cfg;
+    chain;
+    global =
+      Sb_mat.Global_mat.create ~policy:cfg.policy ?max_rules:cfg.max_rules
+        (* an LRU-evicted flow loses its Local MAT records too, so its next
+           packet re-records from scratch *)
+        ~on_evict:(fun fid -> Chain.remove_flow chain fid)
+        ();
+    classifier = Classifier.create ~fid_bits:cfg.fid_bits ();
+    live = Sb_flow.Flow_table.create ();
+    expired = 0;
+    packets_since_sweep = 0;
+  }
+
+let chain t = t.chain
+
+let global_mat t = t.global
+
+let classifier t = t.classifier
+
+let expired_flows t = t.expired
+
+type path = Slow_path | Fast_path
+
+type output = {
+  verdict : Sb_mat.Header_action.verdict;
+  packet : Sb_packet.Packet.t;
+  profile : Sb_sim.Cost_profile.t;
+  path : path;
+  latency_cycles : int;
+  service_cycles : int;
+  events_fired : int;
+}
+
+(* Walk the original chain.  [recording] instruments the walk with Local
+   MAT recording (the SpeedyBox initial-packet traversal); the extra
+   recording cost is charged to each NF's stage. *)
+let walk_chain t ~recording ~fid packet =
+  let nfs = Chain.nfs t.chain in
+  let mats = Chain.local_mats t.chain in
+  let rec go nfs mats stages =
+    match (nfs, mats) with
+    | [], [] -> (Sb_mat.Header_action.Forwarded, List.rev stages)
+    | nf :: nfs, mat :: mats -> (
+        let ctx =
+          { Api.fid; local_mat = mat; events = Chain.events t.chain; recording }
+        in
+        let result = nf.Nf.process ctx packet in
+        let overhead =
+          Sb_sim.Cycles.nf_rx_tx
+          + if recording then Sb_sim.Cycles.local_mat_record else 0
+        in
+        let stage =
+          Sb_sim.Cost_profile.serial_stage nf.Nf.name (result.Nf.cycles + overhead)
+        in
+        match result.Nf.verdict with
+        | Sb_mat.Header_action.Dropped ->
+            (Sb_mat.Header_action.Dropped, List.rev (stage :: stages))
+        | Sb_mat.Header_action.Forwarded -> go nfs mats (stage :: stages))
+    | _ -> assert false (* nfs and local_mats have equal length *)
+  in
+  go nfs mats []
+
+let finish t verdict packet profile path events_fired =
+  {
+    verdict;
+    packet;
+    profile;
+    path;
+    latency_cycles = Sb_sim.Platform.latency_cycles t.cfg.platform profile;
+    service_cycles = Sb_sim.Platform.service_cycles t.cfg.platform profile;
+    events_fired;
+  }
+
+let process_original t packet =
+  let verdict, stages = walk_chain t ~recording:false ~fid:(-1) packet in
+  finish t verdict packet stages Slow_path 0
+
+let cleanup t cls =
+  Chain.remove_flow t.chain cls.Classifier.fid;
+  Sb_mat.Global_mat.remove_flow t.global cls.Classifier.fid;
+  Classifier.forget t.classifier cls.Classifier.tuple;
+  Sb_flow.Flow_table.remove t.live cls.Classifier.fid
+
+let sweep_interval = 64
+
+(* Idle expiry: evict flows whose last packet arrived more than the
+   configured timeout ago (arrival clock = packet ingress timestamps).
+   Swept periodically to keep the per-packet cost negligible. *)
+let expire_idle_flows t now =
+  match t.cfg.idle_timeout_cycles with
+  | None -> ()
+  | Some timeout ->
+      t.packets_since_sweep <- t.packets_since_sweep + 1;
+      if t.packets_since_sweep >= sweep_interval then begin
+        t.packets_since_sweep <- 0;
+        let stale =
+          Sb_flow.Flow_table.fold
+            (fun fid entry acc ->
+              if now - entry.last_seen > timeout then (fid, entry.tuple) :: acc else acc)
+            t.live []
+        in
+        List.iter
+          (fun (fid, tuple) ->
+            Chain.remove_flow t.chain fid;
+            Sb_mat.Global_mat.remove_flow t.global fid;
+            Classifier.forget t.classifier tuple;
+            Sb_flow.Flow_table.remove t.live fid;
+            t.expired <- t.expired + 1)
+          stale
+      end
+
+let touch t cls now =
+  match t.cfg.idle_timeout_cycles with
+  | None -> ()
+  | Some timeout ->
+      (match Sb_flow.Flow_table.find t.live cls.Classifier.fid with
+      | Some entry when now - entry.last_seen > timeout ->
+          (* The flow idled out before this packet: tear its rules down so
+             the packet re-walks and re-records, like a fresh flow. *)
+          cleanup t cls;
+          t.expired <- t.expired + 1;
+          Sb_flow.Flow_table.set t.live cls.Classifier.fid
+            { last_seen = now; tuple = cls.Classifier.tuple }
+      | Some entry -> entry.last_seen <- now
+      | None ->
+          Sb_flow.Flow_table.set t.live cls.Classifier.fid
+            { last_seen = now; tuple = cls.Classifier.tuple });
+      expire_idle_flows t now
+
+let process_speedybox t packet =
+  let now = packet.Sb_packet.Packet.ingress_cycle in
+  let cls = Classifier.classify t.classifier packet in
+  touch t cls now;
+  let fid = cls.Classifier.fid in
+  let classifier_stage = Sb_sim.Cost_profile.serial_stage "Classifier" cls.Classifier.cycles in
+  if Sb_mat.Global_mat.mem t.global fid then begin
+    (* Fast path: the Global MAT handles the packet entirely. *)
+    let result =
+      match
+        Sb_mat.Global_mat.execute t.global (Chain.events t.chain)
+          (Chain.local_mats t.chain) fid packet
+      with
+      | Some r -> r
+      | None -> assert false (* guarded by [mem] *)
+    in
+    (* Forwarded packets pay the metadata detach at egress; a dropped
+       packet's descriptor is simply released. *)
+    let stage =
+      match result.Sb_mat.Global_mat.verdict with
+      | Sb_mat.Header_action.Dropped -> result.Sb_mat.Global_mat.stage
+      | Sb_mat.Header_action.Forwarded ->
+          {
+            result.Sb_mat.Global_mat.stage with
+            Sb_sim.Cost_profile.items =
+              result.Sb_mat.Global_mat.stage.Sb_sim.Cost_profile.items
+              @ [ Sb_sim.Cost_profile.Serial Sb_sim.Cycles.meta_detach ];
+          }
+    in
+    if cls.Classifier.final then cleanup t cls;
+    finish t result.Sb_mat.Global_mat.verdict packet [ classifier_stage; stage ] Fast_path
+      result.Sb_mat.Global_mat.events_fired
+  end
+  else begin
+    (* Slow path; the flow's establishing packet also records — unless an
+       NF opted out of consolidation (§IV-A3), in which case the chain
+       never builds fast paths at all. *)
+    let recording = cls.Classifier.established && Chain.consolidable t.chain in
+    let verdict, stages = walk_chain t ~recording ~fid packet in
+    let stages =
+      if recording then begin
+        let cost =
+          Sb_mat.Global_mat.consolidate t.global fid (Chain.local_mats t.chain)
+        in
+        stages @ [ Sb_sim.Cost_profile.serial_stage "Consolidate" cost ]
+      end
+      else stages
+    in
+    if cls.Classifier.final then cleanup t cls;
+    finish t verdict packet (classifier_stage :: stages) Slow_path 0
+  end
+
+let process_packet t packet =
+  match t.cfg.mode with
+  | Original -> process_original t packet
+  | Speedybox -> process_speedybox t packet
+
+type run_result = {
+  packets : int;
+  forwarded : int;
+  dropped : int;
+  slow_path : int;
+  fast_path : int;
+  events_fired : int;
+  latency_us : Sb_sim.Stats.t;
+  cycles_per_packet : Sb_sim.Stats.t;
+  service : Sb_sim.Stats.t;
+  flow_time_us : (int, float) Hashtbl.t;
+  stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t;
+}
+
+let rate_mpps r =
+  let mean = Sb_sim.Stats.mean r.service in
+  if Float.is_nan mean then nan
+  else Sb_sim.Cycles.rate_mpps (int_of_float (Float.round mean))
+
+let run_trace ?on_output t packets =
+  let forwarded = ref 0
+  and dropped = ref 0
+  and slow = ref 0
+  and fast = ref 0
+  and fired = ref 0 in
+  let latency_us = Sb_sim.Stats.create () in
+  let cycles_per_packet = Sb_sim.Stats.create () in
+  let service = Sb_sim.Stats.create () in
+  let flow_time_us : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t = Hashtbl.create 16 in
+  let record_stage stage =
+    let stats =
+      match Hashtbl.find_opt stage_cycles stage.Sb_sim.Cost_profile.label with
+      | Some s -> s
+      | None ->
+          let s = Sb_sim.Stats.create () in
+          Hashtbl.replace stage_cycles stage.Sb_sim.Cost_profile.label s;
+          s
+    in
+    Sb_sim.Stats.add_int stats (Sb_sim.Cost_profile.stage_cycles stage)
+  in
+  let count = ref 0 in
+  List.iter
+    (fun original ->
+      incr count;
+      let packet = Sb_packet.Packet.copy original in
+      let out = process_packet t packet in
+      (match out.verdict with
+      | Sb_mat.Header_action.Forwarded -> incr forwarded
+      | Sb_mat.Header_action.Dropped -> incr dropped);
+      (match out.path with Slow_path -> incr slow | Fast_path -> incr fast);
+      fired := !fired + out.events_fired;
+      List.iter record_stage out.profile;
+      let us = Sb_sim.Cycles.to_microseconds out.latency_cycles in
+      Sb_sim.Stats.add latency_us us;
+      Sb_sim.Stats.add_int cycles_per_packet out.latency_cycles;
+      Sb_sim.Stats.add_int service out.service_cycles;
+      let key =
+        if out.packet.Sb_packet.Packet.fid >= 0 then out.packet.Sb_packet.Packet.fid
+        else
+          Sb_flow.Fid.of_tuple ~bits:t.cfg.fid_bits
+            (Sb_flow.Five_tuple.of_packet original)
+      in
+      Hashtbl.replace flow_time_us key
+        (Option.value (Hashtbl.find_opt flow_time_us key) ~default:0. +. us);
+      Option.iter (fun f -> f original out) on_output)
+    packets;
+  {
+    packets = !count;
+    forwarded = !forwarded;
+    dropped = !dropped;
+    slow_path = !slow;
+    fast_path = !fast;
+    events_fired = !fired;
+    latency_us;
+    cycles_per_packet;
+    service;
+    flow_time_us;
+    stage_cycles;
+  }

@@ -1,0 +1,102 @@
+(** The SpeedyBox runtime: drives packets through a service chain either the
+    original way (every packet traverses every NF) or the SpeedyBox way
+    (initial packets traverse and record; subsequent packets take the
+    consolidated Global MAT fast path), producing per-packet cost profiles
+    under the configured execution platform. *)
+
+type mode = Original | Speedybox
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type config = {
+  platform : Sb_sim.Platform.t;
+  mode : mode;
+  policy : Sb_mat.Parallel.policy;  (** state-function parallelism policy *)
+  fid_bits : int;
+  idle_timeout_cycles : int option;
+      (** Extension beyond the paper (which cleans rules up only on TCP
+          FIN/RST, §VI-B): evict a flow's consolidated rule after this
+          much arrival-clock idleness, bounding the state leak from UDP
+          and abandoned flows.  Requires packets stamped with
+          [ingress_cycle] (see {!Sb_trace.Workload} timing helpers);
+          untimed packets never expire anything.  [None] (default)
+          disables expiry. *)
+  max_rules : int option;
+      (** Cap on the Global MAT rule table (LRU eviction beyond it, like a
+          megaflow cache); an evicted flow's next packet re-records.
+          [None] (default) leaves the table unbounded. *)
+}
+
+val config :
+  ?platform:Sb_sim.Platform.t ->
+  ?mode:mode ->
+  ?policy:Sb_mat.Parallel.policy ->
+  ?fid_bits:int ->
+  ?idle_timeout_cycles:int ->
+  ?max_rules:int ->
+  unit ->
+  config
+(** Defaults: BESS, SpeedyBox mode, Table I policy, 20-bit FIDs, no
+    expiry, unbounded rule table. *)
+
+type t
+
+val create : config -> Chain.t -> t
+(** @raise Invalid_argument when the chain exceeds the platform's core
+    budget (OpenNetVM chains are capped at 5 NFs, as on the paper's
+    14-core testbed). *)
+
+val chain : t -> Chain.t
+
+val global_mat : t -> Sb_mat.Global_mat.t
+
+val classifier : t -> Classifier.t
+
+val expired_flows : t -> int
+(** Flows evicted by the idle timeout so far. *)
+
+type path = Slow_path | Fast_path
+
+type output = {
+  verdict : Sb_mat.Header_action.verdict;
+  packet : Sb_packet.Packet.t;  (** the processed packet (final bytes) *)
+  profile : Sb_sim.Cost_profile.t;
+  path : path;
+  latency_cycles : int;  (** end-to-end under the configured platform *)
+  service_cycles : int;  (** per-packet cycles at the throughput bottleneck *)
+  events_fired : int;
+}
+
+val process_packet : t -> Sb_packet.Packet.t -> output
+(** Processes one packet (mutating it).  In [Original] mode every packet
+    walks the chain; in [Speedybox] mode the classifier routes it to the
+    slow path (recording when it is the flow's initial packet) or to the
+    Global MAT fast path, and FIN/RST tears the flow's rules down. *)
+
+(** Aggregate statistics over a trace run. *)
+type run_result = {
+  packets : int;
+  forwarded : int;
+  dropped : int;
+  slow_path : int;
+  fast_path : int;
+  events_fired : int;
+  latency_us : Sb_sim.Stats.t;  (** per-packet processing latency *)
+  cycles_per_packet : Sb_sim.Stats.t;  (** per-packet latency cycles *)
+  service : Sb_sim.Stats.t;  (** per-packet bottleneck service cycles *)
+  flow_time_us : (int, float) Hashtbl.t;
+      (** per-FID aggregated processing time (the paper's flow processing
+          time metric, Fig. 9) *)
+  stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t;
+      (** per-stage-label cycle samples (one per packet that visited the
+          stage) — where the chain's time actually goes *)
+}
+
+val rate_mpps : run_result -> float
+(** Sustained rate implied by the mean bottleneck service time. *)
+
+val run_trace :
+  ?on_output:(Sb_packet.Packet.t -> output -> unit) -> t -> Sb_packet.Packet.t list -> run_result
+(** Runs the packets in order; [on_output original_input output] fires per
+    packet (the first argument is the packet as submitted, before chain
+    modifications — the runtime processes a private copy). *)

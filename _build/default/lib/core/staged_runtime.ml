@@ -1,0 +1,289 @@
+open Sb_packet
+
+type route = To_classifier | To_nf of int | To_global_mat
+
+type job = {
+  packet : Packet.t;
+  arrival : int;
+  submit_idx : int;  (** submission order, for reordering detection *)
+  flow_key : int;
+  mutable recording : bool;
+  mutable cleanup_after : bool;
+  mutable tuple : Sb_flow.Five_tuple.t option;
+}
+
+(* Completions sort before enqueues at the same instant (a departure frees
+   its ring slot for a simultaneous arrival). *)
+type event_kind = Complete of string | Enqueue of (job * route)
+
+let kind_rank = function Complete _ -> 0 | Enqueue _ -> 1
+
+type event = { at : int; seq : int; kind : event_kind }
+
+let compare_events a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+type outcome =
+  | Next of route
+  | Done of Sb_mat.Header_action.verdict
+  | Done_after_consolidate of Sb_mat.Header_action.verdict
+      (* the walk's last stage for a recording packet: the rule installs at
+         completion (when the chain has finished with the packet, §III),
+         not at service start *)
+
+type stage = {
+  ring : (job * route) Sb_sim.Ring.t;
+  mutable busy : bool;
+  mutable outcome : outcome option;  (** of the in-service job *)
+}
+
+type result = {
+  forwarded : int;
+  dropped_by_chain : int;
+  dropped_overflow : int;
+  slow_path : int;
+  fast_path : int;
+  reordered : int;
+  sojourn_us : Sb_sim.Stats.t;
+  events_fired : int;
+}
+
+let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace =
+  let nfs = Array.of_list (Chain.nfs chain) in
+  let mats = Array.of_list (Chain.local_mats chain) in
+  let classifier = Classifier.create () in
+  let global = Sb_mat.Global_mat.create ~policy () in
+  let recording_in_flight : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+
+  let heap = Sb_sim.Min_heap.create ~cmp:compare_events in
+  let seq = ref 0 in
+  let schedule at kind =
+    incr seq;
+    Sb_sim.Min_heap.push heap { at; seq = !seq; kind }
+  in
+
+  let stage_of_route = function
+    | To_classifier -> "Classifier"
+    | To_nf i -> nfs.(i).Nf.name
+    | To_global_mat -> "GlobalMAT"
+  in
+  let stages : (string, stage) Hashtbl.t = Hashtbl.create 16 in
+  let stage label =
+    match Hashtbl.find_opt stages label with
+    | Some s -> s
+    | None ->
+        let s = { ring = Sb_sim.Ring.create ~capacity:ring_capacity; busy = false; outcome = None } in
+        Hashtbl.replace stages label s;
+        s
+  in
+
+  let forwarded = ref 0
+  and dropped_by_chain = ref 0
+  and dropped_overflow = ref 0
+  and slow = ref 0
+  and fast = ref 0
+  and reordered = ref 0
+  and fired = ref 0 in
+  let sojourn_us = Sb_sim.Stats.create () in
+
+  (* Live submission indices per flow; a departure with a smaller live
+     index still present has overtaken it. *)
+  let live : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let live_set flow_key =
+    match Hashtbl.find_opt live flow_key with
+    | Some set -> set
+    | None ->
+        let set = Hashtbl.create 4 in
+        Hashtbl.replace live flow_key set;
+        set
+  in
+  let retire ?(check = false) job =
+    let set = live_set job.flow_key in
+    if check && Hashtbl.fold (fun idx () acc -> acc || idx < job.submit_idx) set false then
+      incr reordered;
+    Hashtbl.remove set job.submit_idx
+  in
+
+  let stop_recording job =
+    if job.recording then begin
+      Hashtbl.remove recording_in_flight job.packet.Packet.fid;
+      job.recording <- false
+    end
+  in
+
+  let flow_cleanup job =
+    Option.iter
+      (fun tuple ->
+        Chain.remove_flow chain job.packet.Packet.fid;
+        Sb_mat.Global_mat.remove_flow global job.packet.Packet.fid;
+        Classifier.forget classifier tuple)
+      job.tuple
+  in
+
+  let finish job at verdict =
+    (match verdict with
+    | Sb_mat.Header_action.Forwarded -> incr forwarded
+    | Sb_mat.Header_action.Dropped -> incr dropped_by_chain);
+    Sb_sim.Stats.add sojourn_us (Sb_sim.Cycles.to_microseconds (at - job.arrival));
+    retire ~check:true job;
+    if job.cleanup_after then flow_cleanup job
+  in
+
+  (* Consolidation cost is deterministic, so the service time can charge
+     it up front while the table write itself happens at completion. *)
+  let consolidate_cost = List.length (Chain.local_mats chain) * Sb_sim.Cycles.global_consolidate_per_nf in
+  let consolidate_at_completion job =
+    ignore (Sb_mat.Global_mat.consolidate global job.packet.Packet.fid (Chain.local_mats chain));
+    stop_recording job
+  in
+
+  (* The actual work a stage performs when it starts serving a job. *)
+  let serve job route =
+    match route with
+    | To_classifier ->
+        let cls = Classifier.classify classifier job.packet in
+        job.tuple <- Some cls.Classifier.tuple;
+        job.cleanup_after <- cls.Classifier.final;
+        if Sb_mat.Global_mat.mem global cls.Classifier.fid then begin
+          incr fast;
+          (cls.Classifier.cycles, Next To_global_mat)
+        end
+        else begin
+          incr slow;
+          (* Only one packet of a flow records at a time: packets arriving
+             while the initial packet is still mid-chain walk uninstrumented
+             — the consolidation race real deployments have. *)
+          if
+            cls.Classifier.established
+            && Chain.consolidable chain
+            && not (Hashtbl.mem recording_in_flight cls.Classifier.fid)
+          then begin
+            Hashtbl.replace recording_in_flight cls.Classifier.fid ();
+            job.recording <- true
+          end;
+          (cls.Classifier.cycles, Next (To_nf 0))
+        end
+    | To_nf i -> (
+        let ctx =
+          {
+            Api.fid = job.packet.Packet.fid;
+            local_mat = mats.(i);
+            events = Chain.events chain;
+            recording = job.recording;
+          }
+        in
+        let r = nfs.(i).Nf.process ctx job.packet in
+        let overhead =
+          Sb_sim.Cycles.nf_rx_tx
+          + if job.recording then Sb_sim.Cycles.local_mat_record else 0
+        in
+        match r.Nf.verdict with
+        | Sb_mat.Header_action.Dropped ->
+            (* The walk ends here; a recording walk still consolidates so
+               subsequent packets early-drop. *)
+            if job.recording then
+              ( r.Nf.cycles + overhead + consolidate_cost,
+                Done_after_consolidate Sb_mat.Header_action.Dropped )
+            else (r.Nf.cycles + overhead, Done Sb_mat.Header_action.Dropped)
+        | Sb_mat.Header_action.Forwarded ->
+            if i + 1 < Array.length nfs then (r.Nf.cycles + overhead, Next (To_nf (i + 1)))
+            else if job.recording then
+              ( r.Nf.cycles + overhead + consolidate_cost,
+                Done_after_consolidate Sb_mat.Header_action.Forwarded )
+            else (r.Nf.cycles + overhead, Done Sb_mat.Header_action.Forwarded))
+    | To_global_mat -> (
+        match
+          Sb_mat.Global_mat.execute global (Chain.events chain) (Chain.local_mats chain)
+            job.packet.Packet.fid job.packet
+        with
+        | None ->
+            (* The rule vanished between classify and service (FIN cleanup
+               raced ahead); fall back to the original path. *)
+            (Sb_sim.Cycles.fast_path_lookup, Next (To_nf 0))
+        | Some r ->
+            fired := !fired + r.Sb_mat.Global_mat.events_fired;
+            ( Sb_sim.Cost_profile.stage_cycles r.Sb_mat.Global_mat.stage
+              + Sb_sim.Cycles.meta_detach,
+              Done r.Sb_mat.Global_mat.verdict ))
+  in
+
+  let maybe_start label state now =
+    if not state.busy then begin
+      match Sb_sim.Ring.peek state.ring with
+      | None -> ()
+      | Some (job, route) ->
+          state.busy <- true;
+          let service, outcome = serve job route in
+          state.outcome <- Some outcome;
+          schedule (now + service) (Complete label)
+    end
+  in
+
+  let handle event =
+    match event.kind with
+    | Enqueue ((job, route) as entry) ->
+        let label = stage_of_route route in
+        let state = stage label in
+        if Sb_sim.Ring.push state.ring entry then maybe_start label state event.at
+        else begin
+          incr dropped_overflow;
+          stop_recording job;
+          retire job
+        end
+    | Complete label -> (
+        let state = stage label in
+        state.busy <- false;
+        match (Sb_sim.Ring.pop state.ring, state.outcome) with
+        | Some (job, _), Some outcome ->
+            state.outcome <- None;
+            (match outcome with
+            | Next next ->
+                schedule (event.at + Sb_sim.Cycles.ring_hop_onvm) (Enqueue (job, next))
+            | Done verdict -> finish job event.at verdict
+            | Done_after_consolidate verdict ->
+                consolidate_at_completion job;
+                finish job event.at verdict);
+            maybe_start label state event.at
+        | _ -> assert false (* a completion implies a served head *))
+  in
+
+  List.iteri
+    (fun submit_idx original ->
+      let packet = Packet.copy original in
+      let flow_key = Sb_flow.Fid.of_tuple (Sb_flow.Five_tuple.of_packet original) in
+      let job =
+        {
+          packet;
+          arrival = packet.Packet.ingress_cycle;
+          submit_idx;
+          flow_key;
+          recording = false;
+          cleanup_after = false;
+          tuple = None;
+        }
+      in
+      Hashtbl.replace (live_set flow_key) submit_idx ();
+      schedule job.arrival (Enqueue (job, To_classifier)))
+    trace;
+  let rec drain () =
+    match Sb_sim.Min_heap.pop_min heap with
+    | None -> ()
+    | Some event ->
+        handle event;
+        drain ()
+  in
+  drain ();
+  {
+    forwarded = !forwarded;
+    dropped_by_chain = !dropped_by_chain;
+    dropped_overflow = !dropped_overflow;
+    slow_path = !slow;
+    fast_path = !fast;
+    reordered = !reordered;
+    sojourn_us;
+    events_fired = !fired;
+  }

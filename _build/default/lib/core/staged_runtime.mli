@@ -1,0 +1,43 @@
+(** The staged OpenNetVM executor: the chain as a real pipeline.
+
+    {!Runtime} processes packets one at a time and prices the platform
+    analytically; this executor instead runs the classifier and every NF
+    as pipeline stages connected by finite rings under a discrete-event
+    heap.  All processing is the real thing — NF closures run when their
+    stage serves the packet, recording and consolidation happen exactly
+    where they would on the wire — so the execution exhibits effects the
+    closed-form model cannot:
+
+    - {b queueing}: sojourn times include waiting in rings, and bursts
+      overflow them (tail drops);
+    - {b consolidation races}: packets of a flow that arrive while its
+      initial packet is still mid-chain take the slow path too (the rule
+      does not exist yet), and only one of them records;
+    - {b reordering}: once the rule installs, a later packet can take the
+      one-stage fast path and depart before earlier packets of the same
+      flow still queued in NF stages — measured and reported.
+
+    Packets must carry arrival times ([ingress_cycle]; see
+    {!Sb_trace.Workload.with_poisson_times}). *)
+
+type result = {
+  forwarded : int;
+  dropped_by_chain : int;  (** NF verdicts *)
+  dropped_overflow : int;  (** ring tail drops *)
+  slow_path : int;
+  fast_path : int;
+  reordered : int;
+      (** departures that overtook an earlier-arrived packet of the same
+          flow *)
+  sojourn_us : Sb_sim.Stats.t;  (** arrival to departure, completed packets *)
+  events_fired : int;
+}
+
+val run :
+  ?ring_capacity:int ->
+  ?policy:Sb_mat.Parallel.policy ->
+  Chain.t ->
+  Sb_packet.Packet.t list ->
+  result
+(** [run chain trace] — the trace must be in non-decreasing arrival order.
+    Default ring capacity: 64 slots per stage. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Chain_registry Field Harness Hashtbl Ipv4_addr List Packet Printf Sb_flow Sb_mat Sb_nf Sb_packet Sb_sim Sb_trace Speedybox String

@@ -1,0 +1,1 @@
+lib/experiments/baseline_compare.ml: Field Fig9 Harness List Printf Sb_baselines Sb_mat Sb_packet Sb_sim Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/chain_registry.ml: Hashtbl List Option Printf Result Sb_nf Sb_packet Speedybox String

@@ -1,0 +1,1 @@
+lib/experiments/chain_registry.mli: Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/deployment.ml: Chain_registry Fun List Option Printf Result Sb_flow Sb_mat Sb_sim Sb_trace Speedybox String

@@ -1,0 +1,1 @@
+lib/experiments/deployment.mli: Sb_packet Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/event_rate.ml: Harness List Printf Sb_mat Sb_nf Sb_packet Sb_sim Sb_trace Speedybox

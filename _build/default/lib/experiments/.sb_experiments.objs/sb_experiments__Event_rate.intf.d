@@ -1,0 +1,1 @@
+lib/experiments/event_rate.mli:

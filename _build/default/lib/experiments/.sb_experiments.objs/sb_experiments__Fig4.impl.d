@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Harness List Printf Sb_nf Sb_sim Speedybox

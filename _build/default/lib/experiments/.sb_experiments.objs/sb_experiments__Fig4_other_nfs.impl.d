@@ -1,0 +1,1 @@
+lib/experiments/fig4_other_nfs.ml: Harness List Printf Sb_nf Sb_packet Sb_sim Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/fig4_other_nfs.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Harness List Printf Sb_nf Sb_sim Speedybox

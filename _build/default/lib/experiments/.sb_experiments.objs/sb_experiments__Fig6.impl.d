@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Harness List Printf Sb_nf Sb_sim Sb_trace Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Sb_packet Sb_sim Speedybox

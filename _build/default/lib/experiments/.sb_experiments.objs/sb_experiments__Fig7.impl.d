@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Fig6 Harness List Printf Sb_mat Sb_sim Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Harness List Option Printf Sb_nf Sb_sim Speedybox

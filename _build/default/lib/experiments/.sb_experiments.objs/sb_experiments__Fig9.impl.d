@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Float Harness Hashtbl List Printf Sb_nf Sb_packet Sb_sim Sb_trace Speedybox String

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Packet Printf Sb_flow Sb_mat Sb_packet Sb_sim Sb_trace Speedybox Tcp

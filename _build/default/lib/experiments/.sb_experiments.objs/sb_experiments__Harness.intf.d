@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Sb_mat Sb_packet Sb_sim Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/load_sweep.ml: Array Fig6 Harness List Printf Sb_sim Speedybox String

@@ -1,0 +1,1 @@
+lib/experiments/load_sweep.mli: Sb_sim Speedybox

@@ -1,0 +1,1 @@
+lib/experiments/staged_pipeline.ml: Fig6 Harness List Printf Sb_packet Sb_sim Speedybox

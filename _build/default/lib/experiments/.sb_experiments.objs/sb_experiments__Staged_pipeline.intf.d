@@ -1,0 +1,1 @@
+lib/experiments/staged_pipeline.mli:

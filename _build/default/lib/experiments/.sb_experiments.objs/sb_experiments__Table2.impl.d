@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Filename Harness List Option Printf String Sys

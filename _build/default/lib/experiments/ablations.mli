@@ -1,0 +1,42 @@
+(** Ablation benches for the design choices DESIGN.md calls out.
+
+    A1 — modify-merge strategy: the paper's literal XOR formulation
+    (§V-B) versus this implementation's field-level merge; verifies output
+    equality and compares the per-packet application cost.
+
+    A2 — Event Table overhead: fast-path latency as a function of the
+    number of armed per-flow events (each costs one condition check per
+    packet).
+
+    A3 — parallelism policy: Sequential vs the Table I analysis vs the
+    unsound Always-parallel, with both the latency and the
+    equivalence-check outcome, demonstrating why the dependency analysis
+    is needed.
+
+    A4 — FID width: observed FID collision probability across flow
+    populations for 12/16/20/24-bit FIDs (the paper uses 20 bits for over
+    a million concurrent flows).
+
+    A5 — rule sharing: how many structurally distinct consolidated actions
+    the Global MAT holds across many flows (hash-consing potential):
+    chains whose actions embed per-flow values (a NAT's allocated port)
+    share nothing, while filter/IDS chains collapse to a single action.
+
+    A6 — rule-table size: fast-path hit rate and eviction churn as the
+    LRU rule cap shrinks below the live flow population (megaflow-cache
+    behaviour). *)
+
+val xor_merge_vs_field_merge : unit -> unit
+
+val event_table_overhead : unit -> unit
+
+val parallelism_policies : unit -> unit
+
+val fid_width : unit -> unit
+
+val rule_sharing : unit -> unit
+
+val rule_table_size : unit -> unit
+
+val run : unit -> unit
+(** All six, in order. *)

@@ -1,0 +1,26 @@
+(** Baseline comparison (beyond the paper's own figures; its related-work
+    section makes these claims qualitatively).
+
+    Four designs over the same chains and workload:
+    - {b Original}: the unmodified chain;
+    - {b OpenBox-style}: static parse/classify merging — removes only the
+      repeated parsing redundancy R1;
+    - {b ParaBox/NFP-style}: NF-level parallel execution of independent
+      NFs — widens the path, removes no redundancy;
+    - {b SpeedyBox}: cross-NF runtime consolidation.
+
+    The expectation from the paper: the static and widening baselines each
+    recover a slice of the latency, SpeedyBox strictly more — it subsumes
+    R1 elimination, adds early drop and action merging, and parallelises at
+    the finer state-function granularity. *)
+
+type row = {
+  design : string;
+  latency_us : float;  (** mean over subsequent packets, BESS model *)
+  service_cycles : float;
+}
+
+val measure : Fig9.chain_id -> row list
+(** Rows in order: original, openbox, parabox, speedybox. *)
+
+val run : unit -> unit

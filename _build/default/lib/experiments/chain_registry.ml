@@ -1,0 +1,139 @@
+let external_ip = Sb_packet.Ipv4_addr.of_string "203.0.113.1"
+
+let backends n =
+  List.init n (fun i ->
+      (Printf.sprintf "backend%d" i, Sb_packet.Ipv4_addr.of_octets 192 168 2 (10 + i)))
+
+let gateway_servers = List.init 4 (fun i -> Sb_packet.Ipv4_addr.of_octets 10 10 0 (20 + i))
+
+let stock_snort_rules () =
+  match
+    Sb_nf.Snort_rule.parse_many
+      {|
+alert tcp any any -> any 80 (msg:"HTTP attack payload"; content:"attack"; sid:9001;)
+alert tcp any any -> any any (msg:"exploit marker"; content:"exploit"; nocase; sid:9002;)
+log ip any any -> any any (msg:"beacon string"; content:"beacon"; sid:9003;)
+|}
+  with
+  | Ok rules -> rules
+  | Error msg -> invalid_arg msg
+
+let ( let* ) = Result.bind
+
+(* One NF constructor from a spec atom like "maglev:4". *)
+let nf_of_atom ~suffix atom =
+  let kind, arg =
+    match String.index_opt atom ':' with
+    | None -> (atom, None)
+    | Some i ->
+        (String.sub atom 0 i, Some (String.sub atom (i + 1) (String.length atom - i - 1)))
+  in
+  let int_arg ~default =
+    match arg with
+    | None -> Ok default
+    | Some a -> (
+        match int_of_string_opt a with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "bad argument %S for %s" a kind))
+  in
+  let named base = if suffix = 0 then base else Printf.sprintf "%s%d" base (suffix + 1) in
+  match kind with
+  | "mazunat" ->
+      Ok
+        (fun () ->
+          Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~name:(named "mazunat") ~external_ip ()))
+  | "maglev" ->
+      let* n = int_arg ~default:8 in
+      if n < 1 then Error "maglev needs at least one backend"
+      else
+        Ok
+          (fun () ->
+            Sb_nf.Maglev.nf (Sb_nf.Maglev.create ~name:(named "maglev") ~backends:(backends n) ()))
+  | "monitor" ->
+      Ok (fun () -> Sb_nf.Monitor.nf (Sb_nf.Monitor.create ~name:(named "monitor") ()))
+  | "ipfilter" ->
+      let* port = int_arg ~default:0 in
+      let rules =
+        if port = 0 then
+          List.init 16 (fun i ->
+              Sb_nf.Ipfilter.rule ~src:(Printf.sprintf "172.16.%d.0/24" i) Sb_nf.Ipfilter.Deny)
+        else [ Sb_nf.Ipfilter.rule ~dst_ports:(port, port) Sb_nf.Ipfilter.Deny ]
+      in
+      Ok
+        (fun () -> Sb_nf.Ipfilter.nf (Sb_nf.Ipfilter.create ~name:(named "ipfilter") ~rules ()))
+  | "statefulfw" ->
+      Ok
+        (fun () ->
+          Sb_nf.Stateful_firewall.nf (Sb_nf.Stateful_firewall.create ~name:(named "statefulfw") ()))
+  | "gateway" ->
+      let* port = int_arg ~default:80 in
+      Ok
+        (fun () ->
+          Sb_nf.Gateway.nf
+            (Sb_nf.Gateway.create ~name:(named "gateway")
+               ~services:
+                 [ Sb_nf.Gateway.service ~public_port:port ~internal_port:8080 gateway_servers ]
+               ()))
+  | "snort" ->
+      Ok
+        (fun () ->
+          Sb_nf.Snort.nf (Sb_nf.Snort.create ~name:(named "snort") ~rules:(stock_snort_rules ()) ()))
+  | "dosguard" ->
+      let* threshold = int_arg ~default:100 in
+      if threshold < 1 then Error "dosguard threshold must be positive"
+      else
+        Ok
+          (fun () ->
+            Sb_nf.Dos_guard.nf (Sb_nf.Dos_guard.create ~name:(named "dosguard") ~threshold ()))
+  | "vpn-in" ->
+      Ok (fun () -> Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ~name:(named "vpn-in") ()))
+  | "vpn-out" ->
+      Ok (fun () -> Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ~name:(named "vpn-out") ()))
+  | "synthetic" ->
+      let* cost = int_arg ~default:2600 in
+      Ok
+        (fun () ->
+          Sb_nf.Synthetic.nf
+            (Sb_nf.Synthetic.create ~name:(named "synthetic") ~cost_cycles:cost ()))
+  | other -> Error (Printf.sprintf "unknown NF kind %S" other)
+
+let build_spec spec =
+  let atoms = String.split_on_char ',' spec |> List.map String.trim in
+  if atoms = [] || List.exists (String.equal "") atoms then
+    Error "empty NF in chain spec"
+  else begin
+    let kind_of atom =
+      match String.index_opt atom ':' with None -> atom | Some i -> String.sub atom 0 i
+    in
+    let seen = Hashtbl.create 8 in
+    let constructors =
+      List.fold_left
+        (fun acc atom ->
+          let* acc = acc in
+          let kind = kind_of atom in
+          let suffix = Option.value (Hashtbl.find_opt seen kind) ~default:0 in
+          Hashtbl.replace seen kind (suffix + 1);
+          let* make = nf_of_atom ~suffix atom in
+          Ok (make :: acc))
+        (Ok []) atoms
+    in
+    let* constructors = constructors in
+    let constructors = List.rev constructors in
+    Ok (fun () -> Speedybox.Chain.create ~name:spec (List.map (fun make -> make ()) constructors))
+  end
+
+let predefined =
+  [
+    ("chain1", "MazuNAT -> Maglev -> Monitor -> IPFilter (the paper's Chain 1)", "mazunat,maglev,monitor,ipfilter");
+    ("chain2", "IPFilter -> Snort -> Monitor (the paper's Chain 2)", "ipfilter,snort,monitor");
+    ("snort-monitor", "Snort -> Monitor (the Fig. 6 chain)", "snort,monitor");
+    ("vpn", "Monitor -> VPN encap -> VPN decap", "monitor,vpn-in,vpn-out");
+    ("edge", "StatefulFW -> Gateway -> Monitor -> DoSGuard", "statefulfw,gateway,monitor,dosguard:200");
+  ]
+
+let registry () = List.map (fun (name, descr, _) -> (name, descr)) predefined
+
+let build name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) predefined with
+  | Some (_, _, spec) -> build_spec spec
+  | None -> build_spec name

@@ -1,0 +1,28 @@
+(** Named chains and a chain-spec mini-language for the CLI and tests.
+
+    A spec is a comma-separated list of NF constructors, each optionally
+    parameterised with [:arg]:
+
+    {v
+    mazunat          dynamic NAPT (external IP 203.0.113.1)
+    maglev[:n]       Maglev LB with n backends (default 8)
+    monitor          per-flow counters
+    ipfilter[:port]  firewall denying the given dst port (default: none)
+    statefulfw       SYN-gated stateful firewall
+    gateway[:port]   app gateway fronting the port (default 80)
+    snort            IDS with the stock rule set
+    dosguard[:k]     per-flow packet budget k (default 100)
+    vpn-in, vpn-out  AH encapsulator / decapsulator
+    synthetic[:c]    synthetic NF with a c-cycle READ state function
+    v}
+
+    Example: ["mazunat,maglev:4,monitor,ipfilter"].  Duplicate NF kinds get
+    numeric suffixes so chain names stay unique. *)
+
+val registry : unit -> (string * string) list
+(** [(name, description)] of the predefined chains. *)
+
+val build : string -> ((unit -> Speedybox.Chain.t), string) result
+(** [build s] resolves [s] as a predefined chain name first, then as a
+    spec.  The returned thunk creates a fresh chain (fresh NF state) on
+    every call. *)

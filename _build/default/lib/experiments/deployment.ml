@@ -1,0 +1,170 @@
+type t = {
+  chain_spec : string;
+  config : Speedybox.Runtime.config;
+  seed : int;
+  flows : int;
+  mean_packets : int;
+  rate_mpps : float option;
+}
+
+let ( let* ) = Result.bind
+
+(* One [key = value] binding per line; [#] starts a comment anywhere. *)
+let bindings_of_lines lines =
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) acc rest
+        else
+          match String.index_opt line '=' with
+          | None -> Error (Printf.sprintf "line %d: expected key = value" lineno)
+          | Some i ->
+              let key = String.trim (String.sub line 0 i) in
+              let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+              if key = "" || value = "" then
+                Error (Printf.sprintf "line %d: empty key or value" lineno)
+              else go (lineno + 1) ((key, value, lineno) :: acc) rest)
+  in
+  go 1 [] lines
+
+let int_value key value lineno =
+  match int_of_string_opt value with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "line %d: %s expects an integer, got %S" lineno key value)
+
+let float_value key value lineno =
+  match float_of_string_opt value with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "line %d: %s expects a number, got %S" lineno key value)
+
+type acc = {
+  a_chain : string option;
+  a_platform : Sb_sim.Platform.t;
+  a_mode : Speedybox.Runtime.mode;
+  a_policy : Sb_mat.Parallel.policy;
+  a_fid_bits : int;
+  a_max_rules : int option;
+  a_idle_us : int option;
+  a_seed : int;
+  a_flows : int;
+  a_mean_packets : int;
+  a_rate : float option;
+}
+
+let initial =
+  {
+    a_chain = None;
+    a_platform = Sb_sim.Platform.Bess;
+    a_mode = Speedybox.Runtime.Speedybox;
+    a_policy = Sb_mat.Parallel.Table_one;
+    a_fid_bits = Sb_flow.Fid.default_bits;
+    a_max_rules = None;
+    a_idle_us = None;
+    a_seed = 42;
+    a_flows = 100;
+    a_mean_packets = 12;
+    a_rate = None;
+  }
+
+let apply_binding acc (key, value, lineno) =
+  match key with
+  | "chain" -> Ok { acc with a_chain = Some value }
+  | "platform" -> (
+      match value with
+      | "bess" -> Ok { acc with a_platform = Sb_sim.Platform.Bess }
+      | "onvm" -> Ok { acc with a_platform = Sb_sim.Platform.Onvm }
+      | v -> Error (Printf.sprintf "line %d: unknown platform %S" lineno v))
+  | "mode" -> (
+      match value with
+      | "original" -> Ok { acc with a_mode = Speedybox.Runtime.Original }
+      | "speedybox" -> Ok { acc with a_mode = Speedybox.Runtime.Speedybox }
+      | v -> Error (Printf.sprintf "line %d: unknown mode %S" lineno v))
+  | "policy" -> (
+      match value with
+      | "sequential" -> Ok { acc with a_policy = Sb_mat.Parallel.Sequential }
+      | "table-one" -> Ok { acc with a_policy = Sb_mat.Parallel.Table_one }
+      | "always-parallel" -> Ok { acc with a_policy = Sb_mat.Parallel.Always_parallel }
+      | v -> Error (Printf.sprintf "line %d: unknown policy %S" lineno v))
+  | "fid-bits" ->
+      let* v = int_value key value lineno in
+      Ok { acc with a_fid_bits = v }
+  | "max-rules" ->
+      let* v = int_value key value lineno in
+      Ok { acc with a_max_rules = Some v }
+  | "idle-timeout-us" ->
+      let* v = int_value key value lineno in
+      Ok { acc with a_idle_us = Some v }
+  | "seed" ->
+      let* v = int_value key value lineno in
+      Ok { acc with a_seed = v }
+  | "flows" ->
+      let* v = int_value key value lineno in
+      Ok { acc with a_flows = v }
+  | "mean-packets" ->
+      let* v = int_value key value lineno in
+      Ok { acc with a_mean_packets = v }
+  | "rate-mpps" ->
+      let* v = float_value key value lineno in
+      Ok { acc with a_rate = Some v }
+  | other -> Error (Printf.sprintf "line %d: unknown key %S" lineno other)
+
+let parse text =
+  let* bindings = bindings_of_lines (String.split_on_char '\n' text) in
+  let* acc = List.fold_left (fun acc b -> Result.bind acc (fun a -> apply_binding a b)) (Ok initial) bindings in
+  match acc.a_chain with
+  | None -> Error "missing required key \"chain\""
+  | Some chain_spec ->
+      Ok
+        {
+          chain_spec;
+          config =
+            Speedybox.Runtime.config ~platform:acc.a_platform ~mode:acc.a_mode
+              ~policy:acc.a_policy ~fid_bits:acc.a_fid_bits ?max_rules:acc.a_max_rules
+              ?idle_timeout_cycles:
+                (Option.map (fun us -> us * 2000 (* 2 GHz *)) acc.a_idle_us)
+              ();
+          seed = acc.a_seed;
+          flows = acc.a_flows;
+          mean_packets = acc.a_mean_packets;
+          rate_mpps = acc.a_rate;
+        }
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse text
+
+let build_runtime t =
+  let* build = Chain_registry.build t.chain_spec in
+  match Speedybox.Runtime.create t.config (build ()) with
+  | rt -> Ok rt
+  | exception Invalid_argument msg -> Error msg
+
+let workload t =
+  let trace =
+    Sb_trace.Workload.dcn_trace
+      {
+        Sb_trace.Workload.seed = t.seed;
+        n_flows = t.flows;
+        mean_flow_packets = float_of_int t.mean_packets;
+        payload_len = (16, 512);
+        udp_fraction = 0.1;
+        malicious_fraction = 0.05;
+        tokens = [ "attack"; "exploit"; "beacon" ];
+      }
+  in
+  match t.rate_mpps with
+  | Some rate -> Sb_trace.Workload.with_poisson_times ~seed:(t.seed + 1) ~rate_mpps:rate trace
+  | None -> trace

@@ -1,0 +1,44 @@
+(** Deployment description files.
+
+    A deployment file captures everything needed to reproduce a run — the
+    chain, the platform model, the runtime options and the workload — in a
+    simple [key = value] format with [#] comments:
+
+    {v
+    # edge-pop deployment
+    chain    = statefulfw,gateway:80,monitor,dosguard:200
+    platform = onvm            # bess | onvm
+    mode     = speedybox       # original | speedybox
+    policy   = table-one       # sequential | table-one | always-parallel
+    fid-bits = 20
+    max-rules = 4096           # optional LRU cap
+    idle-timeout-us = 1000000  # optional, needs a timed workload
+    seed = 42
+    flows = 200
+    mean-packets = 12
+    rate-mpps = 0.5            # optional: stamps Poisson arrival times
+    v}
+
+    Unknown keys are rejected so typos fail loudly. *)
+
+type t = {
+  chain_spec : string;
+  config : Speedybox.Runtime.config;
+  seed : int;
+  flows : int;
+  mean_packets : int;
+  rate_mpps : float option;
+}
+
+val parse : string -> (t, string) result
+(** Parses the file body.  Errors name the offending line. *)
+
+val load : string -> (t, string) result
+(** Reads and parses the file at the path. *)
+
+val build_runtime : t -> (Speedybox.Runtime.t, string) result
+(** Resolves the chain spec and instantiates the runtime. *)
+
+val workload : t -> Sb_packet.Packet.t list
+(** The deployment's deterministic workload (timed when [rate_mpps] is
+    set). *)

@@ -1,0 +1,68 @@
+type point = {
+  interval : int;
+  events_fired : int;
+  consolidations : int;
+  mean_latency_us : float;
+}
+
+let backends () =
+  List.init 6 (fun i ->
+      (Printf.sprintf "b%d" i, Sb_packet.Ipv4_addr.of_octets 192 168 2 (10 + i)))
+
+let trace () =
+  Sb_trace.Workload.fixed_trace ~proto:17 ~n_flows:64 ~packets_per_flow:60 ~payload_len:16
+    ()
+
+let measure ~intervals =
+  List.map
+    (fun interval ->
+      let lb = Sb_nf.Maglev.create ~backends:(backends ()) () in
+      let chain =
+        Speedybox.Chain.create ~name:"lb"
+          [ Sb_nf.Maglev.nf lb; Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]
+      in
+      let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+      let latency = Sb_sim.Stats.create () in
+      let events = ref 0 in
+      let victim = ref None in
+      List.iteri
+        (fun i p ->
+          (* Rotate the failed backend every [interval] packets: restore the
+             previous victim and kill the next, so every failure reroutes
+             whatever flows currently sit on it. *)
+          if interval > 0 && i > 0 && i mod interval = 0 then begin
+            (match !victim with
+            | Some v ->
+                Sb_nf.Maglev.restore_backend lb (Printf.sprintf "b%d" v)
+            | None -> ());
+            let next = match !victim with Some v -> (v + 1) mod 6 | None -> 0 in
+            Sb_nf.Maglev.fail_backend lb (Printf.sprintf "b%d" next);
+            victim := Some next
+          end;
+          let out = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy p) in
+          events := !events + out.Speedybox.Runtime.events_fired;
+          if out.Speedybox.Runtime.path = Speedybox.Runtime.Fast_path then
+            Sb_sim.Stats.add latency
+              (Sb_sim.Cycles.to_microseconds out.Speedybox.Runtime.latency_cycles))
+        (trace ());
+      {
+        interval;
+        events_fired = !events;
+        consolidations =
+          Sb_mat.Global_mat.consolidation_count (Speedybox.Runtime.global_mat rt);
+        mean_latency_us = Sb_sim.Stats.mean latency;
+      })
+    intervals
+
+let run () =
+  Harness.print_header "Event rate" "fast-path cost as backend-failure frequency climbs";
+  Harness.print_row "  flip every   events fired   consolidations   mean fast-path latency";
+  List.iter
+    (fun p ->
+      Harness.print_row
+        (Printf.sprintf "  %10s   %12d   %14d   %8.2fus"
+           (if p.interval = 0 then "never" else Printf.sprintf "%d pkts" p.interval)
+           p.events_fired p.consolidations p.mean_latency_us))
+    (measure ~intervals:[ 0; 2000; 500; 120; 30 ]);
+  Harness.print_note
+    "events stay cheap until flips approach per-packet frequency (paper: 'events do not happen frequently')"

@@ -1,0 +1,22 @@
+(** Event-frequency sweep (extension).
+
+    The paper's motivation leans on "events do not happen frequently"
+    (§II-A); this experiment quantifies what happens when they do.  A
+    Maglev + Monitor chain handles a steady flow population while a
+    backend is killed and restored every [interval] packets; each cycle
+    reroutes the flows pinned to the victim, firing their recurring events
+    and re-consolidating their rules on the fast path.  Reported per
+    interval: events fired, re-consolidations, and mean fast-path latency —
+    showing the fast path degrades gracefully toward the slow path as
+    event frequency climbs. *)
+
+type point = {
+  interval : int;  (** packets between failure/restore flips; 0 = never *)
+  events_fired : int;
+  consolidations : int;
+  mean_latency_us : float;
+}
+
+val measure : intervals:int list -> point list
+
+val run : unit -> unit

@@ -1,0 +1,25 @@
+(** Figure 4 — effect of header-action consolidation.
+
+    Chains of 1-3 IPFilters over 64-byte packets; CPU cycles per packet for
+    initial and subsequent packets, original chain vs SpeedyBox, on BESS and
+    OpenNetVM.  The paper reports that with one header action SpeedyBox
+    costs slightly more (recording/fast-path overhead), while with 2 and 3
+    actions consolidation saves 40.9% / 57.7% on subsequent packets; the
+    theoretical bound is (N-1)/N. *)
+
+type point = {
+  n_header_actions : int;
+  original_init : float;
+  speedybox_init : float;
+  original_sub : float;
+  speedybox_sub : float;
+}
+
+val measure : Sb_sim.Platform.t -> point list
+(** One point per chain length 1-3. *)
+
+val sub_reduction_pct : point -> float
+(** Subsequent-packet saving of SpeedyBox over the original chain. *)
+
+val run : unit -> unit
+(** Prints the figure's series for both platforms. *)

@@ -1,0 +1,24 @@
+(** Fig. 4 for the other NFs.
+
+    The paper shows IPFilter chains only, noting "the results are
+    representative, and comparable with other NFs, [...] the evaluation
+    results of other NFs are in [the external microbenchmark repo]".
+    This experiment reruns the 1-3-NF consolidation sweep for MazuNAT
+    chains (each NF rewrites source address/port, so consolidation also
+    removes the repeated overwriting of R3 and its per-NF checksum
+    fix-ups) and Monitor chains (forward-only, counters as state
+    functions). *)
+
+type point = {
+  nf_kind : string;
+  chain_length : int;
+  original_sub : float;  (** cycles/packet, subsequent packets, BESS *)
+  speedybox_sub : float;
+}
+
+val measure : unit -> point list
+(** Points for mazunat and monitor chains, lengths 1-3. *)
+
+val reduction_pct : point -> float
+
+val run : unit -> unit

@@ -1,0 +1,80 @@
+type point = {
+  n_state_functions : int;
+  original_rate_mpps : float;
+  speedybox_rate_mpps : float;
+  original_latency_us : float;
+  speedybox_latency_us : float;
+}
+
+let build_chain n () =
+  Speedybox.Chain.create ~name:(Printf.sprintf "synthetic-x%d" n)
+    (List.init n (fun i ->
+         Sb_nf.Synthetic.nf (Sb_nf.Synthetic.snort_like (Printf.sprintf "syn%d" (i + 1)))))
+
+let subsequent_stats ~platform ~mode ~build_chain trace =
+  (* Rate and latency over subsequent packets only: the steady state the
+     paper's pktgen run measures. *)
+  let rt =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~platform ~mode ()) (build_chain ())
+  in
+  let classify = Harness.phase_tracker () in
+  let latency = Sb_sim.Stats.create () in
+  let service = Sb_sim.Stats.create () in
+  let _ =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun input out ->
+        match classify input with
+        | Harness.Handshake | Harness.Init -> ()
+        | Harness.Subsequent ->
+            Sb_sim.Stats.add_int latency out.Speedybox.Runtime.latency_cycles;
+            Sb_sim.Stats.add_int service out.Speedybox.Runtime.service_cycles)
+      rt trace
+  in
+  ( Sb_sim.Cycles.rate_mpps (int_of_float (Sb_sim.Stats.mean service)),
+    Sb_sim.Cycles.to_microseconds (int_of_float (Sb_sim.Stats.mean latency)) )
+
+let measure platform =
+  let trace = Harness.micro_trace () in
+  List.init 3 (fun idx ->
+      let n = idx + 1 in
+      let original_rate_mpps, original_latency_us =
+        subsequent_stats ~platform ~mode:Speedybox.Runtime.Original
+          ~build_chain:(build_chain n) trace
+      in
+      let speedybox_rate_mpps, speedybox_latency_us =
+        subsequent_stats ~platform ~mode:Speedybox.Runtime.Speedybox
+          ~build_chain:(build_chain n) trace
+      in
+      {
+        n_state_functions = n;
+        original_rate_mpps;
+        speedybox_rate_mpps;
+        original_latency_us;
+        speedybox_latency_us;
+      })
+
+let rate_speedup p = p.speedybox_rate_mpps /. p.original_rate_mpps
+
+let latency_reduction_pct p =
+  Harness.reduction_pct p.original_latency_us p.speedybox_latency_us
+
+let run () =
+  Harness.print_header "Fig.5" "state function parallelism (rate and latency)";
+  List.iter
+    (fun platform ->
+      Harness.print_row
+        (Printf.sprintf
+           "  [%s]  #SF  Orig-rate  SBox-rate  speedup   Orig-lat   SBox-lat  reduction"
+           (Sb_sim.Platform.name platform));
+      List.iter
+        (fun p ->
+          Harness.print_row
+            (Printf.sprintf
+               "  %6s  %3d  %6.2fMpps %6.2fMpps  %5.2fx   %6.2fus   %6.2fus   %+6.1f%%" ""
+               p.n_state_functions p.original_rate_mpps p.speedybox_rate_mpps
+               (rate_speedup p) p.original_latency_us p.speedybox_latency_us
+               (latency_reduction_pct p)))
+        (measure platform))
+    [ Sb_sim.Platform.Bess; Sb_sim.Platform.Onvm ];
+  Harness.print_note
+    "paper: BESS 3 SFs -> 2.1x rate, -59% latency; ONVM rate flat (pipelined); 1 SF slightly slower"

@@ -1,0 +1,26 @@
+(** Figure 5 — effect of state-function parallelism.
+
+    Chains of 1-3 identical synthetic NFs whose single state function is a
+    Snort-equivalent payload READ (parallelisable under Table I).
+    Processing rate (Mpps) and per-packet latency (µs) for the original
+    chain vs SpeedyBox on both platforms.  Paper headlines: BESS rate drops
+    with chain length while SpeedyBox holds it (2.1x at 3 SFs) and cuts
+    latency 59% at 3 SFs; OpenNetVM's pipelined rate stays flat either
+    way; one SF costs slightly more with SpeedyBox.  Optimal latency
+    saving is (N-1)/N. *)
+
+type point = {
+  n_state_functions : int;
+  original_rate_mpps : float;
+  speedybox_rate_mpps : float;
+  original_latency_us : float;
+  speedybox_latency_us : float;
+}
+
+val measure : Sb_sim.Platform.t -> point list
+
+val rate_speedup : point -> float
+
+val latency_reduction_pct : point -> float
+
+val run : unit -> unit

@@ -1,0 +1,29 @@
+(** Figure 6 — how consolidation and parallelism together improve the
+    Snort + Monitor chain.
+
+    Both NFs have header actions and state functions, so both SpeedyBox
+    optimisations apply.  Paper: CPU cycles per packet drop 46.3% (BESS,
+    1082 -> 581) and 47.4% (ONVM, 1202 -> 632); processing rate improves
+    32.1% on BESS (0.601 -> 0.894 Mpps) and stays flat on OpenNetVM
+    (pipelined). *)
+
+type row = {
+  platform : Sb_sim.Platform.t;
+  original_cycles : float;
+  speedybox_cycles : float;
+  original_rate_mpps : float;
+  speedybox_rate_mpps : float;
+}
+
+val build_chain : unit -> Speedybox.Chain.t
+(** The Snort + Monitor chain (shared with Fig. 7). *)
+
+val chain_trace : unit -> Sb_packet.Packet.t list
+
+val measure : Sb_sim.Platform.t -> row
+
+val cycle_reduction_pct : row -> float
+
+val rate_improvement_pct : row -> float
+
+val run : unit -> unit

@@ -1,0 +1,69 @@
+type row = {
+  platform : Sb_sim.Platform.t;
+  original_latency_us : float;
+  speedybox_latency_us : float;
+  ha_share_pct : float;
+  sf_share_pct : float;
+}
+
+let subsequent_latency ~platform ~mode ~policy trace =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~platform ~mode ~policy ())
+      (Fig6.build_chain ())
+  in
+  let classify = Harness.phase_tracker () in
+  let cycles = Sb_sim.Stats.create () in
+  let _ =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun input out ->
+        match classify input with
+        | Harness.Handshake | Harness.Init -> ()
+        | Harness.Subsequent ->
+            Sb_sim.Stats.add_int cycles out.Speedybox.Runtime.latency_cycles)
+      rt trace
+  in
+  Sb_sim.Cycles.to_microseconds (int_of_float (Sb_sim.Stats.mean cycles))
+
+let measure platform =
+  let trace = Fig6.chain_trace () in
+  let original =
+    subsequent_latency ~platform ~mode:Speedybox.Runtime.Original
+      ~policy:Sb_mat.Parallel.Sequential trace
+  in
+  let consolidation_only =
+    subsequent_latency ~platform ~mode:Speedybox.Runtime.Speedybox
+      ~policy:Sb_mat.Parallel.Sequential trace
+  in
+  let full =
+    subsequent_latency ~platform ~mode:Speedybox.Runtime.Speedybox
+      ~policy:Sb_mat.Parallel.Table_one trace
+  in
+  let total = original -. full in
+  let ha = original -. consolidation_only in
+  let sf = consolidation_only -. full in
+  {
+    platform;
+    original_latency_us = original;
+    speedybox_latency_us = full;
+    ha_share_pct = 100. *. ha /. total;
+    sf_share_pct = 100. *. sf /. total;
+  }
+
+let total_reduction_pct r =
+  Harness.reduction_pct r.original_latency_us r.speedybox_latency_us
+
+let run () =
+  Harness.print_header "Fig.7" "Snort + Monitor latency reduction, HA vs SF contributions";
+  Harness.print_row "  platform   Orig-lat   SBox-lat  reduction   HA-share   SF-share";
+  List.iter
+    (fun platform ->
+      let r = measure platform in
+      Harness.print_row
+        (Printf.sprintf "  %-8s   %6.2fus   %6.2fus   %+6.1f%%    %5.1f%%     %5.1f%%"
+           (Sb_sim.Platform.name r.platform)
+           r.original_latency_us r.speedybox_latency_us (total_reduction_pct r)
+           r.ha_share_pct r.sf_share_pct))
+    [ Sb_sim.Platform.Bess; Sb_sim.Platform.Onvm ];
+  Harness.print_note
+    "paper: BESS -35.9% split 49.4% HA / 50.6% SF; ONVM split 41.1% HA / 58.9% SF"

@@ -1,0 +1,23 @@
+(** Figure 7 — decomposing the Snort + Monitor latency reduction into its
+    two sources.
+
+    The attribution is measured by ablation: running SpeedyBox with the
+    state-function parallelism disabled (Sequential policy) isolates the
+    header-action consolidation share; the remainder is the parallelism
+    share.  Paper: BESS latency -35.9%, split 49.4% HA / 50.6% SF; on
+    OpenNetVM the SF share is larger (58.9%) because inter-core rings eat
+    into the consolidation benefit. *)
+
+type row = {
+  platform : Sb_sim.Platform.t;
+  original_latency_us : float;
+  speedybox_latency_us : float;
+  ha_share_pct : float;  (** of the total reduction *)
+  sf_share_pct : float;
+}
+
+val measure : Sb_sim.Platform.t -> row
+
+val total_reduction_pct : row -> float
+
+val run : unit -> unit

@@ -1,0 +1,96 @@
+type point = {
+  chain_length : int;
+  original_latency_us : float option;
+  speedybox_latency_us : float option;
+  original_rate_mpps : float option;
+  speedybox_rate_mpps : float option;
+}
+
+(* ACLs never match the workload, so no packet drops (the paper modifies
+   the IPFilter rules for the same reason). *)
+let build_chain n () =
+  let acl =
+    List.init 32 (fun i ->
+        Sb_nf.Ipfilter.rule ~src:(Printf.sprintf "172.16.%d.0/24" i) Sb_nf.Ipfilter.Deny)
+  in
+  Speedybox.Chain.create ~name:(Printf.sprintf "chain-%d" n)
+    (List.init n (fun i ->
+         Sb_nf.Ipfilter.nf
+           (Sb_nf.Ipfilter.create ~name:(Printf.sprintf "ipfilter%d" (i + 1)) ~rules:acl ())))
+
+let subsequent_stats ~platform ~mode n trace =
+  match Sb_sim.Platform.max_chain_length platform with
+  | Some limit when n > limit -> None
+  | Some _ | None ->
+      let rt =
+        Speedybox.Runtime.create
+          (Speedybox.Runtime.config ~platform ~mode ())
+          (build_chain n ())
+      in
+      let classify = Harness.phase_tracker () in
+      let latency = Sb_sim.Stats.create () in
+      let service = Sb_sim.Stats.create () in
+      let _ =
+        Speedybox.Runtime.run_trace
+          ~on_output:(fun input out ->
+            match classify input with
+            | Harness.Handshake | Harness.Init -> ()
+            | Harness.Subsequent ->
+                Sb_sim.Stats.add_int latency out.Speedybox.Runtime.latency_cycles;
+                Sb_sim.Stats.add_int service out.Speedybox.Runtime.service_cycles)
+          rt trace
+      in
+      Some
+        ( Sb_sim.Cycles.to_microseconds (int_of_float (Sb_sim.Stats.mean latency)),
+          Sb_sim.Cycles.rate_mpps (int_of_float (Sb_sim.Stats.mean service)) )
+
+let measure platform =
+  let trace = Harness.micro_trace () in
+  List.init 9 (fun idx ->
+      let n = idx + 1 in
+      let original = subsequent_stats ~platform ~mode:Speedybox.Runtime.Original n trace in
+      let speedybox = subsequent_stats ~platform ~mode:Speedybox.Runtime.Speedybox n trace in
+      {
+        chain_length = n;
+        original_latency_us = Option.map fst original;
+        speedybox_latency_us = Option.map fst speedybox;
+        original_rate_mpps = Option.map snd original;
+        speedybox_rate_mpps = Option.map snd speedybox;
+      })
+
+let cell = function Some v -> Printf.sprintf "%8.2f" v | None -> "       -"
+
+let latency_plot points =
+  let pick f =
+    List.filter_map
+      (fun p -> Option.map (fun v -> (float_of_int p.chain_length, v)) (f p))
+      points
+  in
+  Sb_sim.Ascii_plot.render ~width:54 ~height:10 ~x_label:"chain length"
+    ~y_label:"latency (us)"
+    [
+      Sb_sim.Ascii_plot.series ~label:"original" ~mark:'o'
+        (pick (fun p -> p.original_latency_us));
+      Sb_sim.Ascii_plot.series ~label:"speedybox" ~mark:'s'
+        (pick (fun p -> p.speedybox_latency_us));
+    ]
+
+let run () =
+  Harness.print_header "Fig.8" "service chain length 1-9 (ONVM capped at 5 NFs)";
+  List.iter
+    (fun platform ->
+      let points = measure platform in
+      Harness.print_row
+        (Printf.sprintf "  [%s]  len  Orig-lat(us) SBox-lat(us) Orig-rate(Mpps) SBox-rate(Mpps)"
+           (Sb_sim.Platform.name platform));
+      List.iter
+        (fun p ->
+          Harness.print_row
+            (Printf.sprintf "  %6s  %3d  %s     %s     %s        %s" "" p.chain_length
+               (cell p.original_latency_us) (cell p.speedybox_latency_us)
+               (cell p.original_rate_mpps) (cell p.speedybox_rate_mpps)))
+        points;
+      if platform = Sb_sim.Platform.Bess then print_string (latency_plot points))
+    [ Sb_sim.Platform.Bess; Sb_sim.Platform.Onvm ];
+  Harness.print_note
+    "paper: SBox latency ~flat with length; BESS original degrades linearly; ONVM rate flat"

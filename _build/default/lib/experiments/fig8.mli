@@ -1,0 +1,20 @@
+(** Figure 8 — long service chains.
+
+    Chains of 1-9 IPFilters (OpenNetVM capped at 5 by the testbed's core
+    count); processing latency and rate for original vs SpeedyBox.  Paper:
+    SpeedyBox latency is nearly independent of chain length; BESS original
+    latency/rate degrade linearly; OpenNetVM original rate stays flat
+    (pipelined) but its latency grows. *)
+
+type point = {
+  chain_length : int;
+  original_latency_us : float option;  (** [None] beyond the core limit *)
+  speedybox_latency_us : float option;
+  original_rate_mpps : float option;
+  speedybox_rate_mpps : float option;
+}
+
+val measure : Sb_sim.Platform.t -> point list
+(** Points for lengths 1-9. *)
+
+val run : unit -> unit

@@ -1,0 +1,33 @@
+(** Figure 9 — real-world service chains over a datacenter trace.
+
+    Chain 1: MazuNAT -> Maglev -> Monitor -> IPFilter (the motivation
+    example; no Maglev events armed in the performance run, as the paper
+    does).  Chain 2: IPFilter -> Snort -> Monitor, with payloads
+    synthesised to exercise Snort's inspection rules.  The metric is
+    {e flow processing time}: the aggregated time a chain spends on all
+    packets of a flow; the paper reports the CDF and a 50th-percentile
+    reduction of 39.6% / 40.2% (chain 1, BESS / ONVM) and 41.3% / 34.2%
+    (chain 2). *)
+
+type chain_id = Chain1 | Chain2
+
+val chain_name : chain_id -> string
+
+type row = {
+  chain : chain_id;
+  platform : Sb_sim.Platform.t;
+  original_cdf : (float * float) list;  (** (flow time in us, probability) *)
+  speedybox_cdf : (float * float) list;
+  original_p50_us : float;
+  speedybox_p50_us : float;
+}
+
+val build_chain : chain_id -> unit -> Speedybox.Chain.t
+
+val trace : chain_id -> Sb_packet.Packet.t list
+
+val measure : chain_id -> Sb_sim.Platform.t -> row
+
+val p50_reduction_pct : row -> float
+
+val run : unit -> unit

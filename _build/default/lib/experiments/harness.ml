@@ -1,0 +1,74 @@
+open Sb_packet
+
+type phase = Handshake | Init | Subsequent
+
+let phase_tracker () =
+  let seen = Sb_flow.Tuple_map.create 256 in
+  fun packet ->
+    let is_syn =
+      match Packet.proto packet with
+      | Packet.Tcp -> (Packet.tcp_flags packet).Tcp.Flags.syn
+      | Packet.Udp -> false
+    in
+    if is_syn then Handshake
+    else begin
+      let tuple = Sb_flow.Five_tuple.of_packet packet in
+      if Sb_flow.Tuple_map.mem seen tuple then Subsequent
+      else begin
+        Sb_flow.Tuple_map.replace seen tuple ();
+        Init
+      end
+    end
+
+type phased = {
+  init_cycles : float;
+  sub_cycles : float;
+  result : Speedybox.Runtime.run_result;
+}
+
+let run ~platform ~mode ?(policy = Sb_mat.Parallel.Table_one) ~build_chain trace =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~platform ~mode ~policy ())
+      (build_chain ())
+  in
+  Speedybox.Runtime.run_trace rt trace
+
+let run_phased ~platform ~mode ?(policy = Sb_mat.Parallel.Table_one) ~build_chain trace =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~platform ~mode ~policy ())
+      (build_chain ())
+  in
+  let classify = phase_tracker () in
+  let init = Sb_sim.Stats.create () in
+  let sub = Sb_sim.Stats.create () in
+  let result =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun input out ->
+        match classify input with
+        | Handshake -> ()
+        | Init -> Sb_sim.Stats.add_int init out.Speedybox.Runtime.latency_cycles
+        | Subsequent -> Sb_sim.Stats.add_int sub out.Speedybox.Runtime.latency_cycles)
+      rt trace
+  in
+  {
+    init_cycles = Sb_sim.Stats.mean init;
+    sub_cycles = Sb_sim.Stats.mean sub;
+    result;
+  }
+
+let micro_trace ?(n_flows = 64) ?(packets_per_flow = 32) () =
+  (* 10-byte payloads make 64-byte TCP frames, the paper's microbenchmark
+     size; UDP keeps the first packet of each flow the initial packet, as
+     with the paper's DPDK packet generator. *)
+  Sb_trace.Workload.fixed_trace ~proto:17 ~n_flows ~packets_per_flow ~payload_len:10 ()
+
+let reduction_pct original new_ = 100. *. (original -. new_) /. original
+
+let print_header id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let print_row line = print_endline line
+
+let print_note line = Printf.printf "  note: %s\n" line

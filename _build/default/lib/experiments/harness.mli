@@ -1,0 +1,49 @@
+(** Shared plumbing for the paper-reproduction experiments: phase-aware
+    trace runs (handshake / initial / subsequent packets) and table
+    printing helpers. *)
+
+(** Which life-cycle phase an input packet belongs to, tracked per flow. *)
+type phase = Handshake | Init | Subsequent
+
+val phase_tracker : unit -> Sb_packet.Packet.t -> phase
+(** A stateful classifier over input packets: TCP SYNs are [Handshake],
+    each flow's first non-SYN packet is [Init], the rest [Subsequent]. *)
+
+(** Mean per-packet latency cycles broken down by phase, plus the run. *)
+type phased = {
+  init_cycles : float;
+  sub_cycles : float;
+  result : Speedybox.Runtime.run_result;
+}
+
+val run_phased :
+  platform:Sb_sim.Platform.t ->
+  mode:Speedybox.Runtime.mode ->
+  ?policy:Sb_mat.Parallel.policy ->
+  build_chain:(unit -> Speedybox.Chain.t) ->
+  Sb_packet.Packet.t list ->
+  phased
+(** Builds a fresh chain, runs the trace and averages latency cycles over
+    [Init] and [Subsequent] packets separately (the init/sub split of
+    Fig. 4). *)
+
+val run :
+  platform:Sb_sim.Platform.t ->
+  mode:Speedybox.Runtime.mode ->
+  ?policy:Sb_mat.Parallel.policy ->
+  build_chain:(unit -> Speedybox.Chain.t) ->
+  Sb_packet.Packet.t list ->
+  Speedybox.Runtime.run_result
+
+val micro_trace : ?n_flows:int -> ?packets_per_flow:int -> unit -> Sb_packet.Packet.t list
+(** The microbenchmark workload: 64-byte frames (§VII-A), interleaved. *)
+
+val reduction_pct : float -> float -> float
+(** [reduction_pct original new_] = percentage saved by [new_]. *)
+
+val print_header : string -> string -> unit
+(** [print_header id title] prints an experiment banner. *)
+
+val print_row : string -> unit
+
+val print_note : string -> unit

@@ -1,0 +1,77 @@
+type point = {
+  offered_mpps : float;
+  achieved_mpps : float;
+  p50_us : float;
+  p99_us : float;
+  loss_pct : float;
+}
+
+(* Per-packet profiles from one functional run (slow-path and fast-path
+   packets in realistic mixture), replayed cyclically into the queueing
+   simulation. *)
+let collect_profiles ~platform ~mode =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~platform ~mode ())
+      (Fig6.build_chain ())
+  in
+  let profiles = ref [] in
+  let _ =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun _ out -> profiles := out.Speedybox.Runtime.profile :: !profiles)
+      rt (Fig6.chain_trace ())
+  in
+  Array.of_list (List.rev !profiles)
+
+let sweep ~platform ~mode ~rates =
+  let profiles = collect_profiles ~platform ~mode in
+  let n = 4000 in
+  List.map
+    (fun rate_mpps ->
+      let arrivals =
+        Sb_sim.Queueing.poisson_arrivals ~seed:99 ~rate_mpps
+          (fun i -> profiles.(i mod Array.length profiles))
+          n
+      in
+      let result = Sb_sim.Queueing.simulate (Sb_sim.Queueing.config platform) arrivals in
+      {
+        offered_mpps = rate_mpps;
+        achieved_mpps = result.Sb_sim.Queueing.achieved_mpps;
+        p50_us = Sb_sim.Stats.percentile result.Sb_sim.Queueing.sojourn_us 50.;
+        p99_us = Sb_sim.Stats.percentile result.Sb_sim.Queueing.sojourn_us 99.;
+        loss_pct =
+          100.
+          *. float_of_int result.Sb_sim.Queueing.dropped
+          /. float_of_int result.Sb_sim.Queueing.offered;
+      })
+    rates
+
+let saturation_rate points =
+  List.fold_left
+    (fun acc p -> if p.loss_pct < 1. && p.offered_mpps > acc then p.offered_mpps else acc)
+    0. points
+
+let default_rates = [ 0.2; 0.4; 0.6; 0.8; 1.0; 1.4; 1.8; 2.4; 3.0 ]
+
+let run () =
+  Harness.print_header "Load sweep"
+    "Snort + Monitor under Poisson load (queueing model; extension)";
+  List.iter
+    (fun platform ->
+      List.iter
+        (fun (label, mode) ->
+          let points = sweep ~platform ~mode ~rates:default_rates in
+          Harness.print_row
+            (Printf.sprintf "  [%s %-9s]  %s   sat=%.1f Mpps"
+               (Sb_sim.Platform.name platform)
+               label
+               (String.concat " "
+                  (List.map
+                     (fun p ->
+                       Printf.sprintf "%.1f:%.0fus/%.0f%%" p.offered_mpps p.p99_us p.loss_pct)
+                     points))
+               (saturation_rate points)))
+        [ ("original", Speedybox.Runtime.Original); ("speedybox", Speedybox.Runtime.Speedybox) ])
+    [ Sb_sim.Platform.Bess; Sb_sim.Platform.Onvm ];
+  Harness.print_note
+    "format offered:p99/loss — SpeedyBox's loss cliff sits at a higher offered rate"

@@ -1,0 +1,28 @@
+(** Load sweep (extension beyond the paper's figures).
+
+    The paper reports latency at low load; this experiment feeds the
+    Snort + Monitor chain Poisson arrivals at increasing offered rates
+    through the discrete-event queueing engine and reports achieved
+    throughput, sojourn-time percentiles and ingress-ring loss.  The
+    expected shape: the original chain's latency knee and loss cliff sit
+    at a lower offered rate than SpeedyBox's — the throughput headroom the
+    fast path buys. *)
+
+type point = {
+  offered_mpps : float;
+  achieved_mpps : float;
+  p50_us : float;
+  p99_us : float;
+  loss_pct : float;
+}
+
+val sweep :
+  platform:Sb_sim.Platform.t ->
+  mode:Speedybox.Runtime.mode ->
+  rates:float list ->
+  point list
+
+val saturation_rate : point list -> float
+(** The highest offered rate with under 1% loss (0 when none qualifies). *)
+
+val run : unit -> unit

@@ -1,0 +1,22 @@
+(** Staged-pipeline fidelity experiment (extension).
+
+    The Snort + Monitor chain runs on the staged ONVM executor (real NF
+    closures as pipeline stages, finite rings, event heap) across arrival
+    intensities.  Reported per arrival gap: how much of the traffic raced
+    onto the slow path before each flow's rule installed, fast-path
+    packets that overtook queued slow-path packets of their own flow
+    (reordering — invisible to the closed-form model), ring losses and
+    sojourn percentiles. *)
+
+type point = {
+  gap_cycles : int;  (** arrival gap between packets *)
+  slow_pct : float;
+  reordered : int;
+  overflow : int;
+  p50_us : float;
+  p99_us : float;
+}
+
+val measure : gaps:int list -> point list
+
+val run : unit -> unit

@@ -1,0 +1,22 @@
+(** Table II — NF integration effort.
+
+    The paper reports the lines of code of each NF's core functionality and
+    the handful of lines added to integrate it with SpeedyBox (27 for
+    Snort, i.e. +2.4%).  This experiment measures the same quantities on
+    this repository's NF adapters: total source lines per NF module and the
+    lines that touch the instrumentation API ([Speedybox.Api.*] calls and
+    their argument lines). *)
+
+type row = {
+  nf : string;
+  core_loc : int;  (** non-blank, non-comment source lines of the NF *)
+  integration_loc : int;  (** lines belonging to instrumentation-API calls *)
+}
+
+val measure : ?root:string -> unit -> row list option
+(** Counts from the NF sources under [root]/lib/nf (default: search the
+    current directory and its parents for the repository root).  [None]
+    when the sources cannot be located (e.g. an installed binary running
+    outside the repository). *)
+
+val run : unit -> unit

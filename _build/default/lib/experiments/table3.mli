@@ -1,0 +1,21 @@
+(** Table III — early packet drop.
+
+    A chain of three IPFilters whose per-flow actions are
+    {forward, forward, drop}: the original chain carries every packet to
+    NF3 before discarding it, SpeedyBox drops subsequent packets as they
+    enter the chain.  The paper measures 1689 aggregate cycles on BESS
+    (530 + 582 + 577) vs 591 with SpeedyBox (-65.0%), and 1620 vs 570 on
+    OpenNetVM (-64.8%). *)
+
+type row = {
+  platform : Sb_sim.Platform.t;
+  per_nf_cycles : float list;  (** original chain, one entry per NF *)
+  original_aggregate : float;
+  speedybox_aggregate : float;  (** subsequent packets, early drop *)
+}
+
+val measure : Sb_sim.Platform.t -> row
+
+val saving_pct : row -> float
+
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/flow/conntrack.ml: Five_tuple Format Hashtbl Option Packet Sb_packet Tcp

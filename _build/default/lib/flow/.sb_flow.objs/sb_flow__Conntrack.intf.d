@@ -1,0 +1,1 @@
+lib/flow/conntrack.mli: Five_tuple Format Sb_packet

@@ -1,0 +1,1 @@
+lib/flow/fid.ml: Five_tuple Format

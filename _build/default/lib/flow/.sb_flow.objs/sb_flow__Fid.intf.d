@@ -1,0 +1,1 @@
+lib/flow/fid.mli: Five_tuple Format Sb_packet

@@ -1,0 +1,1 @@
+lib/flow/five_tuple.ml: Format Int Int32 Ipv4_addr Packet Sb_packet

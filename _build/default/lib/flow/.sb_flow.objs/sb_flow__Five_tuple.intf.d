@@ -1,0 +1,1 @@
+lib/flow/five_tuple.mli: Format Sb_packet

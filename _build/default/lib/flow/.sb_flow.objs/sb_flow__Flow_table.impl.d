@@ -1,0 +1,1 @@
+lib/flow/flow_table.ml: Hashtbl Option

@@ -1,0 +1,1 @@
+lib/flow/tuple_map.ml: Five_tuple Hashtbl

@@ -1,0 +1,1 @@
+lib/flow/tuple_map.mli: Five_tuple Hashtbl

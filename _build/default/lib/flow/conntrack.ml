@@ -1,0 +1,62 @@
+open Sb_packet
+
+type state = Syn_sent | Syn_received | Established | Closing
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Syn_sent -> "SYN_SENT"
+    | Syn_received -> "SYN_RECEIVED"
+    | Established -> "ESTABLISHED"
+    | Closing -> "CLOSING")
+
+type verdict = { state : state; established_now : bool; final : bool }
+
+module Table = Hashtbl.Make (struct
+  type t = Five_tuple.t
+
+  let equal = Five_tuple.equal
+
+  let hash = Five_tuple.hash
+end)
+
+type t = state Table.t
+
+let create () = Table.create 1024
+
+let observe t key p =
+  match Packet.proto p with
+  | Packet.Udp ->
+      let prev = Table.find_opt t key in
+      Table.replace t key Established;
+      { state = Established; established_now = prev = None; final = false }
+  | Packet.Tcp ->
+      let flags = Packet.tcp_flags p in
+      let prev = Option.value (Table.find_opt t key) ~default:Closing in
+      let fresh = Table.find_opt t key = None in
+      let next =
+        if flags.Tcp.Flags.rst then Closing
+        else if flags.Tcp.Flags.fin then Closing
+        else if flags.Tcp.Flags.syn && flags.Tcp.Flags.ack then Syn_received
+        else if flags.Tcp.Flags.syn then Syn_sent
+        else
+          (* A plain segment: completes the handshake when we were mid-way,
+             otherwise keeps the current state. *)
+          match prev with
+          | Syn_sent | Syn_received -> Established
+          | Established -> Established
+          | Closing -> if fresh then Established else Closing
+      in
+      Table.replace t key next;
+      {
+        state = next;
+        established_now =
+          next = Established && (fresh || prev = Syn_sent || prev = Syn_received);
+        final = flags.Tcp.Flags.fin || flags.Tcp.Flags.rst;
+      }
+
+let state t key = Table.find_opt t key
+
+let forget t key = Table.remove t key
+
+let active_flows t = Table.length t

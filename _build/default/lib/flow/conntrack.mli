@@ -1,0 +1,42 @@
+(** TCP connection tracking.
+
+    The Packet Classifier uses this state machine to decide when a flow is
+    {e established} — the paper defines the initial packet of a flow as the
+    first packet after the 3-way handshake — and to detect the final packet
+    (FIN or RST) that triggers rule cleanup in the Global MAT and all Local
+    MATs (§VI-B).  UDP flows have no handshake: their first packet is the
+    initial packet and they close only by expiry. *)
+
+type state =
+  | Syn_sent  (** SYN seen from the initiator *)
+  | Syn_received  (** SYN+ACK seen from the responder *)
+  | Established  (** handshake complete (or UDP) *)
+  | Closing  (** FIN or RST observed *)
+
+val pp_state : Format.formatter -> state -> unit
+
+(** What the classifier should do with the packet that caused a transition. *)
+type verdict = {
+  state : state;
+  established_now : bool;  (** this packet completed the handshake *)
+  final : bool;  (** this packet carries FIN or RST *)
+}
+
+type t
+(** A tracker holding per-flow connection state, keyed by the flow's
+    forward-direction 5-tuple. *)
+
+val create : unit -> t
+
+val observe : t -> Five_tuple.t -> Sb_packet.Packet.t -> verdict
+(** [observe t key p] advances the flow's state machine with packet [p].
+    [key] must be direction-normalised by the caller (the classifier keys
+    both directions of a connection by the initiator's tuple).  Non-TCP
+    packets jump straight to [Established]. *)
+
+val state : t -> Five_tuple.t -> state option
+
+val forget : t -> Five_tuple.t -> unit
+(** Removes the flow, freeing its state (called on rule cleanup). *)
+
+val active_flows : t -> int

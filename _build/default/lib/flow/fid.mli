@@ -1,0 +1,20 @@
+(** Flow identifiers.
+
+    The SpeedyBox Packet Classifier hashes the 5-tuple of an arriving packet
+    to a 20-bit FID and attaches it to the packet as metadata; the FID stays
+    constant along the chain even when NFs rewrite the 5-tuple (§VI-B).
+    20 bits represent over one million concurrent flows; the width is
+    configurable for the FID-width ablation. *)
+
+type t = int
+
+val default_bits : int
+(** 20, as in the paper. *)
+
+val of_tuple : ?bits:int -> Five_tuple.t -> t
+(** [of_tuple tuple] hashes to [bits] bits (default {!default_bits}).
+    @raise Invalid_argument unless [1 <= bits <= 30]. *)
+
+val of_packet : ?bits:int -> Sb_packet.Packet.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+open Sb_packet
+
+type t = {
+  src_ip : Ipv4_addr.t;
+  dst_ip : Ipv4_addr.t;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+let of_packet p =
+  {
+    src_ip = Packet.src_ip p;
+    dst_ip = Packet.dst_ip p;
+    src_port = Packet.src_port p;
+    dst_port = Packet.dst_port p;
+    proto = (match Packet.proto p with Packet.Tcp -> 6 | Packet.Udp -> 17);
+  }
+
+let reverse t =
+  { t with src_ip = t.dst_ip; dst_ip = t.src_ip; src_port = t.dst_port; dst_port = t.src_port }
+
+let compare a b =
+  let c = Ipv4_addr.compare a.src_ip b.src_ip in
+  if c <> 0 then c
+  else
+    let c = Ipv4_addr.compare a.dst_ip b.dst_ip in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.src_port b.src_port in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.dst_port b.dst_port in
+        if c <> 0 then c else Int.compare a.proto b.proto
+
+let equal a b = compare a b = 0
+
+(* FNV-1a over the 13 wire bytes of the tuple. *)
+let fnv_prime = 0x100000001b3
+
+let hash t =
+  let h = ref 0x3bf29ce484222325 (* FNV offset basis truncated to 62 bits *) in
+  let mix byte =
+    h := !h lxor (byte land 0xff);
+    h := !h * fnv_prime
+  in
+  let mix32 (v : int32) =
+    let v = Int32.to_int v in
+    mix (v lsr 24);
+    mix (v lsr 16);
+    mix (v lsr 8);
+    mix v
+  in
+  mix32 t.src_ip;
+  mix32 t.dst_ip;
+  mix (t.src_port lsr 8);
+  mix t.src_port;
+  mix (t.dst_port lsr 8);
+  mix t.dst_port;
+  mix t.proto;
+  !h land max_int
+
+let pp fmt t =
+  Format.fprintf fmt "%a:%d -> %a:%d/%s" Ipv4_addr.pp t.src_ip t.src_port Ipv4_addr.pp
+    t.dst_ip t.dst_port
+    (match t.proto with 6 -> "tcp" | 17 -> "udp" | p -> string_of_int p)

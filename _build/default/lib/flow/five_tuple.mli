@@ -1,0 +1,25 @@
+(** The classic 5-tuple flow key: addresses, ports and IP protocol. *)
+
+type t = {
+  src_ip : Sb_packet.Ipv4_addr.t;
+  dst_ip : Sb_packet.Ipv4_addr.t;
+  src_port : int;
+  dst_port : int;
+  proto : int;  (** IP protocol number, 6 = TCP, 17 = UDP *)
+}
+
+val of_packet : Sb_packet.Packet.t -> t
+(** Reads the current (possibly already rewritten) header fields. *)
+
+val reverse : t -> t
+(** Swaps source and destination; the key of the return direction. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** A well-mixed non-cryptographic hash (FNV-1a over the wire fields),
+    used by {!Fid} and flow tables. *)
+
+val pp : Format.formatter -> t -> unit

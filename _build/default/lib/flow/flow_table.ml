@@ -1,0 +1,25 @@
+type 'a t = (int, 'a) Hashtbl.t
+
+let create ?(initial_size = 1024) () = Hashtbl.create initial_size
+
+let find t fid = Hashtbl.find_opt t fid
+
+let find_exn t fid = Hashtbl.find t fid
+
+let mem t fid = Hashtbl.mem t fid
+
+let set t fid v = Hashtbl.replace t fid v
+
+let update t fid ~default f =
+  let current = Option.value (Hashtbl.find_opt t fid) ~default in
+  Hashtbl.replace t fid (f current)
+
+let remove t fid = Hashtbl.remove t fid
+
+let clear t = Hashtbl.reset t
+
+let length t = Hashtbl.length t
+
+let iter f t = Hashtbl.iter f t
+
+let fold f t init = Hashtbl.fold f t init

@@ -1,0 +1,15 @@
+include Hashtbl.Make (struct
+  type t = Five_tuple.t
+
+  let equal = Five_tuple.equal
+
+  let hash = Five_tuple.hash
+end)
+
+let find_or_add t key ~default =
+  match find_opt t key with
+  | Some v -> v
+  | None ->
+      let v = default () in
+      replace t key v;
+      v

@@ -1,0 +1,8 @@
+(** Hash tables keyed by 5-tuples — the flow-state tables NFs keep
+    internally (their original code keys on the tuple it sees, not on the
+    SpeedyBox FID). *)
+
+include Hashtbl.S with type key = Five_tuple.t
+
+val find_or_add : 'a t -> Five_tuple.t -> default:(unit -> 'a) -> 'a
+(** Returns the existing binding or inserts [default ()] first. *)

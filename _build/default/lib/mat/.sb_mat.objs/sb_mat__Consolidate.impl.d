@@ -1,0 +1,1 @@
+lib/mat/consolidate.ml: Encap_header Field Format Header_action List Packet Sb_packet Sb_sim String

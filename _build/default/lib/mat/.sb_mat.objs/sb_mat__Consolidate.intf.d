@@ -1,0 +1,1 @@
+lib/mat/consolidate.mli: Format Header_action Sb_packet

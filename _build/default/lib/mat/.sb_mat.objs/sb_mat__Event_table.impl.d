@@ -1,0 +1,1 @@
+lib/mat/event_table.ml: Header_action List Sb_flow State_function

@@ -1,0 +1,1 @@
+lib/mat/event_table.mli: Header_action Sb_flow State_function

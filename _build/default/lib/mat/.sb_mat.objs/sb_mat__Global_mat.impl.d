@@ -1,0 +1,1 @@
+lib/mat/global_mat.ml: Bytes Consolidate Event_table Format Hashtbl Header_action List Local_mat Option Packet Parallel Sb_flow Sb_packet Sb_sim State_function String

@@ -1,0 +1,1 @@
+lib/mat/global_mat.mli: Consolidate Event_table Format Header_action Local_mat Parallel Sb_flow Sb_packet Sb_sim State_function

@@ -1,0 +1,1 @@
+lib/mat/header_action.ml: Encap_header Field Format List Packet Sb_packet Sb_sim String

@@ -1,0 +1,1 @@
+lib/mat/header_action.mli: Format Sb_packet

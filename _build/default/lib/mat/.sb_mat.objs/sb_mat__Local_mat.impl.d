@@ -1,0 +1,1 @@
+lib/mat/local_mat.ml: Format Header_action List Sb_flow State_function String

@@ -1,0 +1,1 @@
+lib/mat/local_mat.mli: Format Header_action Sb_flow State_function

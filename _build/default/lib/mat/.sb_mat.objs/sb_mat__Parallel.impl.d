@@ -1,0 +1,1 @@
+lib/mat/parallel.ml: Format List State_function String

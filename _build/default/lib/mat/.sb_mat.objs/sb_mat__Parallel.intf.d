@@ -1,0 +1,1 @@
+lib/mat/parallel.mli: Format State_function

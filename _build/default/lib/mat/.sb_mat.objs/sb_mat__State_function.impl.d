@@ -1,0 +1,1 @@
+lib/mat/state_function.ml: Format List Sb_packet Sb_sim String

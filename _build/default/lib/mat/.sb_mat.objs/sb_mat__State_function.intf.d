@@ -1,0 +1,1 @@
+lib/mat/state_function.mli: Format Sb_packet

@@ -1,0 +1,1 @@
+lib/mat/xor_merge.ml: Bytes Char Format Header_action List Packet Sb_packet Sb_sim

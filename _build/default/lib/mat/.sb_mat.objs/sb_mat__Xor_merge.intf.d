@@ -1,0 +1,1 @@
+lib/mat/xor_merge.mli: Header_action Sb_packet

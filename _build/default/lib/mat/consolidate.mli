@@ -1,0 +1,64 @@
+(** The header-action consolidation algorithm (§V-B).
+
+    Input: the list of header actions the NFs of a chain recorded for a
+    flow, in chain order.  Output: one consolidated action that has the same
+    effect on any packet, so a subsequent packet pays for one application
+    instead of N.
+
+    The merge rules are the paper's:
+    - {b Drop} — if the list contains a drop, the consolidated action is
+      drop (enabling early drop at the head of the chain, redundancy R2);
+    - {b Encap/Decap} — a stack simulates the header pushes and pops;
+      adjacent push/pop pairs of equal headers cancel, surviving pops apply
+      to headers the packet already carries;
+    - {b Modify} — writes to the same field keep the later value; writes to
+      different fields merge into one multi-field write (redundancy R3),
+      applied with a single checksum fix-up.  Auxiliary fields (TTL, ToS,
+      MAC) are applied at the end of consolidation, after the main fields.
+
+    Field modifies target the inner (Ethernet/IPv4/L4) headers, whose
+    layout is invariant under outer-header pushes and pops, so modifies
+    commute with encap/decap and the split representation below loses no
+    generality. *)
+
+type t = {
+  drop : bool;
+      (** The packet is discarded.  The transformation fields below then
+          describe the rewrites accumulated {e up to} the dropping NF, which
+          [apply] still performs so upstream state functions observe the
+          packet exactly as on the original path; the model charges only
+          the cheap drop cost for it (early drop, redundancy R2). *)
+  pops : Sb_packet.Encap_header.t list;
+      (** Headers to pop from the packet, outermost first — decaps that were
+          not cancelled by a preceding encap in the chain. *)
+  pushes : Sb_packet.Encap_header.t list;
+      (** Headers to push, in push order (the last ends up outermost). *)
+  sets : (Sb_packet.Field.t * Sb_packet.Field.value) list;
+      (** At most one write per field, in canonical field order with main
+          fields before auxiliary ones. *)
+}
+
+val forward : t
+(** The consolidation of an empty (or all-[Forward]) action list. *)
+
+val of_actions : Header_action.t list -> t
+
+val is_drop : t -> bool
+
+val apply : t -> Sb_packet.Packet.t -> Header_action.verdict
+(** Applies the consolidated action: pops, all field writes with exactly
+    one checksum fix-up, then pushes; returns [Dropped] for a dropping
+    rule (after the rewrites — see {!type:t}). *)
+
+val cost : t -> int
+(** Fast-path cycle cost of [apply]. *)
+
+val equivalent_on : t -> Header_action.t list -> Sb_packet.Packet.t -> bool
+(** [equivalent_on c actions p] checks that applying [c] to a copy of [p]
+    produces the same verdict and wire bytes as applying [actions] in
+    sequence — the property the test suite exercises with random packets
+    and action lists. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type update = {
+  nf : string;
+  new_actions : (unit -> Header_action.t list) option;
+  new_state_functions : (unit -> State_function.t list) option;
+  update_fn : (unit -> unit) option;
+}
+
+type event = {
+  one_shot : bool;
+  condition : unit -> bool;
+  update : update;
+  mutable armed : bool;
+}
+
+type t = event list ref Sb_flow.Flow_table.t
+
+let create () : t = Sb_flow.Flow_table.create ()
+
+let register t ~fid ~nf ?(one_shot = true) ~condition ?new_actions ?new_state_functions
+    ?update_fn () =
+  let event =
+    {
+      one_shot;
+      condition;
+      update = { nf; new_actions; new_state_functions; update_fn };
+      armed = true;
+    }
+  in
+  match Sb_flow.Flow_table.find t fid with
+  | Some events -> events := !events @ [ event ]
+  | None -> Sb_flow.Flow_table.set t fid (ref [ event ])
+
+let armed_list t fid =
+  match Sb_flow.Flow_table.find t fid with
+  | None -> []
+  | Some events -> List.filter (fun e -> e.armed) !events
+
+let armed_count t fid = List.length (armed_list t fid)
+
+let check t fid =
+  List.filter_map
+    (fun e ->
+      if e.condition () then begin
+        if e.one_shot then e.armed <- false;
+        Some e.update
+      end
+      else None)
+    (armed_list t fid)
+
+let remove_flow t fid = Sb_flow.Flow_table.remove t fid
+
+let total_armed t =
+  Sb_flow.Flow_table.fold
+    (fun _ events acc -> acc + List.length (List.filter (fun e -> e.armed) !events))
+    t 0

@@ -1,0 +1,54 @@
+(** The Event Table (§V-C1).
+
+    Observation #2 of the paper: some NFs change a flow's processing at
+    runtime when internal state reaches a condition — Maglev reroutes a
+    flow when its backend fails, a DoS preventer starts dropping when a SYN
+    counter crosses a threshold.  NFs register such events through
+    [register_event] (Fig. 2): a condition handler closed over the NF's
+    state, plus the update to perform when it fires (a replacement header
+    action list for the NF's Local MAT record and/or an arbitrary update
+    function).  The Global MAT checks a flow's armed events before using
+    the flow's consolidated rule, so updates take effect immediately on the
+    packet that finds the condition true. *)
+
+type update = {
+  nf : string;  (** the NF whose recorded behaviour is rewritten *)
+  new_actions : (unit -> Header_action.t list) option;
+      (** computes the replacement for the NF's header-action list at fire
+          time, when the NF's state (e.g. the surviving Maglev backend) is
+          known *)
+  new_state_functions : (unit -> State_function.t list) option;
+      (** computes the replacement for the NF's recorded state functions
+          (e.g. an NF that flips to drop stops counting) *)
+  update_fn : (unit -> unit) option;  (** NF-state fix-up to run on fire *)
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t ->
+  fid:Sb_flow.Fid.t ->
+  nf:string ->
+  ?one_shot:bool ->
+  condition:(unit -> bool) ->
+  ?new_actions:(unit -> Header_action.t list) ->
+  ?new_state_functions:(unit -> State_function.t list) ->
+  ?update_fn:(unit -> unit) ->
+  unit ->
+  unit
+(** Arms an event for the flow.  [one_shot] (default [true]) disarms the
+    event after it fires; recurring events re-evaluate on every packet. *)
+
+val armed_count : t -> Sb_flow.Fid.t -> int
+(** Number of conditions the fast path must evaluate for this flow — each
+    costs [Cycles.event_check]. *)
+
+val check : t -> Sb_flow.Fid.t -> update list
+(** Evaluates the flow's armed conditions in registration order and returns
+    the updates of those that fired (disarming one-shot events). *)
+
+val remove_flow : t -> Sb_flow.Fid.t -> unit
+
+val total_armed : t -> int

@@ -1,0 +1,341 @@
+open Sb_packet
+
+(* The fast path of one flow: positional interleaving of merged header
+   transforms and state-function wave groups, in chain order. *)
+type step =
+  | Transform of Consolidate.t
+  | Waves of { batches : State_function.Batch.t list; plan : int list list }
+
+type rule = {
+  mutable steps : step list;
+  mutable overall : Consolidate.t;  (* position-insensitive merge, introspection *)
+  mutable n_source_actions : int;
+  mutable last_use : int;  (* logical clock for LRU eviction *)
+}
+
+let rule_action r = r.overall
+
+let rule_batches r =
+  List.concat_map
+    (function Transform _ -> [] | Waves { batches; _ } -> batches)
+    r.steps
+
+let rule_plan r =
+  (* Re-index each group's plan into the global batch numbering. *)
+  let _, plans =
+    List.fold_left
+      (fun (offset, acc) step ->
+        match step with
+        | Transform _ -> (offset, acc)
+        | Waves { batches; plan } ->
+            ( offset + List.length batches,
+              acc @ List.map (List.map (fun i -> i + offset)) plan ))
+      (0, []) r.steps
+  in
+  plans
+
+let rule_transform_count r =
+  List.length (List.filter (function Transform _ -> true | Waves _ -> false) r.steps)
+
+type t = {
+  policy : Parallel.policy;
+  rules : rule Sb_flow.Flow_table.t;
+  max_rules : int option;
+  on_evict : Sb_flow.Fid.t -> unit;
+  mutable clock : int;
+  mutable evicted : int;
+  mutable consolidations : int;
+}
+
+let create ?(policy = Parallel.Table_one) ?max_rules ?(on_evict = fun _ -> ()) () =
+  (match max_rules with
+  | Some n when n < 1 -> invalid_arg "Global_mat.create: max_rules must be positive"
+  | Some _ | None -> ());
+  {
+    policy;
+    rules = Sb_flow.Flow_table.create ();
+    max_rules;
+    on_evict;
+    clock = 0;
+    evicted = 0;
+    consolidations = 0;
+  }
+
+let policy t = t.policy
+
+let evictions t = t.evicted
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Make room for one rule when the table sits at its cap: drop the
+   least-recently-used flow, telling the owner so Local MATs follow. *)
+let evict_lru t =
+  let victim =
+    Sb_flow.Flow_table.fold
+      (fun fid rule acc ->
+        match acc with
+        | Some (_, best) when best <= rule.last_use -> acc
+        | _ -> Some (fid, rule.last_use))
+      t.rules None
+  in
+  match victim with
+  | None -> ()
+  | Some (fid, _) ->
+      Sb_flow.Flow_table.remove t.rules fid;
+      t.evicted <- t.evicted + 1;
+      t.on_evict fid
+
+let is_identity (c : Consolidate.t) =
+  (not c.Consolidate.drop)
+  && c.Consolidate.pops = []
+  && c.Consolidate.pushes = []
+  && c.Consolidate.sets = []
+
+(* Positional consolidation: contiguous header-action runs merge into one
+   transform each; the state-function batches between non-identity
+   transforms form one wave group (within one NF, header actions are taken
+   to precede its state functions).  Identity transforms are elided so
+   forward-only NFs do not break batch adjacency. *)
+let build_steps policy per_nf =
+  let steps = ref [] in
+  let run = ref [] in
+  let group = ref [] in
+  (* Once a drop transform lands, everything positioned after it is dead
+     code: the original path never reaches those NFs.  (Initial-packet
+     recording stops at the dropper anyway; this matters when an event
+     rewrites an upstream NF's action to drop while downstream records
+     persist.) *)
+  let stopped = ref false in
+  let flush_group () =
+    match !group with
+    | [] -> ()
+    | batches ->
+        let batches = List.rev batches in
+        let plan = Parallel.plan policy (List.map State_function.Batch.mode batches) in
+        steps := Waves { batches; plan } :: !steps;
+        group := []
+  in
+  let flush_run () =
+    let c = Consolidate.of_actions (List.rev !run) in
+    run := [];
+    if not (is_identity c) then begin
+      flush_group ();
+      steps := Transform c :: !steps;
+      if Consolidate.is_drop c then stopped := true
+    end
+  in
+  List.iter
+    (fun (actions, batch) ->
+      if not !stopped then begin
+        List.iter (fun a -> run := a :: !run) actions;
+        (* HAs precede SFs within an NF, so a drop in this NF's own actions
+           also silences its batch. *)
+        if List.exists (fun a -> a = Header_action.Drop) !run then flush_run ();
+        if (not !stopped) && batch.State_function.Batch.fns <> [] then begin
+          flush_run ();
+          group := batch :: !group
+        end
+      end)
+    per_nf;
+  if not !stopped then flush_run ();
+  flush_group ();
+  List.rev !steps
+
+let consolidate t fid locals =
+  let per_nf =
+    List.filter_map
+      (fun local ->
+        match Local_mat.find local fid with
+        | None -> None
+        | Some r ->
+            Some
+              ( Local_mat.rule_actions r,
+                State_function.Batch.make ~nf:(Local_mat.nf_name local)
+                  (Local_mat.rule_state_functions r) ))
+      locals
+  in
+  let actions = List.concat_map fst per_nf in
+  let steps = build_steps t.policy per_nf in
+  (match t.max_rules with
+  | Some cap
+    when Sb_flow.Flow_table.length t.rules >= cap
+         && not (Sb_flow.Flow_table.mem t.rules fid) ->
+      evict_lru t
+  | Some _ | None -> ());
+  Sb_flow.Flow_table.set t.rules fid
+    {
+      steps;
+      overall = Consolidate.of_actions actions;
+      n_source_actions = List.length actions;
+      last_use = tick t;
+    };
+  t.consolidations <- t.consolidations + 1;
+  List.length locals * Sb_sim.Cycles.global_consolidate_per_nf
+
+let find t fid = Sb_flow.Flow_table.find t.rules fid
+
+let mem t fid = Sb_flow.Flow_table.mem t.rules fid
+
+let remove_flow t fid = Sb_flow.Flow_table.remove t.rules fid
+
+let clear t = Sb_flow.Flow_table.clear t.rules
+
+let flow_count t = Sb_flow.Flow_table.length t.rules
+
+let fold f t init = Sb_flow.Flow_table.fold f t.rules init
+
+let consolidation_count t = t.consolidations
+
+type memory_stats = {
+  rules : int;
+  distinct_actions : int;
+  field_writes : int;
+  batches : int;
+}
+
+let memory_stats (t : t) =
+  let keys = Hashtbl.create 64 in
+  let field_writes = ref 0 and batches = ref 0 in
+  Sb_flow.Flow_table.iter
+    (fun _ rule ->
+      Hashtbl.replace keys (Format.asprintf "%a" Consolidate.pp rule.overall) ();
+      field_writes := !field_writes + List.length rule.overall.Consolidate.sets;
+      batches := !batches + List.length (rule_batches rule))
+    t.rules;
+  {
+    rules = Sb_flow.Flow_table.length t.rules;
+    distinct_actions = Hashtbl.length keys;
+    field_writes = !field_writes;
+    batches = !batches;
+  }
+
+type fast_result = {
+  verdict : Header_action.verdict;
+  stage : Sb_sim.Cost_profile.stage;
+  events_fired : int;
+}
+
+let payload_region packet =
+  let off = Packet.payload_offset packet in
+  Bytes.sub packet.Packet.buf off (packet.Packet.len - off)
+
+let restore_payload packet saved =
+  let off = Packet.payload_offset packet in
+  Bytes.blit saved 0 packet.Packet.buf off (Bytes.length saved)
+
+(* Run one wave of batches with snapshot semantics: each batch sees the
+   payload as of wave start; payload writes merge back, later batches
+   winning, which is a deterministic model of the race parallel cores
+   would exhibit. *)
+let run_wave batches packet =
+  match batches with
+  | [] -> Sb_sim.Cost_profile.Serial 0
+  | [ batch ] -> Sb_sim.Cost_profile.Serial (State_function.Batch.run batch packet)
+  | _ ->
+      let snapshot = payload_region packet in
+      let merged = ref None in
+      let costs =
+        List.map
+          (fun batch ->
+            restore_payload packet snapshot;
+            let cost = State_function.Batch.run batch packet in
+            let after = payload_region packet in
+            if not (Bytes.equal after snapshot) then merged := Some after;
+            cost)
+          batches
+      in
+      (match !merged with
+      | Some final -> restore_payload packet final
+      | None -> restore_payload packet snapshot);
+      Sb_sim.Cost_profile.Parallel costs
+
+(* Execute the rule's steps in chain position order.  A dropping transform
+   is always the last step (recording stops at the dropping NF), so state
+   recorded upstream of the drop still runs. *)
+let run_steps rule packet =
+  List.fold_left
+    (fun (verdict, items) step ->
+      match step with
+      | Transform c ->
+          let v = Consolidate.apply c packet in
+          let verdict =
+            match v with Header_action.Dropped -> v | Header_action.Forwarded -> verdict
+          in
+          (verdict, Sb_sim.Cost_profile.Serial (Consolidate.cost c) :: items)
+      | Waves { batches; plan } ->
+          let wave_items =
+            List.map
+              (fun wave ->
+                let wave_batches = List.map (fun i -> List.nth batches i) wave in
+                run_wave wave_batches packet)
+              plan
+          in
+          (verdict, List.rev_append wave_items items))
+    (Header_action.Forwarded, [])
+    rule.steps
+  |> fun (verdict, items) -> (verdict, List.rev items)
+
+let execute t events locals fid packet =
+  match find t fid with
+  | None -> None
+  | Some _ ->
+      let lookup = Sb_sim.Cycles.fast_path_lookup in
+      let armed = Event_table.armed_count events fid in
+      let event_cycles = armed * Sb_sim.Cycles.event_check in
+      let fired = Event_table.check events fid in
+      let fire_cycles = ref 0 in
+      List.iter
+        (fun (u : Event_table.update) ->
+          Option.iter (fun f -> f ()) u.Event_table.update_fn;
+          let local_of_nf () =
+            List.find_opt (fun l -> Local_mat.nf_name l = u.Event_table.nf) locals
+          in
+          Option.iter
+            (fun make_actions ->
+              Option.iter
+                (fun local -> Local_mat.replace_actions local fid (make_actions ()))
+                (local_of_nf ()))
+            u.Event_table.new_actions;
+          Option.iter
+            (fun make_sfs ->
+              Option.iter
+                (fun local -> Local_mat.replace_state_functions local fid (make_sfs ()))
+                (local_of_nf ()))
+            u.Event_table.new_state_functions;
+          fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire)
+        fired;
+      if fired <> [] then fire_cycles := !fire_cycles + consolidate t fid locals;
+      let rule =
+        match find t fid with Some r -> r | None -> assert false (* just consolidated *)
+      in
+      rule.last_use <- tick t;
+      let walk_cycles = rule.n_source_actions * Sb_sim.Cycles.fast_path_per_action in
+      let verdict, step_items = run_steps rule packet in
+      (* Rules with no surviving transform still do one base forward. *)
+      let base_ha =
+        if rule_transform_count rule = 0 then Sb_sim.Cycles.ha_forward else 0
+      in
+      let head =
+        Sb_sim.Cost_profile.Serial
+          (lookup + event_cycles + !fire_cycles + walk_cycles + base_ha)
+      in
+      Some
+        {
+          verdict;
+          stage = Sb_sim.Cost_profile.stage "GlobalMAT" (head :: step_items);
+          events_fired = List.length fired;
+        }
+
+let pp_step fmt = function
+  | Transform c -> Format.fprintf fmt "T(%a)" Consolidate.pp c
+  | Waves { batches; plan } ->
+      Format.fprintf fmt "W[%s]%a"
+        (String.concat "; " (List.map (Format.asprintf "%a" State_function.Batch.pp) batches))
+        Parallel.pp_plan plan
+
+let pp_rule fmt r =
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ") pp_step)
+    r.steps

@@ -1,0 +1,115 @@
+(** The Global MAT: the consolidated fast path (§V).
+
+    After the initial packet of a flow has traversed the original chain and
+    every Local MAT holds the flow's record, [consolidate] merges them
+    {e positionally}: walking the chain, contiguous runs of header actions
+    collapse into one {!Consolidate.t} each, and the state-function batches
+    between them group into parallel waves by the Table I analysis.
+    Identity transforms (all-forward runs) are elided, so chains whose NFs
+    only forward leave their batches adjacent and fully parallelisable —
+    while a state function positioned {e before} a modifying NF still
+    observes the packet exactly as it did on the original path (headers
+    are rewritten by the transform that follows it, not before it).
+    [execute] then processes a subsequent packet entirely inside the
+    Global MAT: check armed events, then interleave transforms and waves.
+
+    Wave execution models parallel cores deterministically with snapshot
+    semantics: every batch of a wave reads the payload as it was when the
+    wave started, and payload writes merge back afterwards (later batches
+    win).  Under the sound [Table_one] policy this is indistinguishable
+    from sequential execution — no wave mixes a writer with a reader — but
+    under the unsound [Always_parallel] ablation the equivalence tests can
+    observe the race. *)
+
+type rule
+
+val rule_action : rule -> Consolidate.t
+(** The position-insensitive merge of every action the rule recorded —
+    introspection only (execution interleaves per-position transforms). *)
+
+val rule_batches : rule -> State_function.Batch.t list
+(** Every state-function batch, in chain order. *)
+
+val rule_plan : rule -> int list list
+(** The wave grouping over {!rule_batches} (indices are global across the
+    rule's wave groups; batches separated by a non-identity transform never
+    share a wave). *)
+
+val rule_transform_count : rule -> int
+(** Number of non-identity transforms the fast path applies. *)
+
+type t
+
+val create :
+  ?policy:Parallel.policy ->
+  ?max_rules:int ->
+  ?on_evict:(Sb_flow.Fid.t -> unit) ->
+  unit ->
+  t
+(** [max_rules] caps the consolidated-rule table (unbounded by default):
+    inserting beyond the cap evicts the least-recently-used flow's rule —
+    the evicted flow's next packet simply re-records, like a megaflow
+    cache miss.  [on_evict] lets the runtime tear down the flow's Local
+    MAT records alongside.
+    @raise Invalid_argument when [max_rules < 1]. *)
+
+val policy : t -> Parallel.policy
+
+val evictions : t -> int
+(** Rules evicted by the LRU cap so far. *)
+
+val consolidate : t -> Sb_flow.Fid.t -> Local_mat.t list -> int
+(** [consolidate t fid locals] (re)builds the flow's consolidated rule from
+    the chain's Local MATs (in chain order) and returns the cycle cost of
+    the consolidation work (charged to the initial packet's walk). *)
+
+val find : t -> Sb_flow.Fid.t -> rule option
+
+val mem : t -> Sb_flow.Fid.t -> bool
+
+val remove_flow : t -> Sb_flow.Fid.t -> unit
+
+val clear : t -> unit
+
+val flow_count : t -> int
+
+val fold : (Sb_flow.Fid.t -> rule -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over the installed rules (unspecified order). *)
+
+val consolidation_count : t -> int
+(** Total number of consolidations performed (initial + event-driven). *)
+
+(** Rule-table memory accounting, for the sharing ablation: many flows
+    through the same chain consolidate to identical header actions, so a
+    hash-consed table would store far fewer distinct actions than rules. *)
+type memory_stats = {
+  rules : int;
+  distinct_actions : int;  (** structurally distinct consolidated actions *)
+  field_writes : int;  (** total field writes across all rules *)
+  batches : int;  (** total state-function batches across all rules *)
+}
+
+val memory_stats : t -> memory_stats
+
+(** Result of a fast-path execution. *)
+type fast_result = {
+  verdict : Header_action.verdict;
+  stage : Sb_sim.Cost_profile.stage;
+      (** the Global MAT stage's cost items: lookup, event checks, the
+          consolidated header action and one item per state-function wave *)
+  events_fired : int;
+}
+
+val execute :
+  t ->
+  Event_table.t ->
+  Local_mat.t list ->
+  Sb_flow.Fid.t ->
+  Sb_packet.Packet.t ->
+  fast_result option
+(** [execute t events locals fid p] processes a subsequent packet on the
+    fast path; [None] when the flow has no consolidated rule yet.  Fired
+    events rewrite the Local MATs and trigger re-consolidation before the
+    packet is processed, so the update takes effect immediately (§III). *)
+
+val pp_rule : Format.formatter -> rule -> unit

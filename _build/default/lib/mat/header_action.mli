@@ -1,0 +1,37 @@
+(** The five standardised header actions of the NF processing abstraction
+    (§IV-A1): forward, drop, modify, encap and decap.
+
+    A [Modify] carries the list of (field, value) writes the NF performs on
+    the flow's packets; [Encap]/[Decap] push and pop outer headers.  The
+    consolidation algorithm in {!Consolidate} merges a chain's worth of
+    these into a single action. *)
+
+type t =
+  | Forward
+  | Drop
+  | Modify of (Sb_packet.Field.t * Sb_packet.Field.value) list
+  | Encap of Sb_packet.Encap_header.t
+  | Decap of Sb_packet.Encap_header.t
+      (** The header the NF expects to pop; checked against the packet's
+          actual outer header at application time. *)
+
+val modify1 : Sb_packet.Field.t -> Sb_packet.Field.value -> t
+(** Convenience for a single-field modify.
+    @raise Invalid_argument when the value type does not fit the field. *)
+
+type verdict = Forwarded | Dropped
+
+val apply : t -> Sb_packet.Packet.t -> verdict
+(** Executes the action on the packet, updating checksums after a modify —
+    this is what the {e original} (unconsolidated) path does at every NF,
+    which is exactly the per-NF redundancy consolidation removes.
+    @raise Invalid_argument when a [Decap] finds no or a different outer
+    header. *)
+
+val cost : t -> int
+(** Cycle cost of [apply] under the {!Sb_sim.Cycles} model, including the
+    checksum fix-up a modify pays. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

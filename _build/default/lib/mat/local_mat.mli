@@ -1,0 +1,45 @@
+(** The Local Match-Action Table each NF is instrumented with (§IV).
+
+    As the initial packet of a flow traverses the chain, the NF calls the
+    SpeedyBox APIs, which append the header actions and state functions it
+    performed for that flow to its Local MAT record, in execution order
+    (order preservation is what keeps the consolidated path logically
+    equivalent, §IV-B). *)
+
+type rule
+
+val rule_actions : rule -> Header_action.t list
+(** Header actions in the order the NF added them. *)
+
+val rule_state_functions : rule -> State_function.t list
+(** State functions in the order the NF added them (the queue of §IV-B). *)
+
+type t
+
+val create : nf:string -> t
+
+val nf_name : t -> string
+
+val add_header_action : t -> Sb_flow.Fid.t -> Header_action.t -> unit
+
+val add_state_function : t -> Sb_flow.Fid.t -> State_function.t -> unit
+
+val replace_actions : t -> Sb_flow.Fid.t -> Header_action.t list -> unit
+(** Used by the Event Table when a fired event rewrites the NF's recorded
+    behaviour for a flow (e.g. modify -> drop in the DoS example, Fig. 3). *)
+
+val replace_state_functions : t -> Sb_flow.Fid.t -> State_function.t list -> unit
+(** Event-driven rewrite of the NF's recorded state functions (an NF that
+    flips a flow to drop also stops running its per-packet functions). *)
+
+val find : t -> Sb_flow.Fid.t -> rule option
+
+val mem : t -> Sb_flow.Fid.t -> bool
+
+val remove_flow : t -> Sb_flow.Fid.t -> unit
+
+val clear : t -> unit
+
+val flow_count : t -> int
+
+val pp_rule : Format.formatter -> rule -> unit

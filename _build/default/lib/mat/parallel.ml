@@ -1,0 +1,43 @@
+type policy = Sequential | Table_one | Always_parallel
+
+let compatible m1 m2 =
+  match (m1, m2) with
+  | State_function.Ignore, _ | _, State_function.Ignore -> true
+  | State_function.Read, State_function.Read -> true
+  | State_function.Write, (State_function.Read | State_function.Write)
+  | State_function.Read, State_function.Write ->
+      false
+
+let plan policy modes =
+  match policy with
+  | Sequential -> List.mapi (fun i _ -> [ i ]) modes
+  | Always_parallel -> (
+      match modes with [] -> [] | _ -> [ List.mapi (fun i _ -> i) modes ])
+  | Table_one ->
+      (* Greedy left-to-right: a batch joins the current wave when it is
+         compatible with all members.  [compatible] is monotone in mode
+         priority, so checking against the wave's aggregate mode suffices. *)
+      let finish wave = List.rev wave in
+      let rec go i wave wave_mode acc = function
+        | [] -> List.rev (if wave = [] then acc else finish wave :: acc)
+        | mode :: rest ->
+            if wave = [] then go (i + 1) [ i ] mode acc rest
+            else if compatible wave_mode mode then
+              let wave_mode =
+                if State_function.mode_priority mode > State_function.mode_priority wave_mode
+                then mode
+                else wave_mode
+              in
+              go (i + 1) (i :: wave) wave_mode acc rest
+            else go (i + 1) [ i ] mode (finish wave :: acc) rest
+      in
+      go 0 [] State_function.Ignore [] modes
+
+let wave_count = List.length
+
+let pp_plan fmt plan =
+  Format.pp_print_string fmt
+    (String.concat " ; "
+       (List.map
+          (fun wave -> "[" ^ String.concat "," (List.map string_of_int wave) ^ "]")
+          plan))

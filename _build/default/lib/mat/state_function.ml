@@ -1,0 +1,35 @@
+type payload_mode = Write | Read | Ignore
+
+let mode_priority = function Write -> 2 | Read -> 1 | Ignore -> 0
+
+let pp_mode fmt m =
+  Format.pp_print_string fmt
+    (match m with Write -> "WRITE" | Read -> "READ" | Ignore -> "IGNORE")
+
+type t = {
+  nf : string;
+  label : string;
+  mode : payload_mode;
+  run : Sb_packet.Packet.t -> int;
+}
+
+let make ~nf ~label ~mode run = { nf; label; mode; run }
+
+module Batch = struct
+  type sf = t
+
+  type t = { nf : string; fns : sf list }
+
+  let make ~nf fns = { nf; fns }
+
+  let mode t =
+    List.fold_left
+      (fun acc sf -> if mode_priority sf.mode > mode_priority acc then sf.mode else acc)
+      Ignore t.fns
+
+  let run t packet =
+    List.fold_left (fun acc sf -> acc + Sb_sim.Cycles.sf_invoke + sf.run packet) 0 t.fns
+
+  let pp fmt t =
+    Format.fprintf fmt "%s{%s}" t.nf (String.concat ";" (List.map (fun sf -> sf.label) t.fns))
+end

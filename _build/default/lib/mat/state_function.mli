@@ -1,0 +1,49 @@
+(** State functions: the advanced half of the NF processing abstraction
+    (§IV-A2) — callbacks that update NF internal state and/or inspect the
+    packet payload.
+
+    An NF wraps its per-flow logic (Snort's rule matching, a monitor's
+    counter increment) in a handler and records it in its Local MAT; the
+    Global MAT later invokes the very same handler on the fast path, so the
+    NF's state evolves exactly as it would on the original path.  Each
+    handler declares how it interacts with the payload (WRITE / READ /
+    IGNORE), which drives the Table I parallelism analysis. *)
+
+type payload_mode = Write | Read | Ignore
+
+val mode_priority : payload_mode -> int
+(** WRITE > READ > IGNORE, the batch-aggregation priority of §V-C2. *)
+
+val pp_mode : Format.formatter -> payload_mode -> unit
+
+type t = {
+  nf : string;  (** owning NF, for provenance and ordering *)
+  label : string;
+  mode : payload_mode;
+  run : Sb_packet.Packet.t -> int;
+      (** Executes the handler's side effects and returns the cycles it
+          consumed (payload-dependent for inspection functions). *)
+}
+
+val make :
+  nf:string -> label:string -> mode:payload_mode -> (Sb_packet.Packet.t -> int) -> t
+
+(** All state functions one NF recorded for a flow, executed in recording
+    order (the Local MAT maintains the queue).  A batch is the unit of the
+    parallelism analysis. *)
+module Batch : sig
+  type sf = t
+
+  type t = { nf : string; fns : sf list }
+
+  val make : nf:string -> sf list -> t
+
+  val mode : t -> payload_mode
+  (** The highest-priority mode among the batch's functions. *)
+
+  val run : t -> Sb_packet.Packet.t -> int
+  (** Runs every function in order; total cycles include the per-handler
+      dispatch cost. *)
+
+  val pp : Format.formatter -> t -> unit
+end

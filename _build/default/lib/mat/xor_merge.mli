@@ -1,0 +1,25 @@
+(** The paper's bit-level modify merge (§V-B), kept as an ablation.
+
+    For modifies touching different fields the paper expresses the merged
+    output as [P0 xor ((P0 xor P1) lor (P0 xor P2))] where [P1], [P2] are
+    the results of applying each modify to the original packet [P0], and
+    iterates the formula incrementally.  {!Consolidate} instead merges at
+    the field level; this module implements the literal XOR formulation so
+    the ablation bench can compare the two and the property tests can show
+    they agree whenever the modifies touch disjoint fields. *)
+
+val merge_masks : bytes -> bytes list -> bytes
+(** [merge_masks p0 outputs] folds the formula over the per-modify outputs
+    (all buffers must have equal length) and returns the merged packet
+    bytes.  @raise Invalid_argument on length mismatch. *)
+
+val apply_modifies : Sb_packet.Packet.t -> Header_action.t list -> unit
+(** Applies a list of [Modify] actions to the packet via the XOR formula:
+    each modify is materialised against the original bytes, the masks are
+    merged, and checksums are fixed once at the end.  Non-modify actions
+    are rejected with [Invalid_argument]. *)
+
+val cost : n_modifies:int -> frame_len:int -> int
+(** Cycle cost of the XOR path: one full-frame XOR/OR pass per modify —
+    this is what makes the field-level merge the better default, which the
+    ablation bench quantifies. *)

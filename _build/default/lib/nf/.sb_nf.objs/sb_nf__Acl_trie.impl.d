@@ -1,0 +1,1 @@
+lib/nf/acl_trie.ml: Array Int Int32 Ipfilter_rule List Sb_flow Sb_packet

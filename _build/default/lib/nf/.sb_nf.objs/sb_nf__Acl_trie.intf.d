@@ -1,0 +1,1 @@
+lib/nf/acl_trie.mli: Ipfilter_rule Sb_flow

@@ -1,0 +1,1 @@
+lib/nf/aho_corasick.ml: Array Bytes Char Hashtbl Int List Queue String

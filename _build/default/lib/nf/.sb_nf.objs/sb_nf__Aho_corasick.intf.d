@@ -1,0 +1,1 @@
+lib/nf/aho_corasick.mli:

@@ -1,0 +1,1 @@
+lib/nf/dos_guard.ml: Five_tuple Format List Packet Sb_flow Sb_mat Sb_packet Sb_sim Speedybox String Tcp Tuple_map

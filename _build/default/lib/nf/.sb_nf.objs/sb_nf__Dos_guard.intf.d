@@ -1,0 +1,1 @@
+lib/nf/dos_guard.mli: Sb_flow Speedybox

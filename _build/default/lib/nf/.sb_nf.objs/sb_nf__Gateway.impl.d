@@ -1,0 +1,1 @@
+lib/nf/gateway.ml: Array Field Five_tuple Format Hashtbl Ipv4_addr List Sb_flow Sb_mat Sb_packet Sb_sim Speedybox String Tuple_map

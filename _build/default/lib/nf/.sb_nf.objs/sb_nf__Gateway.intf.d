@@ -1,0 +1,1 @@
+lib/nf/gateway.mli: Sb_flow Sb_packet Speedybox

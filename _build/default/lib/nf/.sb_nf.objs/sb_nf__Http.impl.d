@@ -1,0 +1,1 @@
+lib/nf/http.ml: List String

@@ -1,0 +1,1 @@
+lib/nf/ipfilter.ml: Acl_trie Array Five_tuple Ipfilter_rule Printf Sb_flow Sb_mat Sb_packet Sb_sim Speedybox Tuple_map

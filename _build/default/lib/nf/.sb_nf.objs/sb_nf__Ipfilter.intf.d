@@ -1,0 +1,1 @@
+lib/nf/ipfilter.mli: Ipfilter_rule Sb_flow Sb_packet Speedybox

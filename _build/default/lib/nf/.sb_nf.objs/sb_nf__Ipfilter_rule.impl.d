@@ -1,0 +1,1 @@
+lib/nf/ipfilter_rule.ml: Ipv4_addr Option Sb_flow Sb_packet

@@ -1,0 +1,1 @@
+lib/nf/ipfilter_rule.mli: Sb_flow Sb_packet

@@ -1,0 +1,1 @@
+lib/nf/maglev.ml: Array Char Field Five_tuple Format Ipv4_addr List Option Printf Sb_flow Sb_mat Sb_packet Sb_sim Speedybox String Tuple_map

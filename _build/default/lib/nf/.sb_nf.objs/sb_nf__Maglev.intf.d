@@ -1,0 +1,1 @@
+lib/nf/maglev.mli: Sb_flow Sb_packet Speedybox

@@ -1,0 +1,1 @@
+lib/nf/mazunat.ml: Array Field Five_tuple Format Ipv4_addr List Option Sb_flow Sb_mat Sb_packet Sb_sim Speedybox String Tuple_map

@@ -1,0 +1,1 @@
+lib/nf/mazunat.mli: Sb_flow Sb_packet Speedybox

@@ -1,0 +1,1 @@
+lib/nf/monitor.mli: Sb_flow Speedybox

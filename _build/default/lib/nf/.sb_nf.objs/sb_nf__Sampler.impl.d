@@ -1,0 +1,1 @@
+lib/nf/sampler.ml: Five_tuple Printf Sb_flow Sb_mat Sb_sim Speedybox Tuple_map

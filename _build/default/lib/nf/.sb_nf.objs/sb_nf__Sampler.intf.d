@@ -1,0 +1,1 @@
+lib/nf/sampler.mli: Speedybox

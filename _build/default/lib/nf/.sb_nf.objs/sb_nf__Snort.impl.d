@@ -1,0 +1,1 @@
+lib/nf/snort.ml: Aho_corasick Array Five_tuple Format Hashtbl List Option Packet Sb_flow Sb_mat Sb_packet Sb_sim Snort_rule Speedybox String Tuple_map

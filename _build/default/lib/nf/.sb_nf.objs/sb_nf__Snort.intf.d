@@ -1,0 +1,1 @@
+lib/nf/snort.mli: Snort_rule Speedybox

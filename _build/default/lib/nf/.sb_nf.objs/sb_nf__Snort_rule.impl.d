@@ -1,0 +1,1 @@
+lib/nf/snort_rule.ml: Buffer Format Http Ipv4_addr List Option Printf Result Sb_flow Sb_packet Str_search String Tcp

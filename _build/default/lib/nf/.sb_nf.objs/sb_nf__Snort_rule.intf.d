@@ -1,0 +1,1 @@
+lib/nf/snort_rule.mli: Format Sb_flow Sb_packet

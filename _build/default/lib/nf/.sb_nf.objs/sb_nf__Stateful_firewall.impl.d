@@ -1,0 +1,1 @@
+lib/nf/stateful_firewall.ml: Five_tuple List Packet Printf Sb_flow Sb_mat Sb_packet Sb_sim Speedybox Tcp Tuple_map

@@ -1,0 +1,1 @@
+lib/nf/stateful_firewall.mli: Sb_flow Speedybox

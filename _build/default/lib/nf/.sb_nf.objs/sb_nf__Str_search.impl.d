@@ -1,0 +1,1 @@
+lib/nf/str_search.ml: Array Char List String

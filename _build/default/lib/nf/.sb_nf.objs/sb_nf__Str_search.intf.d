@@ -1,0 +1,1 @@
+lib/nf/str_search.mli:

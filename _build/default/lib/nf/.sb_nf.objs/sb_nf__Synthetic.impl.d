@@ -1,0 +1,1 @@
+lib/nf/synthetic.ml: Bytes Char Packet Printf Sb_mat Sb_packet Sb_sim Speedybox

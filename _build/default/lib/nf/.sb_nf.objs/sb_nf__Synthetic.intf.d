@@ -1,0 +1,1 @@
+lib/nf/synthetic.mli: Sb_mat Speedybox

@@ -1,0 +1,1 @@
+lib/nf/vpn.ml: Encap_header Five_tuple Int32 List Packet Printf Sb_flow Sb_mat Sb_packet Sb_sim Speedybox Tuple_map

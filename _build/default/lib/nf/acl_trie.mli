@@ -1,0 +1,24 @@
+(** A source-prefix trie over ACL rules — the classic fix for the linear
+    scan that dominates IPFilter's initial-packet cost (the init bars of
+    Fig. 4).
+
+    Rules are indexed by position; lookup walks the binary trie along the
+    source address, collecting the rules whose source prefix lies on the
+    path (rules without a source constraint live at the root), then checks
+    only those candidates' remaining fields in priority order.  First
+    match wins, exactly as the linear scan. *)
+
+type t
+
+val build : Ipfilter_rule.t array -> t
+(** Indexes the rule array (positions are priorities). *)
+
+val lookup : t -> Sb_flow.Five_tuple.t -> int option
+(** The index of the first matching rule, if any. *)
+
+val candidates : t -> Sb_flow.Five_tuple.t -> int
+(** How many rules the trie walk had to consider — the cost-model input
+    and the quantity the ablation reports against the rule count. *)
+
+val node_count : t -> int
+(** Trie size, for memory reporting. *)

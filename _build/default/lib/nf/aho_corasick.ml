@@ -1,0 +1,92 @@
+type node = {
+  children : (char, int) Hashtbl.t;
+  mutable fail : int;
+  mutable outputs : int list;  (* pattern indices ending at this node *)
+}
+
+type t = { nodes : node array; nocase : bool; pattern_count : int }
+
+let new_node () = { children = Hashtbl.create 4; fail = 0; outputs = [] }
+
+let normalize nocase c = if nocase then Char.lowercase_ascii c else c
+
+let create ?(nocase = false) patterns =
+  List.iter
+    (fun p -> if p = "" then invalid_arg "Aho_corasick.create: empty pattern")
+    patterns;
+  let nodes = ref (Array.init 16 (fun _ -> new_node ())) in
+  let node_count = ref 1 in
+  let fresh_node () =
+    if !node_count = Array.length !nodes then begin
+      let bigger = Array.init (2 * !node_count) (fun _ -> new_node ()) in
+      Array.blit !nodes 0 bigger 0 !node_count;
+      nodes := bigger
+    end;
+    let idx = !node_count in
+    incr node_count;
+    idx
+  in
+  List.iteri
+    (fun pat_idx pattern ->
+      let current = ref 0 in
+      String.iter
+        (fun c ->
+          let c = normalize nocase c in
+          let node = !nodes.(!current) in
+          match Hashtbl.find_opt node.children c with
+          | Some next -> current := next
+          | None ->
+              let next = fresh_node () in
+              Hashtbl.replace node.children c next;
+              current := next)
+        pattern;
+      let final = !nodes.(!current) in
+      final.outputs <- pat_idx :: final.outputs)
+    patterns;
+  let nodes = Array.sub !nodes 0 !node_count in
+  (* BFS over the trie to set failure links and merge output sets. *)
+  let queue = Queue.create () in
+  Hashtbl.iter (fun _ child -> Queue.add child queue) nodes.(0).children;
+  while not (Queue.is_empty queue) do
+    let idx = Queue.pop queue in
+    let node = nodes.(idx) in
+    Hashtbl.iter
+      (fun c child_idx ->
+        Queue.add child_idx queue;
+        let rec find_fail f =
+          match Hashtbl.find_opt nodes.(f).children c with
+          | Some target when target <> child_idx -> target
+          | Some _ | None -> if f = 0 then 0 else find_fail nodes.(f).fail
+        in
+        let fail = find_fail node.fail in
+        nodes.(child_idx).fail <- fail;
+        nodes.(child_idx).outputs <- nodes.(child_idx).outputs @ nodes.(fail).outputs)
+      node.children
+  done;
+  { nodes; nocase; pattern_count = List.length patterns }
+
+let pattern_count t = t.pattern_count
+
+let step t state c =
+  let c = normalize t.nocase c in
+  let rec go s =
+    match Hashtbl.find_opt t.nodes.(s).children c with
+    | Some next -> next
+    | None -> if s = 0 then 0 else go t.nodes.(s).fail
+  in
+  go state
+
+let scan t buf off len =
+  let state = ref 0 in
+  let hits = ref [] in
+  for i = off to off + len - 1 do
+    state := step t !state (Bytes.get buf i);
+    match t.nodes.(!state).outputs with
+    | [] -> ()
+    | outputs -> hits := outputs @ !hits
+  done;
+  List.sort_uniq Int.compare !hits
+
+let scan_string t s = scan t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let mem t s = scan_string t s <> []

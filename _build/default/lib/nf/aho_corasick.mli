@@ -1,0 +1,23 @@
+(** Aho-Corasick multi-pattern string matching.
+
+    Snort-class IDSs match packet payloads against many content patterns at
+    once; Aho-Corasick gives a single pass over the payload regardless of
+    the number of patterns.  Patterns can be case-insensitive (Snort's
+    [nocase]). *)
+
+type t
+
+val create : ?nocase:bool -> string list -> t
+(** Builds the automaton.  Duplicate patterns are allowed; each retains its
+    index in the input list.  @raise Invalid_argument on an empty pattern. *)
+
+val pattern_count : t -> int
+
+val scan : t -> bytes -> int -> int -> int list
+(** [scan t buf off len] returns the indices (into the pattern list, sorted,
+    deduplicated) of every pattern occurring in the region. *)
+
+val scan_string : t -> string -> int list
+
+val mem : t -> string -> bool
+(** [mem t s] — does any pattern occur in [s]? *)

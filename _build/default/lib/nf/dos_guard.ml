@@ -1,0 +1,69 @@
+open Sb_packet
+open Sb_flow
+
+type count_mode = All_packets | Syn_only
+
+type cell = { mutable count : int }
+
+type t = { name : string; mode : count_mode; threshold : int; flows : cell Tuple_map.t }
+
+let create ?(name = "dosguard") ?(mode = All_packets) ~threshold () =
+  if threshold < 1 then invalid_arg "Dos_guard.create: threshold must be positive";
+  { name; mode; threshold; flows = Tuple_map.create 256 }
+
+let name t = t.name
+
+let count t tuple =
+  match Tuple_map.find_opt t.flows tuple with Some c -> c.count | None -> 0
+
+let blocked_flows t =
+  Tuple_map.fold (fun _ c acc -> if c.count >= t.threshold then acc + 1 else acc) t.flows 0
+
+let dump t =
+  Tuple_map.fold
+    (fun tuple c acc -> Format.asprintf "%a cnt=%d" Five_tuple.pp tuple c.count :: acc)
+    t.flows []
+  |> List.sort String.compare
+  |> String.concat "\n"
+
+let counts_packet t packet =
+  match t.mode with
+  | All_packets -> true
+  | Syn_only -> (
+      match Packet.proto packet with
+      | Packet.Tcp -> (Packet.tcp_flags packet).Tcp.Flags.syn
+      | Packet.Udp -> false)
+
+let bump t cell packet =
+  if counts_packet t packet then cell.count <- cell.count + 1;
+  Sb_sim.Cycles.monitor_count
+
+let process t ctx packet =
+  let tuple = Five_tuple.of_packet packet in
+  let cell = Tuple_map.find_or_add t.flows tuple ~default:(fun () -> { count = 0 }) in
+  let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify in
+  if cell.count >= t.threshold then begin
+    (* Over budget: the flow is cut off before any further counting. *)
+    Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
+    Speedybox.Nf.dropped (base + Sb_sim.Cycles.ha_drop)
+  end
+  else begin
+    let count_cycles = bump t cell packet in
+    Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Forward;
+    Speedybox.Api.localmat_add_sf ctx
+      (Sb_mat.State_function.make ~nf:t.name ~label:"dos.count"
+         ~mode:Sb_mat.State_function.Ignore
+         (fun pkt -> bump t cell pkt));
+    Speedybox.Api.register_event ctx
+      ~condition:(fun () -> cell.count >= t.threshold)
+      ~new_actions:(fun () -> [ Sb_mat.Header_action.Drop ])
+        (* once the flow is cut off the original NF stops counting too *)
+      ~new_state_functions:(fun () -> [])
+      ();
+    Speedybox.Nf.forwarded (base + count_cycles + Sb_sim.Cycles.ha_forward)
+  end
+
+let nf t =
+  Speedybox.Nf.make ~name:t.name
+    ~state_digest:(fun () -> dump t)
+    (fun ctx packet -> process t ctx packet)

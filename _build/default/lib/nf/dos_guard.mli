@@ -1,0 +1,28 @@
+(** The DoS-prevention NF of the paper's Event Table walkthrough (Fig. 3):
+    counts packets (or TCP SYNs) per flow and, once a flow's counter
+    crosses the threshold, turns the flow's action from forward into drop.
+
+    Under SpeedyBox the counter increment is a payload-IGNORE state
+    function and the cut-off is a one-shot event — condition
+    [count >= threshold], update [drop] — so a flow's fast path flips to
+    early drop the moment it exceeds its budget, exactly the top-right
+    transition of Fig. 3. *)
+
+(** What the per-flow counter counts. *)
+type count_mode = All_packets | Syn_only
+
+type t
+
+val create : ?name:string -> ?mode:count_mode -> threshold:int -> unit -> t
+(** @raise Invalid_argument when [threshold < 1]. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val count : t -> Sb_flow.Five_tuple.t -> int
+
+val blocked_flows : t -> int
+(** Flows whose counter has reached the threshold. *)
+
+val dump : t -> string

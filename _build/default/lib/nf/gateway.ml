@@ -1,0 +1,80 @@
+open Sb_packet
+open Sb_flow
+
+type service = {
+  public_port : int;
+  internal_servers : Ipv4_addr.t list;
+  internal_port : int;
+  dscp : int;
+}
+
+let service ~public_port ~internal_port ?(dscp = 0x2e) internal_servers =
+  if internal_servers = [] then invalid_arg "Gateway.service: empty server pool";
+  { public_port; internal_servers; internal_port; dscp }
+
+type pool = { servers : Ipv4_addr.t array; mutable next : int }
+
+type t = {
+  name : string;
+  services : (int, service * pool) Hashtbl.t;  (* keyed by public port *)
+  assignments : (Ipv4_addr.t * int) Tuple_map.t;
+}
+
+let create ?(name = "gateway") ~services () =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace table s.public_port
+        (s, { servers = Array.of_list s.internal_servers; next = 0 }))
+    services;
+  { name; services = table; assignments = Tuple_map.create 256 }
+
+let name t = t.name
+
+let assignment t tuple = Tuple_map.find_opt t.assignments tuple
+
+let flows_assigned t = Tuple_map.length t.assignments
+
+let assign t tuple (s, pool) =
+  match Tuple_map.find_opt t.assignments tuple with
+  | Some a -> a
+  | None ->
+      let server = pool.servers.(pool.next mod Array.length pool.servers) in
+      pool.next <- pool.next + 1;
+      let a = (server, s.internal_port) in
+      Tuple_map.replace t.assignments tuple a;
+      a
+
+let process t ctx packet =
+  let tuple = Five_tuple.of_packet packet in
+  let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify in
+  match Hashtbl.find_opt t.services tuple.Five_tuple.dst_port with
+  | None ->
+      Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Forward;
+      Speedybox.Nf.forwarded (base + Sb_sim.Cycles.ha_forward)
+  | Some ((s, _) as entry) ->
+      let server, port = assign t tuple entry in
+      let action =
+        Sb_mat.Header_action.Modify
+          [
+            (Field.Dst_ip, Field.Ip server);
+            (Field.Dst_port, Field.Port port);
+            (Field.Tos, Field.Int s.dscp);
+          ]
+      in
+      (match Sb_mat.Header_action.apply action packet with
+      | Sb_mat.Header_action.Forwarded -> ()
+      | Sb_mat.Header_action.Dropped -> assert false (* modify never drops *));
+      Speedybox.Api.localmat_add_ha ctx action;
+      Speedybox.Nf.forwarded
+        (base + Sb_sim.Cycles.classify + Sb_mat.Header_action.cost action)
+
+let nf t =
+  Speedybox.Nf.make ~name:t.name
+    ~state_digest:(fun () ->
+      Tuple_map.fold
+        (fun tuple (server, port) acc ->
+          Format.asprintf "%a => %a:%d" Five_tuple.pp tuple Ipv4_addr.pp server port :: acc)
+        t.assignments []
+      |> List.sort String.compare |> String.concat "\n")
+    (fun ctx packet -> process t ctx packet)

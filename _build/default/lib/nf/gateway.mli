@@ -1,0 +1,38 @@
+(** An application gateway — the paper's NF survey (§IV-A) lists gateways
+    for conferencing/media/voice among the most-deployed middleboxes.
+
+    The gateway fronts public service ports and rewrites flows to internal
+    servers: destination IP and port change, and the packets are marked
+    with a DSCP class for downstream QoS.  Each flow picks its internal
+    server round-robin at setup and sticks to it — a three-field [modify]
+    header action, the richest merge case the consolidation algorithm
+    sees from a single NF. *)
+
+type service = {
+  public_port : int;
+  internal_servers : Sb_packet.Ipv4_addr.t list;  (** round-robin pool *)
+  internal_port : int;
+  dscp : int;  (** ToS byte value to mark *)
+}
+
+val service :
+  public_port:int ->
+  internal_port:int ->
+  ?dscp:int ->
+  Sb_packet.Ipv4_addr.t list ->
+  service
+(** @raise Invalid_argument on an empty server pool. *)
+
+type t
+
+val create : ?name:string -> services:service list -> unit -> t
+(** Flows to ports without a service are forwarded untouched. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val assignment : t -> Sb_flow.Five_tuple.t -> (Sb_packet.Ipv4_addr.t * int) option
+(** The internal (server, port) a flow was pinned to. *)
+
+val flows_assigned : t -> int

@@ -1,0 +1,26 @@
+type request = { meth : string; uri : string; version : string }
+
+let methods = [ "GET"; "POST"; "PUT"; "DELETE"; "HEAD"; "OPTIONS"; "PATCH"; "TRACE"; "CONNECT" ]
+
+let is_method m = List.mem m methods
+
+let request_line payload =
+  let line_end =
+    match String.index_opt payload '\n' with
+    | Some i when i > 0 && payload.[i - 1] = '\r' -> Some (i - 1)
+    | Some i -> Some i
+    | None -> Some (String.length payload)
+  in
+  match line_end with
+  | None -> None
+  | Some stop -> (
+      let line = String.sub payload 0 stop in
+      match String.split_on_char ' ' line with
+      | [ meth; uri; version ] ->
+          if
+            is_method meth && uri <> ""
+            && String.length version >= 5
+            && String.sub version 0 5 = "HTTP/"
+          then Some { meth; uri; version }
+          else None
+      | _ -> None)

@@ -1,0 +1,12 @@
+(** Minimal HTTP/1.x request-line parsing — the slice of Snort's
+    http_inspect preprocessor needed for URI-scoped content matching. *)
+
+type request = { meth : string; uri : string; version : string }
+
+val request_line : string -> request option
+(** [request_line payload] parses ["METHOD SP URI SP HTTP/x.y CRLF"] from
+    the start of the payload ([LF] alone accepted).  [None] when the
+    payload does not start with a plausible request line. *)
+
+val is_method : string -> bool
+(** The standard request methods ([GET], [POST], ...). *)

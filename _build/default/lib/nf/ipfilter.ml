@@ -1,0 +1,91 @@
+open Sb_flow
+
+type acl_action = Ipfilter_rule.acl_action = Permit | Deny
+
+type acl_rule = Ipfilter_rule.t = {
+  acl_action : acl_action;
+  src : Sb_packet.Ipv4_addr.Prefix.t option;
+  dst : Sb_packet.Ipv4_addr.Prefix.t option;
+  proto : int option;
+  src_ports : (int * int) option;
+  dst_ports : (int * int) option;
+}
+
+let rule = Ipfilter_rule.make
+
+let rule_matches = Ipfilter_rule.matches
+
+type engine = Linear | Trie
+
+type t = {
+  name : string;
+  rules : acl_rule array;
+  default : acl_action;
+  engine : engine;
+  trie : Acl_trie.t;  (* built eagerly; only consulted by the Trie engine *)
+  cache : acl_action Tuple_map.t;
+  mutable denied : int;
+}
+
+let create ?(name = "ipfilter") ?(default = Permit) ?(engine = Linear) ~rules () =
+  let rules = Array.of_list rules in
+  {
+    name;
+    rules;
+    default;
+    engine;
+    trie = Acl_trie.build rules;
+    cache = Tuple_map.create 256;
+    denied = 0;
+  }
+
+let name t = t.name
+
+let linear_lookup t tuple =
+  let n = Array.length t.rules in
+  let rec scan i =
+    if i >= n then None else if Ipfilter_rule.matches t.rules.(i) tuple then Some i else scan (i + 1)
+  in
+  scan 0
+
+let lookup_index t tuple =
+  match t.engine with Linear -> linear_lookup t tuple | Trie -> Acl_trie.lookup t.trie tuple
+
+let lookup t tuple =
+  match lookup_index t tuple with Some i -> t.rules.(i).acl_action | None -> t.default
+
+let lookup_cycles t tuple =
+  match t.engine with
+  | Linear -> (Array.length t.rules + 1) * Sb_sim.Cycles.acl_rule_scan
+  | Trie ->
+      Sb_sim.Cycles.acl_trie_walk
+      + ((Acl_trie.candidates t.trie tuple + 1) * Sb_sim.Cycles.acl_rule_scan)
+
+let flows_cached t = Tuple_map.length t.cache
+
+let denied_count t = t.denied
+
+let process t ctx packet =
+  let tuple = Five_tuple.of_packet packet in
+  let verdict, lookup_cost =
+    match Tuple_map.find_opt t.cache tuple with
+    | Some v -> (v, Sb_sim.Cycles.acl_established)
+    | None ->
+        let v = lookup t tuple in
+        Tuple_map.replace t.cache tuple v;
+        (v, lookup_cycles t tuple)
+  in
+  let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + lookup_cost in
+  match verdict with
+  | Permit ->
+      Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Forward;
+      Speedybox.Nf.forwarded (base + Sb_sim.Cycles.ha_forward)
+  | Deny ->
+      t.denied <- t.denied + 1;
+      Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
+      Speedybox.Nf.dropped (base + Sb_sim.Cycles.ha_drop)
+
+let nf t =
+  Speedybox.Nf.make ~name:t.name
+    ~state_digest:(fun () -> Printf.sprintf "flows=%d" (Tuple_map.length t.cache))
+    (fun ctx packet -> process t ctx packet)

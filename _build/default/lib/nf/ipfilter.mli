@@ -1,0 +1,64 @@
+(** The IPFilter firewall NF (Click's IPFilter element, [3] in the paper):
+    a header ACL, first match wins.
+
+    The initial packet of a flow pays the ACL lookup; the verdict is
+    cached in a per-flow table, so established flows pay a single lookup —
+    the cost structure behind the init-vs-subsequent gap in Fig. 4.  Under
+    SpeedyBox the cached verdict is recorded as a [forward] or [drop]
+    header action, which is what enables early packet drop (Table III).
+
+    Two lookup engines are available: the paper's linear scan (default)
+    and a source-prefix trie ({!Acl_trie}) that flattens the initial
+    packet's cost for large ACLs — ablation A7 quantifies the gap. *)
+
+type acl_action = Ipfilter_rule.acl_action = Permit | Deny
+
+type acl_rule = Ipfilter_rule.t = {
+  acl_action : acl_action;
+  src : Sb_packet.Ipv4_addr.Prefix.t option;
+  dst : Sb_packet.Ipv4_addr.Prefix.t option;
+  proto : int option;
+  src_ports : (int * int) option;  (** inclusive range *)
+  dst_ports : (int * int) option;
+}
+
+val rule :
+  ?src:string ->
+  ?dst:string ->
+  ?proto:int ->
+  ?src_ports:int * int ->
+  ?dst_ports:int * int ->
+  acl_action ->
+  acl_rule
+(** Prefixes given as strings (["10.0.0.0/8"]).
+    @raise Invalid_argument on a malformed prefix. *)
+
+val rule_matches : acl_rule -> Sb_flow.Five_tuple.t -> bool
+
+type engine = Linear | Trie
+
+type t
+
+val create :
+  ?name:string ->
+  ?default:acl_action ->
+  ?engine:engine ->
+  rules:acl_rule list ->
+  unit ->
+  t
+(** [default] (default [Permit]) applies when no rule matches; [engine]
+    defaults to [Linear]. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val lookup : t -> Sb_flow.Five_tuple.t -> acl_action
+(** The ACL verdict for a tuple (without touching the flow cache). *)
+
+val lookup_cycles : t -> Sb_flow.Five_tuple.t -> int
+(** The engine's cost-model charge for a cold lookup of this tuple. *)
+
+val flows_cached : t -> int
+
+val denied_count : t -> int

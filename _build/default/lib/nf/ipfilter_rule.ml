@@ -1,0 +1,42 @@
+open Sb_packet
+
+type acl_action = Permit | Deny
+
+type t = {
+  acl_action : acl_action;
+  src : Ipv4_addr.Prefix.t option;
+  dst : Ipv4_addr.Prefix.t option;
+  proto : int option;
+  src_ports : (int * int) option;
+  dst_ports : (int * int) option;
+}
+
+let make ?src ?dst ?proto ?src_ports ?dst_ports acl_action =
+  {
+    acl_action;
+    src = Option.map Ipv4_addr.Prefix.of_string src;
+    dst = Option.map Ipv4_addr.Prefix.of_string dst;
+    proto;
+    src_ports;
+    dst_ports;
+  }
+
+let in_range (lo, hi) p = p >= lo && p <= hi
+
+let matches_except_src r (tuple : Sb_flow.Five_tuple.t) =
+  Option.fold ~none:true
+    ~some:(fun p -> Ipv4_addr.Prefix.matches p tuple.Sb_flow.Five_tuple.dst_ip)
+    r.dst
+  && Option.fold ~none:true ~some:(fun p -> p = tuple.Sb_flow.Five_tuple.proto) r.proto
+  && Option.fold ~none:true
+       ~some:(fun range -> in_range range tuple.Sb_flow.Five_tuple.src_port)
+       r.src_ports
+  && Option.fold ~none:true
+       ~some:(fun range -> in_range range tuple.Sb_flow.Five_tuple.dst_port)
+       r.dst_ports
+
+let matches r tuple =
+  Option.fold ~none:true
+    ~some:(fun p -> Ipv4_addr.Prefix.matches p tuple.Sb_flow.Five_tuple.src_ip)
+    r.src
+  && matches_except_src r tuple

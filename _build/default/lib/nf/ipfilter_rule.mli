@@ -1,0 +1,29 @@
+(** ACL rule type shared by the IPFilter NF and its lookup engines. *)
+
+type acl_action = Permit | Deny
+
+type t = {
+  acl_action : acl_action;
+  src : Sb_packet.Ipv4_addr.Prefix.t option;
+  dst : Sb_packet.Ipv4_addr.Prefix.t option;
+  proto : int option;
+  src_ports : (int * int) option;  (** inclusive range *)
+  dst_ports : (int * int) option;
+}
+
+val make :
+  ?src:string ->
+  ?dst:string ->
+  ?proto:int ->
+  ?src_ports:int * int ->
+  ?dst_ports:int * int ->
+  acl_action ->
+  t
+(** Prefixes given as strings (["10.0.0.0/8"]).
+    @raise Invalid_argument on a malformed prefix. *)
+
+val matches : t -> Sb_flow.Five_tuple.t -> bool
+
+val matches_except_src : t -> Sb_flow.Five_tuple.t -> bool
+(** All fields except the source prefix (used by engines that have already
+    resolved the source dimension structurally). *)

@@ -1,0 +1,176 @@
+open Sb_packet
+open Sb_flow
+
+type backend = { bname : string; ip : Ipv4_addr.t; mutable alive : bool }
+
+type algorithm = Consistent | Mod_hash
+
+type t = {
+  name : string;
+  table_size : int;
+  algorithm : algorithm;
+  backends : backend array;
+  mutable table : int array;  (* slot -> backend index; -1 when no backend alive *)
+  assignments : int Tuple_map.t;  (* tuple -> backend index *)
+}
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+(* FNV-1a over a string with a salt, for the two name hashes and the flow
+   hash the Maglev paper calls h1, h2 and the 5-tuple hash. *)
+let fnv_hash ~salt s =
+  let h = ref (0x1b873593 + salt) in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3fffffff) s;
+  !h
+
+let populate_mod_hash table_size backends =
+  let alive = ref [] in
+  Array.iteri (fun i b -> if b.alive then alive := i :: !alive) backends;
+  let alive = Array.of_list (List.rev !alive) in
+  let table = Array.make table_size (-1) in
+  if Array.length alive > 0 then
+    Array.iteri (fun slot _ -> table.(slot) <- alive.(slot mod Array.length alive)) table;
+  table
+
+let populate_consistent table_size backends =
+  let alive = ref [] in
+  Array.iteri (fun i b -> if b.alive then alive := i :: !alive) backends;
+  let alive = Array.of_list (List.rev !alive) in
+  let table = Array.make table_size (-1) in
+  if Array.length alive = 0 then table
+  else begin
+    let m = table_size in
+    let offsets = Array.map (fun i -> fnv_hash ~salt:1 backends.(i).bname mod m) alive in
+    let skips = Array.map (fun i -> (fnv_hash ~salt:2 backends.(i).bname mod (m - 1)) + 1) alive in
+    let next = Array.make (Array.length alive) 0 in
+    let filled = ref 0 in
+    while !filled < m do
+      for k = 0 to Array.length alive - 1 do
+        if !filled < m then begin
+          (* Walk backend k's permutation to its next empty slot. *)
+          let slot = ref ((offsets.(k) + (next.(k) * skips.(k))) mod m) in
+          while table.(!slot) >= 0 do
+            next.(k) <- next.(k) + 1;
+            slot := (offsets.(k) + (next.(k) * skips.(k))) mod m
+          done;
+          table.(!slot) <- alive.(k);
+          next.(k) <- next.(k) + 1;
+          incr filled
+        end
+      done
+    done;
+    table
+  end
+
+let populate algorithm table_size backends =
+  match algorithm with
+  | Consistent -> populate_consistent table_size backends
+  | Mod_hash -> populate_mod_hash table_size backends
+
+let create ?(name = "maglev") ?(table_size = 251) ?(algorithm = Consistent) ~backends () =
+  if backends = [] then invalid_arg "Maglev.create: no backends";
+  if not (is_prime table_size) then invalid_arg "Maglev.create: table size must be prime";
+  let names = List.map fst backends in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Maglev.create: duplicate backend names";
+  let backends =
+    Array.of_list (List.map (fun (bname, ip) -> { bname; ip; alive = true }) backends)
+  in
+  {
+    name;
+    table_size;
+    algorithm;
+    backends;
+    table = populate algorithm table_size backends;
+    assignments = Tuple_map.create 256;
+  }
+
+let name t = t.name
+
+let backend_index t bname =
+  let found = ref (-1) in
+  Array.iteri (fun i b -> if String.equal b.bname bname then found := i) t.backends;
+  if !found < 0 then invalid_arg (Printf.sprintf "Maglev: unknown backend %s" bname);
+  !found
+
+let fail_backend t bname =
+  t.backends.(backend_index t bname).alive <- false;
+  t.table <- populate t.algorithm t.table_size t.backends
+
+let restore_backend t bname =
+  t.backends.(backend_index t bname).alive <- true;
+  t.table <- populate t.algorithm t.table_size t.backends
+
+let alive_backends t =
+  Array.to_list t.backends |> List.filter (fun b -> b.alive) |> List.map (fun b -> b.bname)
+
+let lookup_table t =
+  Array.map (fun i -> if i < 0 then "-" else t.backends.(i).bname) t.table
+
+let backend_of_flow t tuple =
+  Option.map (fun i -> t.backends.(i).bname) (Tuple_map.find_opt t.assignments tuple)
+
+let tracked_flows t = Tuple_map.length t.assignments
+
+let dump t =
+  let assignments =
+    Tuple_map.fold
+      (fun tuple i acc ->
+        Format.asprintf "%a -> %s" Five_tuple.pp tuple t.backends.(i).bname :: acc)
+      t.assignments []
+    |> List.sort String.compare
+  in
+  String.concat "\n"
+    ((Printf.sprintf "alive=[%s]" (String.concat "," (alive_backends t))) :: assignments)
+
+let table_lookup t tuple =
+  let h = fnv_hash ~salt:3 (Format.asprintf "%a" Five_tuple.pp tuple) in
+  t.table.(h mod t.table_size)
+
+(* The flow's current backend: the tracked one while it is alive, otherwise
+   a fresh consistent-hash selection (retracked) — the Maglev rerouting
+   behaviour both the original path and the fired event go through. *)
+let current_backend t tuple =
+  let select () =
+    let i = table_lookup t tuple in
+    if i < 0 then invalid_arg "Maglev: all backends dead";
+    Tuple_map.replace t.assignments tuple i;
+    i
+  in
+  match Tuple_map.find_opt t.assignments tuple with
+  | Some i when t.backends.(i).alive -> t.backends.(i)
+  | Some _ | None -> t.backends.(select ())
+
+let process t ctx packet =
+  let tuple = Five_tuple.of_packet packet in
+  let backend = current_backend t tuple in
+  let action = Sb_mat.Header_action.Modify [ (Field.Dst_ip, Field.Ip backend.ip) ] in
+  let apply_cost = Sb_mat.Header_action.cost action in
+  (match Sb_mat.Header_action.apply action packet with
+  | Sb_mat.Header_action.Forwarded -> ()
+  | Sb_mat.Header_action.Dropped -> assert false (* modify never drops *));
+  Speedybox.Api.localmat_add_ha ctx action;
+  Speedybox.Api.register_event ctx ~one_shot:false
+    ~condition:(fun () ->
+      match Tuple_map.find_opt t.assignments tuple with
+      | Some i -> not (t.backends.(i).alive)
+      | None -> false)
+    ~new_actions:(fun () ->
+      [ Sb_mat.Header_action.Modify
+          [ (Field.Dst_ip, Field.Ip (current_backend t tuple).ip) ];
+      ])
+    ~update_fn:(fun () -> ignore (current_backend t tuple))
+    ();
+  Speedybox.Nf.forwarded
+    (Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + Sb_sim.Cycles.lb_consistent_hash
+   + apply_cost)
+
+let nf t =
+  Speedybox.Nf.make ~name:t.name
+    ~state_digest:(fun () -> dump t)
+    (fun ctx packet -> process t ctx packet)

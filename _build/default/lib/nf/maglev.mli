@@ -1,0 +1,60 @@
+(** The Maglev load balancer NF (Eisenbud et al., NSDI 2016).
+
+    Implements the lookup-table population algorithm of §3.4 of the Maglev
+    paper — each backend fills a prime-sized table by walking its own
+    permutation [(offset + j*skip) mod M] — plus per-flow connection
+    tracking.  When a backend fails the table is rebuilt over the survivors
+    (consistent hashing keeps most entries stable) and tracked flows
+    assigned to the dead backend are rerouted on their next packet.
+
+    This NF is the paper's showcase for the Event Table (§V-A Observation
+    #2): under SpeedyBox it registers a recurring per-flow event whose
+    condition is "the flow's tracked backend is dead" and whose update
+    replaces the recorded [modify(DIP)] with one pointing at the newly
+    selected backend. *)
+
+(** How the lookup table is populated. *)
+type algorithm =
+  | Consistent  (** the Maglev §3.4 permutation algorithm *)
+  | Mod_hash
+      (** the naive baseline: slot [i] owned by alive backend
+          [i mod n_alive] — any membership change reshuffles almost every
+          slot, which the disruption ablation quantifies *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?table_size:int ->
+  ?algorithm:algorithm ->
+  backends:(string * Sb_packet.Ipv4_addr.t) list ->
+  unit ->
+  t
+(** [table_size] must be prime (default 251; Maglev production uses 65537);
+    [algorithm] defaults to [Consistent].
+    @raise Invalid_argument on a non-prime size, empty backend list or
+    duplicate backend names. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val fail_backend : t -> string -> unit
+(** Marks the backend dead and rebuilds the lookup table.
+    @raise Invalid_argument on an unknown name. *)
+
+val restore_backend : t -> string -> unit
+
+val alive_backends : t -> string list
+
+val lookup_table : t -> string array
+(** The current table as backend names, for inspecting balance and
+    disruption properties in tests. *)
+
+val backend_of_flow : t -> Sb_flow.Five_tuple.t -> string option
+(** The tracked assignment, if any (may point at a dead backend until the
+    flow's next packet reroutes it). *)
+
+val tracked_flows : t -> int
+
+val dump : t -> string

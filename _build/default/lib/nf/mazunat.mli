@@ -1,0 +1,40 @@
+(** The MazuNAT NF — the Click mazu-nat.click configuration's NAT module:
+    dynamic NAPT that rewrites the source address and port of outbound
+    flows to a public address with a per-flow allocated external port.
+
+    The initial packet of a flow allocates a mapping; subsequent packets
+    reuse it (Observation #1: a NAT's header action for a flow never
+    changes).  Under SpeedyBox the rewrite is recorded as
+    [modify(SIP, SPort)], the paper's canonical modify example.  Mappings
+    are not torn down inline (real NATs expire them by timer); the
+    SpeedyBox classifier's FIN/RST rule cleanup is the fast-path
+    counterpart. *)
+
+type t
+
+val create :
+  ?name:string ->
+  external_ip:Sb_packet.Ipv4_addr.t ->
+  ?port_base:int ->
+  ?port_count:int ->
+  unit ->
+  t
+(** External ports are allocated sequentially from [port_base] (default
+    10000), wrapping after [port_count] (default 40000) allocations.
+
+    Return traffic is translated too: a packet addressed to
+    [external_ip:allocated_port] has its destination rewritten back to the
+    internal host that owns the mapping (recorded as the reverse flow's
+    own [modify(DIP, DPort)] rule); inbound packets to an unallocated port
+    are dropped, as a NAT without a mapping must. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val mapping : t -> Sb_flow.Five_tuple.t -> (Sb_packet.Ipv4_addr.t * int) option
+(** The (external ip, external port) for an internal flow, if allocated. *)
+
+val active_mappings : t -> int
+
+val dump : t -> string

@@ -1,0 +1,52 @@
+open Sb_packet
+open Sb_flow
+
+type counters = { mutable packets : int; mutable bytes : int }
+
+type t = { name : string; flows : counters Tuple_map.t }
+
+let create ?(name = "monitor") () = { name; flows = Tuple_map.create 256 }
+
+let name t = t.name
+
+let counters t tuple = Tuple_map.find_opt t.flows tuple
+
+let flow_count t = Tuple_map.length t.flows
+
+let total_packets t = Tuple_map.fold (fun _ c acc -> acc + c.packets) t.flows 0
+
+let dump t =
+  Tuple_map.fold
+    (fun tuple c acc ->
+      Format.asprintf "%a pkts=%d bytes=%d" Five_tuple.pp tuple c.packets c.bytes :: acc)
+    t.flows []
+  |> List.sort String.compare
+  |> String.concat "\n"
+
+(* Keyed per packet, exactly as the original monitor code does: an
+   upstream event (e.g. Maglev rerouting the flow to a new backend) changes
+   the header mid-stream, and the counters must then split across the old
+   and new tuples just as they do on the original path. *)
+let count t packet =
+  let tuple = Five_tuple.of_packet packet in
+  let cell =
+    Tuple_map.find_or_add t.flows tuple ~default:(fun () -> { packets = 0; bytes = 0 })
+  in
+  cell.packets <- cell.packets + 1;
+  cell.bytes <- cell.bytes + packet.Packet.len;
+  Sb_sim.Cycles.monitor_count
+
+let process t ctx packet =
+  let count_cycles = count t packet in
+  Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Forward;
+  Speedybox.Api.localmat_add_sf ctx
+    (Sb_mat.State_function.make ~nf:t.name ~label:"monitor.count"
+       ~mode:Sb_mat.State_function.Ignore
+       (fun pkt -> count t pkt));
+  Speedybox.Nf.forwarded
+    (Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + count_cycles + Sb_sim.Cycles.ha_forward)
+
+let nf t =
+  Speedybox.Nf.make ~name:t.name
+    ~state_digest:(fun () -> dump t)
+    (fun ctx packet -> process t ctx packet)

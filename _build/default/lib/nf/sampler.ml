@@ -1,0 +1,44 @@
+open Sb_flow
+
+type t = {
+  sampler_name : string;
+  every : int;
+  consolidable : bool;
+  counts : int ref Tuple_map.t;
+  mutable dropped : int;
+}
+
+let make ?(name = "sampler") ~every consolidable =
+  if every < 2 then invalid_arg "Sampler.create: every must be >= 2";
+  { sampler_name = name; every; consolidable; counts = Tuple_map.create 64; dropped = 0 }
+
+let create ?name ~every () = make ?name ~every false
+
+let create_naive ?name ~every () = make ?name ~every true
+
+let name t = t.sampler_name
+
+let dropped t = t.dropped
+
+let process t ctx packet =
+  let tuple = Five_tuple.of_packet packet in
+  let cell = Tuple_map.find_or_add t.counts tuple ~default:(fun () -> ref 0) in
+  incr cell;
+  let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + Sb_sim.Cycles.monitor_count in
+  if !cell mod t.every = 0 then begin
+    t.dropped <- t.dropped + 1;
+    (* The naive variant records whatever it did to the initial packet —
+       which is precisely why it is wrong: the verdict is per-index, not
+       per-flow. *)
+    Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
+    Speedybox.Nf.dropped (base + Sb_sim.Cycles.ha_drop)
+  end
+  else begin
+    Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Forward;
+    Speedybox.Nf.forwarded (base + Sb_sim.Cycles.ha_forward)
+  end
+
+let nf t =
+  Speedybox.Nf.make ~name:t.sampler_name ~consolidable:t.consolidable
+    ~state_digest:(fun () -> Printf.sprintf "dropped=%d" t.dropped)
+    (fun ctx packet -> process t ctx packet)

@@ -1,0 +1,32 @@
+(** A packet sampler/policer — the §IV-A3 counter-example.
+
+    The sampler forwards a flow's packets but drops every k-th one (a
+    crude policer; the same shape as samplers that divert every k-th
+    packet to a collector).  Its verdict depends on the packet's {e index}
+    within the flow, not on the flow alone — exactly the class of NF the
+    paper excludes from runtime consolidation: no single per-flow header
+    action reproduces "drop every k-th".
+
+    Two constructors make the boundary concrete:
+    - {!create} marks itself non-consolidable, so chains containing it
+      keep every packet on the original path (correct, no speedup);
+    - {!create_naive} pretends to be consolidation-friendly, recording
+      [forward] like any other NF — the equivalence tests use it to show
+      the fast path then misbehaves (subsequent k-th packets sail
+      through). *)
+
+type t
+
+val create : ?name:string -> every:int -> unit -> t
+(** Drops packets [every, 2*every, ...] of each flow.
+    @raise Invalid_argument when [every < 2]. *)
+
+val create_naive : ?name:string -> every:int -> unit -> t
+(** Same behaviour, but (incorrectly) claims to be consolidable. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val dropped : t -> int
+(** Packets policed away so far. *)

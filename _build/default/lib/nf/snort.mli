@@ -1,0 +1,30 @@
+(** The Snort-style IDS NF.
+
+    Mirrors the structure of the paper's Snort port: rules are compiled
+    into multi-pattern automata at start-up; when a flow's first packet
+    arrives the IDS assigns the flow its {e rule group} (the rules whose
+    headers match the tuple — Observation #1: the per-flow inspection
+    function is determined by the initial packet); every packet's payload
+    is then scanned by that group's detection function.  [pass] rules
+    suppress [alert]/[log] rules for a packet, alerts and log lines are
+    appended to in-memory journals (the state the equivalence tests
+    compare).
+
+    Under SpeedyBox the detection function is recorded as a payload-READ
+    state function and the header action is [forward] (Snort never
+    modifies packets), exactly as §VI-C describes. *)
+
+type t
+
+val create : ?name:string -> rules:Snort_rule.t list -> unit -> t
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val alerts : t -> string list
+(** Alert journal lines, oldest first. *)
+
+val logged : t -> string list
+
+val flows_seen : t -> int

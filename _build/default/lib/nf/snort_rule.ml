@@ -1,0 +1,441 @@
+open Sb_packet
+
+type action = Alert | Log | Pass
+
+let pp_action fmt a =
+  Format.pp_print_string fmt (match a with Alert -> "alert" | Log -> "log" | Pass -> "pass")
+
+type proto = Tcp | Udp | Any_proto
+
+type port_spec = Any_port | Port of int | Port_range of int * int
+
+type ip_spec = Any_ip | Net of Ipv4_addr.Prefix.t
+
+type content_match = {
+  pattern : string;
+  offset : int option;
+  depth : int option;
+  distance : int option;
+  within : int option;
+  http_uri : bool;
+}
+
+type dsize_spec =
+  | Dsize_eq of int
+  | Dsize_gt of int
+  | Dsize_lt of int
+  | Dsize_range of int * int
+
+type flags_spec = { mask : int; exact : bool }
+
+type flowbits_op =
+  | Fb_set of string
+  | Fb_unset of string
+  | Fb_isset of string
+  | Fb_isnotset of string
+
+type t = {
+  action : action;
+  proto : proto;
+  src_ip : ip_spec;
+  src_port : port_spec;
+  dst_ip : ip_spec;
+  dst_port : port_spec;
+  contents : content_match list;
+  nocase : bool;
+  dsize : dsize_spec option;
+  flags : flags_spec option;
+  flowbits : flowbits_op list;
+  threshold : int;
+  msg : string;
+  sid : int;
+}
+
+let ( let* ) = Result.bind
+
+(* --- header parsing ----------------------------------------------------- *)
+
+let parse_action = function
+  | "alert" -> Ok Alert
+  | "log" -> Ok Log
+  | "pass" -> Ok Pass
+  | s -> Error (Printf.sprintf "unknown action %S" s)
+
+let parse_proto = function
+  | "tcp" -> Ok Tcp
+  | "udp" -> Ok Udp
+  | "ip" -> Ok Any_proto
+  | s -> Error (Printf.sprintf "unknown protocol %S" s)
+
+let parse_ip = function
+  | "any" -> Ok Any_ip
+  | s -> (
+      try Ok (Net (Ipv4_addr.Prefix.of_string s))
+      with Invalid_argument _ -> Error (Printf.sprintf "bad address %S" s))
+
+let parse_port = function
+  | "any" -> Ok Any_port
+  | s -> (
+      match String.index_opt s ':' with
+      | None -> (
+          match int_of_string_opt s with
+          | Some p when p >= 0 && p <= 65535 -> Ok (Port p)
+          | Some _ | None -> Error (Printf.sprintf "bad port %S" s))
+      | Some i -> (
+          let lo = String.sub s 0 i and hi = String.sub s (i + 1) (String.length s - i - 1) in
+          match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi when lo >= 0 && hi <= 65535 && lo <= hi -> Ok (Port_range (lo, hi))
+          | _ -> Error (Printf.sprintf "bad port range %S" s)))
+
+(* --- option parsing ------------------------------------------------------ *)
+
+(* Split an option body like [msg:"a; b"; content:"x"; nocase] on
+   semicolons that sit outside double quotes. *)
+let split_options body =
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let in_quotes = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          in_quotes := not !in_quotes;
+          Buffer.add_char buf c
+      | ';' when not !in_quotes ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    body;
+  if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+  List.rev !parts |> List.map String.trim |> List.filter (fun s -> s <> "")
+
+let unquote s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Ok (String.sub s 1 (n - 2))
+  else Error (Printf.sprintf "expected quoted string, got %S" s)
+
+let int_option key value =
+  match int_of_string_opt (String.trim value) with
+  | Some v when v >= 0 -> Ok v
+  | Some _ | None -> Error (Printf.sprintf "bad %s value %S" key value)
+
+(* A positional modifier applies to the most recent content. *)
+let modify_last_content rule key f =
+  match List.rev rule.contents with
+  | [] -> Error (Printf.sprintf "%s before any content" key)
+  | last :: before -> Ok { rule with contents = List.rev (f last :: before) }
+
+let parse_dsize value =
+  let v = String.trim value in
+  let int_at i j = int_of_string_opt (String.trim (String.sub v i (j - i))) in
+  match String.index_opt v '<' with
+  | Some 0 -> (
+      match int_at 1 (String.length v) with
+      | Some n -> Ok (Dsize_lt n)
+      | None -> Error (Printf.sprintf "bad dsize %S" v))
+  | Some i when i + 1 < String.length v && v.[i + 1] = '>' -> (
+      match (int_at 0 i, int_at (i + 2) (String.length v)) with
+      | Some lo, Some hi when lo <= hi -> Ok (Dsize_range (lo, hi))
+      | _ -> Error (Printf.sprintf "bad dsize range %S" v))
+  | Some _ -> Error (Printf.sprintf "bad dsize %S" v)
+  | None -> (
+      if String.length v > 0 && v.[0] = '>' then
+        match int_at 1 (String.length v) with
+        | Some n -> Ok (Dsize_gt n)
+        | None -> Error (Printf.sprintf "bad dsize %S" v)
+      else
+        match int_at 0 (String.length v) with
+        | Some n -> Ok (Dsize_eq n)
+        | None -> Error (Printf.sprintf "bad dsize %S" v))
+
+let parse_flags value =
+  let v = String.trim value in
+  if v = "0" then Ok { mask = 0; exact = true }
+  else begin
+    let exact = not (String.length v > 0 && v.[String.length v - 1] = '+') in
+    let letters = if exact then v else String.sub v 0 (String.length v - 1) in
+    let bit = function
+      | 'F' -> Ok 0x01
+      | 'S' -> Ok 0x02
+      | 'R' -> Ok 0x04
+      | 'P' -> Ok 0x08
+      | 'A' -> Ok 0x10
+      | 'U' -> Ok 0x20
+      | c -> Error (Printf.sprintf "bad flag letter %C" c)
+    in
+    String.fold_left
+      (fun acc c ->
+        let* mask = acc in
+        let* b = bit c in
+        Ok (mask lor b))
+      (Ok 0) letters
+    |> Result.map (fun mask -> { mask; exact })
+  end
+
+let parse_flowbits value =
+  match String.split_on_char ',' value |> List.map String.trim with
+  | [ "set"; name ] when name <> "" -> Ok (Fb_set name)
+  | [ "unset"; name ] when name <> "" -> Ok (Fb_unset name)
+  | [ "isset"; name ] when name <> "" -> Ok (Fb_isset name)
+  | [ "isnotset"; name ] when name <> "" -> Ok (Fb_isnotset name)
+  | _ -> Error (Printf.sprintf "bad flowbits %S" value)
+
+let parse_option rule opt =
+  match String.index_opt opt ':' with
+  | None -> (
+      match String.trim opt with
+      | "nocase" -> Ok { rule with nocase = true }
+      | "http_uri" -> modify_last_content rule "http_uri" (fun c -> { c with http_uri = true })
+      | other -> Error (Printf.sprintf "unknown option %S" other))
+  | Some i -> (
+      let key = String.trim (String.sub opt 0 i) in
+      let value = String.sub opt (i + 1) (String.length opt - i - 1) in
+      match key with
+      | "msg" ->
+          let* msg = unquote value in
+          Ok { rule with msg }
+      | "content" ->
+          let* pattern = unquote value in
+          if pattern = "" then Error "empty content"
+          else
+            Ok
+              {
+                rule with
+                contents =
+                  rule.contents
+                  @ [
+                      {
+                        pattern;
+                        offset = None;
+                        depth = None;
+                        distance = None;
+                        within = None;
+                        http_uri = false;
+                      };
+                    ];
+              }
+      | "offset" ->
+          let* v = int_option key value in
+          modify_last_content rule key (fun c -> { c with offset = Some v })
+      | "depth" ->
+          let* v = int_option key value in
+          modify_last_content rule key (fun c -> { c with depth = Some v })
+      | "distance" ->
+          let* v = int_option key value in
+          modify_last_content rule key (fun c -> { c with distance = Some v })
+      | "within" ->
+          let* v = int_option key value in
+          modify_last_content rule key (fun c -> { c with within = Some v })
+      | "dsize" ->
+          let* d = parse_dsize value in
+          Ok { rule with dsize = Some d }
+      | "flags" ->
+          let* f = parse_flags value in
+          Ok { rule with flags = Some f }
+      | "flowbits" ->
+          let* op = parse_flowbits value in
+          Ok { rule with flowbits = rule.flowbits @ [ op ] }
+      | "threshold" ->
+          let* v = int_option key value in
+          if v < 1 then Error "threshold must be >= 1" else Ok { rule with threshold = v }
+      | "sid" -> (
+          match int_of_string_opt (String.trim value) with
+          | Some sid -> Ok { rule with sid }
+          | None -> Error (Printf.sprintf "bad sid %S" value))
+      | other -> Error (Printf.sprintf "unknown option %S" other))
+
+let parse line =
+  let line = String.trim line in
+  match String.index_opt line '(' with
+  | None -> Error "missing option block"
+  | Some open_paren ->
+      if line.[String.length line - 1] <> ')' then Error "missing closing parenthesis"
+      else begin
+        let header = String.trim (String.sub line 0 open_paren) in
+        let body = String.sub line (open_paren + 1) (String.length line - open_paren - 2) in
+        let tokens = String.split_on_char ' ' header |> List.filter (fun s -> s <> "") in
+        match tokens with
+        | [ action; proto; src_ip; src_port; "->"; dst_ip; dst_port ] ->
+            let* action = parse_action action in
+            let* proto = parse_proto proto in
+            let* src_ip = parse_ip src_ip in
+            let* src_port = parse_port src_port in
+            let* dst_ip = parse_ip dst_ip in
+            let* dst_port = parse_port dst_port in
+            let rule =
+              {
+                action;
+                proto;
+                src_ip;
+                src_port;
+                dst_ip;
+                dst_port;
+                contents = [];
+                nocase = false;
+                dsize = None;
+                flags = None;
+                flowbits = [];
+                threshold = 1;
+                msg = "";
+                sid = 0;
+              }
+            in
+            List.fold_left
+              (fun acc opt ->
+                let* rule = acc in
+                parse_option rule opt)
+              (Ok rule) (split_options body)
+        | _ -> Error "expected: action proto src_ip src_port -> dst_ip dst_port (options)"
+      end
+
+let parse_exn line =
+  match parse line with
+  | Ok rule -> rule
+  | Error msg -> invalid_arg (Printf.sprintf "Snort_rule.parse_exn: %s in %S" msg line)
+
+let parse_many text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc idx = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc (idx + 1) rest
+        else begin
+          match parse trimmed with
+          | Ok rule -> go (rule :: acc) (idx + 1) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" idx msg)
+        end
+  in
+  go [] 1 lines
+
+(* --- matching ------------------------------------------------------------ *)
+
+let port_matches spec port =
+  match spec with
+  | Any_port -> true
+  | Port p -> p = port
+  | Port_range (lo, hi) -> port >= lo && port <= hi
+
+let ip_matches spec addr =
+  match spec with Any_ip -> true | Net prefix -> Ipv4_addr.Prefix.matches prefix addr
+
+let proto_matches spec proto =
+  match spec with Any_proto -> true | Tcp -> proto = 6 | Udp -> proto = 17
+
+let matches_header rule (tuple : Sb_flow.Five_tuple.t) =
+  proto_matches rule.proto tuple.Sb_flow.Five_tuple.proto
+  && ip_matches rule.src_ip tuple.Sb_flow.Five_tuple.src_ip
+  && port_matches rule.src_port tuple.Sb_flow.Five_tuple.src_port
+  && ip_matches rule.dst_ip tuple.Sb_flow.Five_tuple.dst_ip
+  && port_matches rule.dst_port tuple.Sb_flow.Five_tuple.dst_port
+
+let dsize_ok rule len =
+  match rule.dsize with
+  | None -> true
+  | Some (Dsize_eq n) -> len = n
+  | Some (Dsize_gt n) -> len > n
+  | Some (Dsize_lt n) -> len < n
+  | Some (Dsize_range (lo, hi)) -> len > lo && len < hi
+
+let flags_ok rule flags =
+  match (rule.flags, flags) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some { mask; exact }, Some f ->
+      let v = Tcp.Flags.to_int f in
+      if exact then v = mask else v land mask = mask
+
+(* A URI-scoped content must occur inside the parsed request URI, with
+   offset/depth counted from the URI start (independent of the payload
+   chain's relative modifiers). *)
+let uri_content_ok rule uri c =
+  match uri with
+  | None -> false
+  | Some uri -> (
+      let searcher = Str_search.compile ~nocase:rule.nocase c.pattern in
+      let plen = Str_search.pattern_length searcher in
+      let base = Option.value c.offset ~default:0 in
+      let window_end =
+        match c.depth with Some d -> base + d | None -> String.length uri
+      in
+      match Str_search.find_from searcher uri base with
+      | Some start when start + plen <= window_end -> true
+      | Some _ | None -> false)
+
+(* Backtracking search over occurrence positions: content k must start at
+   or after its window base and end by its window limit, windows being
+   absolute (offset/depth) for the first content and relative to the
+   previous match's end (distance/within) afterwards. *)
+let contents_ok rule payload =
+  let uri_contents, payload_contents = List.partition (fun c -> c.http_uri) rule.contents in
+  let uri =
+    if uri_contents = [] then None
+    else Option.map (fun r -> r.Http.uri) (Http.request_line payload)
+  in
+  List.for_all (uri_content_ok rule uri) uri_contents
+  &&
+  let searchers =
+    List.map (fun c -> (c, Str_search.compile ~nocase:rule.nocase c.pattern)) payload_contents
+  in
+  let len = String.length payload in
+  let rec chain prev_end = function
+    | [] -> true
+    | (c, searcher) :: rest ->
+        let plen = Str_search.pattern_length searcher in
+        let base =
+          match prev_end with
+          | None -> Option.value c.offset ~default:0
+          | Some e -> e + Option.value c.distance ~default:0
+        in
+        let window_end =
+          match prev_end with
+          | None -> (
+              match c.depth with Some d -> Option.value c.offset ~default:0 + d | None -> len)
+          | Some e -> ( match c.within with Some w -> e + w | None -> len)
+        in
+        let rec try_from pos =
+          match Str_search.find_from searcher payload pos with
+          | None -> false
+          | Some start when start + plen > window_end -> false
+          | Some start -> chain (Some (start + plen)) rest || try_from (start + 1)
+        in
+        try_from base
+  in
+  chain None searchers
+
+let bits_precondition_ok rule isset =
+  List.for_all
+    (function
+      | Fb_isset name -> isset name
+      | Fb_isnotset name -> not (isset name)
+      | Fb_set _ | Fb_unset _ -> true)
+    rule.flowbits
+
+let bits_updates rule =
+  List.filter_map
+    (function
+      | Fb_set name -> Some (name, true)
+      | Fb_unset name -> Some (name, false)
+      | Fb_isset _ | Fb_isnotset _ -> None)
+    rule.flowbits
+
+(* --- printing -------------------------------------------------------------- *)
+
+let pp_port fmt = function
+  | Any_port -> Format.pp_print_string fmt "any"
+  | Port p -> Format.pp_print_int fmt p
+  | Port_range (lo, hi) -> Format.fprintf fmt "%d:%d" lo hi
+
+let pp_ip fmt = function
+  | Any_ip -> Format.pp_print_string fmt "any"
+  | Net p -> Ipv4_addr.Prefix.pp fmt p
+
+let pp fmt t =
+  Format.fprintf fmt "%a %s %a %a -> %a %a (sid:%d%s)" pp_action t.action
+    (match t.proto with Tcp -> "tcp" | Udp -> "udp" | Any_proto -> "ip")
+    pp_ip t.src_ip pp_port t.src_port pp_ip t.dst_ip pp_port t.dst_port t.sid
+    (if t.contents = [] then ""
+     else
+       "; content:"
+       ^ String.concat "," (List.map (fun c -> Printf.sprintf "%S" c.pattern) t.contents))

@@ -1,0 +1,115 @@
+(** A Snort-subset rule language.
+
+    The grammar covers the part of Snort 2.x rules the paper's evaluation
+    exercises, plus the most-used detection options:
+
+    {v
+    action proto src_ip src_port -> dst_ip dst_port (options)
+    v}
+
+    - [action]: [alert], [log] or [pass];
+    - [proto]: [tcp], [udp] or [ip];
+    - addresses: [any], dotted quads or CIDR prefixes; ports: [any], a
+      number, or an inclusive range [lo:hi];
+    - options: [msg:"..."], [sid:n], [nocase] (whole-rule, a simplification
+      of Snort's per-content flag), and:
+    - [content:"..."] — repeatable; contents must match {e in order},
+      each optionally constrained by the standard positional modifiers
+      written after it: [offset:n] (absolute search start), [depth:n]
+      (bytes searched from offset), [distance:n] (minimum gap after the
+      previous content's end), [within:n] (the match must end within n
+      bytes of the previous content's end);
+    - [dsize:n], [dsize:>n], [dsize:<n], [dsize:lo<>hi] — payload size;
+    - [flags:SAFRPU] (exact TCP flag set), [flags:...+] (at least these),
+      [flags:0] (no flags);
+    - [flowbits:set,NAME] / [unset,NAME] / [isset,NAME] / [isnotset,NAME]
+      — per-flow bits shared by all rules of the engine;
+    - [threshold:n] — simplified detection_filter: the rule fires only
+      from its n-th full match on a flow;
+    - [http_uri] — scopes the preceding content to the request URI parsed
+      from the payload (the rule then fails on non-HTTP payloads). *)
+
+type action = Alert | Log | Pass
+
+val pp_action : Format.formatter -> action -> unit
+
+type proto = Tcp | Udp | Any_proto
+
+type port_spec = Any_port | Port of int | Port_range of int * int
+
+type ip_spec = Any_ip | Net of Sb_packet.Ipv4_addr.Prefix.t
+
+type content_match = {
+  pattern : string;
+  offset : int option;
+  depth : int option;
+  distance : int option;
+  within : int option;
+  http_uri : bool;
+      (** Matched against the HTTP request URI instead of the raw payload
+          ([offset]/[depth] then count from the URI start; URI contents sit
+          outside the payload chain's relative modifiers — a simplification
+          of http_inspect's buffer model). *)
+}
+
+type dsize_spec =
+  | Dsize_eq of int
+  | Dsize_gt of int
+  | Dsize_lt of int
+  | Dsize_range of int * int  (** exclusive bounds, as Snort's [<>] *)
+
+type flags_spec = { mask : int;  (** {!Sb_packet.Tcp.Flags.to_int} encoding *) exact : bool }
+
+type flowbits_op =
+  | Fb_set of string
+  | Fb_unset of string
+  | Fb_isset of string
+  | Fb_isnotset of string
+
+type t = {
+  action : action;
+  proto : proto;
+  src_ip : ip_spec;
+  src_port : port_spec;
+  dst_ip : ip_spec;
+  dst_port : port_spec;
+  contents : content_match list;  (** matched in order *)
+  nocase : bool;
+  dsize : dsize_spec option;
+  flags : flags_spec option;
+  flowbits : flowbits_op list;  (** in rule order *)
+  threshold : int;  (** >= 1; 1 means fire on every match *)
+  msg : string;
+  sid : int;
+}
+
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+
+val parse_many : string -> (t list, string) result
+(** One rule per line; [#] comments and blank lines skipped.  Errors name
+    the offending line. *)
+
+(** {1 Matching} *)
+
+val matches_header : t -> Sb_flow.Five_tuple.t -> bool
+(** Header-only match — the per-flow rule-group predicate. *)
+
+val dsize_ok : t -> int -> bool
+
+val flags_ok : t -> Sb_packet.Tcp.Flags.t option -> bool
+(** [None] for non-TCP packets: a rule with a flags option then fails. *)
+
+val contents_ok : t -> string -> bool
+(** The ordered, constrained content chain against a payload (backtracking
+    over occurrence positions). *)
+
+val bits_precondition_ok : t -> (string -> bool) -> bool
+(** [bits_precondition_ok rule isset] checks the rule's [isset]/[isnotset]
+    requirements against the flow's current bits. *)
+
+val bits_updates : t -> (string * bool) list
+(** The [(name, value)] writes a full match performs ([set]/[unset]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** A stateful firewall: admits TCP flows only when their connection was
+    opened in front of the firewall (a SYN was observed), and UDP flows
+    only to an allow-listed port set; everything else is dropped —
+    including every later packet of a flow whose first observed packet was
+    out of state.
+
+    The per-flow verdict is decided by the first packet and never changes
+    (Observation #1), so under SpeedyBox it records as a plain [forward]
+    or [drop] header action; the drop case combines with downstream NFs
+    into chain-head early drop. *)
+
+type t
+
+val create : ?name:string -> ?udp_allowed_ports:int list -> unit -> t
+(** Default UDP allow-list: 53 (DNS) and 123 (NTP). *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+type flow_state = Accepted | Rejected
+
+val state : t -> Sb_flow.Five_tuple.t -> flow_state option
+
+val accepted_flows : t -> int
+
+val rejected_flows : t -> int

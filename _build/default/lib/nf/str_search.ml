@@ -1,0 +1,44 @@
+type t = { pattern : string; nocase : bool; shift : int array }
+
+let normalize nocase c = if nocase then Char.lowercase_ascii c else c
+
+let compile ?(nocase = false) pattern =
+  if pattern = "" then invalid_arg "Str_search.compile: empty pattern";
+  let pattern = if nocase then String.lowercase_ascii pattern else pattern in
+  let m = String.length pattern in
+  let shift = Array.make 256 m in
+  for i = 0 to m - 2 do
+    shift.(Char.code pattern.[i]) <- m - 1 - i
+  done;
+  { pattern; nocase; shift }
+
+let pattern_length t = String.length t.pattern
+
+let matches_at t haystack pos =
+  let m = String.length t.pattern in
+  let rec go i = i >= m || (normalize t.nocase haystack.[pos + i] = t.pattern.[i] && go (i + 1)) in
+  go 0
+
+let find_from t haystack start =
+  let m = String.length t.pattern in
+  let n = String.length haystack in
+  let rec go pos =
+    if pos + m > n then None
+    else if matches_at t haystack pos then Some pos
+    else begin
+      let last = normalize t.nocase haystack.[pos + m - 1] in
+      go (pos + t.shift.(Char.code last))
+    end
+  in
+  if start < 0 then go 0 else go start
+
+let find_all t haystack =
+  let rec go pos acc =
+    match find_from t haystack pos with
+    | None -> List.rev acc
+    | Some p -> go (p + 1) (p :: acc)
+  in
+  go 0 []
+
+let occurs ?nocase ~pattern haystack =
+  find_from (compile ?nocase pattern) haystack 0 <> None

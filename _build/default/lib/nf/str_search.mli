@@ -1,0 +1,23 @@
+(** Single-pattern substring search (Boyer-Moore-Horspool).
+
+    The multi-pattern Aho-Corasick automaton answers "which rules could
+    match"; the constrained content chains of Snort rules
+    (offset/depth/distance/within) then need every occurrence position of
+    individual patterns, which this module provides. *)
+
+type t
+
+val compile : ?nocase:bool -> string -> t
+(** @raise Invalid_argument on the empty pattern. *)
+
+val pattern_length : t -> int
+
+val find_from : t -> string -> int -> int option
+(** [find_from t haystack start] is the lowest occurrence start position
+    [>= start], if any. *)
+
+val find_all : t -> string -> int list
+(** All occurrence start positions, ascending (overlaps included). *)
+
+val occurs : ?nocase:bool -> pattern:string -> string -> bool
+(** One-shot convenience. *)

@@ -1,0 +1,33 @@
+(** The synthetic NF of the microbenchmarks (§VII-A2): no header action,
+    one state function with a configurable payload mode and cost — the
+    paper's instance is "equivalent to the Snort packet inspection (does
+    not modify payload)", i.e. a READ function costing a payload scan.
+
+    The state function's work is real: READ mode checksums the payload,
+    WRITE mode additionally rewrites its first byte, so equivalence tests
+    can observe ordering and the parallelism policies can race. *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?mode:Sb_mat.State_function.payload_mode ->
+  ?cost_cycles:int ->
+  unit ->
+  t
+(** [mode] defaults to READ; [cost_cycles] (default 2600, a Snort-like
+    inspection of a small packet) is the cycle charge per invocation. *)
+
+val snort_like : string -> t
+(** A READ-mode instance matching the paper's synthetic NF. *)
+
+val name : t -> string
+
+val nf : t -> Speedybox.Nf.t
+
+val invocations : t -> int
+(** How many times the state function ran (on either path). *)
+
+val payload_checksum : t -> int
+(** Running sum of the payload bytes the function observed — a cheap
+    order-sensitive digest for equivalence checks. *)

@@ -1,0 +1,1 @@
+lib/packet/bytes_codec.mli:

@@ -1,0 +1,1 @@
+lib/packet/encap_header.ml: Bytes Bytes_codec Format Int32 Printf String

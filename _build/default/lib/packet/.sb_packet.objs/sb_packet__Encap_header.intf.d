@@ -1,0 +1,1 @@
+lib/packet/encap_header.mli: Format

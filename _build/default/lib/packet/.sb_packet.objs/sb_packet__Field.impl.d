@@ -1,0 +1,1 @@
+lib/packet/field.ml: Format Int Ipv4_addr Mac

@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Bytes_codec Checksum Format Ipv4_addr Printf

@@ -1,0 +1,1 @@
+lib/packet/mac.ml: Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Bytes Bytes_codec Encap_header Ethernet Field Format Ipv4 List Mac Printf String Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Encap_header Field Format Ipv4_addr Mac Tcp

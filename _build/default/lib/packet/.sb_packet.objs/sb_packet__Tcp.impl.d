@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Bytes_codec Checksum Format List String

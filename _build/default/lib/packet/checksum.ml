@@ -1,0 +1,41 @@
+let fold16 sum = (sum land 0xffff) + (sum lsr 16)
+
+let add a b =
+  let s = a + b in
+  fold16 (fold16 s)
+
+let ones_complement_sum buf off len =
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be buf !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  fold16 (fold16 !sum)
+
+let finish sum =
+  let v = lnot sum land 0xffff in
+  if v = 0 then 0xffff else v
+
+let compute buf off len = finish (ones_complement_sum buf off len)
+
+let incremental ~old_checksum ~old_word ~new_word =
+  (* RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), all in one's complement. *)
+  let sum =
+    add (add (lnot old_checksum land 0xffff) (lnot old_word land 0xffff)) (new_word land 0xffff)
+  in
+  lnot sum land 0xffff
+
+let incremental32 ~old_checksum ~old_word ~new_word =
+  let hi v = Int32.to_int (Int32.shift_right_logical v 16) in
+  let lo v = Int32.to_int (Int32.logand v 0xffffl) in
+  let after_hi = incremental ~old_checksum ~old_word:(hi old_word) ~new_word:(hi new_word) in
+  incremental ~old_checksum:after_hi ~old_word:(lo old_word) ~new_word:(lo new_word)
+
+let pseudo_header_sum ~src ~dst ~proto ~l4_len =
+  let hi32 a = Int32.to_int (Int32.shift_right_logical a 16) in
+  let lo32 a = Int32.to_int (Int32.logand a 0xffffl) in
+  let sum = hi32 src + lo32 src + hi32 dst + lo32 dst + proto + l4_len in
+  fold16 (fold16 sum)

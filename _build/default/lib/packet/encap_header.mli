@@ -1,0 +1,30 @@
+(** Outer headers pushed and popped by encapsulating NFs (VPN gateways,
+    tunnel endpoints).
+
+    The SpeedyBox consolidation algorithm treats encapsulation as pushing a
+    header onto the packet's header stack and decapsulation as popping one;
+    adjacent push/pop pairs on equal headers cancel (§V-B).  On the wire an
+    outer header is a self-describing blob prepended to the frame:
+    a 2-byte kind marker, a 2-byte body length and the body itself. *)
+
+type t =
+  | Auth of { spi : int32; seq : int32 }
+      (** IPsec-AH-style authentication header, as added by the VPN NF. *)
+  | Tunnel of { vni : int }
+      (** VXLAN-style tunnel header carrying a 24-bit network identifier. *)
+  | Custom of { tag : string; body : string }
+      (** Free-form header for tests and synthetic NFs. *)
+
+val equal : t -> t -> bool
+
+val size : t -> int
+(** Number of bytes [encode] produces, including the 4-byte preamble. *)
+
+val encode : t -> string
+(** Wire representation. *)
+
+val decode : bytes -> int -> t * int
+(** [decode buf off] parses one header at [off] and returns it with its
+    total size.  @raise Invalid_argument on unknown kind markers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+let header_size = 14
+
+let ethertype_ipv4 = 0x0800
+
+type t = { dst : Mac.t; src : Mac.t; ethertype : int }
+
+let get_dst buf off = Mac.of_bytes (Bytes.sub_string buf off 6)
+
+let set_dst buf off mac = Bytes.blit_string (Mac.to_bytes mac) 0 buf off 6
+
+let get_src buf off = Mac.of_bytes (Bytes.sub_string buf (off + 6) 6)
+
+let set_src buf off mac = Bytes.blit_string (Mac.to_bytes mac) 0 buf (off + 6) 6
+
+let get_ethertype buf off = Bytes_codec.get_u16 buf (off + 12)
+
+let parse buf off =
+  { dst = get_dst buf off; src = get_src buf off; ethertype = get_ethertype buf off }
+
+let write buf off { dst; src; ethertype } =
+  set_dst buf off dst;
+  set_src buf off src;
+  Bytes_codec.set_u16 buf (off + 12) ethertype
+
+let pp fmt { dst; src; ethertype } =
+  Format.fprintf fmt "eth %a -> %a type=0x%04x" Mac.pp src Mac.pp dst ethertype

@@ -1,0 +1,25 @@
+(** Ethernet II framing. *)
+
+val header_size : int
+(** 14 bytes: destination MAC, source MAC, EtherType. *)
+
+val ethertype_ipv4 : int
+
+type t = { dst : Mac.t; src : Mac.t; ethertype : int }
+
+val parse : bytes -> int -> t
+(** [parse buf off] decodes the 14-byte header at [off]. *)
+
+val write : bytes -> int -> t -> unit
+
+val get_dst : bytes -> int -> Mac.t
+
+val set_dst : bytes -> int -> Mac.t -> unit
+
+val get_src : bytes -> int -> Mac.t
+
+val set_src : bytes -> int -> Mac.t -> unit
+
+val get_ethertype : bytes -> int -> int
+
+val pp : Format.formatter -> t -> unit

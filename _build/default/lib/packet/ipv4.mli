@@ -1,0 +1,50 @@
+(** IPv4 headers (without options; IHL is fixed at 5 words / 20 bytes, which
+    matches every packet the trace generator emits and keeps field offsets
+    static for the fast path). *)
+
+val header_size : int
+(** 20 bytes. *)
+
+val proto_tcp : int
+
+val proto_udp : int
+
+type t = {
+  tos : int;
+  total_length : int;
+  ident : int;
+  flags_fragment : int;
+  ttl : int;
+  proto : int;
+  checksum : int;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+}
+
+val parse : bytes -> int -> t
+(** [parse buf off] decodes the header at [off].
+    @raise Invalid_argument when the version nibble is not 4 or IHL is not 5. *)
+
+val write : bytes -> int -> t -> unit
+(** Writes the header including the checksum field verbatim; call
+    [update_checksum] afterwards to make it valid. *)
+
+val get_tos : bytes -> int -> int
+val set_tos : bytes -> int -> int -> unit
+val get_total_length : bytes -> int -> int
+val set_total_length : bytes -> int -> int -> unit
+val get_ttl : bytes -> int -> int
+val set_ttl : bytes -> int -> int -> unit
+val get_proto : bytes -> int -> int
+val get_src : bytes -> int -> Ipv4_addr.t
+val set_src : bytes -> int -> Ipv4_addr.t -> unit
+val get_dst : bytes -> int -> Ipv4_addr.t
+val set_dst : bytes -> int -> Ipv4_addr.t -> unit
+val get_checksum : bytes -> int -> int
+
+val update_checksum : bytes -> int -> unit
+(** Recomputes the header checksum in place. *)
+
+val checksum_ok : bytes -> int -> bool
+
+val pp : Format.formatter -> t -> unit

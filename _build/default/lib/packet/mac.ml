@@ -1,0 +1,34 @@
+type t = string
+
+let of_bytes s =
+  if String.length s <> 6 then invalid_arg "Mac.of_bytes: expected 6 bytes";
+  s
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ _; _; _; _; _; _ ] as parts ->
+      let b = Buffer.create 6 in
+      List.iter
+        (fun p ->
+          match int_of_string_opt ("0x" ^ p) with
+          | Some v when v >= 0 && v <= 255 && String.length p <= 2 ->
+              Buffer.add_char b (Char.chr v)
+          | Some _ | None -> invalid_arg (Printf.sprintf "Mac.of_string: %S" s))
+        parts;
+      Buffer.contents b
+  | _ -> invalid_arg (Printf.sprintf "Mac.of_string: %S" s)
+
+let to_bytes t = t
+
+let to_string t =
+  String.concat ":" (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code t.[i])))
+
+let broadcast = String.make 6 '\xff'
+
+let zero = String.make 6 '\x00'
+
+let equal = String.equal
+
+let compare = String.compare
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

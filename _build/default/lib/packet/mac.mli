@@ -1,0 +1,26 @@
+(** 48-bit Ethernet MAC addresses, stored as 6-byte strings. *)
+
+type t
+
+val of_string : string -> t
+(** [of_string "aa:bb:cc:dd:ee:ff"] parses a colon-separated address.
+    @raise Invalid_argument on malformed input. *)
+
+val of_bytes : string -> t
+(** [of_bytes s] uses [s] verbatim; it must be exactly 6 bytes long. *)
+
+val to_bytes : t -> string
+(** The raw 6-byte representation, as written on the wire. *)
+
+val to_string : t -> string
+(** Canonical lowercase colon-separated rendering. *)
+
+val broadcast : t
+
+val zero : t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+let header_size = 8
+
+type t = { src_port : int; dst_port : int; length : int; checksum : int }
+
+let get_src_port buf off = Bytes_codec.get_u16 buf off
+
+let set_src_port buf off v = Bytes_codec.set_u16 buf off v
+
+let get_dst_port buf off = Bytes_codec.get_u16 buf (off + 2)
+
+let set_dst_port buf off v = Bytes_codec.set_u16 buf (off + 2) v
+
+let get_length buf off = Bytes_codec.get_u16 buf (off + 4)
+
+let parse buf off =
+  {
+    src_port = get_src_port buf off;
+    dst_port = get_dst_port buf off;
+    length = get_length buf off;
+    checksum = Bytes_codec.get_u16 buf (off + 6);
+  }
+
+let write buf off t =
+  set_src_port buf off t.src_port;
+  set_dst_port buf off t.dst_port;
+  Bytes_codec.set_u16 buf (off + 4) t.length;
+  Bytes_codec.set_u16 buf (off + 6) t.checksum
+
+let segment_sum buf off ~src ~dst ~l4_len =
+  Checksum.add
+    (Checksum.pseudo_header_sum ~src ~dst ~proto:17 ~l4_len)
+    (Checksum.ones_complement_sum buf off l4_len)
+
+let update_checksum buf off ~src ~dst ~l4_len =
+  Bytes_codec.set_u16 buf (off + 6) 0;
+  Bytes_codec.set_u16 buf (off + 6) (Checksum.finish (segment_sum buf off ~src ~dst ~l4_len))
+
+let checksum_ok buf off ~src ~dst ~l4_len =
+  (* A transmitted checksum of zero means "not computed" for UDP. *)
+  Bytes_codec.get_u16 buf (off + 6) = 0 || segment_sum buf off ~src ~dst ~l4_len = 0xffff
+
+let pp fmt t = Format.fprintf fmt "udp %d -> %d len=%d" t.src_port t.dst_port t.length

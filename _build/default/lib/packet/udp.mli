@@ -1,0 +1,22 @@
+(** UDP headers. *)
+
+val header_size : int
+
+type t = { src_port : int; dst_port : int; length : int; checksum : int }
+
+val parse : bytes -> int -> t
+val write : bytes -> int -> t -> unit
+
+val get_src_port : bytes -> int -> int
+val set_src_port : bytes -> int -> int -> unit
+val get_dst_port : bytes -> int -> int
+val set_dst_port : bytes -> int -> int -> unit
+val get_length : bytes -> int -> int
+
+val update_checksum :
+  bytes -> int -> src:Ipv4_addr.t -> dst:Ipv4_addr.t -> l4_len:int -> unit
+
+val checksum_ok :
+  bytes -> int -> src:Ipv4_addr.t -> dst:Ipv4_addr.t -> l4_len:int -> bool
+
+val pp : Format.formatter -> t -> unit

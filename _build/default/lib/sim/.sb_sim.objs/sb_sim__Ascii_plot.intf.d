@@ -1,0 +1,1 @@
+lib/sim/ascii_plot.mli:

@@ -1,0 +1,1 @@
+lib/sim/min_heap.mli:

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Cycles Hashtbl Int List Min_heap Ring String

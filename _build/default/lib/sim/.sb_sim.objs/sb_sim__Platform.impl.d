@@ -1,0 +1,1 @@
+lib/sim/platform.ml: Cost_profile Cycles Format List

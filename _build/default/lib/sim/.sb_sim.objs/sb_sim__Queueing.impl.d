@@ -1,0 +1,1 @@
+lib/sim/queueing.ml: Cost_profile Cycles Hashtbl Int64 List Platform Ring Stats

@@ -1,0 +1,1 @@
+lib/sim/queueing.mli: Cost_profile Platform Stats

@@ -1,0 +1,62 @@
+type series = { label : string; mark : char; points : (float * float) list }
+
+let series ~label ~mark points = { label; mark; points }
+
+let finite v = Float.is_finite v
+
+let bounds all =
+  let xs = List.map fst all and ys = List.map snd all in
+  let min l = List.fold_left Float.min infinity l in
+  let max l = List.fold_left Float.max neg_infinity l in
+  (min xs, max xs, min ys, max ys)
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") series_list =
+  let series_list =
+    List.map
+      (fun s -> { s with points = List.filter (fun (x, y) -> finite x && finite y) s.points })
+      series_list
+    |> List.filter (fun s -> s.points <> [])
+  in
+  match List.concat_map (fun s -> s.points) series_list with
+  | [] -> "(no data)\n"
+  | all ->
+      let x0, x1, y0, y1 = bounds all in
+      let x_span = if x1 > x0 then x1 -. x0 else 1. in
+      let y_span = if y1 > y0 then y1 -. y0 else 1. in
+      let grid = Array.make_matrix height width ' ' in
+      let place (x, y) mark =
+        let col =
+          int_of_float (Float.round ((x -. x0) /. x_span *. float_of_int (width - 1)))
+        in
+        let row =
+          height - 1
+          - int_of_float (Float.round ((y -. y0) /. y_span *. float_of_int (height - 1)))
+        in
+        if row >= 0 && row < height && col >= 0 && col < width then
+          grid.(row).(col) <- (if grid.(row).(col) = ' ' then mark else '*')
+      in
+      List.iter (fun s -> List.iter (fun p -> place p s.mark) s.points) series_list;
+      let buf = Buffer.create ((width + 12) * (height + 4)) in
+      if y_label <> "" then Buffer.add_string buf (Printf.sprintf "  %s\n" y_label);
+      Array.iteri
+        (fun row line ->
+          let edge =
+            if row = 0 then Printf.sprintf "%8.2f |" y1
+            else if row = height - 1 then Printf.sprintf "%8.2f |" y0
+            else "         |"
+          in
+          Buffer.add_string buf edge;
+          Buffer.add_string buf (String.init width (fun c -> line.(c)));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("         +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "          %-8.2f%s%8.2f  %s\n" x0
+           (String.make (max 1 (width - 16)) ' ')
+           x1 x_label);
+      Buffer.add_string buf
+        ("          legend: "
+        ^ String.concat "  "
+            (List.map (fun s -> Printf.sprintf "%c=%s" s.mark s.label) series_list)
+        ^ "\n");
+      Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Terminal line plots, so the benchmark harness can render Fig. 8's
+    curves and Fig. 9's CDFs the way the paper draws them.
+
+    A plot is a character grid: one mark style per series, shared axes with
+    min/max labels, a legend line.  Purely deterministic string rendering,
+    which also keeps it unit-testable. *)
+
+type series = { label : string; mark : char; points : (float * float) list }
+
+val series : label:string -> mark:char -> (float * float) list -> series
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** [render series] draws all series on common axes (default 64x16 plot
+    area).  Series with fewer than one point are skipped; an empty plot
+    renders a placeholder line. *)

@@ -1,0 +1,46 @@
+type item = Serial of int | Parallel of int list
+
+type stage = { label : string; items : item list }
+
+type t = stage list
+
+let stage label items = { label; items }
+
+let serial_stage label cycles = { label; items = [ Serial cycles ] }
+
+let item_cycles = function
+  | Serial c -> c
+  | Parallel [] -> 0
+  | Parallel [ c ] -> c
+  | Parallel costs ->
+      let total = List.fold_left ( + ) 0 costs in
+      let longest = List.fold_left max 0 costs in
+      (* Imperfect overlap: a slice of the off-critical-path work still
+         serialises (contention, skew). *)
+      Cycles.parallel_sync + longest
+      + ((total - longest) * Cycles.parallel_overlap_pct / 100)
+
+let item_core_work = function
+  | Serial c -> c
+  | Parallel costs -> List.fold_left ( + ) 0 costs
+
+let stage_cycles { items; _ } = List.fold_left (fun acc i -> acc + item_cycles i) 0 items
+
+let stage_core_work { items; _ } =
+  List.fold_left (fun acc i -> acc + item_core_work i) 0 items
+
+let total_cycles t = List.fold_left (fun acc s -> acc + stage_cycles s) 0 t
+
+let pp_item fmt = function
+  | Serial c -> Format.fprintf fmt "%d" c
+  | Parallel costs ->
+      Format.fprintf fmt "par[%s]" (String.concat "," (List.map string_of_int costs))
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+    (fun fmt s ->
+      Format.fprintf fmt "%s:%a" s.label
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_char fmt '+') pp_item)
+        s.items)
+    fmt t

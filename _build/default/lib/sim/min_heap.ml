@@ -1,0 +1,55 @@
+type 'a t = { mutable data : 'a array; mutable len : int; cmp : 'a -> 'a -> int }
+
+let create ~cmp = { data = [||]; len = 0; cmp }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && t.cmp t.data.(left) t.data.(!smallest) < 0 then smallest := left;
+  if right < t.len && t.cmp t.data.(right) t.data.(!smallest) < 0 then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (max 16 (2 * t.len)) x in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek_min t = if t.len = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some min
+  end

@@ -1,0 +1,40 @@
+type t = Bess | Onvm
+
+let name = function Bess -> "BESS" | Onvm -> "ONVM"
+
+let max_chain_length = function Bess -> None | Onvm -> Some 5
+
+let hop_cycles = function Bess -> Cycles.module_hop_bess | Onvm -> Cycles.ring_hop_onvm
+
+let latency_cycles t profile =
+  let stages = List.length profile in
+  let hops = max 0 (stages - 1) in
+  Cost_profile.total_cycles profile + (hops * hop_cycles t)
+
+let onvm_stage_bottleneck (stage : Cost_profile.stage) =
+  (* Parallel batches are dispatched to other cores and pipeline with the
+     manager's own work, so each is its own bottleneck candidate rather
+     than blocking the stage (unlike BESS's run-to-completion join). *)
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Cost_profile.Serial _ -> acc
+      | Cost_profile.Parallel costs ->
+          List.fold_left (fun acc c -> max acc (c + Cycles.ring_hop_onvm)) acc costs)
+    (let serial =
+       List.fold_left
+         (fun acc item ->
+           match item with
+           | Cost_profile.Serial c -> acc + c
+           | Cost_profile.Parallel _ -> acc + Cycles.parallel_sync)
+         0 stage.Cost_profile.items
+     in
+     serial + Cycles.ring_hop_onvm)
+    stage.Cost_profile.items
+
+let service_cycles t profile =
+  match t with
+  | Bess -> latency_cycles t profile
+  | Onvm -> List.fold_left (fun acc stage -> max acc (onvm_stage_bottleneck stage)) 0 profile
+
+let pp fmt t = Format.pp_print_string fmt (name t)

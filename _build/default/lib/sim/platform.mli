@@ -1,0 +1,33 @@
+(** The two execution environments of the paper's prototype (§VI-A).
+
+    {b BESS} runs the whole service chain as a single run-to-completion
+    process on one dedicated core: per-packet latency is the sum of all
+    stage costs plus cheap intra-process module hops, and the sustainable
+    rate is one packet per total service time.
+
+    {b OpenNetVM} runs each NF on its own core and moves shared-memory
+    packet descriptors over inter-core rings: latency additionally pays a
+    ring hop per NF boundary, but the pipeline's rate is set by the slowest
+    stage, so chaining more NFs does not reduce throughput.  The paper's
+    14-core testbed capped OpenNetVM chains at 5 NFs; the same limit is
+    enforced here. *)
+
+type t = Bess | Onvm
+
+val name : t -> string
+(** ["BESS"] or ["ONVM"], the labels the paper's figures use. *)
+
+val max_chain_length : t -> int option
+(** [Some 5] for OpenNetVM, [None] for BESS. *)
+
+val hop_cycles : t -> int
+
+val latency_cycles : t -> Cost_profile.t -> int
+(** End-to-end processing latency of one packet: stage cycles plus one hop
+    per stage boundary. *)
+
+val service_cycles : t -> Cost_profile.t -> int
+(** Per-packet cycles at the throughput bottleneck: the whole profile on
+    BESS; the slowest stage (plus its ring overhead) on OpenNetVM. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** Discrete-event queueing on top of per-packet cost profiles.
+
+    The paper's latency numbers are service times at low load; this engine
+    adds what happens as offered load approaches capacity — queueing delay
+    and ingress-ring tail drops — so the load-sweep experiment can show
+    where each design's latency knee sits.
+
+    Topology follows the platform model: on BESS every stage of a profile
+    executes on the single chain core, so a packet occupies one FIFO server
+    for its whole profile; on OpenNetVM each distinct stage label is its
+    own core (server) fed by a finite ring, and a packet hops across the
+    servers its profile names, paying the ring-hop cost between them.
+    Rings drop arriving packets when full (tail drop), like DPDK RX
+    queues. *)
+
+type config = {
+  platform : Platform.t;
+  ring_capacity : int;  (** per-server ingress ring slots *)
+}
+
+val config : ?ring_capacity:int -> Platform.t -> config
+(** Default ring capacity: 64. *)
+
+type arrival = { at : int;  (** arrival cycle *) profile : Cost_profile.t }
+
+type result = {
+  offered : int;  (** packets submitted *)
+  completed : int;
+  dropped : int;  (** ring-overflow tail drops *)
+  sojourn_us : Stats.t;  (** arrival-to-departure, completed packets *)
+  makespan_cycles : int;  (** first arrival to last departure *)
+  achieved_mpps : float;
+}
+
+val simulate : config -> arrival list -> result
+(** Arrivals must be in non-decreasing [at] order.
+    @raise Invalid_argument otherwise. *)
+
+val poisson_arrivals :
+  seed:int -> rate_mpps:float -> (int -> Cost_profile.t) -> int -> arrival list
+(** [poisson_arrivals ~seed ~rate_mpps profile_of n] draws [n] arrivals
+    with exponential inter-arrival times at the given rate, packet [i]
+    carrying [profile_of i]. *)

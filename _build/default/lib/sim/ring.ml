@@ -1,0 +1,45 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* next slot to pop *)
+  mutable tail : int;  (* next slot to push *)
+  mutable count : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; tail = 0; count = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = t.count
+
+let is_empty t = t.count = 0
+
+let is_full t = t.count = Array.length t.slots
+
+let push t x =
+  if is_full t then false
+  else begin
+    t.slots.(t.tail) <- Some x;
+    t.tail <- (t.tail + 1) mod Array.length t.slots;
+    t.count <- t.count + 1;
+    true
+  end
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let x = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.slots;
+    t.count <- t.count - 1;
+    x
+  end
+
+let peek t = if is_empty t then None else t.slots.(t.head)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.tail <- 0;
+  t.count <- 0

@@ -1,0 +1,109 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 64 0.; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.data 0 t.len in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then nan
+  else begin
+    let sum = ref 0. in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.data.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let min_value t =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    t.data.(0)
+  end
+
+let max_value t =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    t.data.(t.len - 1)
+  end
+
+let percentile t p =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = p /. 100. *. float_of_int (t.len - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then t.data.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      ((1. -. frac) *. t.data.(lo)) +. (frac *. t.data.(hi))
+    end
+  end
+
+let median t = percentile t 50.
+
+let cdf t ~points =
+  if t.len = 0 || points < 1 then []
+  else begin
+    ensure_sorted t;
+    List.init points (fun i ->
+        let prob = float_of_int (i + 1) /. float_of_int points in
+        let idx = min (t.len - 1) (int_of_float (Float.ceil (prob *. float_of_int t.len)) - 1) in
+        (t.data.(max 0 idx), prob))
+  end
+
+let values t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.len
+
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+let summarize t =
+  {
+    n = t.len;
+    mean = mean t;
+    p50 = percentile t 50.;
+    p90 = percentile t 90.;
+    p99 = percentile t 99.;
+    min = min_value t;
+    max = max_value t;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f min=%.2f max=%.2f" s.n s.mean
+    s.p50 s.p90 s.p99 s.min s.max

@@ -1,0 +1,47 @@
+(** Sample accumulators for latency/throughput reporting: means, percentiles
+    and CDFs, matching the quantities the paper's figures plot. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100], by linear interpolation between
+    order statistics.  [nan] when empty. *)
+
+val median : t -> float
+
+val cdf : t -> points:int -> (float * float) list
+(** [cdf t ~points] samples the empirical CDF at [points] evenly spaced
+    cumulative probabilities; each pair is [(value, probability)]. *)
+
+val values : t -> float array
+(** A sorted copy of all samples. *)
+
+(** A one-line summary record for table printing. *)
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+val summarize : t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/trace/dist.ml: Array Float Rng

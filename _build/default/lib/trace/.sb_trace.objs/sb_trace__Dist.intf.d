@@ -1,0 +1,1 @@
+lib/trace/dist.mli: Rng

@@ -1,0 +1,1 @@
+lib/trace/pcap.ml: Buffer Bytes Char Fun Int32 List Packet Sb_packet

@@ -1,0 +1,1 @@
+lib/trace/pcap.mli: Sb_packet

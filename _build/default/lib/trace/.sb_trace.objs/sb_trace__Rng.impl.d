@@ -1,0 +1,1 @@
+lib/trace/rng.ml: Array Int64

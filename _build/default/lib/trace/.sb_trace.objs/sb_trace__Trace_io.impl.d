@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Buffer Bytes Char Encap_header Fun List Packet Printf Sb_packet String

@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Array Bytes Char Dist Five_tuple Int32 Ipv4_addr List Packet Printf Rng Sb_flow Sb_packet String Tcp

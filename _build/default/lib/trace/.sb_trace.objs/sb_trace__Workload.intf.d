@@ -1,0 +1,1 @@
+lib/trace/workload.mli: Rng Sb_flow Sb_packet

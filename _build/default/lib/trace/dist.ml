@@ -1,0 +1,46 @@
+let exponential rng ~mean =
+  let u = 1. -. Rng.float rng in
+  -.mean *. log u
+
+let standard_normal rng =
+  (* Box-Muller; one value per call is plenty here. *)
+  let u1 = 1. -. Rng.float rng in
+  let u2 = Rng.float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let lognormal rng ~mu ~sigma = exp (mu +. (sigma *. standard_normal rng))
+
+let pareto rng ~shape ~scale =
+  let u = 1. -. Rng.float rng in
+  scale /. (u ** (1. /. shape))
+
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    if n < 1 then invalid_arg "Zipf.create: n must be positive";
+    let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      weights;
+    { cdf }
+
+  let sample t rng =
+    let u = Rng.float rng in
+    (* Binary search for the first rank whose CDF covers u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+end
+
+let clamp_int ~min:lo ~max:hi v =
+  let i = int_of_float (Float.round v) in
+  if i < lo then lo else if i > hi then hi else i

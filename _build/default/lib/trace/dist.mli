@@ -1,0 +1,24 @@
+(** Samplers for the distributions the workload generator draws from —
+    datacenter traffic is heavy-tailed in flow sizes and skewed in port
+    popularity (Benson et al., IMC 2010). *)
+
+val exponential : Rng.t -> mean:float -> float
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [exp(N(mu, sigma))], the classic heavy-tailed flow-size model. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+
+(** Zipf-distributed ranks with a precomputed CDF. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** Ranks [0, n); [s] is the skew exponent.
+      @raise Invalid_argument when [n < 1]. *)
+
+  val sample : t -> Rng.t -> int
+end
+
+val clamp_int : min:int -> max:int -> float -> int
+(** Rounds and clamps a sampled value into an integer range. *)

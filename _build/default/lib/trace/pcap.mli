@@ -1,0 +1,18 @@
+(** Classic libpcap file export/import, so traces interoperate with
+    tcpdump/Wireshark.
+
+    Written as format version 2.4, little-endian, LINKTYPE_ETHERNET.
+    Because the link type declares plain Ethernet frames, packets carrying
+    SpeedyBox outer headers cannot be represented;
+    [save] raises on them (strip with {!Sb_packet.Packet.decap} first).
+    Timestamps map the packet's [ingress_cycle] to microseconds at the
+    simulated 2 GHz clock. *)
+
+val save : string -> Sb_packet.Packet.t list -> unit
+(** @raise Invalid_argument on packets with outer headers. *)
+
+val load : string -> Sb_packet.Packet.t list
+(** Reads both little- and big-endian pcap files with Ethernet link type;
+    restores [ingress_cycle] from the timestamps.
+    @raise Invalid_argument on non-pcap input, unsupported link types, or
+    truncated captures (snap length smaller than the original packet). *)

@@ -1,0 +1,73 @@
+open Sb_packet
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex line hex =
+  let n = String.length hex in
+  if n mod 2 <> 0 then
+    invalid_arg (Printf.sprintf "Trace_io: line %d: odd-length hex" line);
+  String.init (n / 2) (fun i ->
+      match int_of_string_opt ("0x" ^ String.sub hex (2 * i) 2) with
+      | Some v -> Char.chr v
+      | None -> invalid_arg (Printf.sprintf "Trace_io: line %d: bad hex byte" line))
+
+let to_channel oc packets =
+  output_string oc "# speedybox trace v1\n";
+  List.iter
+    (fun p ->
+      Printf.fprintf oc "%d %s\n"
+        (List.length (Packet.outer_stack p))
+        (hex_of_string (Packet.wire p)))
+    packets
+
+let packet_of_line lineno line =
+  match String.index_opt line ' ' with
+  | None -> invalid_arg (Printf.sprintf "Trace_io: line %d: missing separator" lineno)
+  | Some i -> (
+      match int_of_string_opt (String.sub line 0 i) with
+      | None -> invalid_arg (Printf.sprintf "Trace_io: line %d: bad outer count" lineno)
+      | Some n_outer ->
+          let wire = string_of_hex lineno (String.sub line (i + 1) (String.length line - i - 1)) in
+          let buf = Bytes.of_string wire in
+          (* Peel the declared number of outer headers to rebuild the stack. *)
+          let rec peel k off acc =
+            if k = 0 then List.rev acc
+            else begin
+              let header, size = Encap_header.decode buf off in
+              peel (k - 1) (off + size) (header :: acc)
+            end
+          in
+          let outer =
+            try peel n_outer 0 []
+            with Invalid_argument _ ->
+              invalid_arg (Printf.sprintf "Trace_io: line %d: bad outer header" lineno)
+          in
+          {
+            Packet.buf;
+            len = Bytes.length buf;
+            outer;
+            fid = -1;
+            ingress_cycle = 0;
+          })
+
+let of_channel ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
+        else go (lineno + 1) (packet_of_line lineno trimmed :: acc)
+  in
+  go 1 []
+
+let save path packets =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc packets)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

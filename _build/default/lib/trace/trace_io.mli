@@ -1,0 +1,17 @@
+(** Trace persistence: a simple line-oriented format so workloads can be
+    saved, shared and replayed byte-for-byte.
+
+    Each packet is one line: the outer-header count, a space, and the frame
+    as lowercase hex.  Lines starting with [#] and blank lines are
+    ignored.  The format is versioned by the header comment the writer
+    emits. *)
+
+val to_channel : out_channel -> Sb_packet.Packet.t list -> unit
+
+val of_channel : in_channel -> Sb_packet.Packet.t list
+(** @raise Invalid_argument on malformed lines (named by line number). *)
+
+val save : string -> Sb_packet.Packet.t list -> unit
+(** [save path packets] writes the trace to [path]. *)
+
+val load : string -> Sb_packet.Packet.t list

@@ -1,0 +1,1 @@
+test/test_acl_checksum.ml: Alcotest Array Bytes Bytes_codec Checksum Fun Gen Ipv4 Ipv4_addr List Packet Printf QCheck Rng Sb_flow Sb_nf Sb_packet Sb_trace Speedybox Test_util

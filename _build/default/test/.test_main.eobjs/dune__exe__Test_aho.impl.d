@@ -1,0 +1,1 @@
+test/test_aho.ml: Alcotest Bytes Gen Int List QCheck Sb_nf String Test Test_util

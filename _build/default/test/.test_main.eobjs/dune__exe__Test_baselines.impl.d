@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Field List Sb_baselines Sb_experiments Sb_mat Sb_packet Sb_sim

@@ -1,0 +1,1 @@
+test/test_consolidate.ml: Alcotest Consolidate Encap_header Field Format Header_action Int32 Ipv4_addr List Mac Packet QCheck Sb_mat Sb_packet Sb_sim String Test_util Xor_merge

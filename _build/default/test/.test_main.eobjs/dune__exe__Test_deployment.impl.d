@@ -1,0 +1,1 @@
+test/test_deployment.ml: Alcotest List Sb_experiments Sb_packet Sb_sim Speedybox

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Gen List Option Printf QCheck Sb_experiments Sb_nf Sb_packet Sb_sim Sb_trace Speedybox String Test Test_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Option Printf Sb_experiments Sb_sim

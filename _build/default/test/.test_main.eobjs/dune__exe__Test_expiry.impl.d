@@ -1,0 +1,1 @@
+test/test_expiry.ml: Alcotest List Packet Sb_mat Sb_nf Sb_packet Sb_trace Speedybox Test_util

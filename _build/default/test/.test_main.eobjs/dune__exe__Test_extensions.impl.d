@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Encap_header Field Filename Fun Ipv4_addr List Option Packet Sb_experiments Sb_nf Sb_packet Sb_trace Speedybox Sys Test_util

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Conntrack Fid Five_tuple Flow_table Hashtbl Printf QCheck Sb_flow Sb_packet Tcp Test_util Tuple_map

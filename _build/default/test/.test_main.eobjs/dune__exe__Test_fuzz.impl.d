@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Char Filename Fun Gen QCheck Sb_experiments Sb_nf Sb_packet Sb_trace Sys Test_util

@@ -1,0 +1,1 @@
+test/test_http_and_nat.ml: Alcotest Ipv4_addr List Option Packet Sb_mat Sb_nf Sb_packet Speedybox Test_util

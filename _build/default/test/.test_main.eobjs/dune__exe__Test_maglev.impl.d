@@ -1,0 +1,1 @@
+test/test_maglev.ml: Alcotest Array Hashtbl List Option Printf Sb_nf Sb_packet Seq Speedybox String Test_util

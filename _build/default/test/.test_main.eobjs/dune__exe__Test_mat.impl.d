@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Consolidate Event_table Format Fun Gen Global_mat Header_action List Local_mat Option Parallel QCheck Sb_mat Sb_packet Sb_sim State_function Test Test_util

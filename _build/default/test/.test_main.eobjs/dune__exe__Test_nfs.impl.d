@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Int List Option Packet Sb_flow Sb_mat Sb_nf Sb_packet Speedybox Test_util

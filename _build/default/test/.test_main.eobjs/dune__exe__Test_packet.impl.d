@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Bytes_codec Checksum Encap_header Field Gen Int32 Ipv4_addr List Mac Packet QCheck Sb_packet String Test_util

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cost_profile Cycles Float Gen Int List Min_heap Option Pipeline Platform Printf QCheck Queueing Sb_sim Stats Test Test_util

@@ -1,0 +1,1 @@
+test/test_positional.ml: Alcotest List Option Packet Printf Sb_flow Sb_mat Sb_nf Sb_packet Speedybox Test_util

@@ -1,0 +1,1 @@
+test/test_positional_prop.ml: Alcotest Field Format Ipv4_addr List Packet Printf QCheck Sb_mat Sb_nf Sb_packet Sb_trace Speedybox String Test_util

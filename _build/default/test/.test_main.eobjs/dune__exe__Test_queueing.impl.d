@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array Cost_profile Cycles List Platform Printf Queueing Sb_experiments Sb_sim Speedybox Stats

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array List Sb_nf Sb_trace Speedybox Test_util

@@ -1,0 +1,1 @@
+test/test_rule_cache.ml: Alcotest Array Event_table Global_mat Header_action List Local_mat Sb_mat Sb_nf Sb_packet Sb_trace Speedybox Test_util

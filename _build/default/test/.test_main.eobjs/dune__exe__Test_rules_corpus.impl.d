@@ -1,0 +1,1 @@
+test/test_rules_corpus.ml: Alcotest Fun Int List Printf Sb_nf Sb_trace Speedybox String Test_util

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array List Packet Printf Sb_mat Sb_nf Sb_packet Sb_sim Sb_trace Speedybox Tcp Test_util

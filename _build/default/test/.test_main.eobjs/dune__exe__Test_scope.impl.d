@@ -1,0 +1,1 @@
+test/test_scope.ml: Alcotest List Printf Sb_mat Sb_nf Speedybox Test_util

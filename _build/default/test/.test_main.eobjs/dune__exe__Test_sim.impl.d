@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cost_profile Cycles Float Gen List Platform QCheck Queue Ring Sb_sim Stats Test_util

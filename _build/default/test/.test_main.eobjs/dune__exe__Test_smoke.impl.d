@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Ipv4_addr List Packet Printf Sb_mat Sb_nf Sb_packet Sb_sim Speedybox Test_util

@@ -1,0 +1,1 @@
+test/test_snort.ml: Alcotest List Sb_nf Speedybox String Test_util

@@ -1,0 +1,1 @@
+test/test_snort_options.ml: Alcotest Fun Gen List QCheck Sb_nf Sb_packet Sb_trace Speedybox String Test Test_util

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Gen Hashtbl List Packet Printf QCheck Sb_experiments Sb_flow Sb_mat Sb_nf Sb_packet Sb_trace Speedybox Tcp Test Test_util

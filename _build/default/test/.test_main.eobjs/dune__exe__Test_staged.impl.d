@@ -1,0 +1,1 @@
+test/test_staged.ml: Alcotest List Printf Sb_flow Sb_mat Sb_nf Sb_packet Sb_sim Speedybox Test_util

@@ -1,0 +1,1 @@
+test/test_tooling.ml: Alcotest Encap_header Filename Fun List Packet Sb_flow Sb_mat Sb_nf Sb_packet Sb_sim Sb_trace Speedybox String Sys Test_util

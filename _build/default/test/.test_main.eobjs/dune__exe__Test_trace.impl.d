@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Dist List Option Printf QCheck Rng Sb_flow Sb_packet Sb_trace String Test_util Workload

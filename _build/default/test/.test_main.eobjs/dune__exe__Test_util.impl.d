@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ipv4_addr List Packet QCheck_alcotest Sb_flow Sb_packet Speedybox Tcp

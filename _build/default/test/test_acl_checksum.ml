@@ -1,0 +1,130 @@
+(* Tests for the ACL trie engine and RFC 1624 incremental checksums. *)
+open Sb_packet
+
+(* --- ACL trie -------------------------------------------------------------- *)
+
+let random_rule rng =
+  let open Sb_trace in
+  let prefix () =
+    Printf.sprintf "%d.%d.0.0/%d" (Rng.int_in rng 1 223) (Rng.int rng 256)
+      (Rng.choice rng [| 8; 12; 16; 24; 32 |])
+  in
+  Sb_nf.Ipfilter.rule
+    ?src:(if Rng.bool rng 0.7 then Some (prefix ()) else None)
+    ?dst:(if Rng.bool rng 0.3 then Some (prefix ()) else None)
+    ?proto:(if Rng.bool rng 0.3 then Some (Rng.choice rng [| 6; 17 |]) else None)
+    ?dst_ports:
+      (if Rng.bool rng 0.4 then
+         let lo = Rng.int_in rng 0 1000 in
+         Some (lo, lo + Rng.int rng 4000)
+       else None)
+    (if Rng.bool rng 0.5 then Sb_nf.Ipfilter.Deny else Sb_nf.Ipfilter.Permit)
+
+let random_tuple rng =
+  let open Sb_trace in
+  {
+    Sb_flow.Five_tuple.src_ip =
+      Ipv4_addr.of_octets (Rng.int_in rng 1 223) (Rng.int rng 256) (Rng.int rng 256)
+        (Rng.int rng 256);
+    dst_ip = Ipv4_addr.of_octets (Rng.int_in rng 1 223) (Rng.int rng 256) 0 1;
+    src_port = Rng.int rng 65536;
+    dst_port = Rng.int rng 5000;
+    proto = Rng.choice rng [| 6; 17 |];
+  }
+
+let prop_trie_matches_linear =
+  QCheck.Test.make ~count:200 ~name:"trie ACL verdict = linear scan"
+    QCheck.(pair small_int (int_range 0 40))
+    (fun (seed, n_rules) ->
+      let rng = Sb_trace.Rng.create seed in
+      let rules = List.init n_rules (fun _ -> random_rule rng) in
+      let linear = Sb_nf.Ipfilter.create ~engine:Sb_nf.Ipfilter.Linear ~rules () in
+      let trie = Sb_nf.Ipfilter.create ~engine:Sb_nf.Ipfilter.Trie ~rules () in
+      List.for_all
+        (fun _ ->
+          let tuple = random_tuple rng in
+          Sb_nf.Ipfilter.lookup linear tuple = Sb_nf.Ipfilter.lookup trie tuple)
+        (List.init 30 Fun.id))
+
+let test_trie_structure () =
+  let rules =
+    [
+      Sb_nf.Ipfilter.rule ~src:"10.0.0.0/8" Sb_nf.Ipfilter.Deny;
+      Sb_nf.Ipfilter.rule ~src:"10.1.0.0/16" Sb_nf.Ipfilter.Permit;
+      Sb_nf.Ipfilter.rule Sb_nf.Ipfilter.Deny (* unconstrained, at the root *);
+    ]
+  in
+  let trie = Sb_nf.Acl_trie.build (Array.of_list rules) in
+  let tuple src = Test_util.tuple ~src () in
+  (* 10.1.x.y sees all three candidates; first match (index 0) wins. *)
+  Alcotest.(check int) "candidates on deep path" 3
+    (Sb_nf.Acl_trie.candidates trie (tuple "10.1.2.3"));
+  Alcotest.(check (option int)) "first match wins" (Some 0)
+    (Sb_nf.Acl_trie.lookup trie (tuple "10.1.2.3"));
+  (* Off the 10/8 branch only the root rule is considered. *)
+  Alcotest.(check int) "candidates off-path" 1
+    (Sb_nf.Acl_trie.candidates trie (tuple "192.168.0.1"));
+  Alcotest.(check (option int)) "root rule matches" (Some 2)
+    (Sb_nf.Acl_trie.lookup trie (tuple "192.168.0.1"));
+  Alcotest.(check bool) "trie grew nodes" true (Sb_nf.Acl_trie.node_count trie > 8)
+
+let test_trie_engine_in_chain () =
+  (* Both engines, same chain behaviour end to end. *)
+  let build engine () =
+    Speedybox.Chain.create ~name:"fw"
+      [
+        Sb_nf.Ipfilter.nf
+          (Sb_nf.Ipfilter.create ~engine
+             ~rules:[ Sb_nf.Ipfilter.rule ~dst_ports:(22, 22) Sb_nf.Ipfilter.Deny ]
+             ());
+      ]
+  in
+  let trace = Test_util.tcp_flow 3 @ Test_util.tcp_flow ~sport:40001 ~dport:22 3 in
+  let run engine =
+    let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) (build engine ()) in
+    (Speedybox.Runtime.run_trace rt trace).Speedybox.Runtime.dropped
+  in
+  Alcotest.(check int) "same drops" (run Sb_nf.Ipfilter.Linear) (run Sb_nf.Ipfilter.Trie)
+
+(* --- RFC 1624 -------------------------------------------------------------- *)
+
+let prop_incremental_checksum =
+  QCheck.Test.make ~count:300 ~name:"RFC 1624 incremental = full recompute"
+    QCheck.(triple (int_bound 0xffff) (int_bound 0xffff) (list_of_size (Gen.int_range 1 20) (int_bound 0xffff)))
+    (fun (old_word, new_word, words) ->
+      (* Build a buffer of 16-bit words, checksum it, change one word, and
+         compare the incremental update against a recompute. *)
+      let words = Array.of_list (old_word :: words) in
+      let buf = Bytes.create (2 * Array.length words) in
+      Array.iteri (fun i w -> Bytes_codec.set_u16 buf (2 * i) w) words;
+      let before = Checksum.compute buf 0 (Bytes.length buf) in
+      Bytes_codec.set_u16 buf 0 new_word;
+      let full = Checksum.compute buf 0 (Bytes.length buf) in
+      let inc = Checksum.incremental ~old_checksum:before ~old_word ~new_word in
+      (* +0 and -0 are the same one's complement value. *)
+      inc = full || (inc = 0 && full = 0xffff) || (inc = 0xffff && full = 0))
+
+let test_incremental32_matches_nat_rewrite () =
+  (* Rewrite an IPv4 source address and fix the header checksum via RFC
+     1624: the packet must validate. *)
+  let p = Test_util.tcp_packet () in
+  let l3 = Packet.l3_offset p in
+  let old_checksum = Ipv4.get_checksum p.Packet.buf l3 in
+  let old_src = Packet.src_ip p in
+  let new_src = Test_util.ip "203.0.113.77" in
+  Ipv4.set_src p.Packet.buf l3 new_src;
+  let updated =
+    Checksum.incremental32 ~old_checksum ~old_word:old_src ~new_word:new_src
+  in
+  Bytes_codec.set_u16 p.Packet.buf (l3 + 10) updated;
+  Alcotest.(check bool) "ip header checksum valid after incremental fix" true
+    (Ipv4.checksum_ok p.Packet.buf l3)
+
+let suite =
+  [
+    Alcotest.test_case "trie structure" `Quick test_trie_structure;
+    Alcotest.test_case "trie engine in chain" `Quick test_trie_engine_in_chain;
+    Alcotest.test_case "incremental32 fixes a NAT rewrite" `Quick
+      test_incremental32_matches_nat_rewrite;
+  ]
+  @ Test_util.qcheck_cases [ prop_trie_matches_linear; prop_incremental_checksum ]

@@ -1,0 +1,75 @@
+(* Tests for the Aho-Corasick matcher. *)
+
+let test_basic_matching () =
+  let ac = Sb_nf.Aho_corasick.create [ "he"; "she"; "his"; "hers" ] in
+  Alcotest.(check (list int)) "classic example" [ 0; 1; 3 ]
+    (Sb_nf.Aho_corasick.scan_string ac "ushers");
+  Alcotest.(check (list int)) "no match" [] (Sb_nf.Aho_corasick.scan_string ac "zzz");
+  Alcotest.(check bool) "mem" true (Sb_nf.Aho_corasick.mem ac "xxhisxx");
+  Alcotest.(check int) "pattern count" 4 (Sb_nf.Aho_corasick.pattern_count ac)
+
+let test_overlapping_and_repeated () =
+  let ac = Sb_nf.Aho_corasick.create [ "aa"; "aaa" ] in
+  Alcotest.(check (list int)) "overlaps found" [ 0; 1 ]
+    (Sb_nf.Aho_corasick.scan_string ac "aaaa");
+  let ac2 = Sb_nf.Aho_corasick.create [ "ab"; "ab" ] in
+  Alcotest.(check (list int)) "duplicate patterns keep indices" [ 0; 1 ]
+    (Sb_nf.Aho_corasick.scan_string ac2 "xabx")
+
+let test_nocase () =
+  let ac = Sb_nf.Aho_corasick.create ~nocase:true [ "Attack" ] in
+  Alcotest.(check bool) "case-insensitive hit" true (Sb_nf.Aho_corasick.mem ac "an ATTACK!");
+  let cs = Sb_nf.Aho_corasick.create [ "Attack" ] in
+  Alcotest.(check bool) "case-sensitive miss" false (Sb_nf.Aho_corasick.mem cs "an ATTACK!")
+
+let test_region_scan () =
+  let ac = Sb_nf.Aho_corasick.create [ "evil" ] in
+  let buf = Bytes.of_string "xxevilxx" in
+  Alcotest.(check (list int)) "inside region" [ 0 ] (Sb_nf.Aho_corasick.scan ac buf 0 8);
+  Alcotest.(check (list int)) "excluded by offset" [] (Sb_nf.Aho_corasick.scan ac buf 4 4);
+  Alcotest.(check (list int)) "truncated by length" [] (Sb_nf.Aho_corasick.scan ac buf 0 5)
+
+let test_empty_inputs () =
+  let ac = Sb_nf.Aho_corasick.create [] in
+  Alcotest.(check (list int)) "no patterns, no hits" []
+    (Sb_nf.Aho_corasick.scan_string ac "anything");
+  Alcotest.(check bool) "empty pattern rejected" true
+    (try
+       ignore (Sb_nf.Aho_corasick.create [ "ok"; "" ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Reference implementation for the property test. *)
+let naive_scan patterns text =
+  List.filteri
+    (fun _ _ -> true)
+    (List.concat
+       (List.mapi
+          (fun idx pattern ->
+            let plen = String.length pattern and tlen = String.length text in
+            let rec found i =
+              i + plen <= tlen && (String.sub text i plen = pattern || found (i + 1))
+            in
+            if plen > 0 && found 0 then [ idx ] else [])
+          patterns))
+  |> List.sort_uniq Int.compare
+
+let prop_matches_naive =
+  let open QCheck in
+  let small_string = string_gen_of_size (Gen.int_range 1 6) (Gen.oneofl [ 'a'; 'b'; 'c' ]) in
+  let text = string_gen_of_size (Gen.int_range 0 60) (Gen.oneofl [ 'a'; 'b'; 'c' ]) in
+  Test.make ~count:500 ~name:"aho-corasick = naive multi-pattern search"
+    (pair (list_of_size (Gen.int_range 1 6) small_string) text)
+    (fun (patterns, text) ->
+      let ac = Sb_nf.Aho_corasick.create patterns in
+      Sb_nf.Aho_corasick.scan_string ac text = naive_scan patterns text)
+
+let suite =
+  [
+    Alcotest.test_case "basic matching" `Quick test_basic_matching;
+    Alcotest.test_case "overlapping and repeated patterns" `Quick test_overlapping_and_repeated;
+    Alcotest.test_case "nocase" `Quick test_nocase;
+    Alcotest.test_case "region scan" `Quick test_region_scan;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+  ]
+  @ Test_util.qcheck_cases [ prop_matches_naive ]

@@ -1,0 +1,103 @@
+(* Tests for the OpenBox-style and ParaBox-style baseline models. *)
+open Sb_packet
+
+let stage = Sb_sim.Cost_profile.serial_stage
+
+let front = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify
+
+let test_openbox_transform () =
+  let profile = [ stage "a" 500; stage "b" 500; stage "c" 500 ] in
+  let transformed = Sb_baselines.Openbox.transform_profile profile in
+  Alcotest.(check int) "first stage keeps its front end" 500
+    (Sb_sim.Cost_profile.stage_cycles (List.hd transformed));
+  Alcotest.(check int) "later stages shed parse+classify" (500 - front)
+    (Sb_sim.Cost_profile.stage_cycles (List.nth transformed 1));
+  Alcotest.(check int) "total saving = (n-1) front ends"
+    (1500 - (2 * front))
+    (Sb_sim.Cost_profile.total_cycles transformed);
+  (* A stage cheaper than the front end cannot go negative. *)
+  let tiny = Sb_baselines.Openbox.transform_profile [ stage "a" 500; stage "b" 50 ] in
+  Alcotest.(check int) "clamped at zero" 0
+    (Sb_sim.Cost_profile.stage_cycles (List.nth tiny 1));
+  Alcotest.(check (list int)) "empty profile" []
+    (List.map Sb_sim.Cost_profile.stage_cycles (Sb_baselines.Openbox.transform_profile []))
+
+let p = Sb_baselines.Parabox.profile
+
+let test_parabox_independence () =
+  let writer = p ~writes:[ Field.Dst_ip ] "w" in
+  let reader = p ~reads:[ Field.Dst_ip ] "r" in
+  let other = p ~reads:[ Field.Src_port ] "o" in
+  Alcotest.(check bool) "RAW blocks" false (Sb_baselines.Parabox.independent writer reader);
+  Alcotest.(check bool) "WAR blocks" false (Sb_baselines.Parabox.independent reader writer);
+  Alcotest.(check bool) "WAW blocks" false (Sb_baselines.Parabox.independent writer writer);
+  Alcotest.(check bool) "disjoint fields ok" true (Sb_baselines.Parabox.independent writer other);
+  let ids = p ~payload:Sb_mat.State_function.Read "ids" in
+  let rewriter = p ~payload:Sb_mat.State_function.Write "rw" in
+  Alcotest.(check bool) "payload write/read blocks" false
+    (Sb_baselines.Parabox.independent rewriter ids);
+  Alcotest.(check bool) "payload read/read ok" true (Sb_baselines.Parabox.independent ids ids);
+  let firewall = p ~may_drop:true "fw" in
+  Alcotest.(check bool) "dropper blocks later NFs" false
+    (Sb_baselines.Parabox.independent firewall other);
+  Alcotest.(check bool) "NF before a dropper is fine" true
+    (Sb_baselines.Parabox.independent other firewall)
+
+let test_parabox_plan () =
+  (* monitor and firewall can fuse; the NAT->LB write chain cannot. *)
+  let profiles =
+    [
+      p ~reads:[ Field.Dst_ip ] ~writes:[ Field.Src_ip ] "nat";
+      p ~reads:[ Field.Src_ip ] ~writes:[ Field.Dst_ip ] "lb";
+      p ~reads:[ Field.Dst_ip ] "monitor";
+      p ~reads:[ Field.Dst_ip ] ~may_drop:true "fw";
+    ]
+  in
+  Alcotest.(check (list (list int))) "plan" [ [ 0 ]; [ 1 ]; [ 2; 3 ] ]
+    (Sb_baselines.Parabox.plan profiles);
+  Alcotest.(check (list (list int))) "singleton" [ [ 0 ] ]
+    (Sb_baselines.Parabox.plan [ p "solo" ]);
+  Alcotest.(check (list (list int))) "empty" [] (Sb_baselines.Parabox.plan [])
+
+let test_parabox_transform () =
+  let plan = [ [ 0 ]; [ 1; 2 ] ] in
+  let profile = [ stage "a" 400; stage "b" 600; stage "c" 300 ] in
+  let transformed = Sb_baselines.Parabox.transform_profile ~plan profile in
+  Alcotest.(check int) "two stages" 2 (List.length transformed);
+  Alcotest.(check int) "wave pays sync + max + overlap"
+    (Sb_sim.Cycles.parallel_sync + 600 + (300 * Sb_sim.Cycles.parallel_overlap_pct / 100))
+    (Sb_sim.Cost_profile.stage_cycles (List.nth transformed 1));
+  (* A packet dropped early has a shorter profile; surplus plan entries are
+     ignored. *)
+  let short = Sb_baselines.Parabox.transform_profile ~plan [ stage "a" 400 ] in
+  Alcotest.(check int) "short profile tolerated" 1 (List.length short)
+
+let test_baseline_ordering_claim () =
+  (* The headline: SpeedyBox beats both baselines on both chains. *)
+  List.iter
+    (fun chain ->
+      match Sb_experiments.Baseline_compare.measure chain with
+      | [ original; openbox; parabox; speedybox ] ->
+          Alcotest.(check bool) "openbox helps" true
+            (openbox.Sb_experiments.Baseline_compare.latency_us
+            < original.Sb_experiments.Baseline_compare.latency_us);
+          Alcotest.(check bool) "parabox helps" true
+            (parabox.Sb_experiments.Baseline_compare.latency_us
+            < original.Sb_experiments.Baseline_compare.latency_us);
+          Alcotest.(check bool) "speedybox beats openbox" true
+            (speedybox.Sb_experiments.Baseline_compare.latency_us
+            < openbox.Sb_experiments.Baseline_compare.latency_us);
+          Alcotest.(check bool) "speedybox beats parabox" true
+            (speedybox.Sb_experiments.Baseline_compare.latency_us
+            < parabox.Sb_experiments.Baseline_compare.latency_us)
+      | rows -> Alcotest.failf "expected 4 rows, got %d" (List.length rows))
+    [ Sb_experiments.Fig9.Chain1; Sb_experiments.Fig9.Chain2 ]
+
+let suite =
+  [
+    Alcotest.test_case "openbox transform" `Quick test_openbox_transform;
+    Alcotest.test_case "parabox independence" `Quick test_parabox_independence;
+    Alcotest.test_case "parabox planning" `Quick test_parabox_plan;
+    Alcotest.test_case "parabox transform" `Quick test_parabox_transform;
+    Alcotest.test_case "speedybox beats both baselines" `Slow test_baseline_ordering_claim;
+  ]

@@ -1,0 +1,229 @@
+(* Tests for header actions and the §V-B consolidation algorithm. *)
+open Sb_packet
+open Sb_mat
+
+let fwd = Header_action.Forward
+
+let drop = Header_action.Drop
+
+let modify field value = Header_action.Modify [ (field, value) ]
+
+let ah spi = Encap_header.Auth { spi = Int32.of_int spi; seq = 0l }
+
+let test_apply_each_action () =
+  let p = Test_util.tcp_packet () in
+  Alcotest.(check bool) "forward forwards" true (Header_action.apply fwd p = Header_action.Forwarded);
+  Alcotest.(check bool) "drop drops" true (Header_action.apply drop p = Header_action.Dropped);
+  ignore (Header_action.apply (modify Field.Ttl (Field.Int 5)) p);
+  Alcotest.(check int) "modify applied" 5 (Packet.ttl p);
+  Alcotest.(check bool) "modify fixes checksums" true (Packet.checksums_ok p);
+  ignore (Header_action.apply (Header_action.Encap (ah 9)) p);
+  Alcotest.(check int) "encap pushes" 1 (List.length (Packet.outer_stack p));
+  ignore (Header_action.apply (Header_action.Decap (ah 9)) p);
+  Alcotest.(check int) "decap pops" 0 (List.length (Packet.outer_stack p))
+
+let test_decap_mismatch () =
+  let p = Test_util.tcp_packet () in
+  Packet.encap p (ah 1);
+  Alcotest.(check bool) "wrong header rejected" true
+    (try
+       ignore (Header_action.apply (Header_action.Decap (ah 2)) p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_modify1_validation () =
+  Alcotest.(check bool) "bad value rejected" true
+    (try
+       ignore (Header_action.modify1 Field.Src_ip (Field.Port 80));
+       false
+     with Invalid_argument _ -> true)
+
+let consolidated actions = Consolidate.of_actions actions
+
+let test_drop_short_circuit () =
+  let c = consolidated [ fwd; modify Field.Ttl (Field.Int 3); drop ] in
+  Alcotest.(check bool) "drop wins" true (Consolidate.is_drop c);
+  let c2 = consolidated [ drop ] in
+  Alcotest.(check bool) "lone drop" true (Consolidate.is_drop c2);
+  Alcotest.(check bool) "no drop without drop" false
+    (Consolidate.is_drop (consolidated [ fwd; fwd ]))
+
+let test_forward_is_identity () =
+  let c = consolidated [ fwd; fwd; fwd ] in
+  Alcotest.(check bool) "all-forward consolidates to forward" true
+    (Consolidate.equal c Consolidate.forward);
+  let p = Test_util.tcp_packet () in
+  let before = Packet.wire p in
+  ignore (Consolidate.apply c p);
+  Alcotest.(check string) "packet untouched" before (Packet.wire p)
+
+let test_last_writer_wins () =
+  let c =
+    consolidated
+      [
+        modify Field.Dst_ip (Field.Ip (Test_util.ip "1.1.1.1"));
+        modify Field.Dst_ip (Field.Ip (Test_util.ip "2.2.2.2"));
+      ]
+  in
+  Alcotest.(check int) "single write per field" 1 (List.length c.Consolidate.sets);
+  let p = Test_util.tcp_packet () in
+  ignore (Consolidate.apply c p);
+  Alcotest.(check string) "later value wins" "2.2.2.2" (Ipv4_addr.to_string (Packet.dst_ip p))
+
+let test_disjoint_fields_merge () =
+  let c =
+    consolidated
+      [
+        modify Field.Dst_ip (Field.Ip (Test_util.ip "9.9.9.9"));
+        modify Field.Dst_port (Field.Port 8080);
+        modify Field.Ttl (Field.Int 7);
+      ]
+  in
+  Alcotest.(check int) "three writes" 3 (List.length c.Consolidate.sets);
+  (* Auxiliary fields (TTL) come after main fields, per §V-B. *)
+  let fields = List.map fst c.Consolidate.sets in
+  Alcotest.(check bool) "aux fields last" true
+    (match List.rev fields with Field.Ttl :: _ -> true | _ -> false)
+
+let test_encap_decap_cancellation () =
+  let c =
+    consolidated [ Header_action.Encap (ah 5); fwd; Header_action.Decap (ah 5) ]
+  in
+  Alcotest.(check bool) "adjacent pair cancels" true (Consolidate.equal c Consolidate.forward);
+  let c2 = consolidated [ Header_action.Encap (ah 5); Header_action.Encap (ah 6); Header_action.Decap (ah 6) ] in
+  Alcotest.(check int) "inner push survives" 1 (List.length c2.Consolidate.pushes);
+  Alcotest.(check bool) "surviving push is the first" true
+    (Encap_header.equal (ah 5) (List.hd c2.Consolidate.pushes))
+
+let test_decap_of_preexisting_header () =
+  let c = consolidated [ Header_action.Decap (ah 3); Header_action.Encap (ah 4) ] in
+  Alcotest.(check int) "one pop" 1 (List.length c.Consolidate.pops);
+  Alcotest.(check int) "one push" 1 (List.length c.Consolidate.pushes);
+  let p = Test_util.tcp_packet () in
+  Packet.encap p (ah 3);
+  ignore (Consolidate.apply c p);
+  Alcotest.(check bool) "outer replaced" true
+    (Encap_header.equal (ah 4) (List.hd (Packet.outer_stack p)))
+
+let test_mismatched_decap_rejected () =
+  Alcotest.(check bool) "decap not matching pending encap raises" true
+    (try
+       ignore (consolidated [ Header_action.Encap (ah 1); Header_action.Decap (ah 2) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_consolidated_cost () =
+  let c = consolidated [ modify Field.Dst_ip (Field.Ip (Test_util.ip "1.2.3.4")); fwd ] in
+  Alcotest.(check int) "cost = forward + 1 modify"
+    (Sb_sim.Cycles.ha_forward + Sb_sim.Cycles.ha_modify_field)
+    (Consolidate.cost c);
+  Alcotest.(check int) "drop cost" Sb_sim.Cycles.ha_drop
+    (Consolidate.cost (consolidated [ drop ]))
+
+(* Random action-list generator that is {e valid}: decaps always match the
+   simulated header stack (initial outer headers + pending encaps), and
+   nothing follows a drop — the invariants real Local MAT recordings obey. *)
+let gen_scenario =
+  let open QCheck.Gen in
+  let field_value =
+    oneofl
+      [
+        (Field.Src_ip, Field.Ip (Test_util.ip "10.9.9.1"));
+        (Field.Dst_ip, Field.Ip (Test_util.ip "192.168.1.77"));
+        (Field.Src_port, Field.Port 1111);
+        (Field.Dst_port, Field.Port 2222);
+        (Field.Ttl, Field.Int 17);
+        (Field.Tos, Field.Int 0x10);
+        (Field.Dst_mac, Field.Mac (Mac.of_string "02:00:00:00:00:99"));
+      ]
+  in
+  let* initial_outers = int_range 0 2 in
+  let initial = List.init initial_outers (fun i -> ah (100 + i)) in
+  let* n = int_range 0 8 in
+  let rec build k stack acc =
+    if k = 0 then return (List.rev acc)
+    else
+      let* choice = int_range 0 5 in
+      match choice with
+      | 0 -> build (k - 1) stack (fwd :: acc)
+      | 1 ->
+          let* fv = field_value in
+          build (k - 1) stack (Header_action.Modify [ fv ] :: acc)
+      | 2 ->
+          let* spi = int_range 0 50 in
+          build (k - 1) (ah spi :: stack) (Header_action.Encap (ah spi) :: acc)
+      | 3 -> (
+          match stack with
+          | top :: rest -> build (k - 1) rest (Header_action.Decap top :: acc)
+          | [] -> build (k - 1) stack (fwd :: acc))
+      | 4 ->
+          (* terminal drop *)
+          return (List.rev (drop :: acc))
+      | _ ->
+          let* fv1 = field_value in
+          let* fv2 = field_value in
+          build (k - 1) stack (Header_action.Modify [ fv1; fv2 ] :: acc)
+  in
+  (* The packet starts with [initial] outer headers; pending encap stack
+     starts as that same stack (outermost first). *)
+  let* actions = build n initial [] in
+  let* payload_len = int_range 0 64 in
+  return (initial, actions, payload_len)
+
+let arbitrary_scenario =
+  QCheck.make gen_scenario ~print:(fun (initial, actions, _) ->
+      Format.asprintf "outer=[%s] actions=[%s]"
+        (String.concat "; " (List.map (Format.asprintf "%a" Encap_header.pp) initial))
+        (String.concat "; " (List.map (Format.asprintf "%a" Header_action.pp) actions)))
+
+let prop_consolidation_equivalent =
+  QCheck.Test.make ~count:500 ~name:"consolidated action = sequential application"
+    arbitrary_scenario
+    (fun (initial, actions, payload_len) ->
+      let p = Test_util.tcp_packet ~payload:(String.make payload_len 'p') () in
+      List.iter (Packet.encap p) (List.rev initial);
+      Consolidate.equivalent_on (Consolidate.of_actions actions) actions p)
+
+let prop_xor_merge_agrees =
+  (* For disjoint-field modifies, the paper's XOR formulation and the
+     field-level merge produce identical packets. *)
+  QCheck.Test.make ~count:300 ~name:"XOR merge = field merge on disjoint fields"
+    QCheck.(triple (int_bound 255) (int_bound 0xffff) (int_bound 255))
+    (fun (b, port, ttl) ->
+      let actions =
+        [
+          modify Field.Dst_ip (Field.Ip (Ipv4_addr.of_octets 10 0 b 1));
+          modify Field.Src_port (Field.Port port);
+          modify Field.Ttl (Field.Int ttl);
+        ]
+      in
+      let p1 = Test_util.tcp_packet () in
+      let p2 = Packet.copy p1 in
+      ignore (Consolidate.apply (Consolidate.of_actions actions) p1);
+      Xor_merge.apply_modifies p2 actions;
+      Packet.equal_wire p1 p2)
+
+let test_xor_merge_rejects_non_modify () =
+  let p = Test_util.tcp_packet () in
+  Alcotest.(check bool) "non-modify rejected" true
+    (try
+       Xor_merge.apply_modifies p [ drop ];
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "apply each action kind" `Quick test_apply_each_action;
+    Alcotest.test_case "decap mismatch rejected" `Quick test_decap_mismatch;
+    Alcotest.test_case "modify1 validates values" `Quick test_modify1_validation;
+    Alcotest.test_case "drop short-circuits" `Quick test_drop_short_circuit;
+    Alcotest.test_case "all-forward is identity" `Quick test_forward_is_identity;
+    Alcotest.test_case "same field: last writer wins" `Quick test_last_writer_wins;
+    Alcotest.test_case "disjoint fields merge" `Quick test_disjoint_fields_merge;
+    Alcotest.test_case "encap/decap cancellation" `Quick test_encap_decap_cancellation;
+    Alcotest.test_case "decap of pre-existing header" `Quick test_decap_of_preexisting_header;
+    Alcotest.test_case "mismatched decap rejected" `Quick test_mismatched_decap_rejected;
+    Alcotest.test_case "consolidated cost model" `Quick test_consolidated_cost;
+    Alcotest.test_case "xor merge input validation" `Quick test_xor_merge_rejects_non_modify;
+  ]
+  @ Test_util.qcheck_cases [ prop_consolidation_equivalent; prop_xor_merge_agrees ]

@@ -1,0 +1,94 @@
+(* Tests for deployment description files. *)
+
+let parse_ok text =
+  match Sb_experiments.Deployment.parse text with
+  | Ok d -> d
+  | Error msg -> Alcotest.failf "expected parse, got: %s" msg
+
+let test_full_deployment () =
+  let d =
+    parse_ok
+      {|
+# comment
+chain    = mazunat,monitor   # trailing comment
+platform = onvm
+mode     = original
+policy   = sequential
+fid-bits = 16
+max-rules = 128
+idle-timeout-us = 500
+seed = 7
+flows = 9
+mean-packets = 3
+rate-mpps = 1.5
+|}
+  in
+  Alcotest.(check string) "chain" "mazunat,monitor" d.Sb_experiments.Deployment.chain_spec;
+  Alcotest.(check bool) "platform" true
+    (d.Sb_experiments.Deployment.config.Speedybox.Runtime.platform = Sb_sim.Platform.Onvm);
+  Alcotest.(check bool) "mode" true
+    (d.Sb_experiments.Deployment.config.Speedybox.Runtime.mode = Speedybox.Runtime.Original);
+  Alcotest.(check int) "fid bits" 16
+    d.Sb_experiments.Deployment.config.Speedybox.Runtime.fid_bits;
+  Alcotest.(check (option int)) "max rules" (Some 128)
+    d.Sb_experiments.Deployment.config.Speedybox.Runtime.max_rules;
+  Alcotest.(check (option int)) "timeout in cycles" (Some 1_000_000)
+    d.Sb_experiments.Deployment.config.Speedybox.Runtime.idle_timeout_cycles;
+  Alcotest.(check int) "seed" 7 d.Sb_experiments.Deployment.seed;
+  Alcotest.(check (option (float 1e-9))) "rate" (Some 1.5) d.Sb_experiments.Deployment.rate_mpps
+
+let test_defaults () =
+  let d = parse_ok "chain = monitor\n" in
+  Alcotest.(check bool) "default platform bess" true
+    (d.Sb_experiments.Deployment.config.Speedybox.Runtime.platform = Sb_sim.Platform.Bess);
+  Alcotest.(check bool) "default mode speedybox" true
+    (d.Sb_experiments.Deployment.config.Speedybox.Runtime.mode = Speedybox.Runtime.Speedybox);
+  Alcotest.(check (option int)) "unbounded rules" None
+    d.Sb_experiments.Deployment.config.Speedybox.Runtime.max_rules;
+  Alcotest.(check (option (float 1e-9))) "untimed" None d.Sb_experiments.Deployment.rate_mpps
+
+let test_rejections () =
+  let rejects text =
+    match Sb_experiments.Deployment.parse text with
+    | Ok _ -> Alcotest.failf "expected rejection of %S" text
+    | Error _ -> ()
+  in
+  rejects "platform = bess\n" (* missing chain *);
+  rejects "chain = monitor\nfrobnicate = 1\n";
+  rejects "chain = monitor\nplatform = vax\n";
+  rejects "chain = monitor\nflows = many\n";
+  rejects "chain = monitor\nbroken line\n";
+  rejects "chain = monitor\nseed =\n"
+
+let test_end_to_end () =
+  let d = parse_ok "chain = mazunat,monitor\nflows = 12\nmean-packets = 4\nrate-mpps = 1.0\n" in
+  (match Sb_experiments.Deployment.build_runtime d with
+  | Error msg -> Alcotest.failf "runtime: %s" msg
+  | Ok rt ->
+      let workload = Sb_experiments.Deployment.workload d in
+      Alcotest.(check bool) "workload timed" true
+        (List.for_all (fun p -> p.Sb_packet.Packet.ingress_cycle > 0) workload);
+      let result = Speedybox.Runtime.run_trace rt workload in
+      Alcotest.(check int) "every packet processed" (List.length workload)
+        result.Speedybox.Runtime.packets);
+  (* A bad chain spec surfaces as an error, not an exception. *)
+  let bad = parse_ok "chain = frobnicator\n" in
+  match Sb_experiments.Deployment.build_runtime bad with
+  | Ok _ -> Alcotest.fail "expected chain resolution error"
+  | Error _ -> ()
+
+let test_sample_file_loads () =
+  match Sb_experiments.Deployment.load "../../../examples/edge.deploy" with
+  | Ok d ->
+      Alcotest.(check bool) "onvm" true
+        (d.Sb_experiments.Deployment.config.Speedybox.Runtime.platform = Sb_sim.Platform.Onvm)
+  | Error msg -> Alcotest.failf "sample deployment: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "full deployment" `Quick test_full_deployment;
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "end to end" `Quick test_end_to_end;
+    Alcotest.test_case "sample file loads" `Quick test_sample_file_loads;
+  ]

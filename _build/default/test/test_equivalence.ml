@@ -1,0 +1,282 @@
+(* The paper's §VII-C equivalence case studies, plus randomized
+   whole-chain equivalence checks. *)
+
+let backends n =
+  List.init n (fun i ->
+      (Printf.sprintf "b%d" i, Sb_packet.Ipv4_addr.of_octets 192 168 2 (10 + i)))
+
+(* §VII-C1: Snort conditional branches — flows matching pass, alert and log
+   rules, journals identical between paths. *)
+let test_snort_branches () =
+  let rules () =
+    match
+      Sb_nf.Snort_rule.parse_many
+        {|
+pass tcp 10.50.0.0/16 any -> any any (content:"suspicious"; sid:1;)
+alert tcp any any -> any 80 (msg:"alert branch"; content:"suspicious"; sid:2;)
+log tcp any any -> any 80 (msg:"log branch"; content:"curious"; sid:3;)
+|}
+    with
+    | Ok rules -> rules
+    | Error msg -> failwith msg
+  in
+  let snorts = ref [] in
+  let build_chain () =
+    let snort = Sb_nf.Snort.create ~rules:(rules ()) () in
+    snorts := snort :: !snorts;
+    Speedybox.Chain.create ~name:"snort" [ Sb_nf.Snort.nf snort ]
+  in
+  let trace =
+    Test_util.tcp_flow ~src:"10.50.1.1" ~payload:"suspicious bytes" 4 (* pass *)
+    @ Test_util.tcp_flow ~src:"10.60.1.1" ~sport:40001 ~payload:"suspicious bytes" 4 (* alert *)
+    @ Test_util.tcp_flow ~src:"10.70.1.1" ~sport:40002 ~payload:"curious bytes" 4 (* log *)
+  in
+  let report = Speedybox.Equivalence.check ~build_chain trace in
+  Test_util.check_equivalent "snort branches" report;
+  match !snorts with
+  | [ sbox; original ] ->
+      Alcotest.(check (list string)) "alert journals identical"
+        (Sb_nf.Snort.alerts original) (Sb_nf.Snort.alerts sbox);
+      Alcotest.(check (list string)) "log journals identical"
+        (Sb_nf.Snort.logged original) (Sb_nf.Snort.logged sbox);
+      Alcotest.(check int) "alerts only from the alert flow" 4
+        (List.length (Sb_nf.Snort.alerts original));
+      Alcotest.(check int) "logs only from the log flow" 4
+        (List.length (Sb_nf.Snort.logged original))
+  | _ -> Alcotest.fail "expected two chain instances"
+
+(* §VII-C2: Maglev with a mid-stream event, checked against the original
+   chain processing the same failure at the same point. *)
+let test_maglev_event_equivalence () =
+  let trace = List.init 10 (fun i -> Test_util.udp_packet ~payload:(string_of_int i) ()) in
+  (* Both instances fail the same backend after packet 5.  We interleave
+     manually since failure injection is out-of-band. *)
+  let make () =
+    let lb = Sb_nf.Maglev.create ~backends:(backends 4) () in
+    let chain =
+      Speedybox.Chain.create ~name:"lb"
+        [ Sb_nf.Maglev.nf lb; Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]
+    in
+    (lb, chain)
+  in
+  let lb_a, chain_a = make () in
+  let lb_b, chain_b = make () in
+  let rt_a =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Original ()) chain_a
+  in
+  let rt_b =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Speedybox ()) chain_b
+  in
+  let tuple = Test_util.tuple ~proto:17 ~dport:53 () in
+  List.iteri
+    (fun i p ->
+      if i = 5 then begin
+        Sb_nf.Maglev.fail_backend lb_a (Option.get (Sb_nf.Maglev.backend_of_flow lb_a tuple));
+        Sb_nf.Maglev.fail_backend lb_b (Option.get (Sb_nf.Maglev.backend_of_flow lb_b tuple))
+      end;
+      let out_a = Speedybox.Runtime.process_packet rt_a (Sb_packet.Packet.copy p) in
+      let out_b = Speedybox.Runtime.process_packet rt_b (Sb_packet.Packet.copy p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "packet %d frames equal" i)
+        true
+        (Sb_packet.Packet.equal_wire out_a.Speedybox.Runtime.packet
+           out_b.Speedybox.Runtime.packet))
+    trace;
+  Alcotest.(check string) "chain state digests equal" (Speedybox.Chain.state_digest chain_a)
+    (Speedybox.Chain.state_digest chain_b);
+  Alcotest.(check (option string)) "both rerouted to the same backend"
+    (Sb_nf.Maglev.backend_of_flow lb_a tuple)
+    (Sb_nf.Maglev.backend_of_flow lb_b tuple)
+
+(* §VII-C3: the real-world chains over the datacenter trace, with events
+   armed for a fraction of Maglev flows (injected failures mid-trace). *)
+let test_real_world_chain1 () =
+  let report =
+    Speedybox.Equivalence.check
+      ~build_chain:(Sb_experiments.Fig9.build_chain Sb_experiments.Fig9.Chain1)
+      (Sb_experiments.Fig9.trace Sb_experiments.Fig9.Chain1)
+  in
+  Test_util.check_equivalent "chain 1 (NAT+LB+Monitor+FW)" report
+
+let test_real_world_chain2 () =
+  let report =
+    Speedybox.Equivalence.check
+      ~build_chain:(Sb_experiments.Fig9.build_chain Sb_experiments.Fig9.Chain2)
+      (Sb_experiments.Fig9.trace Sb_experiments.Fig9.Chain2)
+  in
+  Test_util.check_equivalent "chain 2 (FW+IDS+Monitor)" report
+
+let test_real_world_chain1_with_failures () =
+  (* 25% of the trace in, one backend dies (same instant in both runs). *)
+  let lbs = ref [] in
+  let build_chain () =
+    let lb = Sb_nf.Maglev.create ~backends:(backends 8) () in
+    lbs := lb :: !lbs;
+    Speedybox.Chain.create ~name:"chain1-events"
+      [
+        Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.1") ());
+        Sb_nf.Maglev.nf lb;
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+      ]
+  in
+  let trace = Sb_experiments.Fig9.trace Sb_experiments.Fig9.Chain1 in
+  let fire_at = List.length trace / 4 in
+  let count_a = ref 0 and count_b = ref 0 in
+  let chain_a = build_chain () and chain_b = build_chain () in
+  let lb_b, lb_a = (List.nth !lbs 0, List.nth !lbs 1) in
+  let rt_a =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Original ()) chain_a
+  in
+  let rt_b =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Speedybox ()) chain_b
+  in
+  let mismatches = ref 0 in
+  List.iteri
+    (fun i p ->
+      if i = fire_at then begin
+        Sb_nf.Maglev.fail_backend lb_a "b3";
+        Sb_nf.Maglev.fail_backend lb_b "b3"
+      end;
+      let out_a = Speedybox.Runtime.process_packet rt_a (Sb_packet.Packet.copy p) in
+      let out_b = Speedybox.Runtime.process_packet rt_b (Sb_packet.Packet.copy p) in
+      incr count_a;
+      incr count_b;
+      if
+        not
+          (out_a.Speedybox.Runtime.verdict = out_b.Speedybox.Runtime.verdict
+          && Sb_packet.Packet.equal_wire out_a.Speedybox.Runtime.packet
+               out_b.Speedybox.Runtime.packet)
+      then incr mismatches)
+    trace;
+  Alcotest.(check int) "no output mismatches" 0 !mismatches;
+  Alcotest.(check string) "state equal after failure"
+    (Speedybox.Chain.state_digest chain_a)
+    (Speedybox.Chain.state_digest chain_b)
+
+(* DoS guard: the event flips a flow from forward to drop mid-stream,
+   identically on both paths. *)
+let test_dos_guard_equivalence () =
+  let build_chain () =
+    Speedybox.Chain.create ~name:"dos"
+      [
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+        Sb_nf.Dos_guard.nf (Sb_nf.Dos_guard.create ~threshold:5 ());
+      ]
+  in
+  let trace = List.init 12 (fun i -> Test_util.udp_packet ~payload:(string_of_int i) ()) in
+  let report = Speedybox.Equivalence.check ~build_chain trace in
+  Test_util.check_equivalent "dos guard cut-off" report
+
+(* VPN chain: encap/decap consolidation preserves frames end to end. *)
+let test_vpn_equivalence () =
+  (* Positional consolidation also handles a monitor inside the pair (see
+     test_positional.ml); this arrangement keeps the pair cancellable. *)
+  let build_chain () =
+    Speedybox.Chain.create ~name:"vpn"
+      [
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+        Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ());
+        Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ());
+      ]
+  in
+  let trace =
+    Sb_trace.Workload.fixed_trace ~n_flows:10 ~packets_per_flow:6 ~payload_len:40 ()
+  in
+  let report = Speedybox.Equivalence.check ~build_chain trace in
+  Test_util.check_equivalent "vpn chain" report
+
+(* ONVM platform: the fast path must be equivalent there too. *)
+let test_equivalence_on_onvm () =
+  let report =
+    Speedybox.Equivalence.check
+      ~config_a:
+        (Speedybox.Runtime.config ~platform:Sb_sim.Platform.Onvm
+           ~mode:Speedybox.Runtime.Original ())
+      ~config_b:
+        (Speedybox.Runtime.config ~platform:Sb_sim.Platform.Onvm
+           ~mode:Speedybox.Runtime.Speedybox ())
+      ~build_chain:(Sb_experiments.Fig9.build_chain Sb_experiments.Fig9.Chain2)
+      (Sb_experiments.Fig9.trace Sb_experiments.Fig9.Chain2)
+  in
+  Test_util.check_equivalent "chain 2 on ONVM" report
+
+(* Randomized: NAT+Monitor+Firewall chains over random workloads. *)
+let prop_random_traces_equivalent =
+  QCheck.Test.make ~count:25 ~name:"random workloads are path-equivalent"
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, n_flows) ->
+      let build_chain () =
+        Speedybox.Chain.create ~name:"rand"
+          [
+            Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.9") ());
+            Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+            Sb_nf.Ipfilter.nf
+              (Sb_nf.Ipfilter.create
+                 ~rules:[ Sb_nf.Ipfilter.rule ~dst_ports:(25, 25) Sb_nf.Ipfilter.Deny ]
+                 ());
+          ]
+      in
+      let trace =
+        Sb_trace.Workload.dcn_trace
+          {
+            Sb_trace.Workload.seed;
+            n_flows;
+            mean_flow_packets = 6.;
+            payload_len = (8, 128);
+            udp_fraction = 0.3;
+            malicious_fraction = 0.;
+            tokens = [];
+          }
+      in
+      Speedybox.Equivalence.equivalent (Speedybox.Equivalence.check ~build_chain trace))
+
+(* Randomized chain composition: any mix of the registry's NF kinds (the
+   VPN pair excluded — it needs balanced placement) must stay equivalent. *)
+let prop_random_chains_equivalent =
+  let open QCheck in
+  let atom =
+    Gen.oneofl
+      [ "mazunat"; "maglev:4"; "monitor"; "ipfilter"; "statefulfw"; "gateway"; "dosguard:6"; "snort" ]
+  in
+  let spec_gen =
+    Gen.map
+      (fun atoms ->
+        (* Chain names must be unique NF kinds handled by the registry's
+           auto-suffixing, so any multiset works. *)
+        String.concat "," atoms)
+      (Gen.list_size (Gen.int_range 1 5) atom)
+  in
+  Test.make ~count:20 ~name:"random chain compositions are path-equivalent"
+    (make ~print:(fun (spec, seed) -> Printf.sprintf "%s seed=%d" spec seed)
+       (Gen.pair spec_gen Gen.small_int))
+    (fun (spec, seed) ->
+      match Sb_experiments.Chain_registry.build spec with
+      | Error msg -> QCheck.Test.fail_reportf "spec %S rejected: %s" spec msg
+      | Ok build ->
+          let trace =
+            Sb_trace.Workload.dcn_trace
+              {
+                Sb_trace.Workload.seed;
+                n_flows = 15;
+                mean_flow_packets = 8.;
+                payload_len = (8, 200);
+                udp_fraction = 0.25;
+                malicious_fraction = 0.1;
+                tokens = [ "attack"; "exploit" ];
+              }
+          in
+          Speedybox.Equivalence.equivalent
+            (Speedybox.Equivalence.check ~build_chain:build trace))
+
+let suite =
+  [
+    Alcotest.test_case "snort conditional branches (§VII-C1)" `Quick test_snort_branches;
+    Alcotest.test_case "maglev event mid-flow (§VII-C2)" `Quick test_maglev_event_equivalence;
+    Alcotest.test_case "real-world chain 1 (§VII-C3)" `Quick test_real_world_chain1;
+    Alcotest.test_case "real-world chain 2 (§VII-C3)" `Quick test_real_world_chain2;
+    Alcotest.test_case "chain 1 with backend failures" `Quick test_real_world_chain1_with_failures;
+    Alcotest.test_case "dos guard cut-off" `Quick test_dos_guard_equivalence;
+    Alcotest.test_case "vpn chain" `Quick test_vpn_equivalence;
+    Alcotest.test_case "equivalence on ONVM" `Quick test_equivalence_on_onvm;
+  ]
+  @ Test_util.qcheck_cases [ prop_random_traces_equivalent; prop_random_chains_equivalent ]

@@ -1,0 +1,189 @@
+(* Shape assertions on the paper-reproduction experiments: the benchmarks
+   must keep telling the paper's story (who wins, by roughly what factor,
+   where the crossovers are) even as the implementation evolves. *)
+
+let bess = Sb_sim.Platform.Bess
+
+let onvm = Sb_sim.Platform.Onvm
+
+let test_fig4_shape () =
+  List.iter
+    (fun platform ->
+      let points = Sb_experiments.Fig4.measure platform in
+      let p1 = List.nth points 0 and p2 = List.nth points 1 and p3 = List.nth points 2 in
+      (* One header action: SpeedyBox slightly slower (recording/fast-path
+         overhead), as the paper reports. *)
+      Alcotest.(check bool) "1 HA: SBox costs more" true
+        (Sb_experiments.Fig4.sub_reduction_pct p1 < 0.);
+      (* Two and three: consolidation wins, monotonically. *)
+      Alcotest.(check bool) "2 HA: >25% saving" true
+        (Sb_experiments.Fig4.sub_reduction_pct p2 > 25.);
+      Alcotest.(check bool) "3 HA: >45% saving" true
+        (Sb_experiments.Fig4.sub_reduction_pct p3 > 45.);
+      Alcotest.(check bool) "saving grows with chain" true
+        (Sb_experiments.Fig4.sub_reduction_pct p3 > Sb_experiments.Fig4.sub_reduction_pct p2);
+      (* Below the theoretical (N-1)/N bound. *)
+      Alcotest.(check bool) "below 2/3 bound at 3 HA" true
+        (Sb_experiments.Fig4.sub_reduction_pct p3 < 100. *. 2. /. 3.);
+      (* Initial packets pay more under SpeedyBox (recording). *)
+      Alcotest.(check bool) "init costs more with SBox" true
+        (p3.Sb_experiments.Fig4.speedybox_init > p3.Sb_experiments.Fig4.original_init))
+    [ bess; onvm ]
+
+let test_table3_shape () =
+  List.iter
+    (fun platform ->
+      let row = Sb_experiments.Table3.measure platform in
+      Alcotest.(check bool) "early drop saves >55%" true
+        (Sb_experiments.Table3.saving_pct row > 55.);
+      Alcotest.(check int) "three per-NF columns" 3
+        (List.length row.Sb_experiments.Table3.per_nf_cycles);
+      List.iter
+        (fun c -> Alcotest.(check bool) "per-NF cycles in paper ballpark" true (c > 300. && c < 900.))
+        row.Sb_experiments.Table3.per_nf_cycles)
+    [ bess; onvm ]
+
+let test_fig5_shape () =
+  let points = Sb_experiments.Fig5.measure bess in
+  let p1 = List.nth points 0 and p3 = List.nth points 2 in
+  Alcotest.(check bool) "1 SF: slight slowdown" true
+    (Sb_experiments.Fig5.rate_speedup p1 < 1.);
+  Alcotest.(check bool) "3 SF: rate ~2x (paper 2.1x)" true
+    (Sb_experiments.Fig5.rate_speedup p3 > 1.7 && Sb_experiments.Fig5.rate_speedup p3 < 2.8);
+  Alcotest.(check bool) "3 SF: latency cut >45% (paper 59%)" true
+    (Sb_experiments.Fig5.latency_reduction_pct p3 > 45.);
+  (* The original BESS rate degrades with chain length. *)
+  Alcotest.(check bool) "original rate degrades" true
+    (p3.Sb_experiments.Fig5.original_rate_mpps < p1.Sb_experiments.Fig5.original_rate_mpps /. 2.);
+  (* OpenNetVM's pipelined rate stays roughly flat for the original chain. *)
+  let onvm_points = Sb_experiments.Fig5.measure onvm in
+  let o1 = List.nth onvm_points 0 and o3 = List.nth onvm_points 2 in
+  Alcotest.(check bool) "onvm original rate flat" true
+    (Float.abs (o3.Sb_experiments.Fig5.original_rate_mpps -. o1.Sb_experiments.Fig5.original_rate_mpps)
+    < 0.2 *. o1.Sb_experiments.Fig5.original_rate_mpps)
+
+let test_fig6_shape () =
+  List.iter
+    (fun platform ->
+      let row = Sb_experiments.Fig6.measure platform in
+      Alcotest.(check bool) "cycles cut >25% (paper ~46%)" true
+        (Sb_experiments.Fig6.cycle_reduction_pct row > 25.);
+      Alcotest.(check bool) "cycles cut <60%" true
+        (Sb_experiments.Fig6.cycle_reduction_pct row < 60.))
+    [ bess; onvm ];
+  let row = Sb_experiments.Fig6.measure bess in
+  Alcotest.(check bool) "BESS rate improves" true
+    (Sb_experiments.Fig6.rate_improvement_pct row > 0.)
+
+let test_fig7_shape () =
+  let row = Sb_experiments.Fig7.measure bess in
+  Alcotest.(check bool) "total reduction >25%" true
+    (Sb_experiments.Fig7.total_reduction_pct row > 25.);
+  Alcotest.(check (float 0.5)) "shares sum to 100%" 100.
+    (row.Sb_experiments.Fig7.ha_share_pct +. row.Sb_experiments.Fig7.sf_share_pct);
+  Alcotest.(check bool) "both optimisations contribute" true
+    (row.Sb_experiments.Fig7.ha_share_pct > 0. && row.Sb_experiments.Fig7.sf_share_pct > 0.)
+
+let test_fig8_shape () =
+  let points = Sb_experiments.Fig8.measure bess in
+  let latency n = Option.get (List.nth points (n - 1)).Sb_experiments.Fig8.speedybox_latency_us in
+  let original n = Option.get (List.nth points (n - 1)).Sb_experiments.Fig8.original_latency_us in
+  (* SpeedyBox latency nearly chain-length independent: 9 NFs < 2x of 1 NF,
+     while the original chain grows ~9x. *)
+  Alcotest.(check bool) "sbox latency ~flat" true (latency 9 < 2. *. latency 1);
+  Alcotest.(check bool) "original grows linearly" true (original 9 > 7. *. original 1);
+  Alcotest.(check bool) "crossover beyond 1 NF" true (latency 1 > original 1);
+  Alcotest.(check bool) "sbox wins from 2 NFs" true (latency 2 < original 2);
+  (* ONVM reports nothing beyond 5 NFs. *)
+  let onvm_points = Sb_experiments.Fig8.measure onvm in
+  Alcotest.(check bool) "onvm capped at 5" true
+    ((List.nth onvm_points 5).Sb_experiments.Fig8.original_latency_us = None);
+  Alcotest.(check bool) "onvm measures at 5" true
+    ((List.nth onvm_points 4).Sb_experiments.Fig8.original_latency_us <> None)
+
+let test_fig9_shape () =
+  List.iter
+    (fun chain ->
+      let row = Sb_experiments.Fig9.measure chain bess in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: p50 flow time cut >15%% (paper ~40%%)"
+           (Sb_experiments.Fig9.chain_name chain))
+        true
+        (Sb_experiments.Fig9.p50_reduction_pct row > 15.);
+      Alcotest.(check int) "cdf has 10 points" 10 (List.length row.Sb_experiments.Fig9.original_cdf);
+      (* CDF values are increasing in probability. *)
+      let rec sorted = function
+        | (v1, _) :: ((v2, _) :: _ as rest) -> v1 <= v2 && sorted rest
+        | [ _ ] | [] -> true
+      in
+      Alcotest.(check bool) "cdf monotone" true (sorted row.Sb_experiments.Fig9.original_cdf))
+    [ Sb_experiments.Fig9.Chain1; Sb_experiments.Fig9.Chain2 ]
+
+let test_table2_counts () =
+  match Sb_experiments.Table2.measure ~root:"../../.." () with
+  | None -> Alcotest.fail "NF sources not found from test working directory"
+  | Some rows ->
+      Alcotest.(check int) "ten NFs measured" 10 (List.length rows);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (r.Sb_experiments.Table2.nf ^ ": integration is a small fraction")
+            true
+            (r.Sb_experiments.Table2.integration_loc > 0
+            && r.Sb_experiments.Table2.integration_loc * 4 < r.Sb_experiments.Table2.core_loc))
+        rows
+
+let test_fig4_other_nfs_shape () =
+  let points = Sb_experiments.Fig4_other_nfs.measure () in
+  List.iter
+    (fun kind ->
+      let by_len n =
+        List.find
+          (fun p ->
+            p.Sb_experiments.Fig4_other_nfs.nf_kind = kind
+            && p.Sb_experiments.Fig4_other_nfs.chain_length = n)
+          points
+      in
+      Alcotest.(check bool)
+        (kind ^ ": 1 NF costs more with SBox")
+        true
+        (Sb_experiments.Fig4_other_nfs.reduction_pct (by_len 1) < 0.);
+      Alcotest.(check bool)
+        (kind ^ ": 3 NFs save substantially")
+        true
+        (Sb_experiments.Fig4_other_nfs.reduction_pct (by_len 3) > 30.);
+      Alcotest.(check bool)
+        (kind ^ ": saving grows")
+        true
+        (Sb_experiments.Fig4_other_nfs.reduction_pct (by_len 3)
+        > Sb_experiments.Fig4_other_nfs.reduction_pct (by_len 2)))
+    [ "mazunat"; "monitor" ]
+
+let test_event_rate_shape () =
+  match Sb_experiments.Event_rate.measure ~intervals:[ 0; 500; 30 ] with
+  | [ quiet; moderate; frantic ] ->
+      Alcotest.(check int) "no flips, no events" 0 quiet.Sb_experiments.Event_rate.events_fired;
+      Alcotest.(check bool) "more flips, more events" true
+        (frantic.Sb_experiments.Event_rate.events_fired
+        > moderate.Sb_experiments.Event_rate.events_fired);
+      Alcotest.(check bool) "latency degrades gracefully" true
+        (frantic.Sb_experiments.Event_rate.mean_latency_us
+        < 2. *. quiet.Sb_experiments.Event_rate.mean_latency_us);
+      Alcotest.(check bool) "latency still rises" true
+        (frantic.Sb_experiments.Event_rate.mean_latency_us
+        > quiet.Sb_experiments.Event_rate.mean_latency_us)
+  | points -> Alcotest.failf "expected 3 points, got %d" (List.length points)
+
+let suite =
+  [
+    Alcotest.test_case "fig4 shape" `Slow test_fig4_shape;
+    Alcotest.test_case "fig4 other NFs shape" `Slow test_fig4_other_nfs_shape;
+    Alcotest.test_case "event rate shape" `Slow test_event_rate_shape;
+    Alcotest.test_case "table3 shape" `Slow test_table3_shape;
+    Alcotest.test_case "fig5 shape" `Slow test_fig5_shape;
+    Alcotest.test_case "fig6 shape" `Slow test_fig6_shape;
+    Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+    Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
+    Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
+    Alcotest.test_case "table2 counts" `Slow test_table2_counts;
+  ]

@@ -1,0 +1,67 @@
+(* Robustness fuzzing: parsers over adversarial inputs must fail cleanly
+   (return an error or raise [Invalid_argument]), never crash or loop. *)
+
+let returns_or_invalid f =
+  match f () with _ -> true | exception Invalid_argument _ -> true
+
+let prop_snort_parser_total =
+  QCheck.Test.make ~count:500 ~name:"snort rule parser never raises"
+    QCheck.(string_gen_of_size (Gen.int_range 0 120) Gen.printable)
+    (fun line ->
+      match Sb_nf.Snort_rule.parse line with Ok _ -> true | Error _ -> true)
+
+let prop_snort_parser_near_miss =
+  (* Mutated valid rules: flip one character of a well-formed rule. *)
+  QCheck.Test.make ~count:300 ~name:"snort parser survives mutations"
+    QCheck.(pair (int_bound 200) (int_bound 255))
+    (fun (pos, byte) ->
+      let base =
+        {|alert tcp 10.0.0.0/8 any -> any 80 (msg:"m"; content:"x"; offset:1; dsize:>2; flags:S+; flowbits:set,b; sid:7;)|}
+      in
+      let mutated = Bytes.of_string base in
+      if pos < Bytes.length mutated then Bytes.set mutated pos (Char.chr byte);
+      match Sb_nf.Snort_rule.parse (Bytes.to_string mutated) with
+      | Ok _ | Error _ -> true)
+
+let prop_deployment_parser_total =
+  QCheck.Test.make ~count:300 ~name:"deployment parser never raises"
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun text ->
+      match Sb_experiments.Deployment.parse text with Ok _ -> true | Error _ -> true)
+
+let prop_trace_loader_clean =
+  QCheck.Test.make ~count:200 ~name:"trace loader fails cleanly on garbage"
+    QCheck.(string_gen_of_size (Gen.int_range 0 120) Gen.printable)
+    (fun text ->
+      let path = Filename.temp_file "fuzz" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          returns_or_invalid (fun () -> ignore (Sb_trace.Trace_io.load path))))
+
+let prop_encap_decode_clean =
+  QCheck.Test.make ~count:300 ~name:"encap header decode fails cleanly"
+    QCheck.(string_gen_of_size (Gen.int_range 0 40) Gen.char)
+    (fun bytes ->
+      returns_or_invalid (fun () ->
+          ignore (Sb_packet.Encap_header.decode (Bytes.of_string bytes) 0)))
+
+let prop_ipv4_parse_clean =
+  QCheck.Test.make ~count:300 ~name:"ipv4 parse fails cleanly"
+    QCheck.(string_gen_of_size (Gen.return 20) Gen.char)
+    (fun bytes ->
+      returns_or_invalid (fun () -> ignore (Sb_packet.Ipv4.parse (Bytes.of_string bytes) 0)))
+
+let suite =
+  Test_util.qcheck_cases
+    [
+      prop_snort_parser_total;
+      prop_snort_parser_near_miss;
+      prop_deployment_parser_total;
+      prop_trace_loader_clean;
+      prop_encap_decode_clean;
+      prop_ipv4_parse_clean;
+    ]

@@ -1,0 +1,143 @@
+(* Tests for HTTP request-line parsing, URI-scoped Snort contents and the
+   NAT's return-path translation. *)
+open Sb_packet
+
+(* --- HTTP parsing --------------------------------------------------------- *)
+
+let test_request_line () =
+  (match Sb_nf.Http.request_line "GET /admin/login HTTP/1.1\r\nHost: x\r\n" with
+  | Some r ->
+      Alcotest.(check string) "method" "GET" r.Sb_nf.Http.meth;
+      Alcotest.(check string) "uri" "/admin/login" r.Sb_nf.Http.uri;
+      Alcotest.(check string) "version" "HTTP/1.1" r.Sb_nf.Http.version
+  | None -> Alcotest.fail "expected a request line");
+  (match Sb_nf.Http.request_line "POST /x HTTP/1.0" with
+  | Some r -> Alcotest.(check string) "no CRLF needed" "POST" r.Sb_nf.Http.meth
+  | None -> Alcotest.fail "expected a request line");
+  Alcotest.(check bool) "not http" true (Sb_nf.Http.request_line "random bytes" = None);
+  Alcotest.(check bool) "bad method" true
+    (Sb_nf.Http.request_line "FROB /x HTTP/1.1\r\n" = None);
+  Alcotest.(check bool) "missing version" true
+    (Sb_nf.Http.request_line "GET /x\r\n" = None);
+  Alcotest.(check bool) "is_method" true (Sb_nf.Http.is_method "DELETE")
+
+let test_http_uri_matching () =
+  let rule =
+    Sb_nf.Snort_rule.parse_exn
+      {|alert tcp any any -> any 80 (msg:"admin probe"; content:"/admin"; http_uri; sid:1;)|}
+  in
+  Alcotest.(check bool) "uri hit" true
+    (Sb_nf.Snort_rule.contents_ok rule "GET /admin/panel HTTP/1.1\r\n\r\n");
+  Alcotest.(check bool) "token in body only: miss" false
+    (Sb_nf.Snort_rule.contents_ok rule "GET /public HTTP/1.1\r\n\r\n/admin");
+  Alcotest.(check bool) "non-http payload: miss" false
+    (Sb_nf.Snort_rule.contents_ok rule "/admin but not http");
+  (* Mixed rule: URI content + body content chain. *)
+  let mixed =
+    Sb_nf.Snort_rule.parse_exn
+      {|alert tcp any any -> any 80 (content:"/upload"; http_uri; content:"passwd"; sid:2;)|}
+  in
+  Alcotest.(check bool) "both buffers" true
+    (Sb_nf.Snort_rule.contents_ok mixed "POST /upload HTTP/1.1\r\n\r\nuser=passwd");
+  Alcotest.(check bool) "body content missing" false
+    (Sb_nf.Snort_rule.contents_ok mixed "POST /upload HTTP/1.1\r\n\r\nuser=safe")
+
+let test_http_uri_in_ids () =
+  let rules =
+    match
+      Sb_nf.Snort_rule.parse_many
+        {|alert tcp any any -> any 80 (msg:"admin probe"; content:"/admin"; http_uri; sid:1;)|}
+    with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  let snort = Sb_nf.Snort.create ~rules () in
+  let chain = Speedybox.Chain.create ~name:"ids" [ Sb_nf.Snort.nf snort ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ =
+    Speedybox.Runtime.run_trace rt
+      (Test_util.tcp_flow ~payload:"GET /admin HTTP/1.1\r\n\r\n" 3
+      @ Test_util.tcp_flow ~sport:40001 ~payload:"GET /shop HTTP/1.1\r\n\r\n/admin" 3)
+  in
+  Alcotest.(check int) "only the URI probe alerts (both paths)" 3
+    (List.length (Sb_nf.Snort.alerts snort))
+
+(* --- NAT return path ------------------------------------------------------- *)
+
+let external_ip = Test_util.ip "203.0.113.1"
+
+let test_nat_return_translation () =
+  let nat = Sb_nf.Mazunat.create ~external_ip ~port_base:20000 () in
+  let chain = Speedybox.Chain.create ~name:"nat" [ Sb_nf.Mazunat.nf nat ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  (* Outbound flow allocates the mapping. *)
+  let _ = Speedybox.Runtime.run_trace rt (Test_util.tcp_flow ~fin:false 2) in
+  let _, ext_port = Option.get (Sb_nf.Mazunat.mapping nat (Test_util.tuple ())) in
+  Alcotest.(check int) "allocated" 20000 ext_port;
+  (* Return packets: server -> external ip:port, rewritten to the host. *)
+  let return_packet () =
+    Test_util.tcp_packet ~src:"192.168.1.10" ~dst:"203.0.113.1" ~sport:80 ~dport:ext_port
+      ~payload:"response" ()
+  in
+  let outs =
+    List.init 3 (fun _ -> Speedybox.Runtime.process_packet rt (return_packet ()))
+  in
+  List.iter
+    (fun out ->
+      Alcotest.(check bool) "forwarded" true
+        (out.Speedybox.Runtime.verdict = Sb_mat.Header_action.Forwarded);
+      Alcotest.(check string) "dst back to internal host" "10.0.0.1"
+        (Ipv4_addr.to_string (Packet.dst_ip out.Speedybox.Runtime.packet));
+      Alcotest.(check int) "dst port back to internal" 40000
+        (Packet.dst_port out.Speedybox.Runtime.packet);
+      Alcotest.(check bool) "checksums valid" true
+        (Packet.checksums_ok out.Speedybox.Runtime.packet))
+    outs;
+  (* The third return packet took the fast path of the reverse flow. *)
+  Alcotest.(check bool) "reverse flow consolidated" true
+    (List.exists
+       (fun out -> out.Speedybox.Runtime.path = Speedybox.Runtime.Fast_path)
+       outs)
+
+let test_nat_drops_unmapped_inbound () =
+  let nat = Sb_nf.Mazunat.create ~external_ip ~port_base:20000 () in
+  let chain = Speedybox.Chain.create ~name:"nat" [ Sb_nf.Mazunat.nf nat ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let stray =
+    Test_util.tcp_packet ~src:"192.168.1.10" ~dst:"203.0.113.1" ~sport:80 ~dport:33333 ()
+  in
+  let out = Speedybox.Runtime.process_packet rt stray in
+  Alcotest.(check bool) "unmapped inbound dropped" true
+    (out.Speedybox.Runtime.verdict = Sb_mat.Header_action.Dropped)
+
+let test_nat_bidirectional_equivalence () =
+  let build_chain () =
+    Speedybox.Chain.create ~name:"nat"
+      [
+        Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~external_ip ~port_base:20000 ());
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+      ]
+  in
+  (* Interleave outbound and return traffic for two client flows. *)
+  let outbound sport = Test_util.udp_packet ~sport ~dport:80 ~dst:"192.168.1.10" () in
+  let return_to dport =
+    Test_util.udp_packet ~src:"192.168.1.10" ~dst:"203.0.113.1" ~sport:80 ~dport ()
+  in
+  let trace =
+    [
+      outbound 40001; outbound 40002; return_to 20000; outbound 40001; return_to 20001;
+      return_to 20000; outbound 40002; return_to 20001;
+    ]
+  in
+  Test_util.check_equivalent "bidirectional NAT"
+    (Speedybox.Equivalence.check ~build_chain trace)
+
+let suite =
+  [
+    Alcotest.test_case "http request line" `Quick test_request_line;
+    Alcotest.test_case "http_uri content matching" `Quick test_http_uri_matching;
+    Alcotest.test_case "http_uri in the IDS" `Quick test_http_uri_in_ids;
+    Alcotest.test_case "nat return translation" `Quick test_nat_return_translation;
+    Alcotest.test_case "nat drops unmapped inbound" `Quick test_nat_drops_unmapped_inbound;
+    Alcotest.test_case "nat bidirectional equivalence" `Quick test_nat_bidirectional_equivalence;
+  ]

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "speedybox"
+    [
+      ("packet", Test_packet.suite);
+      ("flow", Test_flow.suite);
+      ("sim", Test_sim.suite);
+      ("consolidate", Test_consolidate.suite);
+      ("mat", Test_mat.suite);
+      ("runtime", Test_runtime.suite);
+      ("aho-corasick", Test_aho.suite);
+      ("snort", Test_snort.suite);
+      ("snort-options", Test_snort_options.suite);
+      ("rules-corpus", Test_rules_corpus.suite);
+      ("nfs", Test_nfs.suite);
+      ("maglev", Test_maglev.suite);
+      ("trace", Test_trace.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("queueing", Test_queueing.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("extensions", Test_extensions.suite);
+      ("expiry", Test_expiry.suite);
+      ("tooling", Test_tooling.suite);
+      ("rule-cache", Test_rule_cache.suite);
+      ("positional", Test_positional.suite);
+      ("positional-prop", Test_positional_prop.suite);
+      ("http-and-nat", Test_http_and_nat.suite);
+      ("report", Test_report.suite);
+      ("deployment", Test_deployment.suite);
+      ("scope", Test_scope.suite);
+      ("acl-checksum", Test_acl_checksum.suite);
+      ("baselines", Test_baselines.suite);
+      ("experiments", Test_experiments.suite);
+      ("smoke", Test_smoke.suite);
+      ("soak", Test_soak.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("staged", Test_staged.suite);
+    ]

@@ -1,0 +1,197 @@
+(* Tests for IPFilter, Monitor, MazuNAT, DoS guard, VPN and the synthetic
+   NF. *)
+open Sb_packet
+
+let run_packets chain packets =
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  Speedybox.Runtime.run_trace rt packets
+
+(* --- IPFilter ----------------------------------------------------------- *)
+
+let test_ipfilter_rule_matching () =
+  let rule =
+    Sb_nf.Ipfilter.rule ~src:"10.0.0.0/8" ~proto:6 ~dst_ports:(80, 88) Sb_nf.Ipfilter.Deny
+  in
+  Alcotest.(check bool) "matches" true (Sb_nf.Ipfilter.rule_matches rule (Test_util.tuple ()));
+  Alcotest.(check bool) "port range edge" true
+    (Sb_nf.Ipfilter.rule_matches rule (Test_util.tuple ~dport:88 ()));
+  Alcotest.(check bool) "port outside" false
+    (Sb_nf.Ipfilter.rule_matches rule (Test_util.tuple ~dport:89 ()));
+  Alcotest.(check bool) "proto mismatch" false
+    (Sb_nf.Ipfilter.rule_matches rule (Test_util.tuple ~proto:17 ()));
+  Alcotest.(check bool) "src outside" false
+    (Sb_nf.Ipfilter.rule_matches rule (Test_util.tuple ~src:"172.16.1.1" ()))
+
+let test_ipfilter_first_match_and_default () =
+  let fw =
+    Sb_nf.Ipfilter.create
+      ~rules:
+        [
+          Sb_nf.Ipfilter.rule ~dst_ports:(80, 80) Sb_nf.Ipfilter.Permit;
+          Sb_nf.Ipfilter.rule ~src:"10.0.0.0/8" Sb_nf.Ipfilter.Deny;
+        ]
+      ()
+  in
+  Alcotest.(check bool) "first match wins" true
+    (Sb_nf.Ipfilter.lookup fw (Test_util.tuple ()) = Sb_nf.Ipfilter.Permit);
+  Alcotest.(check bool) "second rule applies" true
+    (Sb_nf.Ipfilter.lookup fw (Test_util.tuple ~dport:22 ()) = Sb_nf.Ipfilter.Deny);
+  Alcotest.(check bool) "default permit" true
+    (Sb_nf.Ipfilter.lookup fw (Test_util.tuple ~src:"172.16.1.1" ~dport:22 ())
+    = Sb_nf.Ipfilter.Permit);
+  let strict = Sb_nf.Ipfilter.create ~default:Sb_nf.Ipfilter.Deny ~rules:[] () in
+  Alcotest.(check bool) "default deny" true
+    (Sb_nf.Ipfilter.lookup strict (Test_util.tuple ()) = Sb_nf.Ipfilter.Deny)
+
+let test_ipfilter_in_chain () =
+  let fw =
+    Sb_nf.Ipfilter.create ~rules:[ Sb_nf.Ipfilter.rule ~dst_ports:(22, 22) Sb_nf.Ipfilter.Deny ] ()
+  in
+  let chain = Speedybox.Chain.create ~name:"fw" [ Sb_nf.Ipfilter.nf fw ] in
+  let result =
+    run_packets chain (Test_util.tcp_flow 3 @ Test_util.tcp_flow ~sport:40001 ~dport:22 3)
+  in
+  Alcotest.(check int) "blocked flow dropped" 4 result.Speedybox.Runtime.dropped;
+  Alcotest.(check int) "flows cached" 2 (Sb_nf.Ipfilter.flows_cached fw);
+  Alcotest.(check bool) "deny counter advanced" true (Sb_nf.Ipfilter.denied_count fw > 0)
+
+(* --- Monitor ------------------------------------------------------------ *)
+
+let test_monitor_counts_on_both_paths () =
+  let monitor = Sb_nf.Monitor.create () in
+  let chain = Speedybox.Chain.create ~name:"mon" [ Sb_nf.Monitor.nf monitor ] in
+  let flow = Test_util.tcp_flow 5 in
+  let _ = run_packets chain flow in
+  let c = Option.get (Sb_nf.Monitor.counters monitor (Test_util.tuple ())) in
+  Alcotest.(check int) "SYN + 5 data packets counted" 6 c.Sb_nf.Monitor.packets;
+  let expected_bytes = List.fold_left (fun acc p -> acc + p.Packet.len) 0 flow in
+  Alcotest.(check int) "bytes counted" expected_bytes c.Sb_nf.Monitor.bytes;
+  Alcotest.(check int) "totals" 6 (Sb_nf.Monitor.total_packets monitor);
+  Alcotest.(check int) "one flow" 1 (Sb_nf.Monitor.flow_count monitor)
+
+(* --- MazuNAT ------------------------------------------------------------ *)
+
+let test_mazunat_allocation () =
+  let nat = Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.1") ~port_base:20000 () in
+  let chain = Speedybox.Chain.create ~name:"nat" [ Sb_nf.Mazunat.nf nat ] in
+  let _ =
+    run_packets chain
+      (Test_util.tcp_flow ~sport:40001 2 @ Test_util.tcp_flow ~sport:40002 2)
+  in
+  Alcotest.(check int) "two mappings" 2 (Sb_nf.Mazunat.active_mappings nat);
+  let _, port1 = Option.get (Sb_nf.Mazunat.mapping nat (Test_util.tuple ~sport:40001 ())) in
+  let _, port2 = Option.get (Sb_nf.Mazunat.mapping nat (Test_util.tuple ~sport:40002 ())) in
+  Alcotest.(check int) "sequential allocation" 20000 port1;
+  Alcotest.(check int) "next port" 20001 port2
+
+let test_mazunat_rewrites_consistently () =
+  let nat = Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.1") () in
+  let chain = Speedybox.Chain.create ~name:"nat" [ Sb_nf.Mazunat.nf nat ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let ports = ref [] in
+  let _ =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun _ out -> ports := Packet.src_port out.Speedybox.Runtime.packet :: !ports)
+      rt (Test_util.tcp_flow 4)
+  in
+  Alcotest.(check bool) "same external port for all flow packets" true
+    (List.length (List.sort_uniq Int.compare !ports) = 1)
+
+let test_mazunat_pool_bounds () =
+  Alcotest.(check bool) "overflowing pool rejected" true
+    (try
+       ignore
+         (Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "1.1.1.1") ~port_base:60000
+            ~port_count:10000 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- DoS guard ----------------------------------------------------------- *)
+
+let test_dos_guard_threshold () =
+  let guard = Sb_nf.Dos_guard.create ~threshold:4 () in
+  let chain = Speedybox.Chain.create ~name:"dos" [ Sb_nf.Dos_guard.nf guard ] in
+  (* UDP flow: every packet counts; the 5th and later are dropped. *)
+  let packets = List.init 8 (fun i -> Test_util.udp_packet ~payload:(string_of_int i) ()) in
+  let result = run_packets chain packets in
+  Alcotest.(check int) "first 4 pass" 4 result.Speedybox.Runtime.forwarded;
+  Alcotest.(check int) "rest dropped" 4 result.Speedybox.Runtime.dropped;
+  Alcotest.(check bool) "event fired exactly once" true (result.Speedybox.Runtime.events_fired = 1);
+  Alcotest.(check int) "counter frozen at threshold" 4
+    (Sb_nf.Dos_guard.count guard (Test_util.tuple ~proto:17 ~dport:53 ()));
+  Alcotest.(check int) "blocked flows" 1 (Sb_nf.Dos_guard.blocked_flows guard)
+
+let test_dos_guard_syn_mode () =
+  let guard = Sb_nf.Dos_guard.create ~mode:Sb_nf.Dos_guard.Syn_only ~threshold:2 () in
+  let chain = Speedybox.Chain.create ~name:"dos" [ Sb_nf.Dos_guard.nf guard ] in
+  let result = run_packets chain (Test_util.tcp_flow 6) in
+  Alcotest.(check int) "data packets never counted" 1
+    (Sb_nf.Dos_guard.count guard (Test_util.tuple ()));
+  Alcotest.(check int) "nothing dropped" 0 result.Speedybox.Runtime.dropped
+
+(* --- VPN ----------------------------------------------------------------- *)
+
+let vpn_chain () =
+  Speedybox.Chain.create ~name:"vpn"
+    [
+      Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ());
+      Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ());
+    ]
+
+let test_vpn_encap_decap_roundtrip () =
+  let chain = vpn_chain () in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let outputs = ref [] in
+  let _ =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun input out -> outputs := (input, out) :: !outputs)
+      rt (Test_util.tcp_flow 3)
+  in
+  List.iter
+    (fun (input, out) ->
+      Alcotest.(check bool) "frame restored after encap+decap" true
+        (Packet.equal_wire input out.Speedybox.Runtime.packet))
+    !outputs
+
+let test_vpn_consolidates_to_identity () =
+  let chain = vpn_chain () in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt (Test_util.tcp_flow ~fin:false 2) in
+  let fid = Sb_flow.Fid.of_tuple (Test_util.tuple ()) in
+  let rule = Option.get (Sb_mat.Global_mat.find (Speedybox.Runtime.global_mat rt) fid) in
+  Alcotest.(check bool) "encap and decap cancelled" true
+    (Sb_mat.Consolidate.equal (Sb_mat.Global_mat.rule_action rule) Sb_mat.Consolidate.forward)
+
+let test_vpn_auth_failure_drops () =
+  let decap = Sb_nf.Vpn.decapsulator () in
+  let chain = Speedybox.Chain.create ~name:"decap-only" [ Sb_nf.Vpn.nf decap ] in
+  let result = run_packets chain (Test_util.tcp_flow 2) in
+  Alcotest.(check int) "unauthenticated packets dropped" 3 result.Speedybox.Runtime.dropped;
+  Alcotest.(check bool) "failures recorded" true (Sb_nf.Vpn.auth_failures decap > 0)
+
+(* --- synthetic ------------------------------------------------------------ *)
+
+let test_synthetic_runs_on_both_paths () =
+  let syn = Sb_nf.Synthetic.create ~name:"syn1" () in
+  let chain = Speedybox.Chain.create ~name:"synthetic" [ Sb_nf.Synthetic.nf syn ] in
+  let _ = run_packets chain (Test_util.tcp_flow 5) in
+  Alcotest.(check int) "invoked for every packet" 6 (Sb_nf.Synthetic.invocations syn);
+  Alcotest.(check bool) "payload digest accumulated" true
+    (Sb_nf.Synthetic.payload_checksum syn > 0)
+
+let suite =
+  [
+    Alcotest.test_case "ipfilter rule matching" `Quick test_ipfilter_rule_matching;
+    Alcotest.test_case "ipfilter first match + default" `Quick test_ipfilter_first_match_and_default;
+    Alcotest.test_case "ipfilter in chain" `Quick test_ipfilter_in_chain;
+    Alcotest.test_case "monitor counts on both paths" `Quick test_monitor_counts_on_both_paths;
+    Alcotest.test_case "mazunat allocation" `Quick test_mazunat_allocation;
+    Alcotest.test_case "mazunat consistent rewrite" `Quick test_mazunat_rewrites_consistently;
+    Alcotest.test_case "mazunat pool bounds" `Quick test_mazunat_pool_bounds;
+    Alcotest.test_case "dos guard threshold" `Quick test_dos_guard_threshold;
+    Alcotest.test_case "dos guard SYN mode" `Quick test_dos_guard_syn_mode;
+    Alcotest.test_case "vpn encap/decap roundtrip" `Quick test_vpn_encap_decap_roundtrip;
+    Alcotest.test_case "vpn consolidates to identity" `Quick test_vpn_consolidates_to_identity;
+    Alcotest.test_case "vpn auth failure drops" `Quick test_vpn_auth_failure_drops;
+    Alcotest.test_case "synthetic NF both paths" `Quick test_synthetic_runs_on_both_paths;
+  ]

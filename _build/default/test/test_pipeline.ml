@@ -1,0 +1,134 @@
+(* Tests for the min-heap and the token-level pipeline executor, including
+   cross-validation against the closed-form Queueing engine. *)
+open Sb_sim
+
+let test_heap_basics () =
+  let h = Min_heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Min_heap.is_empty h);
+  List.iter (Min_heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Min_heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Min_heap.peek_min h);
+  let drained = List.init 5 (fun _ -> Option.get (Min_heap.pop_min h)) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] drained;
+  Alcotest.(check (option int)) "empty pop" None (Min_heap.pop_min h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Min_heap.create ~cmp:Int.compare in
+      List.iter (Min_heap.push h) xs;
+      let rec drain acc =
+        match Min_heap.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let token id arrival services = { Pipeline.id; arrival; services }
+
+let test_pipeline_single_stage () =
+  let result =
+    Pipeline.run
+      [ token 0 0 [ ("nf", 1000) ]; token 1 0 [ ("nf", 1000) ]; token 2 5000 [ ("nf", 1000) ] ]
+  in
+  Alcotest.(check (list int)) "no drops" [] result.Pipeline.dropped;
+  let dep id =
+    (List.find (fun o -> o.Pipeline.id = id) result.Pipeline.completed).Pipeline.departure
+  in
+  Alcotest.(check int) "first" 1000 (dep 0);
+  Alcotest.(check int) "second queued" 2000 (dep 1);
+  Alcotest.(check int) "third unqueued" 6000 (dep 2)
+
+let test_pipeline_two_stages () =
+  let services = [ ("a", 1000); ("b", 500) ] in
+  let result = Pipeline.run ~hop_cycles:100 [ token 0 0 services; token 1 0 services ] in
+  let dep id =
+    (List.find (fun o -> o.Pipeline.id = id) result.Pipeline.completed).Pipeline.departure
+  in
+  (* Token 0: 1000 + 100 + 500 = 1600.  Token 1 leaves stage a at 2000,
+     enters b at 2100 (b idle since 1600): 2600. *)
+  Alcotest.(check int) "pipelined head" 1600 (dep 0);
+  Alcotest.(check int) "pipelined second" 2600 (dep 1)
+
+let test_pipeline_tail_drop () =
+  let burst = List.init 5 (fun i -> token i 0 [ ("nf", 1000) ]) in
+  let result = Pipeline.run ~ring_capacity:3 burst in
+  Alcotest.(check int) "three admitted" 3 (List.length result.Pipeline.completed);
+  Alcotest.(check (list int)) "overflow ids dropped" [ 3; 4 ] result.Pipeline.dropped
+
+let test_pipeline_zero_stage_token () =
+  let result = Pipeline.run [ token 9 42 [] ] in
+  Alcotest.(check (list int)) "none dropped" [] result.Pipeline.dropped;
+  Alcotest.(check int) "departs on arrival" 42
+    (List.hd result.Pipeline.completed).Pipeline.departure
+
+(* Cross-validation: on same-route workloads, the event-driven executor
+   and the closed-form Queueing engine agree on completions, drops and
+   every sojourn time. *)
+let prop_pipeline_matches_queueing =
+  let open QCheck in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_range 1 40) (Gen.pair (Gen.int_range 0 3000) (Gen.int_range 50 2000)))
+      (Gen.int_range 1 3)
+  in
+  Test.make ~count:100 ~name:"pipeline executor = queueing recurrences"
+    (make
+       ~print:(fun (arrivals, n_stages) ->
+         Printf.sprintf "%d tokens, %d stages" (List.length arrivals) n_stages)
+       gen)
+    (fun (arrivals, n_stages) ->
+      let arrivals = List.sort (fun (a, _) (b, _) -> Int.compare a b) arrivals in
+      let labels = List.init n_stages (fun i -> Printf.sprintf "s%d" i) in
+      (* Same per-stage service for a token across engines; varies by token. *)
+      let tokens =
+        List.mapi
+          (fun id (at, service) ->
+            { Pipeline.id; arrival = at; services = List.map (fun l -> (l, service)) labels })
+          arrivals
+      in
+      let queueing_arrivals =
+        List.map
+          (fun (at, service) ->
+            {
+              Queueing.at;
+              profile = List.map (fun l -> Cost_profile.serial_stage l service) labels;
+            })
+          arrivals
+      in
+      let ring_capacity = 4 in
+      let hop = Cycles.ring_hop_onvm in
+      ignore hop;
+      let pipeline = Pipeline.run ~ring_capacity tokens in
+      let queueing =
+        Queueing.simulate
+          (Queueing.config ~ring_capacity Platform.Onvm)
+          queueing_arrivals
+      in
+      let pipeline_sojourns =
+        List.map
+          (fun o ->
+            let t =
+              List.find (fun (tok : Pipeline.token) -> tok.Pipeline.id = o.Pipeline.id) tokens
+            in
+            Cycles.to_microseconds (o.Pipeline.departure - t.Pipeline.arrival))
+          pipeline.Pipeline.completed
+        |> List.sort Float.compare
+      in
+      let queueing_sojourns =
+        Array.to_list (Stats.values queueing.Queueing.sojourn_us)
+      in
+      List.length pipeline.Pipeline.completed = queueing.Queueing.completed
+      && List.length pipeline.Pipeline.dropped = queueing.Queueing.dropped
+      && List.for_all2
+           (fun a b -> Float.abs (a -. b) < 1e-9)
+           pipeline_sojourns queueing_sojourns)
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "pipeline single stage" `Quick test_pipeline_single_stage;
+    Alcotest.test_case "pipeline two stages" `Quick test_pipeline_two_stages;
+    Alcotest.test_case "pipeline tail drop" `Quick test_pipeline_tail_drop;
+    Alcotest.test_case "zero-stage token" `Quick test_pipeline_zero_stage_token;
+  ]
+  @ Test_util.qcheck_cases [ prop_heap_sorts; prop_pipeline_matches_queueing ]

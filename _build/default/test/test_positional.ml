@@ -1,0 +1,153 @@
+(* Tests for positional consolidation: state functions observe the packet
+   exactly as they did at their chain position on the original path, even
+   though header-action runs around them are merged. *)
+open Sb_packet
+
+let test_monitor_before_rewriter () =
+  (* The monitor precedes the NAT: it must key flows on the pre-NAT tuple
+     on both paths. *)
+  let build_chain () =
+    Speedybox.Chain.create ~name:"mon-first"
+      [
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+        Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.1") ());
+      ]
+  in
+  let trace = Test_util.tcp_flow 5 in
+  Test_util.check_equivalent "monitor before NAT"
+    (Speedybox.Equivalence.check ~build_chain trace);
+  (* And the fast-path monitor really keyed the ingress tuple. *)
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"m"
+      [
+        Sb_nf.Monitor.nf monitor;
+        Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.1") ());
+      ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt trace in
+  Alcotest.(check bool) "counters keyed pre-NAT" true
+    (Sb_nf.Monitor.counters monitor (Test_util.tuple ()) <> None)
+
+let test_monitors_split_around_rewriter () =
+  (* Monitors on both sides of a gateway must key different tuples. *)
+  let before = Sb_nf.Monitor.create ~name:"before" () in
+  let after = Sb_nf.Monitor.create ~name:"after" () in
+  let servers = [ Test_util.ip "10.10.0.20" ] in
+  let chain =
+    Speedybox.Chain.create ~name:"split"
+      [
+        Sb_nf.Monitor.nf before;
+        Sb_nf.Gateway.nf
+          (Sb_nf.Gateway.create
+             ~services:[ Sb_nf.Gateway.service ~public_port:80 ~internal_port:8080 servers ]
+             ());
+        Sb_nf.Monitor.nf after;
+      ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt (Test_util.tcp_flow 6) in
+  let pre = Option.get (Sb_nf.Monitor.counters before (Test_util.tuple ())) in
+  let post_tuple =
+    { (Test_util.tuple ()) with
+      Sb_flow.Five_tuple.dst_ip = Test_util.ip "10.10.0.20";
+      dst_port = 8080;
+    }
+  in
+  let post = Option.get (Sb_nf.Monitor.counters after post_tuple) in
+  Alcotest.(check int) "pre-gateway sees public tuple" 7 pre.Sb_nf.Monitor.packets;
+  Alcotest.(check int) "post-gateway sees internal tuple" 7 post.Sb_nf.Monitor.packets
+
+let test_monitor_inside_vpn_sandwich () =
+  (* A monitor between encap and decap sees the outer header (and the
+     bigger frame) on both paths — the encap/decap pair must not cancel
+     around it. *)
+  let build_chain () =
+    Speedybox.Chain.create ~name:"sandwich"
+      [
+        Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ());
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+        Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ());
+      ]
+  in
+  let trace = Test_util.tcp_flow ~payload:"covered by AH" 5 in
+  Test_util.check_equivalent "monitor inside VPN"
+    (Speedybox.Equivalence.check ~build_chain trace);
+  (* Byte counters include the AH header bytes on the fast path too. *)
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"s2"
+      [
+        Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ());
+        Sb_nf.Monitor.nf monitor;
+        Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ());
+      ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt trace in
+  let plain_len = (List.nth trace 1).Packet.len in
+  let c = Option.get (Sb_nf.Monitor.counters monitor (Test_util.tuple ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes counted with AH (%d > 6 * %d)" c.Sb_nf.Monitor.bytes plain_len)
+    true
+    (c.Sb_nf.Monitor.bytes > 6 * plain_len)
+
+let test_vpn_pair_still_cancels_without_observer () =
+  (* No state function between them: the pair still consolidates away. *)
+  let chain =
+    Speedybox.Chain.create ~name:"pair"
+      [ Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ()); Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ()) ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt (Test_util.tcp_flow ~fin:false 3) in
+  let fid = Sb_flow.Fid.of_tuple (Test_util.tuple ()) in
+  let rule = Option.get (Sb_mat.Global_mat.find (Speedybox.Runtime.global_mat rt) fid) in
+  Alcotest.(check int) "no transforms survive" 0
+    (Sb_mat.Global_mat.rule_transform_count rule)
+
+let test_snort_sees_positional_headers () =
+  (* A Snort rule matching the gateway's internal port only fires when the
+     IDS sits after the gateway. *)
+  let rules position =
+    match
+      Sb_nf.Snort_rule.parse_many
+        {|alert tcp any any -> any 8080 (msg:"internal"; content:"x"; sid:1;)|}
+    with
+    | Ok r -> ignore position; r
+    | Error m -> failwith m
+  in
+  let run ids_first =
+    let snort = Sb_nf.Snort.create ~rules:(rules ids_first) () in
+    let gateway =
+      Sb_nf.Gateway.nf
+        (Sb_nf.Gateway.create
+           ~services:
+             [ Sb_nf.Gateway.service ~public_port:80 ~internal_port:8080
+                 [ Test_util.ip "10.10.0.20" ] ]
+           ())
+    in
+    let nfs =
+      if ids_first then [ Sb_nf.Snort.nf snort; gateway ] else [ gateway; Sb_nf.Snort.nf snort ]
+    in
+    let rt =
+      Speedybox.Runtime.create (Speedybox.Runtime.config ())
+        (Speedybox.Chain.create ~name:"pos" nfs)
+    in
+    let _ = Speedybox.Runtime.run_trace rt (Test_util.tcp_flow ~payload:"xxx" 4) in
+    List.length (Sb_nf.Snort.alerts snort)
+  in
+  Alcotest.(check int) "IDS before gateway sees port 80: silent" 0 (run true);
+  Alcotest.(check int) "IDS after gateway sees port 8080: fires" 4 (run false)
+
+let suite =
+  [
+    Alcotest.test_case "monitor before rewriter" `Quick test_monitor_before_rewriter;
+    Alcotest.test_case "monitors split around rewriter" `Quick
+      test_monitors_split_around_rewriter;
+    Alcotest.test_case "monitor inside VPN sandwich" `Quick test_monitor_inside_vpn_sandwich;
+    Alcotest.test_case "VPN pair cancels without observer" `Quick
+      test_vpn_pair_still_cancels_without_observer;
+    Alcotest.test_case "snort sees positional headers" `Quick
+      test_snort_sees_positional_headers;
+  ]

@@ -1,0 +1,106 @@
+(* Property: in a random interleaving of header-modifying NFs and
+   header-observing NFs, every observer sees exactly the header values it
+   saw on the original path, packet by packet. *)
+open Sb_packet
+
+(* An NF that sets one field to a constant. *)
+let setter name field value =
+  Speedybox.Nf.make ~name (fun ctx packet ->
+      let action = Sb_mat.Header_action.modify1 field value in
+      (match Sb_mat.Header_action.apply action packet with
+      | Sb_mat.Header_action.Forwarded -> ()
+      | Sb_mat.Header_action.Dropped -> assert false);
+      Speedybox.Api.localmat_add_ha ctx action;
+      Speedybox.Nf.forwarded 200)
+
+(* An NF that records the (dst_ip, dst_port, ttl) it observes, per packet,
+   through a state function — the digest is the observation journal. *)
+let observer name =
+  let journal = ref [] in
+  let observe packet =
+    journal :=
+      Format.asprintf "%a:%d ttl=%d" Ipv4_addr.pp (Packet.dst_ip packet)
+        (Packet.dst_port packet) (Packet.ttl packet)
+      :: !journal;
+    50
+  in
+  Speedybox.Nf.make ~name
+    ~state_digest:(fun () -> String.concat "|" (List.rev !journal))
+    (fun ctx packet ->
+      let cycles = observe packet in
+      Speedybox.Api.localmat_add_sf ctx
+        (Sb_mat.State_function.make ~nf:name ~label:"observe"
+           ~mode:Sb_mat.State_function.Ignore (fun pkt -> observe pkt));
+      Speedybox.Nf.forwarded cycles)
+
+(* Chain blueprint: a list of slots, each a setter (with which field) or an
+   observer.  Rebuilt fresh for each equivalence run. *)
+type slot = Set_ip of int | Set_port of int | Set_ttl of int | Observe
+
+let build_chain slots () =
+  let nfs =
+    List.mapi
+      (fun i slot ->
+        let name = Printf.sprintf "nf%d" i in
+        match slot with
+        | Set_ip b -> setter name Field.Dst_ip (Field.Ip (Ipv4_addr.of_octets 198 51 100 b))
+        | Set_port p -> setter name Field.Dst_port (Field.Port p)
+        | Set_ttl v -> setter name Field.Ttl (Field.Int v)
+        | Observe -> observer name)
+      slots
+  in
+  Speedybox.Chain.create ~name:"positional-prop" nfs
+
+let gen_slot =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun b -> Set_ip (1 + (b mod 254))) QCheck.Gen.nat;
+      QCheck.Gen.map (fun p -> Set_port (1024 + (p mod 60000))) QCheck.Gen.nat;
+      QCheck.Gen.map (fun v -> Set_ttl (1 + (v mod 255))) QCheck.Gen.nat;
+      QCheck.Gen.return Observe;
+    ]
+
+let print_slots slots =
+  String.concat ","
+    (List.map
+       (function
+         | Set_ip b -> Printf.sprintf "ip%d" b
+         | Set_port p -> Printf.sprintf "port%d" p
+         | Set_ttl v -> Printf.sprintf "ttl%d" v
+         | Observe -> "obs")
+       slots)
+
+let prop_observers_see_positional_headers =
+  QCheck.Test.make ~count:60 ~name:"observers see positional header values"
+    (QCheck.make
+       ~print:(fun (slots, seed) -> Printf.sprintf "[%s] seed=%d" (print_slots slots) seed)
+       (QCheck.Gen.pair (QCheck.Gen.list_size (QCheck.Gen.int_range 1 6) gen_slot)
+          QCheck.Gen.small_int))
+    (fun (slots, seed) ->
+      let trace =
+        Sb_trace.Workload.fixed_trace ~seed ~proto:17 ~n_flows:3 ~packets_per_flow:5
+          ~payload_len:12 ()
+      in
+      Speedybox.Equivalence.equivalent
+        (Speedybox.Equivalence.check ~build_chain:(build_chain slots) trace))
+
+let test_observer_journal_detail () =
+  (* Deterministic spot check: observers around two setters. *)
+  let slots = [ Observe; Set_port 8080; Observe; Set_port 9090; Observe ] in
+  let chain = build_chain slots () in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt (List.init 3 (fun _ -> Test_util.udp_packet ())) in
+  let digests = List.map (fun nf -> nf.Speedybox.Nf.state_digest ()) (Speedybox.Chain.nfs chain) in
+  let journal i = List.nth digests i in
+  Alcotest.(check bool) "first observer sees ingress port" true
+    (Sb_nf.Str_search.occurs ~pattern:":53 " (journal 0 ^ " "));
+  Alcotest.(check bool) "middle observer sees 8080" true
+    (Sb_nf.Str_search.occurs ~pattern:":8080" (journal 2));
+  Alcotest.(check bool) "last observer sees 9090" true
+    (Sb_nf.Str_search.occurs ~pattern:":9090" (journal 4));
+  Alcotest.(check bool) "middle observer never sees 9090" false
+    (Sb_nf.Str_search.occurs ~pattern:":9090" (journal 2))
+
+let suite =
+  [ Alcotest.test_case "observer journal detail" `Quick test_observer_journal_detail ]
+  @ Test_util.qcheck_cases [ prop_observers_see_positional_headers ]

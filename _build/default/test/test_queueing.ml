@@ -1,0 +1,126 @@
+(* Tests for the discrete-event queueing engine and the load sweep. *)
+open Sb_sim
+
+let profile_of_cycles c = [ Cost_profile.serial_stage "nf" c ]
+
+let arrivals spec = List.map (fun (at, c) -> { Queueing.at; profile = profile_of_cycles c }) spec
+
+let test_bess_no_contention () =
+  (* Arrivals far apart: sojourn = pure service time, nothing dropped. *)
+  let r =
+    Queueing.simulate
+      (Queueing.config Platform.Bess)
+      (arrivals [ (0, 1000); (10000, 1000); (20000, 1000) ])
+  in
+  Alcotest.(check int) "all complete" 3 r.Queueing.completed;
+  Alcotest.(check int) "no drops" 0 r.Queueing.dropped;
+  Alcotest.(check (float 1e-6)) "sojourn = service" (Cycles.to_microseconds 1000)
+    (Stats.mean r.Queueing.sojourn_us)
+
+let test_bess_queueing_delay () =
+  (* Back-to-back arrivals on one core: the k-th packet waits k services. *)
+  let r =
+    Queueing.simulate
+      (Queueing.config Platform.Bess)
+      (arrivals [ (0, 1000); (0, 1000); (0, 1000) ])
+  in
+  let sorted = Stats.values r.Queueing.sojourn_us in
+  Alcotest.(check (float 1e-6)) "first unqueued" (Cycles.to_microseconds 1000) sorted.(0);
+  Alcotest.(check (float 1e-6)) "second waits one service" (Cycles.to_microseconds 2000)
+    sorted.(1);
+  Alcotest.(check (float 1e-6)) "third waits two" (Cycles.to_microseconds 3000) sorted.(2)
+
+let test_tail_drop () =
+  (* Ring of 2: the third simultaneous packet is dropped. *)
+  let r =
+    Queueing.simulate
+      (Queueing.config ~ring_capacity:2 Platform.Bess)
+      (arrivals [ (0, 1000); (0, 1000); (0, 1000) ])
+  in
+  Alcotest.(check int) "two complete" 2 r.Queueing.completed;
+  Alcotest.(check int) "one dropped" 1 r.Queueing.dropped;
+  (* Once the queue drains, later packets are admitted again. *)
+  let r2 =
+    Queueing.simulate
+      (Queueing.config ~ring_capacity:2 Platform.Bess)
+      (arrivals [ (0, 1000); (0, 1000); (0, 1000); (5000, 1000) ])
+  in
+  Alcotest.(check int) "late packet admitted" 3 r2.Queueing.completed
+
+let test_onvm_pipeline_overlap () =
+  (* Two stages: the pipeline overlaps, so packet 2's sojourn is less than
+     2x its unqueued latency. *)
+  let profile =
+    [ Cost_profile.serial_stage "a" 1000; Cost_profile.serial_stage "b" 1000 ]
+  in
+  let r =
+    Queueing.simulate
+      (Queueing.config Platform.Onvm)
+      [ { Queueing.at = 0; profile }; { Queueing.at = 0; profile } ]
+  in
+  let unqueued = 2000 + Cycles.ring_hop_onvm in
+  let sorted = Stats.values r.Queueing.sojourn_us in
+  Alcotest.(check (float 1e-6)) "first packet unqueued" (Cycles.to_microseconds unqueued)
+    sorted.(0);
+  Alcotest.(check bool) "second overlaps in the pipeline" true
+    (sorted.(1) < Cycles.to_microseconds (2 * unqueued));
+  Alcotest.(check bool) "but still waits at stage a" true
+    (sorted.(1) > Cycles.to_microseconds unqueued)
+
+let test_arrival_ordering_checked () =
+  Alcotest.(check bool) "unordered arrivals rejected" true
+    (try
+       ignore
+         (Queueing.simulate (Queueing.config Platform.Bess)
+            (arrivals [ (100, 10); (0, 10) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_poisson_arrivals () =
+  let arrivals =
+    Queueing.poisson_arrivals ~seed:7 ~rate_mpps:1.0 (fun _ -> profile_of_cycles 10) 2000
+  in
+  Alcotest.(check int) "count" 2000 (List.length arrivals);
+  let times = List.map (fun a -> a.Queueing.at) arrivals in
+  Alcotest.(check bool) "non-decreasing" true
+    (List.for_all2 (fun a b -> a <= b) (List.filteri (fun i _ -> i < 1999) times) (List.tl times));
+  (* 1 Mpps at 2 GHz = 2000 cycles mean gap; 2000 packets ~ 4M cycles. *)
+  let span = List.nth times 1999 in
+  Alcotest.(check bool)
+    (Printf.sprintf "span ~4M cycles (%d)" span)
+    true
+    (span > 3_200_000 && span < 4_800_000)
+
+let test_load_sweep_shape () =
+  let rates = [ 0.4; 1.0; 2.4 ] in
+  let original =
+    Sb_experiments.Load_sweep.sweep ~platform:Platform.Bess
+      ~mode:Speedybox.Runtime.Original ~rates
+  in
+  let speedybox =
+    Sb_experiments.Load_sweep.sweep ~platform:Platform.Bess
+      ~mode:Speedybox.Runtime.Speedybox ~rates
+  in
+  let p99 points rate =
+    (List.find (fun p -> p.Sb_experiments.Load_sweep.offered_mpps = rate) points)
+      .Sb_experiments.Load_sweep.p99_us
+  in
+  Alcotest.(check bool) "low load: both uncongested" true
+    (p99 original 0.4 < 15. && p99 speedybox 0.4 < 15.);
+  Alcotest.(check bool) "speedybox saturates later" true
+    (Sb_experiments.Load_sweep.saturation_rate speedybox
+    > Sb_experiments.Load_sweep.saturation_rate original);
+  let overload = List.nth original 2 in
+  Alcotest.(check bool) "original loses packets when overloaded" true
+    (overload.Sb_experiments.Load_sweep.loss_pct > 5.)
+
+let suite =
+  [
+    Alcotest.test_case "bess without contention" `Quick test_bess_no_contention;
+    Alcotest.test_case "bess queueing delay" `Quick test_bess_queueing_delay;
+    Alcotest.test_case "tail drop" `Quick test_tail_drop;
+    Alcotest.test_case "onvm pipeline overlap" `Quick test_onvm_pipeline_overlap;
+    Alcotest.test_case "arrival ordering checked" `Quick test_arrival_ordering_checked;
+    Alcotest.test_case "poisson arrivals" `Quick test_poisson_arrivals;
+    Alcotest.test_case "load sweep shape" `Slow test_load_sweep_shape;
+  ]

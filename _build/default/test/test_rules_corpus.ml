@@ -1,0 +1,100 @@
+(* The in-repo community-style ruleset: parses in full, loads into the
+   IDS, and representative rules fire as written. *)
+
+let load () =
+  let ic = open_in "../../../rules/community.rules" in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Sb_nf.Snort_rule.parse_many text with
+  | Ok rules -> rules
+  | Error msg -> Alcotest.failf "corpus does not parse: %s" msg
+
+let test_corpus_parses () =
+  let rules = load () in
+  Alcotest.(check bool)
+    (Printf.sprintf "a real corpus (%d rules)" (List.length rules))
+    true
+    (List.length rules >= 25);
+  (* Every option family is represented. *)
+  let any p = List.exists p rules in
+  Alcotest.(check bool) "http_uri used" true
+    (any (fun r ->
+         List.exists (fun c -> c.Sb_nf.Snort_rule.http_uri) r.Sb_nf.Snort_rule.contents));
+  Alcotest.(check bool) "flowbits used" true (any (fun r -> r.Sb_nf.Snort_rule.flowbits <> []));
+  Alcotest.(check bool) "flags used" true (any (fun r -> r.Sb_nf.Snort_rule.flags <> None));
+  Alcotest.(check bool) "dsize used" true (any (fun r -> r.Sb_nf.Snort_rule.dsize <> None));
+  Alcotest.(check bool) "thresholds used" true (any (fun r -> r.Sb_nf.Snort_rule.threshold > 1));
+  Alcotest.(check bool) "pass rules present" true
+    (any (fun r -> r.Sb_nf.Snort_rule.action = Sb_nf.Snort_rule.Pass));
+  (* SIDs are unique. *)
+  let sids = List.map (fun r -> r.Sb_nf.Snort_rule.sid) rules in
+  Alcotest.(check int) "unique sids" (List.length sids)
+    (List.length (List.sort_uniq Int.compare sids))
+
+let run_corpus payload ~dport =
+  let snort = Sb_nf.Snort.create ~rules:(load ()) () in
+  let chain = Speedybox.Chain.create ~name:"corpus" [ Sb_nf.Snort.nf snort ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ =
+    Speedybox.Runtime.run_trace rt (Test_util.tcp_flow ~dport ~payload 3)
+  in
+  snort
+
+let sids_of lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ']' with
+      | Some i -> int_of_string_opt (String.sub line 5 (i - 5))
+      | None -> None)
+    lines
+
+let test_corpus_detections () =
+  let snort = run_corpus "GET /admin/panel HTTP/1.1\r\n\r\n" ~dport:80 in
+  Alcotest.(check bool) "admin probe fires" true
+    (List.mem 100001 (sids_of (Sb_nf.Snort.alerts snort)));
+  let snort = run_corpus "x' OR 1=1 --" ~dport:80 in
+  Alcotest.(check bool) "sql injection fires" true
+    (List.mem 100005 (sids_of (Sb_nf.Snort.alerts snort)));
+  let snort = run_corpus "../../../etc/passwd" ~dport:80 in
+  Alcotest.(check bool) "traversal chain fires" true
+    (List.mem 100004 (sids_of (Sb_nf.Snort.alerts snort)));
+  (* The trusted-scanner pass rule silences the admin probe. *)
+  let snort = Sb_nf.Snort.create ~rules:(load ()) () in
+  let chain = Speedybox.Chain.create ~name:"corpus" [ Sb_nf.Snort.nf snort ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ =
+    Speedybox.Runtime.run_trace rt
+      (Test_util.tcp_flow ~src:"10.99.1.1" ~payload:"GET /admin HTTP/1.1\r\n\r\n" 2)
+  in
+  Alcotest.(check (list int)) "trusted scanner passes" []
+    (sids_of (Sb_nf.Snort.alerts snort))
+
+let test_corpus_equivalence () =
+  let rules = load () in
+  let build_chain () =
+    Speedybox.Chain.create ~name:"corpus" [ Sb_nf.Snort.nf (Sb_nf.Snort.create ~rules ()) ]
+  in
+  let trace =
+    Sb_trace.Workload.dcn_trace
+      {
+        Sb_trace.Workload.seed = 99;
+        n_flows = 60;
+        mean_flow_packets = 6.;
+        payload_len = (16, 300);
+        udp_fraction = 0.2;
+        malicious_fraction = 0.3;
+        tokens = [ "exploit"; "beacon"; "/bin/sh"; "UPLOAD"; "LOGIN" ];
+      }
+  in
+  Test_util.check_equivalent "corpus IDS equivalence"
+    (Speedybox.Equivalence.check ~build_chain trace)
+
+let suite =
+  [
+    Alcotest.test_case "corpus parses and covers options" `Quick test_corpus_parses;
+    Alcotest.test_case "corpus detections" `Quick test_corpus_detections;
+    Alcotest.test_case "corpus equivalence" `Quick test_corpus_equivalence;
+  ]

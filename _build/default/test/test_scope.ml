@@ -1,0 +1,72 @@
+(* §IV-A3 applicable-scope tests: sequence-dependent NFs are outside the
+   consolidation scope; the opt-out keeps them correct (at the cost of the
+   fast path), and naive instrumentation demonstrably breaks. *)
+
+let trace () =
+  List.init 12 (fun i -> Test_util.udp_packet ~payload:(Printf.sprintf "p%02d" i) ())
+
+let test_sampler_behaviour () =
+  let sampler = Sb_nf.Sampler.create ~every:3 () in
+  let chain = Speedybox.Chain.create ~name:"pol" [ Sb_nf.Sampler.nf sampler ] in
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Original ())
+      chain
+  in
+  let result = Speedybox.Runtime.run_trace rt (trace ()) in
+  Alcotest.(check int) "every 3rd dropped" 4 result.Speedybox.Runtime.dropped;
+  Alcotest.(check int) "rest forwarded" 8 result.Speedybox.Runtime.forwarded;
+  Alcotest.(check int) "counter" 4 (Sb_nf.Sampler.dropped sampler);
+  Alcotest.(check bool) "every < 2 rejected" true
+    (try
+       ignore (Sb_nf.Sampler.create ~every:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_opted_out_chain_never_consolidates () =
+  let chain () =
+    Speedybox.Chain.create ~name:"pol"
+      [
+        Sb_nf.Monitor.nf (Sb_nf.Monitor.create ());
+        Sb_nf.Sampler.nf (Sb_nf.Sampler.create ~every:3 ());
+      ]
+  in
+  Alcotest.(check bool) "chain not consolidable" false
+    (Speedybox.Chain.consolidable (chain ()));
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) (chain ()) in
+  let result = Speedybox.Runtime.run_trace rt (trace ()) in
+  Alcotest.(check int) "no fast path" 0 result.Speedybox.Runtime.fast_path;
+  Alcotest.(check int) "no rules installed" 0
+    (Sb_mat.Global_mat.flow_count (Speedybox.Runtime.global_mat rt));
+  (* ... and therefore stays fully equivalent. *)
+  Test_util.check_equivalent "opted-out sampler chain"
+    (Speedybox.Equivalence.check ~build_chain:chain (trace ()))
+
+let test_naive_instrumentation_breaks () =
+  (* The same NF claiming to be consolidable: the initial packet records
+     [forward], so the fast path never drops — the equivalence checker
+     must catch it.  This is the paper's scope claim, demonstrated. *)
+  let chain () =
+    Speedybox.Chain.create ~name:"naive"
+      [ Sb_nf.Sampler.nf (Sb_nf.Sampler.create_naive ~every:3 ()) ]
+  in
+  let report = Speedybox.Equivalence.check ~build_chain:chain (trace ()) in
+  Alcotest.(check bool) "naive sampler is NOT equivalent" false
+    (Speedybox.Equivalence.equivalent report);
+  Alcotest.(check bool) "verdicts diverge" true
+    (report.Speedybox.Equivalence.verdict_mismatches > 0)
+
+let test_consolidable_chains_unaffected () =
+  Alcotest.(check bool) "ordinary chain stays consolidable" true
+    (Speedybox.Chain.consolidable
+       (Speedybox.Chain.create ~name:"m" [ Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]))
+
+let suite =
+  [
+    Alcotest.test_case "sampler behaviour" `Quick test_sampler_behaviour;
+    Alcotest.test_case "opted-out chain never consolidates" `Quick
+      test_opted_out_chain_never_consolidates;
+    Alcotest.test_case "naive instrumentation breaks equivalence" `Quick
+      test_naive_instrumentation_breaks;
+    Alcotest.test_case "ordinary chains unaffected" `Quick test_consolidable_chains_unaffected;
+  ]

@@ -1,0 +1,152 @@
+(* Tests for the simulation substrate: cycle model, cost profiles,
+   platform engines, ring buffer and statistics. *)
+open Sb_sim
+
+let test_cycles_conversions () =
+  Alcotest.(check (float 1e-9)) "2000 cycles at 2GHz = 1us" 1.0 (Cycles.to_microseconds 2000);
+  Alcotest.(check (float 1e-9)) "1000 cycles -> 2 Mpps" 2.0 (Cycles.rate_mpps 1000);
+  Alcotest.(check bool) "zero cycles -> infinite rate" true (Cycles.rate_mpps 0 = infinity)
+
+let test_cost_profile_serial () =
+  let profile =
+    [ Cost_profile.serial_stage "a" 100; Cost_profile.stage "b" [ Cost_profile.Serial 50; Cost_profile.Serial 25 ] ]
+  in
+  Alcotest.(check int) "stage cycles sum" 75 (Cost_profile.stage_cycles (List.nth profile 1));
+  Alcotest.(check int) "total" 175 (Cost_profile.total_cycles profile)
+
+let test_cost_profile_parallel () =
+  let wave = Cost_profile.Parallel [ 1000; 400; 200 ] in
+  let expected =
+    Cycles.parallel_sync + 1000 + (600 * Cycles.parallel_overlap_pct / 100)
+  in
+  Alcotest.(check int) "parallel = sync + max + overlap share" expected
+    (Cost_profile.stage_cycles (Cost_profile.stage "w" [ wave ]));
+  Alcotest.(check int) "core work sums everything" 1600
+    (Cost_profile.stage_core_work (Cost_profile.stage "w" [ wave ]));
+  Alcotest.(check int) "singleton group has no overhead" 300
+    (Cost_profile.stage_cycles (Cost_profile.stage "w" [ Cost_profile.Parallel [ 300 ] ]));
+  Alcotest.(check int) "empty group free" 0
+    (Cost_profile.stage_cycles (Cost_profile.stage "w" [ Cost_profile.Parallel [] ]))
+
+let test_platform_latency () =
+  let profile = [ Cost_profile.serial_stage "a" 500; Cost_profile.serial_stage "b" 700 ] in
+  Alcotest.(check int) "bess latency adds module hops"
+    (1200 + Cycles.module_hop_bess)
+    (Platform.latency_cycles Platform.Bess profile);
+  Alcotest.(check int) "onvm latency adds ring hops"
+    (1200 + Cycles.ring_hop_onvm)
+    (Platform.latency_cycles Platform.Onvm profile);
+  Alcotest.(check int) "bess service = latency"
+    (Platform.latency_cycles Platform.Bess profile)
+    (Platform.service_cycles Platform.Bess profile)
+
+let test_platform_bottleneck () =
+  let profile = [ Cost_profile.serial_stage "a" 500; Cost_profile.serial_stage "b" 700 ] in
+  Alcotest.(check int) "onvm service = slowest stage + ring"
+    (700 + Cycles.ring_hop_onvm)
+    (Platform.service_cycles Platform.Onvm profile);
+  (* A dispatched parallel batch pipelines: the bottleneck is the larger of
+     the stage's serial work and the longest batch. *)
+  let dispatched =
+    [ Cost_profile.stage "m" [ Cost_profile.Serial 300; Cost_profile.Parallel [ 900; 100 ] ] ]
+  in
+  Alcotest.(check int) "onvm parallel batch is its own pipeline unit"
+    (900 + Cycles.ring_hop_onvm)
+    (Platform.service_cycles Platform.Onvm dispatched);
+  Alcotest.(check (option int)) "onvm core cap" (Some 5) (Platform.max_chain_length Platform.Onvm);
+  Alcotest.(check (option int)) "bess unbounded" None (Platform.max_chain_length Platform.Bess)
+
+let test_ring_basics () =
+  let ring = Ring.create ~capacity:3 in
+  Alcotest.(check bool) "empty" true (Ring.is_empty ring);
+  Alcotest.(check bool) "push 1" true (Ring.push ring 1);
+  Alcotest.(check bool) "push 2" true (Ring.push ring 2);
+  Alcotest.(check bool) "push 3" true (Ring.push ring 3);
+  Alcotest.(check bool) "full rejects" false (Ring.push ring 4);
+  Alcotest.(check (option int)) "peek head" (Some 1) (Ring.peek ring);
+  Alcotest.(check (option int)) "pop FIFO" (Some 1) (Ring.pop ring);
+  Alcotest.(check bool) "space after pop" true (Ring.push ring 4);
+  Alcotest.(check (option int)) "wraps" (Some 2) (Ring.pop ring);
+  Ring.clear ring;
+  Alcotest.(check (option int)) "cleared" None (Ring.pop ring);
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Ring.create ~capacity:0))
+
+let prop_ring_fifo =
+  QCheck.Test.make ~count:200 ~name:"ring preserves FIFO order under mixed ops"
+    QCheck.(list (option (int_bound 1000)))
+    (fun ops ->
+      (* Some x = push x, None = pop; mirror against a plain queue. *)
+      let ring = Ring.create ~capacity:8 in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              let pushed = Ring.push ring x in
+              let model_ok = Queue.length model < 8 in
+              if model_ok then Queue.push x model;
+              pushed = model_ok
+          | None -> (
+              match (Ring.pop ring, Queue.take_opt model) with
+              | Some a, Some b -> a = b
+              | None, None -> true
+              | Some _, None | None, Some _ -> false))
+        ops
+      && Ring.length ring = Queue.length model)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  List.iter (Stats.add_int s) [ 5; 1; 3; 2; 4 ];
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median s);
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5.0 (Stats.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "interpolated p25" 2.0 (Stats.percentile s 25.);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s);
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  (* Adding after a sorted read keeps working. *)
+  Stats.add_int s 100;
+  Alcotest.(check (float 1e-9)) "max updates" 100.0 (Stats.max_value s)
+
+let test_stats_empty_and_cdf () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "empty percentile is nan" true (Float.is_nan (Stats.median s));
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "empty cdf" [] (Stats.cdf s ~points:4);
+  List.iter (Stats.add_int s) [ 10; 20; 30; 40 ];
+  let cdf = Stats.cdf s ~points:4 in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "cdf quartiles"
+    [ (10., 0.25); (20., 0.5); (30., 0.75); (40., 1.0) ]
+    cdf;
+  let summary = Stats.summarize s in
+  Alcotest.(check int) "summary n" 4 summary.Stats.n;
+  Alcotest.(check (float 1e-9)) "summary min" 10. summary.Stats.min
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:100 ~name:"percentiles are monotone"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0. 1000.))
+    (fun values ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) values;
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ] in
+      let samples = List.map (Stats.percentile s) ps in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+        | [ _ ] | [] -> true
+      in
+      monotone samples)
+
+let suite =
+  [
+    Alcotest.test_case "cycle conversions" `Quick test_cycles_conversions;
+    Alcotest.test_case "serial cost profiles" `Quick test_cost_profile_serial;
+    Alcotest.test_case "parallel cost profiles" `Quick test_cost_profile_parallel;
+    Alcotest.test_case "platform latency" `Quick test_platform_latency;
+    Alcotest.test_case "platform bottleneck" `Quick test_platform_bottleneck;
+    Alcotest.test_case "ring basics" `Quick test_ring_basics;
+    Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
+    Alcotest.test_case "stats empty and cdf" `Quick test_stats_empty_and_cdf;
+  ]
+  @ Test_util.qcheck_cases [ prop_ring_fifo; prop_percentile_monotone ]

@@ -1,0 +1,93 @@
+(* End-to-end smoke tests: a real chain, both platforms, both modes. *)
+open Sb_packet
+
+let build_chain () =
+  let nat = Sb_nf.Mazunat.create ~external_ip:(Test_util.ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let fw =
+    Sb_nf.Ipfilter.create
+      ~rules:[ Sb_nf.Ipfilter.rule ~dst_ports:(6666, 6666) Sb_nf.Ipfilter.Deny ]
+      ()
+  in
+  Speedybox.Chain.create ~name:"smoke"
+    [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor; Sb_nf.Ipfilter.nf fw ]
+
+let trace () =
+  Test_util.tcp_flow ~sport:40001 5
+  @ Test_util.tcp_flow ~sport:40002 ~dport:6666 3
+  @ Test_util.tcp_flow ~sport:40003 8
+
+let test_original_forwards () =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Original ())
+      (build_chain ())
+  in
+  let result = Speedybox.Runtime.run_trace rt (trace ()) in
+  Alcotest.(check int) "all packets accounted" 19 result.Speedybox.Runtime.packets;
+  Alcotest.(check int) "blocked flow dropped" 4 result.Speedybox.Runtime.dropped
+
+let test_speedybox_uses_fast_path () =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Speedybox ())
+      (build_chain ())
+  in
+  let result = Speedybox.Runtime.run_trace rt (trace ()) in
+  Alcotest.(check bool) "fast path used" true (result.Speedybox.Runtime.fast_path > 0);
+  (* Each flow: SYN (slow) + initial data packet (slow, records); the rest
+     take the fast path. *)
+  Alcotest.(check int) "slow path = 2 per flow" 6 result.Speedybox.Runtime.slow_path;
+  Alcotest.(check int) "fast path = rest" 13 result.Speedybox.Runtime.fast_path
+
+let test_equivalence () =
+  let report = Speedybox.Equivalence.check ~build_chain (trace ()) in
+  Test_util.check_equivalent "smoke chain" report
+
+let test_speedybox_latency_wins () =
+  let run mode =
+    let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~mode ()) (build_chain ()) in
+    let result = Speedybox.Runtime.run_trace rt (trace ()) in
+    Sb_sim.Stats.median result.Speedybox.Runtime.latency_us
+  in
+  let original = run Speedybox.Runtime.Original in
+  let speedybox = run Speedybox.Runtime.Speedybox in
+  Alcotest.(check bool)
+    (Printf.sprintf "median latency reduced (%.3f -> %.3f us)" original speedybox)
+    true (speedybox < original)
+
+let test_nat_rewrites () =
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Speedybox ())
+      (build_chain ())
+  in
+  let outputs = ref [] in
+  let _ =
+    Speedybox.Runtime.run_trace
+      ~on_output:(fun _ out -> outputs := out :: !outputs)
+      rt
+      (Test_util.tcp_flow ~sport:40009 4)
+  in
+  List.iter
+    (fun out ->
+      match out.Speedybox.Runtime.verdict with
+      | Sb_mat.Header_action.Forwarded ->
+          Alcotest.(check string)
+            "source rewritten to NAT external IP" "203.0.113.1"
+            (Ipv4_addr.to_string (Packet.src_ip out.Speedybox.Runtime.packet));
+          Alcotest.(check bool)
+            "checksums valid" true
+            (Packet.checksums_ok out.Speedybox.Runtime.packet)
+      | Sb_mat.Header_action.Dropped -> Alcotest.fail "unexpected drop")
+    !outputs
+
+let suite =
+  [
+    Alcotest.test_case "original mode forwards and drops" `Quick test_original_forwards;
+    Alcotest.test_case "speedybox routes subsequent packets fast" `Quick
+      test_speedybox_uses_fast_path;
+    Alcotest.test_case "original and speedybox are equivalent" `Quick test_equivalence;
+    Alcotest.test_case "speedybox reduces median latency" `Quick test_speedybox_latency_wins;
+    Alcotest.test_case "NAT rewrite survives the fast path" `Quick test_nat_rewrites;
+  ]

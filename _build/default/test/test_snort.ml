@@ -1,0 +1,143 @@
+(* Tests for the Snort-subset rule parser and the IDS NF. *)
+
+let parse_ok line =
+  match Sb_nf.Snort_rule.parse line with
+  | Ok rule -> rule
+  | Error msg -> Alcotest.failf "expected parse of %S, got error: %s" line msg
+
+let test_rule_parsing () =
+  let r =
+    parse_ok
+      {|alert tcp 10.0.0.0/8 any -> any 80 (msg:"web attack"; content:"attack"; nocase; sid:42;)|}
+  in
+  Alcotest.(check bool) "action" true (r.Sb_nf.Snort_rule.action = Sb_nf.Snort_rule.Alert);
+  Alcotest.(check bool) "proto" true (r.Sb_nf.Snort_rule.proto = Sb_nf.Snort_rule.Tcp);
+  Alcotest.(check (list string)) "content" [ "attack" ]
+    (List.map (fun c -> c.Sb_nf.Snort_rule.pattern) r.Sb_nf.Snort_rule.contents);
+  Alcotest.(check bool) "nocase" true r.Sb_nf.Snort_rule.nocase;
+  Alcotest.(check int) "sid" 42 r.Sb_nf.Snort_rule.sid;
+  Alcotest.(check string) "msg" "web attack" r.Sb_nf.Snort_rule.msg
+
+let test_rule_variants () =
+  let r = parse_ok {|log udp any 1024:2048 -> 192.168.1.1 any (msg:"range"; sid:1;)|} in
+  Alcotest.(check bool) "port range" true
+    (r.Sb_nf.Snort_rule.src_port = Sb_nf.Snort_rule.Port_range (1024, 2048));
+  let r2 = parse_ok {|pass ip any any -> any any (msg:"all"; sid:2;)|} in
+  Alcotest.(check bool) "ip any proto" true (r2.Sb_nf.Snort_rule.proto = Sb_nf.Snort_rule.Any_proto);
+  let r3 = parse_ok {|alert tcp any any -> any any (content:"a"; content:"b"; sid:3;)|} in
+  Alcotest.(check (list string)) "multiple contents ordered" [ "a"; "b" ]
+    (List.map (fun c -> c.Sb_nf.Snort_rule.pattern) r3.Sb_nf.Snort_rule.contents);
+  (* Semicolons inside quoted strings survive. *)
+  let r4 = parse_ok {|alert tcp any any -> any any (msg:"semi; colon"; sid:4;)|} in
+  Alcotest.(check string) "quoted semicolon" "semi; colon" r4.Sb_nf.Snort_rule.msg
+
+let test_rule_rejections () =
+  let rejects line =
+    match Sb_nf.Snort_rule.parse line with
+    | Ok _ -> Alcotest.failf "expected rejection of %S" line
+    | Error _ -> ()
+  in
+  rejects "alert tcp any any -> any 80";
+  rejects {|drop tcp any any -> any 80 (sid:1;)|};
+  rejects {|alert xxx any any -> any 80 (sid:1;)|};
+  rejects {|alert tcp any any -> any 99999 (sid:1;)|};
+  rejects {|alert tcp any any -> any 80 (frobnicate:"x";)|};
+  rejects {|alert tcp any any any 80 (sid:1;)|};
+  rejects {|alert tcp any any -> any 80 (content:""; sid:1;)|}
+
+let test_parse_many () =
+  let text = "# comment\n\nalert tcp any any -> any 80 (sid:1;)\nlog udp any any -> any 53 (sid:2;)\n" in
+  (match Sb_nf.Snort_rule.parse_many text with
+  | Ok rules -> Alcotest.(check int) "two rules" 2 (List.length rules)
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg);
+  match Sb_nf.Snort_rule.parse_many "alert tcp any any -> any 80 (sid:1;)\nbroken\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+
+let test_header_matching () =
+  let r = parse_ok {|alert tcp 10.0.0.0/8 any -> any 80 (sid:1;)|} in
+  Alcotest.(check bool) "matches" true
+    (Sb_nf.Snort_rule.matches_header r (Test_util.tuple ()));
+  Alcotest.(check bool) "wrong source" false
+    (Sb_nf.Snort_rule.matches_header r (Test_util.tuple ~src:"172.16.0.1" ()));
+  Alcotest.(check bool) "wrong port" false
+    (Sb_nf.Snort_rule.matches_header r (Test_util.tuple ~dport:443 ()));
+  Alcotest.(check bool) "wrong proto" false
+    (Sb_nf.Snort_rule.matches_header r (Test_util.tuple ~proto:17 ()))
+
+(* --- the IDS NF -------------------------------------------------------- *)
+
+let rules () =
+  match
+    Sb_nf.Snort_rule.parse_many
+      {|
+alert tcp any any -> any 80 (msg:"attack on web"; content:"attack"; sid:1;)
+log tcp any any -> any 80 (msg:"logged token"; content:"token"; sid:2;)
+pass tcp 10.99.0.0/16 any -> any any (content:"attack"; sid:3;)
+alert tcp any any -> any 80 (msg:"both required"; content:"foo"; content:"bar"; sid:4;)
+|}
+  with
+  | Ok rules -> rules
+  | Error msg -> failwith msg
+
+let run_chain packets =
+  let snort = Sb_nf.Snort.create ~rules:(rules ()) () in
+  let chain = Speedybox.Chain.create ~name:"ids" [ Sb_nf.Snort.nf snort ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt packets in
+  snort
+
+let test_alert_and_log () =
+  let snort =
+    run_chain
+      (Test_util.tcp_flow ~payload:"an attack is here" 2
+      @ Test_util.tcp_flow ~sport:40010 ~payload:"carrying a token" 1)
+  in
+  Alcotest.(check int) "two alert packets" 2 (List.length (Sb_nf.Snort.alerts snort));
+  Alcotest.(check int) "one logged packet" 1 (List.length (Sb_nf.Snort.logged snort));
+  Alcotest.(check bool) "alert mentions sid" true
+    (String.length (List.hd (Sb_nf.Snort.alerts snort)) > 0
+    && String.sub (List.hd (Sb_nf.Snort.alerts snort)) 0 7 = "[sid:1]")
+
+let test_pass_suppresses () =
+  let snort = run_chain (Test_util.tcp_flow ~src:"10.99.3.4" ~payload:"an attack" 3) in
+  Alcotest.(check int) "pass rule silences alerts" 0 (List.length (Sb_nf.Snort.alerts snort))
+
+let test_all_contents_required () =
+  let snort =
+    run_chain
+      (Test_util.tcp_flow ~sport:40020 ~payload:"foo only" 1
+      @ Test_util.tcp_flow ~sport:40021 ~payload:"foo and bar" 1)
+  in
+  let sid4 =
+    List.filter (fun a -> String.sub a 0 7 = "[sid:4]") (Sb_nf.Snort.alerts snort)
+  in
+  Alcotest.(check int) "only the packet with both contents" 1 (List.length sid4)
+
+let test_rule_group_excludes_other_ports () =
+  let snort = run_chain (Test_util.tcp_flow ~dport:443 ~payload:"an attack" 2) in
+  Alcotest.(check int) "port-80 rules never fire on 443" 0
+    (List.length (Sb_nf.Snort.alerts snort));
+  Alcotest.(check int) "flow still tracked" 1 (Sb_nf.Snort.flows_seen snort)
+
+let test_detection_identical_on_fast_path () =
+  (* 6 matching packets: the first records, the rest are inspected by the
+     recorded state function — the journal must not miss any of them. *)
+  let snort = run_chain (Test_util.tcp_flow ~payload:"attack payload" 6) in
+  Alcotest.(check int) "every data packet alerted" 6 (List.length (Sb_nf.Snort.alerts snort))
+
+let suite =
+  [
+    Alcotest.test_case "rule parsing" `Quick test_rule_parsing;
+    Alcotest.test_case "rule variants" `Quick test_rule_variants;
+    Alcotest.test_case "rule rejections" `Quick test_rule_rejections;
+    Alcotest.test_case "parse_many" `Quick test_parse_many;
+    Alcotest.test_case "header matching" `Quick test_header_matching;
+    Alcotest.test_case "alert and log actions" `Quick test_alert_and_log;
+    Alcotest.test_case "pass suppression" `Quick test_pass_suppresses;
+    Alcotest.test_case "all contents required" `Quick test_all_contents_required;
+    Alcotest.test_case "rule groups are per-flow" `Quick test_rule_group_excludes_other_ports;
+    Alcotest.test_case "fast path keeps detecting" `Quick test_detection_identical_on_fast_path;
+  ]

@@ -1,0 +1,211 @@
+(* Tests for the extended Snort rule options: positional content chains,
+   dsize, flags, flowbits and thresholds — plus the BMH search they rely
+   on. *)
+
+let parse line = Sb_nf.Snort_rule.parse_exn line
+
+(* --- Str_search -------------------------------------------------------- *)
+
+let test_str_search_basics () =
+  let t = Sb_nf.Str_search.compile "aba" in
+  Alcotest.(check (list int)) "overlapping finds" [ 0; 2 ]
+    (Sb_nf.Str_search.find_all t "ababa");
+  Alcotest.(check (option int)) "find_from skips" (Some 2)
+    (Sb_nf.Str_search.find_from t "ababa" 1);
+  Alcotest.(check (option int)) "none beyond" None (Sb_nf.Str_search.find_from t "ababa" 3);
+  Alcotest.(check bool) "nocase" true
+    (Sb_nf.Str_search.occurs ~nocase:true ~pattern:"AtTaCk" "an attack");
+  Alcotest.(check bool) "case miss" false (Sb_nf.Str_search.occurs ~pattern:"ATTACK" "an attack");
+  Alcotest.(check bool) "empty pattern rejected" true
+    (try
+       ignore (Sb_nf.Str_search.compile "");
+       false
+     with Invalid_argument _ -> true)
+
+let prop_str_search_matches_naive =
+  let open QCheck in
+  let alphabet = Gen.oneofl [ 'a'; 'b'; 'c' ] in
+  let pattern = string_gen_of_size (Gen.int_range 1 5) alphabet in
+  let text = string_gen_of_size (Gen.int_range 0 60) alphabet in
+  Test.make ~count:500 ~name:"BMH find_all = naive scan" (pair pattern text)
+    (fun (pattern, text) ->
+      let naive =
+        let plen = String.length pattern and tlen = String.length text in
+        List.filter
+          (fun i -> String.sub text i plen = pattern)
+          (List.init (max 0 (tlen - plen + 1)) Fun.id)
+      in
+      Sb_nf.Str_search.find_all (Sb_nf.Str_search.compile pattern) text = naive)
+
+(* --- content chains ------------------------------------------------------ *)
+
+let contents_ok rule payload = Sb_nf.Snort_rule.contents_ok (parse rule) payload
+
+let test_offset_depth () =
+  let r = {|alert tcp any any -> any any (content:"GET"; offset:0; depth:3; sid:1;)|} in
+  Alcotest.(check bool) "at start" true (contents_ok r "GET /x");
+  Alcotest.(check bool) "shifted out of depth" false (contents_ok r " GET /x");
+  let r2 = {|alert tcp any any -> any any (content:"x"; offset:4; sid:1;)|} in
+  Alcotest.(check bool) "before offset ignored" false (contents_ok r2 "x123");
+  Alcotest.(check bool) "after offset found" true (contents_ok r2 "1234x")
+
+let test_ordered_contents () =
+  let r = {|alert tcp any any -> any any (content:"user"; content:"pass"; sid:1;)|} in
+  Alcotest.(check bool) "in order" true (contents_ok r "user then pass");
+  Alcotest.(check bool) "reversed rejected" false (contents_ok r "pass then user")
+
+let test_distance_within () =
+  let r =
+    {|alert tcp any any -> any any (content:"ab"; content:"cd"; distance:2; within:4; sid:1;)|}
+  in
+  (* "ab" ends at 2; "cd" must start >= 4 and end <= 6. *)
+  Alcotest.(check bool) "window hit" true (contents_ok r "abXXcd");
+  Alcotest.(check bool) "too close" false (contents_ok r "abcdXX");
+  Alcotest.(check bool) "too far" false (contents_ok r "abXXXXXcd")
+
+let test_chain_backtracking () =
+  (* The first "ab" occurrence fails the within constraint; the matcher
+     must try the second. *)
+  let r = {|alert tcp any any -> any any (content:"ab"; content:"cd"; within:3; sid:1;)|} in
+  Alcotest.(check bool) "backtracks to later occurrence" true (contents_ok r "ab ab cd")
+
+(* --- dsize / flags -------------------------------------------------------- *)
+
+let test_dsize () =
+  let ok spec len = Sb_nf.Snort_rule.dsize_ok (parse spec) len in
+  let eq = {|alert tcp any any -> any any (dsize:10; sid:1;)|} in
+  let gt = {|alert tcp any any -> any any (dsize:>10; sid:1;)|} in
+  let lt = {|alert tcp any any -> any any (dsize:<10; sid:1;)|} in
+  let range = {|alert tcp any any -> any any (dsize:5<>10; sid:1;)|} in
+  Alcotest.(check bool) "eq hit" true (ok eq 10);
+  Alcotest.(check bool) "eq miss" false (ok eq 11);
+  Alcotest.(check bool) "gt" true (ok gt 11);
+  Alcotest.(check bool) "gt boundary" false (ok gt 10);
+  Alcotest.(check bool) "lt" true (ok lt 9);
+  Alcotest.(check bool) "range interior" true (ok range 7);
+  Alcotest.(check bool) "range exclusive" false (ok range 5)
+
+let test_flags () =
+  let ok spec flags = Sb_nf.Snort_rule.flags_ok (parse spec) flags in
+  let syn_only = {|alert tcp any any -> any any (flags:S; sid:1;)|} in
+  let syn_plus = {|alert tcp any any -> any any (flags:S+; sid:1;)|} in
+  let none = {|alert tcp any any -> any any (flags:0; sid:1;)|} in
+  Alcotest.(check bool) "exact SYN" true (ok syn_only (Some Sb_packet.Tcp.Flags.syn));
+  Alcotest.(check bool) "SYN-ACK fails exact" false (ok syn_only (Some Sb_packet.Tcp.Flags.syn_ack));
+  Alcotest.(check bool) "SYN+ accepts SYN-ACK" true (ok syn_plus (Some Sb_packet.Tcp.Flags.syn_ack));
+  Alcotest.(check bool) "flags:0" true (ok none (Some Sb_packet.Tcp.Flags.none));
+  Alcotest.(check bool) "udp fails any flags rule" false (ok syn_only None);
+  Alcotest.(check bool) "no flags option passes udp" true
+    (Sb_nf.Snort_rule.flags_ok (parse {|alert tcp any any -> any any (sid:1;)|}) None)
+
+let test_option_rejections () =
+  let rejects line =
+    match Sb_nf.Snort_rule.parse line with
+    | Ok _ -> Alcotest.failf "expected rejection of %S" line
+    | Error _ -> ()
+  in
+  rejects {|alert tcp any any -> any any (offset:3; sid:1;)|} (* modifier before content *);
+  rejects {|alert tcp any any -> any any (dsize:abc; sid:1;)|};
+  rejects {|alert tcp any any -> any any (flags:Z; sid:1;)|};
+  rejects {|alert tcp any any -> any any (flowbits:frob,x; sid:1;)|};
+  rejects {|alert tcp any any -> any any (threshold:0; sid:1;)|}
+
+(* --- stateful options in the IDS ------------------------------------------ *)
+
+let run_ids rules packets =
+  let rules =
+    match Sb_nf.Snort_rule.parse_many rules with Ok r -> r | Error m -> failwith m
+  in
+  let snort = Sb_nf.Snort.create ~rules () in
+  let chain = Speedybox.Chain.create ~name:"ids" [ Sb_nf.Snort.nf snort ] in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt packets in
+  snort
+
+let test_flowbits_sequence () =
+  (* sid:2 only fires once sid:1 has set the bit on the same flow. *)
+  let rules =
+    {|
+alert tcp any any -> any 80 (msg:"stage1"; content:"LOGIN"; flowbits:set,logged_in; sid:1;)
+alert tcp any any -> any 80 (msg:"stage2"; content:"UPLOAD"; flowbits:isset,logged_in; sid:2;)
+|}
+  in
+  (* UPLOAD before LOGIN: no sid:2; after LOGIN: sid:2 fires. *)
+  let packets =
+    [
+      Test_util.tcp_packet ~payload:"UPLOAD now" ();
+      Test_util.tcp_packet ~payload:"LOGIN user" ();
+      Test_util.tcp_packet ~payload:"UPLOAD again" ();
+    ]
+  in
+  let snort = run_ids rules packets in
+  let sids = List.map (fun a -> String.sub a 0 7) (Sb_nf.Snort.alerts snort) in
+  Alcotest.(check (list string)) "stage2 gated by flowbit" [ "[sid:1]"; "[sid:2]" ] sids
+
+let test_flowbits_per_flow_isolation () =
+  let rules =
+    {|
+alert tcp any any -> any 80 (msg:"s1"; content:"LOGIN"; flowbits:set,ok; sid:1;)
+alert tcp any any -> any 80 (msg:"s2"; content:"UPLOAD"; flowbits:isset,ok; sid:2;)
+|}
+  in
+  (* Flow A logs in; flow B uploads — B must not benefit from A's bit. *)
+  let packets =
+    [
+      Test_util.tcp_packet ~sport:40001 ~payload:"LOGIN" ();
+      Test_util.tcp_packet ~sport:40002 ~payload:"UPLOAD" ();
+    ]
+  in
+  let snort = run_ids rules packets in
+  Alcotest.(check int) "only flow A's stage1" 1 (List.length (Sb_nf.Snort.alerts snort))
+
+let test_threshold () =
+  let rules =
+    {|alert tcp any any -> any 80 (msg:"brute"; content:"FAIL"; threshold:3; sid:7;)|}
+  in
+  let packets = List.init 5 (fun _ -> Test_util.tcp_packet ~payload:"FAIL" ()) in
+  let snort = run_ids rules packets in
+  (* Fires on the 3rd, 4th and 5th match. *)
+  Alcotest.(check int) "fires from the threshold on" 3 (List.length (Sb_nf.Snort.alerts snort))
+
+let test_stateful_options_equivalent_on_fast_path () =
+  (* flowbits and thresholds keep evolving inside the recorded state
+     function: original and SpeedyBox journals must agree. *)
+  let rules =
+    {|
+alert tcp any any -> any 80 (msg:"s1"; content:"LOGIN"; flowbits:set,ok; sid:1;)
+alert tcp any any -> any 80 (msg:"s2"; content:"UPLOAD"; flowbits:isset,ok; threshold:2; sid:2;)
+|}
+  in
+  let parsed =
+    match Sb_nf.Snort_rule.parse_many rules with Ok r -> r | Error m -> failwith m
+  in
+  let build_chain () =
+    Speedybox.Chain.create ~name:"ids"
+      [ Sb_nf.Snort.nf (Sb_nf.Snort.create ~rules:parsed ()) ]
+  in
+  let payloads = [| "UPLOAD"; "LOGIN"; "UPLOAD"; "UPLOAD"; "noise"; "UPLOAD" |] in
+  let trace =
+    Sb_trace.Workload.packets_of_flow
+      (Sb_trace.Workload.make_flow ~tuple:(Test_util.tuple ()) ~payloads ())
+  in
+  Test_util.check_equivalent "stateful options"
+    (Speedybox.Equivalence.check ~build_chain trace)
+
+let suite =
+  [
+    Alcotest.test_case "BMH search basics" `Quick test_str_search_basics;
+    Alcotest.test_case "offset and depth" `Quick test_offset_depth;
+    Alcotest.test_case "ordered contents" `Quick test_ordered_contents;
+    Alcotest.test_case "distance and within" `Quick test_distance_within;
+    Alcotest.test_case "chain backtracking" `Quick test_chain_backtracking;
+    Alcotest.test_case "dsize" `Quick test_dsize;
+    Alcotest.test_case "flags" `Quick test_flags;
+    Alcotest.test_case "option rejections" `Quick test_option_rejections;
+    Alcotest.test_case "flowbits gate rules" `Quick test_flowbits_sequence;
+    Alcotest.test_case "flowbits are per flow" `Quick test_flowbits_per_flow_isolation;
+    Alcotest.test_case "threshold" `Quick test_threshold;
+    Alcotest.test_case "stateful options on fast path" `Quick
+      test_stateful_options_equivalent_on_fast_path;
+  ]
+  @ Test_util.qcheck_cases [ prop_str_search_matches_naive ]

@@ -1,0 +1,119 @@
+(* Soak tests: larger-scale runs checking end-to-end equivalence, state
+   bounds and conntrack behaviour under randomized inputs. *)
+open Sb_packet
+
+(* Model-based conntrack property: random TCP flag sequences against a
+   straightforward reference state machine. *)
+let prop_conntrack_model =
+  let open QCheck in
+  let flag_gen =
+    Gen.oneofl
+      [ Tcp.Flags.syn; Tcp.Flags.syn_ack; Tcp.Flags.ack; Tcp.Flags.fin_ack; Tcp.Flags.rst ]
+  in
+  Test.make ~count:300 ~name:"conntrack agrees with reference model"
+    (make (Gen.list_size (Gen.int_range 1 15) flag_gen))
+    (fun flags ->
+      let ct = Sb_flow.Conntrack.create () in
+      let key = Test_util.tuple () in
+      let model = ref `Fresh in
+      List.for_all
+        (fun f ->
+          let v = Sb_flow.Conntrack.observe ct key (Test_util.tcp_packet ~flags:f ()) in
+          let expected =
+            if f.Tcp.Flags.rst || f.Tcp.Flags.fin then `Closing
+            else if f.Tcp.Flags.syn && f.Tcp.Flags.ack then `Syn_received
+            else if f.Tcp.Flags.syn then `Syn_sent
+            else begin
+              match !model with
+              | `Fresh | `Syn_sent | `Syn_received | `Established -> `Established
+              | `Closing -> `Closing
+            end
+          in
+          model := expected;
+          let observed =
+            match v.Sb_flow.Conntrack.state with
+            | Sb_flow.Conntrack.Syn_sent -> `Syn_sent
+            | Sb_flow.Conntrack.Syn_received -> `Syn_received
+            | Sb_flow.Conntrack.Established -> `Established
+            | Sb_flow.Conntrack.Closing -> `Closing
+          in
+          observed = expected
+          && v.Sb_flow.Conntrack.final = (f.Tcp.Flags.fin || f.Tcp.Flags.rst))
+        flags)
+
+let test_soak_chain1_equivalence () =
+  (* A big heavy-tailed workload through the full enterprise chain. *)
+  let trace =
+    Sb_trace.Workload.dcn_trace
+      {
+        Sb_trace.Workload.seed = 777;
+        n_flows = 400;
+        mean_flow_packets = 18.;
+        payload_len = (16, 700);
+        udp_fraction = 0.15;
+        malicious_fraction = 0.05;
+        tokens = [ "attack"; "exploit" ];
+      }
+  in
+  Alcotest.(check bool) "soak workload is substantial" true (List.length trace > 5000);
+  Test_util.check_equivalent "chain1 soak"
+    (Speedybox.Equivalence.check
+       ~build_chain:(Sb_experiments.Fig9.build_chain Sb_experiments.Fig9.Chain1)
+       trace)
+
+let test_soak_state_bounds () =
+  (* Closed flows must not leak MAT state: after a trace where every TCP
+     flow FINs, only UDP flows' rules remain. *)
+  let cfg =
+    {
+      Sb_trace.Workload.seed = 778;
+      n_flows = 300;
+      mean_flow_packets = 8.;
+      payload_len = (16, 200);
+      udp_fraction = 0.2;
+      malicious_fraction = 0.;
+      tokens = [];
+    }
+  in
+  let flows = Sb_trace.Workload.dcn_flows cfg in
+  let udp_flows =
+    List.length
+      (List.filter (fun f -> f.Sb_trace.Workload.tuple.Sb_flow.Five_tuple.proto = 17) flows)
+  in
+  let chain =
+    Speedybox.Chain.create ~name:"mon" [ Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let _ = Speedybox.Runtime.run_trace rt (Sb_trace.Workload.dcn_trace cfg) in
+  let live = Sb_mat.Global_mat.flow_count (Speedybox.Runtime.global_mat rt) in
+  Alcotest.(check bool)
+    (Printf.sprintf "only UDP rules remain (%d live <= %d udp flows)" live udp_flows)
+    true (live <= udp_flows);
+  Alcotest.(check bool) "some UDP rules do remain" true (live > 0)
+
+let test_soak_determinism () =
+  (* The whole pipeline is deterministic: two identical runs, identical
+     outputs and state. *)
+  let run () =
+    let chain = Sb_experiments.Fig9.build_chain Sb_experiments.Fig9.Chain2 () in
+    let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+    let digests = ref [] in
+    let result =
+      Speedybox.Runtime.run_trace
+        ~on_output:(fun _ out ->
+          digests := Hashtbl.hash (Packet.wire out.Speedybox.Runtime.packet) :: !digests)
+        rt
+        (Sb_experiments.Fig9.trace Sb_experiments.Fig9.Chain2)
+    in
+    (result.Speedybox.Runtime.forwarded, Hashtbl.hash !digests, Speedybox.Chain.state_digest chain)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-for-bit deterministic" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "chain1 soak equivalence" `Slow test_soak_chain1_equivalence;
+    Alcotest.test_case "state bounds after FIN" `Slow test_soak_state_bounds;
+    Alcotest.test_case "full determinism" `Slow test_soak_determinism;
+  ]
+  @ Test_util.qcheck_cases [ prop_conntrack_model ]

@@ -1,0 +1,175 @@
+(* Tests for the dispatcher, the ASCII plotter and pcap export. *)
+open Sb_packet
+
+let monitor_runtime () =
+  let monitor = Sb_nf.Monitor.create () in
+  ( monitor,
+    Speedybox.Runtime.create (Speedybox.Runtime.config ())
+      (Speedybox.Chain.create ~name:"m" [ Sb_nf.Monitor.nf monitor ]) )
+
+(* --- dispatcher ---------------------------------------------------------- *)
+
+let test_dispatcher_routing () =
+  let web_monitor, web_rt = monitor_runtime () in
+  let dns_monitor, dns_rt = monitor_runtime () in
+  let dispatcher =
+    Speedybox.Dispatcher.create
+      [
+        Speedybox.Dispatcher.policy ~name:"web"
+          ~matches:(fun t -> t.Sb_flow.Five_tuple.dst_port = 80)
+          web_rt;
+        Speedybox.Dispatcher.policy ~name:"dns"
+          ~matches:(fun t -> t.Sb_flow.Five_tuple.dst_port = 53)
+          dns_rt;
+      ]
+  in
+  let d1 = Speedybox.Dispatcher.process_packet dispatcher (Test_util.tcp_packet ()) in
+  Alcotest.(check string) "web policy" "web" d1.Speedybox.Dispatcher.policy_name;
+  let d2 = Speedybox.Dispatcher.process_packet dispatcher (Test_util.udp_packet ~dport:53 ()) in
+  Alcotest.(check string) "dns policy" "dns" d2.Speedybox.Dispatcher.policy_name;
+  let d3 = Speedybox.Dispatcher.process_packet dispatcher (Test_util.tcp_packet ~dport:8443 ()) in
+  Alcotest.(check string) "unmatched" "none" d3.Speedybox.Dispatcher.policy_name;
+  Alcotest.(check bool) "no output for unmatched" true (d3.Speedybox.Dispatcher.output = None);
+  Alcotest.(check int) "unmatched counted" 1 (Speedybox.Dispatcher.unmatched dispatcher);
+  Alcotest.(check int) "web monitor saw its packet" 1 (Sb_nf.Monitor.total_packets web_monitor);
+  Alcotest.(check int) "dns monitor saw its packet" 1 (Sb_nf.Monitor.total_packets dns_monitor);
+  Alcotest.(check (list (pair string int))) "per-policy counters"
+    [ ("web", 1); ("dns", 1) ]
+    (Speedybox.Dispatcher.per_policy_packets dispatcher)
+
+let test_dispatcher_default_and_validation () =
+  let _, default_rt = monitor_runtime () in
+  let dispatcher = Speedybox.Dispatcher.create ~default:default_rt [] in
+  let d = Speedybox.Dispatcher.process_packet dispatcher (Test_util.tcp_packet ()) in
+  Alcotest.(check string) "default takes the rest" "default" d.Speedybox.Dispatcher.policy_name;
+  Alcotest.(check bool) "empty dispatcher rejected" true
+    (try
+       ignore (Speedybox.Dispatcher.create []);
+       false
+     with Invalid_argument _ -> true);
+  let _, rt1 = monitor_runtime () and _, rt2 = monitor_runtime () in
+  Alcotest.(check bool) "duplicate names rejected" true
+    (try
+       ignore
+         (Speedybox.Dispatcher.create
+            [
+              Speedybox.Dispatcher.policy ~name:"x" ~matches:(fun _ -> true) rt1;
+              Speedybox.Dispatcher.policy ~name:"x" ~matches:(fun _ -> true) rt2;
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dispatcher_flow_isolation () =
+  (* Two policies, independent Global MATs: each flow consolidates in its
+     own chain. *)
+  let _, web_rt = monitor_runtime () in
+  let _, rest_rt = monitor_runtime () in
+  let dispatcher =
+    Speedybox.Dispatcher.create ~default:rest_rt
+      [
+        Speedybox.Dispatcher.policy ~name:"web"
+          ~matches:(fun t -> t.Sb_flow.Five_tuple.dst_port = 80)
+          web_rt;
+      ]
+  in
+  List.iter
+    (fun p -> ignore (Speedybox.Dispatcher.process_packet dispatcher p))
+    (List.init 4 (fun _ -> Test_util.udp_packet ~dport:80 ())
+    @ List.init 4 (fun _ -> Test_util.udp_packet ~dport:9999 ()));
+  Alcotest.(check int) "web chain has its rule" 1
+    (Sb_mat.Global_mat.flow_count (Speedybox.Runtime.global_mat web_rt));
+  Alcotest.(check int) "default chain has its rule" 1
+    (Sb_mat.Global_mat.flow_count (Speedybox.Runtime.global_mat rest_rt))
+
+(* --- ascii plot ----------------------------------------------------------- *)
+
+let test_plot_renders () =
+  let out =
+    Sb_sim.Ascii_plot.render ~width:20 ~height:5 ~x_label:"x" ~y_label:"y"
+      [
+        Sb_sim.Ascii_plot.series ~label:"up" ~mark:'u' [ (0., 0.); (1., 1.); (2., 2.) ];
+        (* shares the (2,2) point with the other series -> collision mark *)
+        Sb_sim.Ascii_plot.series ~label:"down" ~mark:'d' [ (0., 2.); (2., 2.) ];
+      ]
+  in
+  Alcotest.(check bool) "marks present" true
+    (String.contains out 'u' && String.contains out 'd');
+  Alcotest.(check bool) "legend present" true
+    (Sb_nf.Str_search.occurs ~pattern:"u=up" out
+    && Sb_nf.Str_search.occurs ~pattern:"d=down" out);
+  Alcotest.(check bool) "collision marked" true (String.contains out '*');
+  Alcotest.(check bool) "axis labels" true
+    (Sb_nf.Str_search.occurs ~pattern:"2.00" out)
+
+let test_plot_empty_and_degenerate () =
+  Alcotest.(check string) "empty renders placeholder" "(no data)\n"
+    (Sb_sim.Ascii_plot.render []);
+  (* A single point must not divide by zero. *)
+  let out =
+    Sb_sim.Ascii_plot.render [ Sb_sim.Ascii_plot.series ~label:"p" ~mark:'p' [ (1., 1.) ] ]
+  in
+  Alcotest.(check bool) "single point plotted" true (String.contains out 'p');
+  (* NaN points are dropped rather than corrupting the grid. *)
+  let out2 =
+    Sb_sim.Ascii_plot.render
+      [ Sb_sim.Ascii_plot.series ~label:"n" ~mark:'n' [ (nan, 1.); (1., 2.) ] ]
+  in
+  Alcotest.(check bool) "nan filtered" true (String.contains out2 'n')
+
+(* --- pcap ------------------------------------------------------------------ *)
+
+let test_pcap_roundtrip () =
+  let packets =
+    Sb_trace.Workload.with_poisson_times ~seed:2 ~rate_mpps:0.5
+      (Test_util.tcp_flow 3 @ [ Test_util.udp_packet () ])
+  in
+  let path = Filename.temp_file "sbx" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sb_trace.Pcap.save path packets;
+      let loaded = Sb_trace.Pcap.load path in
+      Alcotest.(check int) "count" (List.length packets) (List.length loaded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "frames identical" true (Packet.equal_wire a b);
+          (* Timestamps survive at microsecond granularity. *)
+          Alcotest.(check int) "timestamp (us)" (a.Packet.ingress_cycle / 2000)
+            (b.Packet.ingress_cycle / 2000))
+        packets loaded)
+
+let test_pcap_rejects_outer_headers () =
+  let p = Test_util.tcp_packet () in
+  Packet.encap p (Encap_header.Auth { spi = 1l; seq = 0l });
+  Alcotest.(check bool) "encapped rejected" true
+    (try
+       Sb_trace.Pcap.save "/tmp/never-written.pcap" [ p ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_pcap_rejects_garbage () =
+  let path = Filename.temp_file "sbx" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a pcap file at all";
+      close_out oc;
+      Alcotest.(check bool) "bad magic rejected" true
+        (try
+           ignore (Sb_trace.Pcap.load path);
+           false
+         with Invalid_argument _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "dispatcher routing" `Quick test_dispatcher_routing;
+    Alcotest.test_case "dispatcher default + validation" `Quick
+      test_dispatcher_default_and_validation;
+    Alcotest.test_case "dispatcher flow isolation" `Quick test_dispatcher_flow_isolation;
+    Alcotest.test_case "ascii plot renders" `Quick test_plot_renders;
+    Alcotest.test_case "ascii plot edge cases" `Quick test_plot_empty_and_degenerate;
+    Alcotest.test_case "pcap roundtrip" `Quick test_pcap_roundtrip;
+    Alcotest.test_case "pcap rejects outer headers" `Quick test_pcap_rejects_outer_headers;
+    Alcotest.test_case "pcap rejects garbage" `Quick test_pcap_rejects_garbage;
+  ]

@@ -1,0 +1,181 @@
+(* Tests for the workload substrate: RNG determinism, distribution sanity
+   and packet-trace synthesis. *)
+open Sb_trace
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" sa sb;
+  let c = Rng.create 43 in
+  let sc = List.init 20 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed diverges" true (sa <> sc);
+  let split = Rng.split a in
+  Alcotest.(check bool) "split stream differs" true
+    (List.init 20 (fun _ -> Rng.int split 1000) <> List.init 20 (fun _ -> Rng.int a 1000))
+
+let test_rng_ranges () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 500 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "int bound" true (v >= 0 && v < 7);
+    let w = Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "int_in inclusive" true (w >= 5 && w <= 9);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "float unit" true (f >= 0. && f < 1.)
+  done;
+  Alcotest.(check bool) "bad bound" true
+    (try
+       ignore (Rng.int rng 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_distribution_sanity () =
+  let rng = Rng.create 5 in
+  let n = 5000 in
+  let mean_of f = List.init n (fun _ -> f ()) |> List.fold_left ( +. ) 0. |> fun s -> s /. float_of_int n in
+  let exp_mean = mean_of (fun () -> Dist.exponential rng ~mean:10.) in
+  Alcotest.(check bool) (Printf.sprintf "exp mean ~10 (%.2f)" exp_mean) true
+    (exp_mean > 9. && exp_mean < 11.);
+  let ln = mean_of (fun () -> Dist.lognormal rng ~mu:0. ~sigma:0.5) in
+  (* E[lognormal(0, 0.5)] = exp(0.125) ~ 1.133 *)
+  Alcotest.(check bool) (Printf.sprintf "lognormal mean (%.3f)" ln) true
+    (ln > 1.0 && ln < 1.3);
+  let p = Dist.pareto rng ~shape:2. ~scale:1. in
+  Alcotest.(check bool) "pareto above scale" true (p >= 1.)
+
+let test_zipf () =
+  let rng = Rng.create 9 in
+  let z = Dist.Zipf.create ~n:10 ~s:1.2 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let k = Dist.Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 10);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(3));
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > 3 * counts.(9))
+
+let test_clamp () =
+  Alcotest.(check int) "clamps low" 1 (Dist.clamp_int ~min:1 ~max:10 0.2);
+  Alcotest.(check int) "clamps high" 10 (Dist.clamp_int ~min:1 ~max:10 99.);
+  Alcotest.(check int) "rounds" 4 (Dist.clamp_int ~min:1 ~max:10 4.4)
+
+let test_payload_with_token () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 50 do
+    let payload = Workload.payload_with_token rng ~token:"attack" ~len:30 in
+    Alcotest.(check int) "requested length" 30 (String.length payload);
+    let contains =
+      let rec go i = i + 6 <= 30 && (String.sub payload i 6 = "attack" || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "token embedded" true contains
+  done;
+  (* Token longer than len pads up. *)
+  let p = Workload.payload_with_token rng ~token:"longtoken" ~len:4 in
+  Alcotest.(check string) "padded to token" "longtoken" p
+
+let test_flow_rendering () =
+  let flow =
+    Workload.make_flow ~tuple:(Test_util.tuple ()) ~payloads:[| "a"; "b"; "c" |] ()
+  in
+  Alcotest.(check int) "tcp has SYN + data" 4 (Workload.packet_count flow);
+  match Workload.packets_of_flow flow with
+  | syn :: data ->
+      Alcotest.(check bool) "first is SYN" true
+        (Sb_packet.Packet.tcp_flags syn).Sb_packet.Tcp.Flags.syn;
+      Alcotest.(check int) "data count" 3 (List.length data);
+      let last = List.nth data 2 in
+      Alcotest.(check bool) "last carries FIN" true
+        (Sb_packet.Packet.tcp_flags last).Sb_packet.Tcp.Flags.fin;
+      Alcotest.(check string) "payload order" "a" (Sb_packet.Packet.payload (List.hd data))
+  | [] -> Alcotest.fail "no packets"
+
+let test_udp_flow_rendering () =
+  let flow =
+    Workload.make_flow
+      ~tuple:(Test_util.tuple ~proto:17 ())
+      ~payloads:[| "x"; "y" |] ()
+  in
+  let packets = Workload.packets_of_flow flow in
+  Alcotest.(check int) "no handshake" 2 (List.length packets);
+  Alcotest.(check bool) "udp proto" true
+    (Sb_packet.Packet.proto (List.hd packets) = Sb_packet.Packet.Udp)
+
+let per_flow_order packets =
+  (* Returns per-tuple payload sequences. *)
+  let table = Sb_flow.Tuple_map.create 16 in
+  List.iter
+    (fun p ->
+      let t = Sb_flow.Five_tuple.of_packet p in
+      let existing = Option.value (Sb_flow.Tuple_map.find_opt table t) ~default:[] in
+      Sb_flow.Tuple_map.replace table t (Sb_packet.Packet.payload p :: existing))
+    packets;
+  table
+
+let prop_interleave_preserves_flow_order =
+  QCheck.Test.make ~count:100 ~name:"interleave preserves per-flow order"
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, n_flows) ->
+      let flows =
+        List.init n_flows (fun i ->
+            Workload.make_flow
+              ~tuple:(Test_util.tuple ~sport:(41000 + i) ~proto:17 ())
+              ~payloads:(Array.init 5 (fun k -> Printf.sprintf "%d-%d" i k))
+              ())
+      in
+      let rendered = List.map Workload.packets_of_flow flows in
+      let merged = Workload.interleave (Rng.create seed) rendered in
+      List.length merged = 5 * n_flows
+      &&
+      let orders = per_flow_order merged in
+      List.for_all
+        (fun flow ->
+          match Sb_flow.Tuple_map.find_opt orders flow.Workload.tuple with
+          | Some rev_payloads -> List.rev rev_payloads = Array.to_list flow.Workload.payloads
+          | None -> false)
+        flows)
+
+let test_dcn_generator () =
+  let cfg = { Workload.default_dcn with Workload.n_flows = 50 } in
+  let flows = Workload.dcn_flows cfg in
+  Alcotest.(check int) "flow count" 50 (List.length flows);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "has packets" true (Array.length f.Workload.payloads > 0);
+      Alcotest.(check bool) "proto is tcp or udp" true
+        (f.Workload.tuple.Sb_flow.Five_tuple.proto = 6
+        || f.Workload.tuple.Sb_flow.Five_tuple.proto = 17))
+    flows;
+  (* Deterministic with the seed. *)
+  let again = Workload.dcn_flows cfg in
+  Alcotest.(check bool) "deterministic" true
+    (List.for_all2
+       (fun a b ->
+         Sb_flow.Five_tuple.equal a.Workload.tuple b.Workload.tuple
+         && a.Workload.payloads = b.Workload.payloads)
+       flows again);
+  let trace = Workload.dcn_trace cfg in
+  let expected = List.fold_left (fun acc f -> acc + Workload.packet_count f) 0 flows in
+  Alcotest.(check int) "trace has every packet" expected (List.length trace)
+
+let test_round_robin () =
+  let flows = [ [ 1; 2 ]; [ 3 ]; [ 4; 5; 6 ] ] in
+  Alcotest.(check (list int)) "round robin order" [ 1; 3; 4; 2; 5; 6 ]
+    (Sb_trace.Workload.round_robin flows)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "distribution sanity" `Quick test_distribution_sanity;
+    Alcotest.test_case "zipf skew" `Quick test_zipf;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "payload token embedding" `Quick test_payload_with_token;
+    Alcotest.test_case "tcp flow rendering" `Quick test_flow_rendering;
+    Alcotest.test_case "udp flow rendering" `Quick test_udp_flow_rendering;
+    Alcotest.test_case "dcn generator" `Quick test_dcn_generator;
+    Alcotest.test_case "round robin merge" `Quick test_round_robin;
+  ]
+  @ Test_util.qcheck_cases [ prop_interleave_preserves_flow_order ]
