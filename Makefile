@@ -1,0 +1,25 @@
+.PHONY: all test bench bench-json fmt clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Refresh BENCH_fastpath.json (microbench section only; the baseline
+# block in an existing file is preserved).
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_fastpath.json
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping fmt"; \
+	fi
+
+clean:
+	dune clean

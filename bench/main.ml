@@ -4,9 +4,13 @@
    evaluation (each printed with the paper's reference numbers for
    comparison), runs the ablation benches and finishes with Bechamel
    wall-clock microbenchmarks of the hot operations.  Individual sections
-   run via `dune exec bench/main.exe -- <section>`; see `--help`. *)
+   run via `dune exec bench/main.exe -- <section>`; see `--help`.
 
-let sections : (string * string * (unit -> unit)) list =
+   `--json OUT` writes the microbenchmark results to OUT (see
+   Microbench.emit_json for the schema); with no section arguments it runs
+   just the micro section. *)
+
+let sections json : (string * string * (unit -> unit)) list =
   [
     ("fig4", "header action consolidation (Fig. 4)", Sb_experiments.Fig4.run);
     ("table3", "early packet drop (Table III)", Sb_experiments.Table3.run);
@@ -22,20 +26,38 @@ let sections : (string * string * (unit -> unit)) list =
     ("eventrate", "fast-path cost vs event frequency (extension)", Sb_experiments.Event_rate.run);
     ("staged", "staged ONVM executor: races, reordering, queueing (extension)", Sb_experiments.Staged_pipeline.run);
     ("ablations", "design-choice ablations (A1-A4)", Sb_experiments.Ablations.run);
-    ("micro", "Bechamel wall-clock microbenchmarks", Microbench.run);
+    ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Microbench.run ?json ());
   ]
 
 let usage () =
-  print_endline "usage: main.exe [section...]";
+  print_endline "usage: main.exe [--json OUT] [section...]";
   print_endline "sections:";
-  List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) sections;
-  print_endline "with no arguments, every section runs in order."
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) (sections None);
+  print_endline "with no arguments, every section runs in order.";
+  print_endline "--json OUT writes microbench results (ns/run) to OUT as JSON."
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: ("-h" | "--help" | "help") :: _ -> usage ()
-  | [ _ ] -> List.iter (fun (_, _, run) -> run ()) sections
-  | _ :: requested ->
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--json" :: [] ->
+        prerr_endline "--json requires a path";
+        usage ();
+        exit 2
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, args = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let sections = sections json in
+  match args with
+  | ("-h" | "--help" | "help") :: _ -> usage ()
+  | [] -> (
+      match json with
+      | Some _ ->
+          (* A JSON target with no explicit sections means just the
+             microbenchmarks — the only section the file captures. *)
+          List.iter (fun (n, _, run) -> if n = "micro" then run ()) sections
+      | None -> List.iter (fun (_, _, run) -> run ()) sections)
+  | requested ->
       List.iter
         (fun name ->
           match List.find_opt (fun (n, _, _) -> String.equal n name) sections with
@@ -45,4 +67,3 @@ let () =
               usage ();
               exit 2)
         requested
-  | [] -> usage ()

@@ -71,6 +71,48 @@ let test_fast_path =
     (Staged.stage (fun () ->
          Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
 
+let test_fast_path_with_event =
+  (* Fast path with an armed (never firing) per-flow event: adds the event
+     poll and per-check cycles to every packet. *)
+  let monitor = Sb_nf.Monitor.create () in
+  let guard = Sb_nf.Dos_guard.create ~threshold:1_000_000 () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-event"
+      [ Sb_nf.Monitor.nf monitor; Sb_nf.Dos_guard.nf guard ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let warm = sample_packet () in
+  let _ = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm) in
+  Test.make ~name:"runtime/fast-path packet with armed event (Monitor+DosGuard)"
+    (Staged.stage (fun () ->
+         Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
+
+let test_lru_churn =
+  (* 64 flows over a 32-rule cap: every arrival misses (its rule was
+     evicted 32 flows ago), re-records, and evicts the current coldest —
+     the worst case for the rule table's eviction machinery. *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-churn"
+      [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~max_rules:32 ()) chain in
+  let packets =
+    Array.init 64 (fun i ->
+        Sb_packet.Packet.tcp
+          ~payload:(String.make 64 'x')
+          ~src:(ip (Printf.sprintf "10.2.0.%d" (i + 1)))
+          ~dst:(ip "192.168.1.10") ~src_port:(41000 + i) ~dst_port:80 ())
+  in
+  Array.iter (fun p -> ignore (Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy p))) packets;
+  let i = ref 0 in
+  Test.make ~name:"runtime/lru-churn packet (64 flows, 32-rule cap)"
+    (Staged.stage (fun () ->
+         let p = packets.(!i) in
+         i := (!i + 1) land 63;
+         Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy p)))
+
 let test_checksum_full =
   let packet = sample_packet () in
   let l3 = Sb_packet.Packet.l3_offset packet in
@@ -93,11 +135,100 @@ let tests () =
       test_fid;
       test_aho_corasick;
       test_fast_path;
+      test_fast_path_with_event;
+      test_lru_churn;
       test_checksum_full;
       test_checksum_incremental;
     ]
 
-let run () =
+(* ---- JSON emission (hand-rolled; the build has no JSON library) ----
+
+   Schema: {"schema": "speedybox-microbench/1",
+            "baseline": {"<bench name>": <ns/run>, ...},
+            "current":  {...}}
+
+   The baseline block is preserved from an existing file so repeated runs
+   keep comparing against the first recorded numbers; benches that did not
+   exist when the baseline was taken enter it at their first measured
+   value. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Line-oriented scan of a previously emitted file: entries inside the
+   "baseline" object are `"name": 12.3,` lines.  Returns [] when the file
+   is missing or laid out differently (the baseline then restarts). *)
+let parse_baseline path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let parse_entry line =
+        let line = String.trim line in
+        let line =
+          if String.length line > 0 && line.[String.length line - 1] = ',' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        match String.rindex_opt line ':' with
+        | None -> None
+        | Some colon ->
+            let key = String.trim (String.sub line 0 colon) in
+            let value = String.trim (String.sub line (colon + 1) (String.length line - colon - 1)) in
+            if String.length key >= 2 && key.[0] = '"' && key.[String.length key - 1] = '"' then
+              match float_of_string_opt value with
+              | Some v -> Some (String.sub key 1 (String.length key - 2), v)
+              | None -> None
+            else None
+      in
+      let rec in_prelude = function
+        | [] -> []
+        | l :: rest ->
+            if String.trim l = {|"baseline": {|} then in_baseline [] rest else in_prelude rest
+      and in_baseline acc = function
+        | [] -> List.rev acc
+        | l :: rest -> (
+            let t = String.trim l in
+            if t = "}" || t = "}," then List.rev acc
+            else
+              match parse_entry l with
+              | Some kv -> in_baseline (kv :: acc) rest
+              | None -> in_baseline acc rest)
+      in
+      in_prelude (List.rev !lines)
+
+let emit_json path results =
+  let baseline =
+    let kept = parse_baseline path in
+    kept
+    @ List.filter (fun (name, _) -> not (List.mem_assoc name kept)) results
+  in
+  let oc = open_out path in
+  let block kvs =
+    String.concat ",\n"
+      (List.map (fun (k, v) -> Printf.sprintf "    \"%s\": %.1f" (json_escape k) v) kvs)
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"speedybox-microbench/1\",\n  \"baseline\": {\n%s\n  },\n  \"current\": {\n%s\n  }\n}\n"
+    (block baseline) (block results);
+  close_out oc;
+  Printf.printf "  wrote %s (%d benches)\n" path (List.length results)
+
+let run ?json () =
   print_endline "\n=== Microbench: wall-clock costs of hot operations (Bechamel) ===";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -106,10 +237,14 @@ let run () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances (tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (name, ols) ->
-         let ns =
-           match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
-         in
-         Printf.printf "  %-46s %10.1f ns/run\n" name ns)
+  let by_name =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ols) ->
+           let ns =
+             match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+           in
+           (name, ns))
+  in
+  List.iter (fun (name, ns) -> Printf.printf "  %-60s %10.1f ns/run\n" name ns) by_name;
+  Option.iter (fun path -> emit_json path by_name) json

@@ -10,14 +10,19 @@ type config = {
   fid_bits : int;
   idle_timeout_cycles : int option;
   max_rules : int option;
+  fastpath : Sb_mat.Global_mat.exec_mode;
 }
 
 let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     ?(policy = Sb_mat.Parallel.Table_one) ?(fid_bits = Sb_flow.Fid.default_bits)
-    ?idle_timeout_cycles ?max_rules () =
-  { platform; mode; policy; fid_bits; idle_timeout_cycles; max_rules }
+    ?idle_timeout_cycles ?max_rules ?(fastpath = Sb_mat.Global_mat.Compiled) () =
+  { platform; mode; policy; fid_bits; idle_timeout_cycles; max_rules; fastpath }
 
-type liveness = { mutable last_seen : int; tuple : Sb_flow.Five_tuple.t }
+type liveness = {
+  mutable last_seen : int;
+  tuple : Sb_flow.Five_tuple.t;
+  node : Sb_flow.Lru.node;  (* position in the arrival-recency order *)
+}
 
 type t = {
   cfg : config;
@@ -25,6 +30,7 @@ type t = {
   global : Sb_mat.Global_mat.t;
   classifier : Classifier.t;
   live : liveness Sb_flow.Flow_table.t;  (* idle-expiry bookkeeping *)
+  live_lru : Sb_flow.Lru.t;  (* coldest-first order for the idle sweep *)
   mutable expired : int;
   mutable packets_since_sweep : int;
 }
@@ -42,12 +48,14 @@ let create cfg chain =
     chain;
     global =
       Sb_mat.Global_mat.create ~policy:cfg.policy ?max_rules:cfg.max_rules
+        ~exec:cfg.fastpath
         (* an LRU-evicted flow loses its Local MAT records too, so its next
            packet re-records from scratch *)
         ~on_evict:(fun fid -> Chain.remove_flow chain fid)
         ();
     classifier = Classifier.create ~fid_bits:cfg.fid_bits ();
     live = Sb_flow.Flow_table.create ();
+    live_lru = Sb_flow.Lru.create ();
     expired = 0;
     packets_since_sweep = 0;
   }
@@ -102,15 +110,10 @@ let walk_chain t ~recording ~fid packet =
   go nfs mats []
 
 let finish t verdict packet profile path events_fired =
-  {
-    verdict;
-    packet;
-    profile;
-    path;
-    latency_cycles = Sb_sim.Platform.latency_cycles t.cfg.platform profile;
-    service_cycles = Sb_sim.Platform.service_cycles t.cfg.platform profile;
-    events_fired;
-  }
+  let latency_cycles, service_cycles =
+    Sb_sim.Platform.latency_and_service t.cfg.platform profile
+  in
+  { verdict; packet; profile; path; latency_cycles; service_cycles; events_fired }
 
 let process_original t packet =
   let verdict, stages = walk_chain t ~recording:false ~fid:(-1) packet in
@@ -120,13 +123,18 @@ let cleanup t cls =
   Chain.remove_flow t.chain cls.Classifier.fid;
   Sb_mat.Global_mat.remove_flow t.global cls.Classifier.fid;
   Classifier.forget t.classifier cls.Classifier.tuple;
+  (match Sb_flow.Flow_table.find t.live cls.Classifier.fid with
+  | Some entry -> Sb_flow.Lru.remove t.live_lru entry.node
+  | None -> ());
   Sb_flow.Flow_table.remove t.live cls.Classifier.fid
 
 let sweep_interval = 64
 
 (* Idle expiry: evict flows whose last packet arrived more than the
    configured timeout ago (arrival clock = packet ingress timestamps).
-   Swept periodically to keep the per-packet cost negligible. *)
+   The liveness entries sit in a recency list, so the periodic sweep walks
+   from the cold end and stops at the first live flow — stale flows are
+   found in O(stale), not O(table). *)
 let expire_idle_flows t now =
   match t.cfg.idle_timeout_cycles with
   | None -> ()
@@ -134,21 +142,26 @@ let expire_idle_flows t now =
       t.packets_since_sweep <- t.packets_since_sweep + 1;
       if t.packets_since_sweep >= sweep_interval then begin
         t.packets_since_sweep <- 0;
-        let stale =
-          Sb_flow.Flow_table.fold
-            (fun fid entry acc ->
-              if now - entry.last_seen > timeout then (fid, entry.tuple) :: acc else acc)
-            t.live []
-        in
-        List.iter
-          (fun (fid, tuple) ->
-            Chain.remove_flow t.chain fid;
-            Sb_mat.Global_mat.remove_flow t.global fid;
-            Classifier.forget t.classifier tuple;
-            Sb_flow.Flow_table.remove t.live fid;
-            t.expired <- t.expired + 1)
-          stale
+        Sb_flow.Lru.sweep t.live_lru (fun fid ->
+            match Sb_flow.Flow_table.find t.live fid with
+            | None -> false
+            | Some entry ->
+                if now - entry.last_seen > timeout then begin
+                  Chain.remove_flow t.chain fid;
+                  Sb_mat.Global_mat.remove_flow t.global fid;
+                  Classifier.forget t.classifier entry.tuple;
+                  Sb_flow.Lru.remove t.live_lru entry.node;
+                  Sb_flow.Flow_table.remove t.live fid;
+                  t.expired <- t.expired + 1;
+                  true
+                end
+                else false)
       end
+
+let record_arrival t cls now =
+  let node = Sb_flow.Lru.add t.live_lru cls.Classifier.fid in
+  Sb_flow.Flow_table.set t.live cls.Classifier.fid
+    { last_seen = now; tuple = cls.Classifier.tuple; node }
 
 let touch t cls now =
   match t.cfg.idle_timeout_cycles with
@@ -160,13 +173,17 @@ let touch t cls now =
              the packet re-walks and re-records, like a fresh flow. *)
           cleanup t cls;
           t.expired <- t.expired + 1;
-          Sb_flow.Flow_table.set t.live cls.Classifier.fid
-            { last_seen = now; tuple = cls.Classifier.tuple }
-      | Some entry -> entry.last_seen <- now
-      | None ->
-          Sb_flow.Flow_table.set t.live cls.Classifier.fid
-            { last_seen = now; tuple = cls.Classifier.tuple });
+          record_arrival t cls now
+      | Some entry ->
+          entry.last_seen <- now;
+          Sb_flow.Lru.touch t.live_lru entry.node
+      | None -> record_arrival t cls now);
       expire_idle_flows t now
+
+(* Forwarded packets pay the metadata detach at egress; a dropped packet's
+   descriptor is simply released.  One preallocated item, threaded into the
+   Global MAT's stage assembly instead of appended after the fact. *)
+let detach_item = Sb_sim.Cost_profile.Serial Sb_sim.Cycles.meta_detach
 
 let process_speedybox t packet =
   let now = packet.Sb_packet.Packet.ingress_cycle in
@@ -174,34 +191,19 @@ let process_speedybox t packet =
   touch t cls now;
   let fid = cls.Classifier.fid in
   let classifier_stage = Sb_sim.Cost_profile.serial_stage "Classifier" cls.Classifier.cycles in
-  if Sb_mat.Global_mat.mem t.global fid then begin
-    (* Fast path: the Global MAT handles the packet entirely. *)
-    let result =
-      match
-        Sb_mat.Global_mat.execute t.global (Chain.events t.chain)
-          (Chain.local_mats t.chain) fid packet
-      with
-      | Some r -> r
-      | None -> assert false (* guarded by [mem] *)
-    in
-    (* Forwarded packets pay the metadata detach at egress; a dropped
-       packet's descriptor is simply released. *)
-    let stage =
-      match result.Sb_mat.Global_mat.verdict with
-      | Sb_mat.Header_action.Dropped -> result.Sb_mat.Global_mat.stage
-      | Sb_mat.Header_action.Forwarded ->
-          {
-            result.Sb_mat.Global_mat.stage with
-            Sb_sim.Cost_profile.items =
-              result.Sb_mat.Global_mat.stage.Sb_sim.Cost_profile.items
-              @ [ Sb_sim.Cost_profile.Serial Sb_sim.Cycles.meta_detach ];
-          }
-    in
-    if cls.Classifier.final then cleanup t cls;
-    finish t result.Sb_mat.Global_mat.verdict packet [ classifier_stage; stage ] Fast_path
-      result.Sb_mat.Global_mat.events_fired
-  end
-  else begin
+  match Sb_mat.Global_mat.find t.global fid with
+  | Some rule ->
+      (* Fast path: the Global MAT handles the packet entirely; the rule
+         found here is threaded through, so this is the only lookup. *)
+      let result =
+        Sb_mat.Global_mat.execute_rule ~egress_item:detach_item t.global
+          (Chain.events t.chain) (Chain.local_mats t.chain) fid rule packet
+      in
+      if cls.Classifier.final then cleanup t cls;
+      finish t result.Sb_mat.Global_mat.verdict packet
+        [ classifier_stage; result.Sb_mat.Global_mat.stage ]
+        Fast_path result.Sb_mat.Global_mat.events_fired
+  | None -> begin
     (* Slow path; the flow's establishing packet also records — unless an
        NF opted out of consolidation (§IV-A3), in which case the chain
        never builds fast paths at all. *)

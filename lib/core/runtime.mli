@@ -25,6 +25,10 @@ type config = {
       (** Cap on the Global MAT rule table (LRU eviction beyond it, like a
           megaflow cache); an evicted flow's next packet re-records.
           [None] (default) leaves the table unbounded. *)
+  fastpath : Sb_mat.Global_mat.exec_mode;
+      (** How the Global MAT executes consolidated rules: [Compiled] (the
+          default flat-program fast path) or [Interpreted] (the reference
+          step-list walker the differential tests compare against). *)
 }
 
 val config :
@@ -34,10 +38,11 @@ val config :
   ?fid_bits:int ->
   ?idle_timeout_cycles:int ->
   ?max_rules:int ->
+  ?fastpath:Sb_mat.Global_mat.exec_mode ->
   unit ->
   config
 (** Defaults: BESS, SpeedyBox mode, Table I policy, 20-bit FIDs, no
-    expiry, unbounded rule table. *)
+    expiry, unbounded rule table, compiled fast path. *)
 
 type t
 

@@ -196,15 +196,16 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace 
                 Done_after_consolidate Sb_mat.Header_action.Forwarded )
             else (r.Nf.cycles + overhead, Done Sb_mat.Header_action.Forwarded))
     | To_global_mat -> (
-        match
-          Sb_mat.Global_mat.execute global (Chain.events chain) (Chain.local_mats chain)
-            job.packet.Packet.fid job.packet
-        with
+        match Sb_mat.Global_mat.find global job.packet.Packet.fid with
         | None ->
             (* The rule vanished between classify and service (FIN cleanup
                raced ahead); fall back to the original path. *)
             (Sb_sim.Cycles.fast_path_lookup, Next (To_nf 0))
-        | Some r ->
+        | Some rule ->
+            let r =
+              Sb_mat.Global_mat.execute_rule global (Chain.events chain)
+                (Chain.local_mats chain) job.packet.Packet.fid rule job.packet
+            in
             fired := !fired + r.Sb_mat.Global_mat.events_fired;
             ( Sb_sim.Cost_profile.stage_cycles r.Sb_mat.Global_mat.stage
               + Sb_sim.Cycles.meta_detach,

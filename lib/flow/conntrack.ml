@@ -24,16 +24,21 @@ type t = state Table.t
 
 let create () = Table.create 1024
 
+(* Each [Table] operation rehashes the 13-byte tuple, so the steady-state
+   path does exactly one: a single [find_opt], and no [replace] when the
+   state would not change (the common case — an established flow's
+   mid-stream segment). *)
 let observe t key p =
   match Packet.proto p with
   | Packet.Udp ->
-      let prev = Table.find_opt t key in
-      Table.replace t key Established;
-      { state = Established; established_now = prev = None; final = false }
+      let found = Table.find_opt t key in
+      if found <> Some Established then Table.replace t key Established;
+      { state = Established; established_now = found = None; final = false }
   | Packet.Tcp ->
       let flags = Packet.tcp_flags p in
-      let prev = Option.value (Table.find_opt t key) ~default:Closing in
-      let fresh = Table.find_opt t key = None in
+      let found = Table.find_opt t key in
+      let fresh = found = None in
+      let prev = Option.value found ~default:Closing in
       let next =
         if flags.Tcp.Flags.rst then Closing
         else if flags.Tcp.Flags.fin then Closing
@@ -47,7 +52,7 @@ let observe t key p =
           | Established -> Established
           | Closing -> if fresh then Established else Closing
       in
-      Table.replace t key next;
+      if found <> Some next then Table.replace t key next;
       {
         state = next;
         established_now =

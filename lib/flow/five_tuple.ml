@@ -8,13 +8,22 @@ type t = {
   proto : int;
 }
 
+(* Field-by-field [Packet] accessors would re-derive the layout (outer
+   stack fold, protocol read) per field; this runs once per packet, so the
+   offsets are computed once and the five reads go straight to the buffer. *)
 let of_packet p =
+  let buf = p.Packet.buf in
+  let l3 = Packet.l3_offset p in
+  let l4 = l3 + Ipv4.header_size in
+  let proto = Ipv4.get_proto buf l3 in
+  if proto <> 6 && proto <> 17 then
+    invalid_arg (Printf.sprintf "Packet.proto: unsupported protocol %d" proto);
   {
-    src_ip = Packet.src_ip p;
-    dst_ip = Packet.dst_ip p;
-    src_port = Packet.src_port p;
-    dst_port = Packet.dst_port p;
-    proto = (match Packet.proto p with Packet.Tcp -> 6 | Packet.Udp -> 17);
+    src_ip = Ipv4.get_src buf l3;
+    dst_ip = Ipv4.get_dst buf l3;
+    src_port = (if proto = 6 then Tcp.get_src_port buf l4 else Udp.get_src_port buf l4);
+    dst_port = (if proto = 6 then Tcp.get_dst_port buf l4 else Udp.get_dst_port buf l4);
+    proto;
   }
 
 let reverse t =

@@ -1,0 +1,87 @@
+type node = {
+  node_key : int;
+  mutable prev : node;
+  mutable next : node;
+  mutable linked : bool;
+}
+
+(* Circular list through a sentinel: [sentinel.next] is the hottest node,
+   [sentinel.prev] the coldest.  The sentinel is never linked/unlinked, so
+   every operation is branch-light pointer surgery. *)
+type t = { sentinel : node; mutable size : int }
+
+let create () =
+  let rec s = { node_key = -1; prev = s; next = s; linked = false } in
+  { sentinel = s; size = 0 }
+
+let length t = t.size
+
+let key n = n.node_key
+
+let unlink t n =
+  if n.linked then begin
+    n.prev.next <- n.next;
+    n.next.prev <- n.prev;
+    n.prev <- n;
+    n.next <- n;
+    n.linked <- false;
+    t.size <- t.size - 1
+  end
+
+let link_hot t n =
+  let s = t.sentinel in
+  n.prev <- s;
+  n.next <- s.next;
+  s.next.prev <- n;
+  s.next <- n;
+  n.linked <- true;
+  t.size <- t.size + 1
+
+let add t key =
+  let n = { node_key = key; prev = t.sentinel; next = t.sentinel; linked = false } in
+  link_hot t n;
+  n
+
+let touch t n =
+  if n.linked then begin
+    unlink t n;
+    link_hot t n
+  end
+
+let remove t n = unlink t n
+
+let coldest t =
+  let c = t.sentinel.prev in
+  if c == t.sentinel then None else Some c.node_key
+
+let pop_coldest t =
+  let c = t.sentinel.prev in
+  if c == t.sentinel then None
+  else begin
+    unlink t c;
+    Some c.node_key
+  end
+
+let sweep t f =
+  let rec go n =
+    if n != t.sentinel then begin
+      let warmer = n.prev in
+      if f n.node_key then go warmer
+    end
+  in
+  go t.sentinel.prev
+
+let clear t =
+  let rec go n =
+    if n != t.sentinel then begin
+      let next = n.next in
+      n.prev <- n;
+      n.next <- n;
+      n.linked <- false;
+      go next
+    end
+  in
+  go t.sentinel.next;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel;
+  t.size <- 0

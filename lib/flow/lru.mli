@@ -1,0 +1,45 @@
+(** An intrusive doubly-linked recency list over flow identifiers.
+
+    Owners of per-flow tables (the Global MAT's rule cache, the runtime's
+    idle-liveness table) embed one {!node} per entry; [touch] moves it to
+    the hot end and [pop_coldest] evicts from the cold end, both in O(1) —
+    replacing the O(n) full-table scans a fold-based LRU needs.  The list
+    is threaded through a sentinel, so no operation allocates after
+    {!add}. *)
+
+type node
+(** One entry's position in the recency order.  A node belongs to exactly
+    one list; operations on a node that was already removed (or popped)
+    are no-ops. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val add : t -> Fid.t -> node
+(** Links a fresh node at the hot (most recently used) end. *)
+
+val key : node -> Fid.t
+
+val touch : t -> node -> unit
+(** Moves the node to the hot end; no-op when the node is not linked. *)
+
+val remove : t -> node -> unit
+(** Unlinks the node; subsequent [touch]/[remove] on it are no-ops. *)
+
+val coldest : t -> Fid.t option
+(** The least recently used key, without removing it. *)
+
+val pop_coldest : t -> Fid.t option
+(** Removes and returns the least recently used key. *)
+
+val sweep : t -> (Fid.t -> bool) -> unit
+(** [sweep t f] visits keys coldest-first, stopping at the first key for
+    which [f] returns [false].  [f] may remove the visited node (the
+    iterator advances before calling it), which is how idle-expiry evicts
+    stale flows without scanning live ones. *)
+
+val clear : t -> unit
+(** Unlinks every node (nodes still held by callers become inert). *)

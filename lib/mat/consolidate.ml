@@ -61,7 +61,7 @@ let of_actions actions =
 
 let is_drop t = t.drop
 
-let apply t packet =
+let apply_pops t packet =
   List.iter
     (fun h ->
       match Packet.outer_stack packet with
@@ -71,9 +71,23 @@ let apply t packet =
             (Format.asprintf "Consolidate.apply: expected outer %a, found %a"
                Encap_header.pp h Encap_header.pp top)
       | [] -> invalid_arg "Consolidate.apply: pop on packet without outer header")
-    t.pops;
+    t.pops
+
+let apply t packet =
+  apply_pops t packet;
   List.iter (fun (f, v) -> Packet.set_field packet f v) t.sets;
   if t.sets <> [] then Packet.fix_checksums packet;
+  List.iter (fun h -> Packet.encap packet h) t.pushes;
+  if t.drop then Header_action.Dropped else Header_action.Forwarded
+
+let apply_incremental t packet =
+  apply_pops t packet;
+  if t.sets <> [] && not (Packet.apply_sets_incremental packet t.sets) then begin
+    (* Stored L4 checksum is zero ("not computed"): only the full re-sum
+       reconstructs it, exactly as [apply] would. *)
+    List.iter (fun (f, v) -> Packet.set_field packet f v) t.sets;
+    Packet.fix_checksums packet
+  end;
   List.iter (fun h -> Packet.encap packet h) t.pushes;
   if t.drop then Header_action.Dropped else Header_action.Forwarded
 

@@ -50,6 +50,15 @@ val apply : t -> Sb_packet.Packet.t -> Header_action.verdict
     one checksum fix-up, then pushes; returns [Dropped] for a dropping
     rule (after the rewrites — see {!type:t}). *)
 
+val apply_incremental : t -> Sb_packet.Packet.t -> Header_action.verdict
+(** Same observable behaviour as {!apply}, but the L4 checksum fix-up uses
+    the RFC 1624 incremental update (O(fields)) instead of re-summing the
+    whole segment (O(payload)).  Byte-identical to [apply] whenever the
+    stored L4 checksum matched the packet contents on entry — which holds
+    on the fast path as long as no upstream state function has written the
+    payload (see [Global_mat]'s compile-time gating); falls back to the
+    full recompute when the stored checksum is zero. *)
+
 val cost : t -> int
 (** Fast-path cycle cost of [apply]. *)
 

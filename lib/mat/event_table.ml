@@ -37,7 +37,7 @@ let armed_list t fid =
 
 let armed_count t fid = List.length (armed_list t fid)
 
-let check t fid =
+let fire armed =
   List.filter_map
     (fun e ->
       if e.condition () then begin
@@ -45,7 +45,19 @@ let check t fid =
         Some e.update
       end
       else None)
-    (armed_list t fid)
+    armed
+
+let check t fid = fire (armed_list t fid)
+
+(* The fast path needs both the armed count (for cycle accounting) and the
+   fired updates; one table access serves both, and the common no-events
+   flow costs exactly one lookup. *)
+let poll t fid =
+  match Sb_flow.Flow_table.find t fid with
+  | None -> (0, [])
+  | Some events ->
+      let armed = List.filter (fun e -> e.armed) !events in
+      (List.length armed, fire armed)
 
 let remove_flow t fid = Sb_flow.Flow_table.remove t fid
 

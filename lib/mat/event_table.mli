@@ -49,6 +49,10 @@ val check : t -> Sb_flow.Fid.t -> update list
 (** Evaluates the flow's armed conditions in registration order and returns
     the updates of those that fired (disarming one-shot events). *)
 
+val poll : t -> Sb_flow.Fid.t -> int * update list
+(** [poll t fid] is [(armed_count t fid, check t fid)] in a single table
+    access — the fast path's per-packet event probe. *)
+
 val remove_flow : t -> Sb_flow.Fid.t -> unit
 
 val total_armed : t -> int

@@ -6,11 +6,37 @@ type step =
   | Transform of Consolidate.t
   | Waves of { batches : State_function.Batch.t list; plan : int list list }
 
+(* The compiled form: a flat instruction array the per-packet executor
+   walks with no list traversal, no plan indexing and no cost recomputation.
+   Each wave group is pre-resolved into one [C_wave] per wave, the plan's
+   indices already applied; each transform carries its cost item built once
+   at consolidation time. *)
+type cstep =
+  | C_transform of {
+      c : Consolidate.t;
+      item : Sb_sim.Cost_profile.item;
+      incr_ok : bool;
+          (* no Write-mode batch runs before this transform, so the stored
+             L4 checksum still matches the bytes and the RFC 1624
+             incremental fix-up is byte-identical to the full recompute *)
+    }
+  | C_wave of State_function.Batch.t array
+
+type program = {
+  code : cstep array;
+  transforms : int;  (* non-identity transforms in [code] *)
+  static_head : int;
+      (* the per-packet serial cycles that do not depend on events:
+         fast-path lookup + per-source-action walk + base forward *)
+}
+
 type rule = {
-  mutable steps : step list;
+  mutable steps : step list;  (* source form, kept for introspection/recompile *)
+  mutable program : program;
   mutable overall : Consolidate.t;  (* position-insensitive merge, introspection *)
   mutable n_source_actions : int;
-  mutable last_use : int;  (* logical clock for LRU eviction *)
+  mutable last_use : int;  (* logical clock, exposed for debugging *)
+  node : Sb_flow.Lru.node;  (* position in the eviction order *)
 }
 
 let rule_action r = r.overall
@@ -22,46 +48,66 @@ let rule_batches r =
 
 let rule_plan r =
   (* Re-index each group's plan into the global batch numbering. *)
-  let _, plans =
+  let _, rev_plans =
     List.fold_left
       (fun (offset, acc) step ->
         match step with
         | Transform _ -> (offset, acc)
         | Waves { batches; plan } ->
             ( offset + List.length batches,
-              acc @ List.map (List.map (fun i -> i + offset)) plan ))
+              List.rev_append (List.map (List.map (fun i -> i + offset)) plan) acc ))
       (0, []) r.steps
   in
-  plans
+  List.rev rev_plans
 
-let rule_transform_count r =
-  List.length (List.filter (function Transform _ -> true | Waves _ -> false) r.steps)
+let rule_transform_count r = r.program.transforms
+
+(* How the fast path executes a consolidated rule: [Compiled] (the flat
+   program) is the production path; [Interpreted] walks the source [step
+   list] exactly as the pre-compilation executor did, and exists so the
+   differential tests can prove the two produce bit-identical outputs. *)
+type exec_mode = Compiled | Interpreted
 
 type t = {
   policy : Parallel.policy;
+  exec : exec_mode;
   rules : rule Sb_flow.Flow_table.t;
+  lru : Sb_flow.Lru.t;  (* recency order over [rules], O(1) touch/evict *)
   max_rules : int option;
   on_evict : Sb_flow.Fid.t -> unit;
   mutable clock : int;
   mutable evicted : int;
   mutable consolidations : int;
+  (* Grow-only scratch buffers for wave snapshot/merge: reused across
+     packets so multi-batch waves allocate nothing per execution. *)
+  mutable snap : Bytes.t;
+  mutable snap_len : int;
+  mutable aux : Bytes.t;
 }
 
-let create ?(policy = Parallel.Table_one) ?max_rules ?(on_evict = fun _ -> ()) () =
+let create ?(policy = Parallel.Table_one) ?max_rules ?(exec = Compiled)
+    ?(on_evict = fun _ -> ()) () =
   (match max_rules with
   | Some n when n < 1 -> invalid_arg "Global_mat.create: max_rules must be positive"
   | Some _ | None -> ());
   {
     policy;
+    exec;
     rules = Sb_flow.Flow_table.create ();
+    lru = Sb_flow.Lru.create ();
     max_rules;
     on_evict;
     clock = 0;
     evicted = 0;
     consolidations = 0;
+    snap = Bytes.create 256;
+    snap_len = 0;
+    aux = Bytes.create 256;
   }
 
 let policy t = t.policy
+
+let exec_mode t = t.exec
 
 let evictions t = t.evicted
 
@@ -69,20 +115,13 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-(* Make room for one rule when the table sits at its cap: drop the
-   least-recently-used flow, telling the owner so Local MATs follow. *)
+(* Make room for one rule when the table sits at its cap: drop the flow at
+   the cold end of the recency list, telling the owner so Local MATs
+   follow.  O(1), where the fold-based predecessor scanned every rule. *)
 let evict_lru t =
-  let victim =
-    Sb_flow.Flow_table.fold
-      (fun fid rule acc ->
-        match acc with
-        | Some (_, best) when best <= rule.last_use -> acc
-        | _ -> Some (fid, rule.last_use))
-      t.rules None
-  in
-  match victim with
+  match Sb_flow.Lru.pop_coldest t.lru with
   | None -> ()
-  | Some (fid, _) ->
+  | Some fid ->
       Sb_flow.Flow_table.remove t.rules fid;
       t.evicted <- t.evicted + 1;
       t.on_evict fid
@@ -101,6 +140,7 @@ let is_identity (c : Consolidate.t) =
 let build_steps policy per_nf =
   let steps = ref [] in
   let run = ref [] in
+  let run_has_drop = ref false in
   let group = ref [] in
   (* Once a drop transform lands, everything positioned after it is dead
      code: the original path never reaches those NFs.  (Initial-packet
@@ -120,6 +160,7 @@ let build_steps policy per_nf =
   let flush_run () =
     let c = Consolidate.of_actions (List.rev !run) in
     run := [];
+    run_has_drop := false;
     if not (is_identity c) then begin
       flush_group ();
       steps := Transform c :: !steps;
@@ -129,10 +170,14 @@ let build_steps policy per_nf =
   List.iter
     (fun (actions, batch) ->
       if not !stopped then begin
-        List.iter (fun a -> run := a :: !run) actions;
+        List.iter
+          (fun a ->
+            run := a :: !run;
+            if a = Header_action.Drop then run_has_drop := true)
+          actions;
         (* HAs precede SFs within an NF, so a drop in this NF's own actions
            also silences its batch. *)
-        if List.exists (fun a -> a = Header_action.Drop) !run then flush_run ();
+        if !run_has_drop then flush_run ();
         if (not !stopped) && batch.State_function.Batch.fns <> [] then begin
           flush_run ();
           group := batch :: !group
@@ -142,6 +187,49 @@ let build_steps policy per_nf =
   if not !stopped then flush_run ();
   flush_group ();
   List.rev !steps
+
+(* Flatten the step list into the executable program.  This is the one-time
+   slow-path work that buys the per-packet savings: plan indices resolve to
+   batch arrays here (killing the per-packet [List.nth]), and each
+   transform's cycle cost becomes a preallocated profile item. *)
+let compile ~n_source_actions steps =
+  let rev_code = ref [] in
+  let transforms = ref 0 in
+  let payload_written = ref false in
+  List.iter
+    (function
+      | Transform c ->
+          incr transforms;
+          rev_code :=
+            C_transform
+              {
+                c;
+                item = Sb_sim.Cost_profile.Serial (Consolidate.cost c);
+                incr_ok = not !payload_written;
+              }
+            :: !rev_code
+      | Waves { batches; plan } ->
+          let arr = Array.of_list batches in
+          List.iter
+            (fun wave ->
+              rev_code := C_wave (Array.of_list (List.map (Array.get arr) wave)) :: !rev_code)
+            plan;
+          if
+            List.exists
+              (fun b -> State_function.Batch.mode b = State_function.Write)
+              batches
+          then payload_written := true)
+    steps;
+  let transforms = !transforms in
+  {
+    code = Array.of_list (List.rev !rev_code);
+    transforms;
+    static_head =
+      (Sb_sim.Cycles.fast_path_lookup
+      + (n_source_actions * Sb_sim.Cycles.fast_path_per_action)
+      (* Rules with no surviving transform still do one base forward. *)
+      + if transforms = 0 then Sb_sim.Cycles.ha_forward else 0);
+  }
 
 let consolidate t fid locals =
   let per_nf =
@@ -157,20 +245,28 @@ let consolidate t fid locals =
       locals
   in
   let actions = List.concat_map fst per_nf in
+  let n_source_actions = List.length actions in
   let steps = build_steps t.policy per_nf in
-  (match t.max_rules with
-  | Some cap
-    when Sb_flow.Flow_table.length t.rules >= cap
-         && not (Sb_flow.Flow_table.mem t.rules fid) ->
-      evict_lru t
-  | Some _ | None -> ());
-  Sb_flow.Flow_table.set t.rules fid
-    {
-      steps;
-      overall = Consolidate.of_actions actions;
-      n_source_actions = List.length actions;
-      last_use = tick t;
-    };
+  let program = compile ~n_source_actions steps in
+  let overall = Consolidate.of_actions actions in
+  (match Sb_flow.Flow_table.find t.rules fid with
+  | Some r ->
+      (* Re-consolidation (event fire, repeated recording): update in
+         place, so an executor holding the rule sees the fresh program
+         without a second table lookup. *)
+      r.steps <- steps;
+      r.program <- program;
+      r.overall <- overall;
+      r.n_source_actions <- n_source_actions;
+      r.last_use <- tick t;
+      Sb_flow.Lru.touch t.lru r.node
+  | None ->
+      (match t.max_rules with
+      | Some cap when Sb_flow.Flow_table.length t.rules >= cap -> evict_lru t
+      | Some _ | None -> ());
+      let node = Sb_flow.Lru.add t.lru fid in
+      Sb_flow.Flow_table.set t.rules fid
+        { steps; program; overall; n_source_actions; last_use = tick t; node });
   t.consolidations <- t.consolidations + 1;
   List.length locals * Sb_sim.Cycles.global_consolidate_per_nf
 
@@ -178,9 +274,16 @@ let find t fid = Sb_flow.Flow_table.find t.rules fid
 
 let mem t fid = Sb_flow.Flow_table.mem t.rules fid
 
-let remove_flow t fid = Sb_flow.Flow_table.remove t.rules fid
+let remove_flow t fid =
+  match Sb_flow.Flow_table.find t.rules fid with
+  | None -> ()
+  | Some r ->
+      Sb_flow.Lru.remove t.lru r.node;
+      Sb_flow.Flow_table.remove t.rules fid
 
-let clear t = Sb_flow.Flow_table.clear t.rules
+let clear t =
+  Sb_flow.Flow_table.clear t.rules;
+  Sb_flow.Lru.clear t.lru
 
 let flow_count t = Sb_flow.Flow_table.length t.rules
 
@@ -217,6 +320,80 @@ type fast_result = {
   events_fired : int;
 }
 
+(* ---- Compiled wave execution (zero-allocation snapshot/merge) ---- *)
+
+let region_equal a aoff b boff len =
+  let rec go i =
+    i >= len
+    || Bytes.unsafe_get a (aoff + i) = Bytes.unsafe_get b (boff + i) && go (i + 1)
+  in
+  go 0
+
+let ensure_capacity buf len =
+  if Bytes.length buf >= len then buf else Bytes.create (max len (2 * Bytes.length buf))
+
+(* Run one wave of batches with snapshot semantics: each batch sees the
+   payload as of wave start; payload writes merge back, later batches
+   winning, which is a deterministic model of the race parallel cores
+   would exhibit.  The snapshot and the merge candidate live in [t]'s
+   grow-only scratch buffers, so steady-state execution allocates only the
+   cost list it returns. *)
+let run_wave_compiled t batches packet =
+  match Array.length batches with
+  | 0 -> Sb_sim.Cost_profile.Serial 0
+  | 1 -> Sb_sim.Cost_profile.Serial (State_function.Batch.run batches.(0) packet)
+  | n ->
+      let off = Packet.payload_offset packet in
+      let snap_len = packet.Packet.len - off in
+      t.snap <- ensure_capacity t.snap snap_len;
+      t.snap_len <- snap_len;
+      Bytes.blit packet.Packet.buf off t.snap 0 snap_len;
+      let merged = ref false in
+      let merged_len = ref 0 in
+      let rev_costs = ref [] in
+      for k = 0 to n - 1 do
+        (* Restore the wave-start payload for this batch. *)
+        let off = Packet.payload_offset packet in
+        Bytes.blit t.snap 0 packet.Packet.buf off snap_len;
+        let cost = State_function.Batch.run (Array.unsafe_get batches k) packet in
+        let off' = Packet.payload_offset packet in
+        let len' = packet.Packet.len - off' in
+        if not (len' = snap_len && region_equal packet.Packet.buf off' t.snap 0 snap_len)
+        then begin
+          t.aux <- ensure_capacity t.aux len';
+          Bytes.blit packet.Packet.buf off' t.aux 0 len';
+          merged := true;
+          merged_len := len'
+        end;
+        rev_costs := cost :: !rev_costs
+      done;
+      let off = Packet.payload_offset packet in
+      if !merged then Bytes.blit t.aux 0 packet.Packet.buf off !merged_len
+      else Bytes.blit t.snap 0 packet.Packet.buf off snap_len;
+      Sb_sim.Cost_profile.Parallel (List.rev !rev_costs)
+
+(* Execute the compiled program in chain position order, accumulating the
+   profile items in reverse (the caller conses the egress item and head on
+   and reverses once).  A dropping transform is always the last code entry
+   (recording stops at the dropping NF), so state recorded upstream of the
+   drop still runs. *)
+let run_program t code packet =
+  let verdict = ref Header_action.Forwarded in
+  let rev_items = ref [] in
+  for i = 0 to Array.length code - 1 do
+    match Array.unsafe_get code i with
+    | C_transform { c; item; incr_ok } ->
+        let apply = if incr_ok then Consolidate.apply_incremental else Consolidate.apply in
+        (match apply c packet with
+        | Header_action.Dropped -> verdict := Header_action.Dropped
+        | Header_action.Forwarded -> ());
+        rev_items := item :: !rev_items
+    | C_wave batches -> rev_items := run_wave_compiled t batches packet :: !rev_items
+  done;
+  (!verdict, !rev_items)
+
+(* ---- Reference interpreter (the pre-compilation executor) ---- *)
+
 let payload_region packet =
   let off = Packet.payload_offset packet in
   Bytes.sub packet.Packet.buf off (packet.Packet.len - off)
@@ -225,11 +402,7 @@ let restore_payload packet saved =
   let off = Packet.payload_offset packet in
   Bytes.blit saved 0 packet.Packet.buf off (Bytes.length saved)
 
-(* Run one wave of batches with snapshot semantics: each batch sees the
-   payload as of wave start; payload writes merge back, later batches
-   winning, which is a deterministic model of the race parallel cores
-   would exhibit. *)
-let run_wave batches packet =
+let run_wave_interp batches packet =
   match batches with
   | [] -> Sb_sim.Cost_profile.Serial 0
   | [ batch ] -> Sb_sim.Cost_profile.Serial (State_function.Batch.run batch packet)
@@ -251,82 +424,87 @@ let run_wave batches packet =
       | None -> restore_payload packet snapshot);
       Sb_sim.Cost_profile.Parallel costs
 
-(* Execute the rule's steps in chain position order.  A dropping transform
-   is always the last step (recording stops at the dropping NF), so state
-   recorded upstream of the drop still runs. *)
-let run_steps rule packet =
+let run_steps_interp rule packet =
   List.fold_left
-    (fun (verdict, items) step ->
+    (fun (verdict, rev_items) step ->
       match step with
       | Transform c ->
           let v = Consolidate.apply c packet in
           let verdict =
             match v with Header_action.Dropped -> v | Header_action.Forwarded -> verdict
           in
-          (verdict, Sb_sim.Cost_profile.Serial (Consolidate.cost c) :: items)
+          (verdict, Sb_sim.Cost_profile.Serial (Consolidate.cost c) :: rev_items)
       | Waves { batches; plan } ->
           let wave_items =
             List.map
               (fun wave ->
                 let wave_batches = List.map (fun i -> List.nth batches i) wave in
-                run_wave wave_batches packet)
+                run_wave_interp wave_batches packet)
               plan
           in
-          (verdict, List.rev_append wave_items items))
+          (verdict, List.rev_append wave_items rev_items))
     (Header_action.Forwarded, [])
     rule.steps
-  |> fun (verdict, items) -> (verdict, List.rev items)
 
-let execute t events locals fid packet =
+(* ---- Fast-path entry points ---- *)
+
+let execute_rule ?egress_item t events locals fid rule packet =
+  let armed, fired = Event_table.poll events fid in
+  let event_cycles = armed * Sb_sim.Cycles.event_check in
+  let fire_cycles = ref 0 in
+  List.iter
+    (fun (u : Event_table.update) ->
+      Option.iter (fun f -> f ()) u.Event_table.update_fn;
+      let local_of_nf () =
+        List.find_opt (fun l -> Local_mat.nf_name l = u.Event_table.nf) locals
+      in
+      Option.iter
+        (fun make_actions ->
+          Option.iter
+            (fun local -> Local_mat.replace_actions local fid (make_actions ()))
+            (local_of_nf ()))
+        u.Event_table.new_actions;
+      Option.iter
+        (fun make_sfs ->
+          Option.iter
+            (fun local -> Local_mat.replace_state_functions local fid (make_sfs ()))
+            (local_of_nf ()))
+        u.Event_table.new_state_functions;
+      fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire)
+    fired;
+  (* A fired event recompiles the flow's program in place, so [rule] below
+     is already the updated record — no re-lookup. *)
+  if fired <> [] then fire_cycles := !fire_cycles + consolidate t fid locals;
+  rule.last_use <- tick t;
+  Sb_flow.Lru.touch t.lru rule.node;
+  let program = rule.program in
+  let verdict, rev_items =
+    match t.exec with
+    | Compiled -> run_program t program.code packet
+    | Interpreted ->
+        let v, rev = run_steps_interp rule packet in
+        (v, rev)
+  in
+  (* Forwarded packets may pay an egress item (e.g. metadata detach); a
+     dropped packet's descriptor is simply released. *)
+  let rev_items =
+    match egress_item with
+    | Some item when verdict = Header_action.Forwarded -> item :: rev_items
+    | Some _ | None -> rev_items
+  in
+  let head =
+    Sb_sim.Cost_profile.Serial (program.static_head + event_cycles + !fire_cycles)
+  in
+  {
+    verdict;
+    stage = Sb_sim.Cost_profile.stage "GlobalMAT" (head :: List.rev rev_items);
+    events_fired = List.length fired;
+  }
+
+let execute ?egress_item t events locals fid packet =
   match find t fid with
   | None -> None
-  | Some _ ->
-      let lookup = Sb_sim.Cycles.fast_path_lookup in
-      let armed = Event_table.armed_count events fid in
-      let event_cycles = armed * Sb_sim.Cycles.event_check in
-      let fired = Event_table.check events fid in
-      let fire_cycles = ref 0 in
-      List.iter
-        (fun (u : Event_table.update) ->
-          Option.iter (fun f -> f ()) u.Event_table.update_fn;
-          let local_of_nf () =
-            List.find_opt (fun l -> Local_mat.nf_name l = u.Event_table.nf) locals
-          in
-          Option.iter
-            (fun make_actions ->
-              Option.iter
-                (fun local -> Local_mat.replace_actions local fid (make_actions ()))
-                (local_of_nf ()))
-            u.Event_table.new_actions;
-          Option.iter
-            (fun make_sfs ->
-              Option.iter
-                (fun local -> Local_mat.replace_state_functions local fid (make_sfs ()))
-                (local_of_nf ()))
-            u.Event_table.new_state_functions;
-          fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire)
-        fired;
-      if fired <> [] then fire_cycles := !fire_cycles + consolidate t fid locals;
-      let rule =
-        match find t fid with Some r -> r | None -> assert false (* just consolidated *)
-      in
-      rule.last_use <- tick t;
-      let walk_cycles = rule.n_source_actions * Sb_sim.Cycles.fast_path_per_action in
-      let verdict, step_items = run_steps rule packet in
-      (* Rules with no surviving transform still do one base forward. *)
-      let base_ha =
-        if rule_transform_count rule = 0 then Sb_sim.Cycles.ha_forward else 0
-      in
-      let head =
-        Sb_sim.Cost_profile.Serial
-          (lookup + event_cycles + !fire_cycles + walk_cycles + base_ha)
-      in
-      Some
-        {
-          verdict;
-          stage = Sb_sim.Cost_profile.stage "GlobalMAT" (head :: step_items);
-          events_fired = List.length fired;
-        }
+  | Some rule -> Some (execute_rule ?egress_item t events locals fid rule packet)
 
 let pp_step fmt = function
   | Transform c -> Format.fprintf fmt "T(%a)" Consolidate.pp c

@@ -19,7 +19,20 @@
     win).  Under the sound [Table_one] policy this is indistinguishable
     from sequential execution — no wave mixes a writer with a reader — but
     under the unsound [Always_parallel] ablation the equivalence tests can
-    observe the race. *)
+    observe the race.
+
+    At consolidation time the step list is {e compiled} into a flat
+    fast-path program: an instruction array whose wave groups are
+    pre-resolved into batch arrays (plan indices applied once, on the slow
+    path) and whose transforms carry precomputed cost items, so a
+    subsequent packet pays a single rule lookup plus straight-line
+    execution — no list walks, no plan indexing, no per-packet cost
+    recomputation, and no snapshot allocation (wave snapshot/merge reuses
+    grow-only scratch buffers owned by the table).  Event firing
+    reconsolidates and recompiles the flow's program in place, preserving
+    Event Table semantics exactly.  Rule recency is tracked in an intrusive
+    doubly-linked list ({!Sb_flow.Lru}), making both the per-packet touch
+    and the at-capacity eviction O(1). *)
 
 type rule
 
@@ -38,11 +51,19 @@ val rule_plan : rule -> int list list
 val rule_transform_count : rule -> int
 (** Number of non-identity transforms the fast path applies. *)
 
+(** How [execute] runs a consolidated rule.  [Compiled] (the default) runs
+    the flat program; [Interpreted] walks the source step list exactly as
+    the pre-compilation executor did.  Both produce bit-identical verdicts,
+    packet bytes and cost profiles — the [Interpreted] mode exists as the
+    reference the differential tests compare the compiler against. *)
+type exec_mode = Compiled | Interpreted
+
 type t
 
 val create :
   ?policy:Parallel.policy ->
   ?max_rules:int ->
+  ?exec:exec_mode ->
   ?on_evict:(Sb_flow.Fid.t -> unit) ->
   unit ->
   t
@@ -54,6 +75,8 @@ val create :
     @raise Invalid_argument when [max_rules < 1]. *)
 
 val policy : t -> Parallel.policy
+
+val exec_mode : t -> exec_mode
 
 val evictions : t -> int
 (** Rules evicted by the LRU cap so far. *)
@@ -100,16 +123,33 @@ type fast_result = {
   events_fired : int;
 }
 
+val execute_rule :
+  ?egress_item:Sb_sim.Cost_profile.item ->
+  t ->
+  Event_table.t ->
+  Local_mat.t list ->
+  Sb_flow.Fid.t ->
+  rule ->
+  Sb_packet.Packet.t ->
+  fast_result
+(** [execute_rule t events locals fid rule p] processes a subsequent packet
+    on the fast path using an already-looked-up [rule], so a caller that
+    routed on {!find} pays exactly one table access per packet.  Fired
+    events rewrite the Local MATs and trigger re-consolidation (updating
+    [rule] in place) before the packet is processed, so the update takes
+    effect immediately (§III).  [egress_item], when given, is appended to
+    the stage's cost items for forwarded packets only (dropped packets
+    release their descriptor without paying egress work). *)
+
 val execute :
+  ?egress_item:Sb_sim.Cost_profile.item ->
   t ->
   Event_table.t ->
   Local_mat.t list ->
   Sb_flow.Fid.t ->
   Sb_packet.Packet.t ->
   fast_result option
-(** [execute t events locals fid p] processes a subsequent packet on the
-    fast path; [None] when the flow has no consolidated rule yet.  Fired
-    events rewrite the Local MATs and trigger re-consolidation before the
-    packet is processed, so the update takes effect immediately (§III). *)
+(** [execute t events locals fid p] is {!find} followed by {!execute_rule};
+    [None] when the flow has no consolidated rule yet. *)
 
 val pp_rule : Format.formatter -> rule -> unit

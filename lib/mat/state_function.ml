@@ -18,14 +18,17 @@ let make ~nf ~label ~mode run = { nf; label; mode; run }
 module Batch = struct
   type sf = t
 
-  type t = { nf : string; fns : sf list }
+  type t = { nf : string; fns : sf list; mode : payload_mode }
 
-  let make ~nf fns = { nf; fns }
+  let make ~nf fns =
+    let mode =
+      List.fold_left
+        (fun acc (f : sf) -> if mode_priority f.mode > mode_priority acc then f.mode else acc)
+        Ignore fns
+    in
+    { nf; fns; mode }
 
-  let mode t =
-    List.fold_left
-      (fun acc sf -> if mode_priority sf.mode > mode_priority acc then sf.mode else acc)
-      Ignore t.fns
+  let mode t = t.mode
 
   let run t packet =
     List.fold_left (fun acc sf -> acc + Sb_sim.Cycles.sf_invoke + sf.run packet) 0 t.fns

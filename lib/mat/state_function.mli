@@ -34,12 +34,18 @@ val make :
 module Batch : sig
   type sf = t
 
-  type t = { nf : string; fns : sf list }
+  type t = {
+    nf : string;
+    fns : sf list;
+    mode : payload_mode;  (** cached at {!make}: the batch's aggregate mode *)
+  }
 
   val make : nf:string -> sf list -> t
 
   val mode : t -> payload_mode
-  (** The highest-priority mode among the batch's functions. *)
+  (** The highest-priority mode among the batch's functions, computed once
+      at {!make} (the parallelism planner and the fast-path compiler both
+      consult it). *)
 
   val run : t -> Sb_packet.Packet.t -> int
   (** Runs every function in order; total cycles include the per-handler

@@ -134,6 +134,90 @@ let set_field t field value =
       (* value_compatible already rejected mismatches *)
       assert false
 
+(* RFC 1624 variant of [set_field]+[fix_checksums] for a whole set list:
+   each write folds its 16-bit delta into the stored IPv4 and L4 checksums
+   instead of re-summing anything (O(fields), not O(payload)).
+   Bit-identical to the full recompute — including the negative-zero
+   normalisation [Checksum.finish] applies — whenever the stored checksums
+   matched the packet bytes beforehand.  Returns [false] without touching
+   the packet when the stored L4 checksum is zero (UDP's "not computed"
+   convention), where only a full recompute can reconstruct the sum. *)
+let apply_sets_incremental t sets =
+  let l2 = l2_offset t in
+  let l3 = l2 + Ethernet.header_size in
+  let l4 = l3 + Ipv4.header_size in
+  let pr = proto t in
+  let csum_off = match pr with Tcp -> l4 + 16 | Udp -> l4 + 6 in
+  let stored = Bytes_codec.get_u16 t.buf csum_off in
+  let stored_ip = Ipv4.get_checksum t.buf l3 in
+  (* [Checksum.finish] never produces zero, so a zero here means "never
+     computed" — only the full re-sum can build it from scratch. *)
+  if stored = 0 || stored_ip = 0 then false
+  else begin
+    let csum = ref stored in
+    let ipc = ref stored_ip in
+    let upd16 ~old_word ~new_word =
+      csum := Checksum.incremental ~old_checksum:!csum ~old_word ~new_word
+    and upd32 ~old_word ~new_word =
+      csum := Checksum.incremental32 ~old_checksum:!csum ~old_word ~new_word
+    and ip16 ~old_word ~new_word =
+      ipc := Checksum.incremental ~old_checksum:!ipc ~old_word ~new_word
+    and ip32 ~old_word ~new_word =
+      ipc := Checksum.incremental32 ~old_checksum:!ipc ~old_word ~new_word
+    in
+    List.iter
+      (fun (field, value) ->
+        if not (Field.value_compatible field value) then
+          invalid_arg
+            (Format.asprintf "Packet.set_field: value %a incompatible with field %a"
+               Field.pp_value value Field.pp field);
+        match (field, value) with
+        | Field.Src_ip, Field.Ip a ->
+            (* Addresses sit in the IPv4 header and the L4 pseudo-header. *)
+            let old = Ipv4.get_src t.buf l3 in
+            upd32 ~old_word:old ~new_word:a;
+            ip32 ~old_word:old ~new_word:a;
+            Ipv4.set_src t.buf l3 a
+        | Field.Dst_ip, Field.Ip a ->
+            let old = Ipv4.get_dst t.buf l3 in
+            upd32 ~old_word:old ~new_word:a;
+            ip32 ~old_word:old ~new_word:a;
+            Ipv4.set_dst t.buf l3 a
+        | Field.Src_port, Field.Port p ->
+            upd16
+              ~old_word:
+                (match pr with Tcp -> Tcp.get_src_port t.buf l4 | Udp -> Udp.get_src_port t.buf l4)
+              ~new_word:p;
+            (match pr with Tcp -> Tcp.set_src_port t.buf l4 p | Udp -> Udp.set_src_port t.buf l4 p)
+        | Field.Dst_port, Field.Port p ->
+            upd16
+              ~old_word:
+                (match pr with Tcp -> Tcp.get_dst_port t.buf l4 | Udp -> Udp.get_dst_port t.buf l4)
+              ~new_word:p;
+            (match pr with Tcp -> Tcp.set_dst_port t.buf l4 p | Udp -> Udp.set_dst_port t.buf l4 p)
+        (* TTL and TOS are outside the pseudo-header (no L4 delta) but
+           inside the IPv4 header; each shares its 16-bit word with a
+           neighbouring byte.  MACs touch no checksum at all. *)
+        | Field.Ttl, Field.Int v ->
+            let old_word = Bytes_codec.get_u16 t.buf (l3 + 8) in
+            Ipv4.set_ttl t.buf l3 v;
+            ip16 ~old_word ~new_word:(Bytes_codec.get_u16 t.buf (l3 + 8))
+        | Field.Tos, Field.Int v ->
+            let old_word = Bytes_codec.get_u16 t.buf l3 in
+            Ipv4.set_tos t.buf l3 v;
+            ip16 ~old_word ~new_word:(Bytes_codec.get_u16 t.buf l3)
+        | Field.Src_mac, Field.Mac m -> Ethernet.set_src t.buf l2 m
+        | Field.Dst_mac, Field.Mac m -> Ethernet.set_dst t.buf l2 m
+        | ( ( Field.Src_ip | Field.Dst_ip | Field.Src_port | Field.Dst_port | Field.Ttl
+            | Field.Tos | Field.Src_mac | Field.Dst_mac ),
+            _ ) ->
+            assert false)
+      sets;
+    Bytes_codec.set_u16 t.buf csum_off (if !csum = 0 then 0xffff else !csum);
+    Bytes_codec.set_u16 t.buf (l3 + 10) (if !ipc = 0 then 0xffff else !ipc);
+    true
+  end
+
 let src_ip t = Ipv4.get_src t.buf (l3_offset t)
 
 let dst_ip t = Ipv4.get_dst t.buf (l3_offset t)

@@ -76,6 +76,17 @@ val set_field : t -> Field.t -> Field.value -> unit
     does at the end of consolidation.
     @raise Invalid_argument when the value type does not match the field. *)
 
+val apply_sets_incremental : t -> (Field.t * Field.value) list -> bool
+(** Applies a list of field writes with an RFC 1624 incremental update of
+    the stored L4 checksum (O(fields) rather than O(payload)) and a full
+    recompute of the 20-byte IPv4 header checksum.  Produces bytes
+    identical to [set_field] per entry followed by [fix_checksums]
+    whenever the stored L4 checksum matched the packet contents
+    beforehand.  Returns [false] without modifying the packet when the
+    stored checksum is zero (UDP's "not computed" convention) — the
+    caller must fall back to the full-recompute path.
+    @raise Invalid_argument when a value type does not match its field. *)
+
 val src_ip : t -> Ipv4_addr.t
 val dst_ip : t -> Ipv4_addr.t
 val src_port : t -> int

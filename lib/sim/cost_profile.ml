@@ -13,8 +13,9 @@ let item_cycles = function
   | Parallel [] -> 0
   | Parallel [ c ] -> c
   | Parallel costs ->
-      let total = List.fold_left ( + ) 0 costs in
-      let longest = List.fold_left max 0 costs in
+      let total, longest =
+        List.fold_left (fun (t, m) c -> (t + c, if c > m then c else m)) (0, 0) costs
+      in
       (* Imperfect overlap: a slice of the off-critical-path work still
          serialises (contention, skew). *)
       Cycles.parallel_sync + longest

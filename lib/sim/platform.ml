@@ -37,4 +37,8 @@ let service_cycles t profile =
   | Bess -> latency_cycles t profile
   | Onvm -> List.fold_left (fun acc stage -> max acc (onvm_stage_bottleneck stage)) 0 profile
 
+let latency_and_service t profile =
+  let latency = latency_cycles t profile in
+  match t with Bess -> (latency, latency) | Onvm -> (latency, service_cycles t profile)
+
 let pp fmt t = Format.pp_print_string fmt (name t)

@@ -30,4 +30,8 @@ val service_cycles : t -> Cost_profile.t -> int
 (** Per-packet cycles at the throughput bottleneck: the whole profile on
     BESS; the slowest stage (plus its ring overhead) on OpenNetVM. *)
 
+val latency_and_service : t -> Cost_profile.t -> int * int
+(** Both numbers in one profile traversal on BESS (where they coincide) —
+    what the per-packet hot path calls. *)
+
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,7 @@ let () =
       ("maglev", Test_maglev.suite);
       ("trace", Test_trace.suite);
       ("equivalence", Test_equivalence.suite);
+      ("fastpath-compile", Test_fastpath_compile.suite);
       ("queueing", Test_queueing.suite);
       ("pipeline", Test_pipeline.suite);
       ("extensions", Test_extensions.suite);
