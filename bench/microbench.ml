@@ -87,6 +87,27 @@ let test_fast_path_with_event =
     (Staged.stage (fun () ->
          Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
 
+let test_fast_path_supervised =
+  (* The PR-2 containment wrapper with an armed injector drawing at rate
+     0.0: measures the full supervision overhead (per-NF gate + draw + the
+     try/with) against the plain fast-path bench above.  The acceptance
+     bound is 5%; the fault-free default (no injector) costs only the
+     inactive-supervisor branch. *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-sup" [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let injector = Sb_fault.Injector.create ~seed:1 () in
+  Sb_fault.Injector.set_rate injector ~nf:"mazunat" Sb_fault.Injector.Raise 0.0;
+  Sb_fault.Injector.set_rate injector ~nf:"monitor" Sb_fault.Injector.Raise 0.0;
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~injector ()) chain in
+  let warm = sample_packet () in
+  let _ = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm) in
+  Test.make ~name:"runtime/fast-path packet supervised (NAT+Monitor, armed injector)"
+    (Staged.stage (fun () ->
+         Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
+
 let test_lru_churn =
   (* 64 flows over a 32-rule cap: every arrival misses (its rule was
      evicted 32 flows ago), re-records, and evicts the current coldest —
@@ -136,6 +157,7 @@ let tests () =
       test_aho_corasick;
       test_fast_path;
       test_fast_path_with_event;
+      test_fast_path_supervised;
       test_lru_churn;
       test_checksum_full;
       test_checksum_incremental;

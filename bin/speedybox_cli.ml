@@ -19,10 +19,17 @@ let make_trace ~seed ~flows ~mean_packets =
       tokens = [ "attack"; "exploit"; "beacon" ];
     }
 
+(* Loader errors (malformed trace lines, bad pcap magic, unreadable files)
+   become a one-line message and a nonzero exit, never a backtrace. *)
 let load_or_make_trace ~trace_file ~seed ~flows ~mean_packets =
   match trace_file with
-  | Some path -> Sb_trace.Trace_io.load path
-  | None -> make_trace ~seed ~flows ~mean_packets
+  | Some path -> (
+      try
+        if Filename.check_suffix path ".pcap" then Ok (Sb_trace.Pcap.load path)
+        else Ok (Sb_trace.Trace_io.load path)
+      with Invalid_argument msg | Sys_error msg ->
+        Error (Printf.sprintf "speedybox: cannot load trace %s: %s" path msg))
+  | None -> Ok (make_trace ~seed ~flows ~mean_packets)
 
 (* Common options *)
 
@@ -89,11 +96,65 @@ let staged_rate_arg =
   in
   Arg.(value & opt (some float) None & info [ "staged-rate" ] ~docv:"MPPS" ~doc)
 
+(* Fault injection (see lib/fault) *)
+
+let inject_arg =
+  let doc =
+    "Inject deterministic faults into $(b,NF) at $(b,RATE) per call; \
+     $(b,KIND) is $(b,raise), $(b,corrupt) or $(b,stall).  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"NF:KIND:RATE" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the fault injector's per-NF schedules." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let on_failure_arg =
+  let doc =
+    "What a Failed NF's packets do: $(b,bypass), $(b,drop-flow) or \
+     $(b,slow-path-only)."
+  in
+  let policy_conv =
+    Arg.enum
+      [
+        ("bypass", Sb_fault.Health.Bypass);
+        ("drop-flow", Sb_fault.Health.Drop_flow);
+        ("slow-path-only", Sb_fault.Health.Slow_path_only);
+      ]
+  in
+  Arg.(
+    value
+    & opt policy_conv Sb_fault.Health.Slow_path_only
+    & info [ "on-failure" ] ~docv:"POLICY" ~doc)
+
+(* "NF:KIND:RATE" specs -> an armed injector (None when no specs). *)
+let build_injector ~fault_seed specs =
+  if specs = [] then Ok None
+  else begin
+    let inj = Sb_fault.Injector.create ~seed:fault_seed () in
+    let arm spec =
+      match String.split_on_char ':' spec with
+      | [ nf; kind; rate ] -> (
+          match (Sb_fault.Injector.kind_of_string kind, float_of_string_opt rate) with
+          | Some kind, Some rate when rate >= 0. && rate <= 1. ->
+              Sb_fault.Injector.set_rate inj ~nf kind rate;
+              Ok ()
+          | None, _ -> Error (Printf.sprintf "speedybox: --inject %s: unknown kind %s" spec kind)
+          | _, (None | Some _) ->
+              Error (Printf.sprintf "speedybox: --inject %s: rate must be in [0,1]" spec))
+      | _ -> Error (Printf.sprintf "speedybox: --inject %s: want NF:KIND:RATE" spec)
+    in
+    List.fold_left
+      (fun acc spec -> match acc with Error _ -> acc | Ok () -> arm spec)
+      (Ok ()) specs
+    |> Result.map (fun () -> Some inj)
+  end
+
 (* run ------------------------------------------------------------------ *)
 
-let staged_run build trace rate =
+let staged_run build ?injector trace rate =
   let trace = Sb_trace.Workload.with_poisson_times ~seed:97 ~rate_mpps:rate trace in
-  let r = Speedybox.Staged_runtime.run (build ()) trace in
+  let r = Speedybox.Staged_runtime.run ?injector (build ()) trace in
   Printf.printf "staged ONVM executor at %.2f Mpps offered:\n" rate;
   Printf.printf "  verdicts   : %d forwarded, %d dropped by NFs, %d ring overflow\n"
     r.Speedybox.Staged_runtime.forwarded r.Speedybox.Staged_runtime.dropped_by_chain
@@ -107,23 +168,31 @@ let staged_run build trace rate =
     (Sb_sim.Stats.percentile r.Speedybox.Staged_runtime.sojourn_us 99.);
   if r.Speedybox.Staged_runtime.events_fired > 0 then
     Printf.printf "  events     : %d fired\n" r.Speedybox.Staged_runtime.events_fired;
+  if r.Speedybox.Staged_runtime.faults > 0 then
+    Printf.printf "  faults     : %d contained/corrupted/stalled, %d flows quarantined\n"
+      r.Speedybox.Staged_runtime.faults r.Speedybox.Staged_runtime.quarantines;
   0
 
 let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
-    show_stages staged_rate =
-  match Sb_experiments.Chain_registry.build chain with
-  | Error msg ->
+    show_stages staged_rate inject fault_seed on_failure =
+  match
+    ( Sb_experiments.Chain_registry.build chain,
+      load_or_make_trace ~trace_file ~seed ~flows ~mean_packets,
+      build_injector ~fault_seed inject )
+  with
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
       prerr_endline msg;
       1
-  | Ok build when staged_rate <> None ->
-      staged_run build
-        (load_or_make_trace ~trace_file ~seed ~flows ~mean_packets)
-        (Option.get staged_rate)
-  | Ok build ->
-      let trace = load_or_make_trace ~trace_file ~seed ~flows ~mean_packets in
+  | Ok build, Ok trace, Ok injector when staged_rate <> None ->
+      staged_run build ?injector trace (Option.get staged_rate)
+  | Ok build, Ok trace, Ok injector ->
       let built = build () in
       let rt =
-        Speedybox.Runtime.create (Speedybox.Runtime.config ~platform ~mode ()) built
+        Speedybox.Runtime.create
+          (Speedybox.Runtime.config ~platform ~mode
+             ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
+             ?injector ())
+          built
       in
       let result = Speedybox.Runtime.run_trace rt trace in
       print_string
@@ -150,17 +219,19 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ chain_arg $ platform_arg $ mode_arg $ seed_arg $ flows_arg
       $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
-      $ staged_rate_arg)
+      $ staged_rate_arg $ inject_arg $ fault_seed_arg $ on_failure_arg)
 
 (* equivalence ----------------------------------------------------------- *)
 
 let equivalence_cmd_impl chain platform seed flows mean_packets trace_file =
-  match Sb_experiments.Chain_registry.build chain with
-  | Error msg ->
+  match
+    ( Sb_experiments.Chain_registry.build chain,
+      load_or_make_trace ~trace_file ~seed ~flows ~mean_packets )
+  with
+  | Error msg, _ | _, Error msg ->
       prerr_endline msg;
       1
-  | Ok build ->
-      let trace = load_or_make_trace ~trace_file ~seed ~flows ~mean_packets in
+  | Ok build, Ok trace ->
       let report =
         Speedybox.Equivalence.check
           ~config_a:(Speedybox.Runtime.config ~platform ~mode:Speedybox.Runtime.Original ())

@@ -25,6 +25,9 @@ let run_summary ?(label = "run") rt (result : Runtime.run_result) =
     line "  evictions  : %d (LRU rule cap)" (Sb_mat.Global_mat.evictions mat);
   if Runtime.expired_flows rt > 0 then
     line "  expiry     : %d idle flows" (Runtime.expired_flows rt);
+  List.iter (fun s -> line "  %s" s) (Sb_fault.Supervisor.summary (Runtime.supervisor rt));
+  let cond_faults = Sb_mat.Event_table.condition_faults (Chain.events (Runtime.chain rt)) in
+  if cond_faults > 0 then line "  events     : %d raising conditions disarmed" cond_faults;
   Buffer.contents buf
 
 let chain_state chain =

@@ -11,12 +11,25 @@ type config = {
   idle_timeout_cycles : int option;
   max_rules : int option;
   fastpath : Sb_mat.Global_mat.exec_mode;
+  fault_policy : Sb_fault.Health.policy;
+  injector : Sb_fault.Injector.t option;
 }
 
 let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     ?(policy = Sb_mat.Parallel.Table_one) ?(fid_bits = Sb_flow.Fid.default_bits)
-    ?idle_timeout_cycles ?max_rules ?(fastpath = Sb_mat.Global_mat.Compiled) () =
-  { platform; mode; policy; fid_bits; idle_timeout_cycles; max_rules; fastpath }
+    ?idle_timeout_cycles ?max_rules ?(fastpath = Sb_mat.Global_mat.Compiled)
+    ?(fault_policy = Sb_fault.Health.default_policy) ?injector () =
+  {
+    platform;
+    mode;
+    policy;
+    fid_bits;
+    idle_timeout_cycles;
+    max_rules;
+    fastpath;
+    fault_policy;
+    injector;
+  }
 
 type liveness = {
   mutable last_seen : int;
@@ -29,11 +42,30 @@ type t = {
   chain : Chain.t;
   global : Sb_mat.Global_mat.t;
   classifier : Classifier.t;
+  sup : Sb_fault.Supervisor.t;
+  nf_names : string array;
   live : liveness Sb_flow.Flow_table.t;  (* idle-expiry bookkeeping *)
   live_lru : Sb_flow.Lru.t;  (* coldest-first order for the idle sweep *)
   mutable expired : int;
   mutable packets_since_sweep : int;
 }
+
+(* A Failed NF invalidates every consolidated rule embedding its closures:
+   tear the whole fast path down (flows re-record under the failure
+   policy).  Local MAT records and events go with each rule so no stale
+   per-NF state survives the failure. *)
+let flush_fast_state t =
+  let fids = Sb_mat.Global_mat.fold (fun fid _ acc -> fid :: acc) t.global [] in
+  List.iter
+    (fun fid ->
+      Chain.remove_flow t.chain fid;
+      Sb_mat.Global_mat.remove_flow t.global fid)
+    fids
+
+let note_fault t ~nf =
+  match Sb_fault.Supervisor.record_fault t.sup ~nf with
+  | Sb_fault.Health.To_failed -> flush_fast_state t
+  | Sb_fault.Health.To_degraded | Sb_fault.Health.No_change -> ()
 
 let create cfg chain =
   (match Sb_sim.Platform.max_chain_length cfg.platform with
@@ -43,28 +75,40 @@ let create cfg chain =
            (Sb_sim.Platform.name cfg.platform)
            limit (Chain.name chain) (Chain.length chain))
   | Some _ | None -> ());
-  {
-    cfg;
-    chain;
-    global =
-      Sb_mat.Global_mat.create ~policy:cfg.policy ?max_rules:cfg.max_rules
-        ~exec:cfg.fastpath
-        (* an LRU-evicted flow loses its Local MAT records too, so its next
-           packet re-records from scratch *)
-        ~on_evict:(fun fid -> Chain.remove_flow chain fid)
-        ();
-    classifier = Classifier.create ~fid_bits:cfg.fid_bits ();
-    live = Sb_flow.Flow_table.create ();
-    live_lru = Sb_flow.Lru.create ();
-    expired = 0;
-    packets_since_sweep = 0;
-  }
+  let t =
+    {
+      cfg;
+      chain;
+      global =
+        Sb_mat.Global_mat.create ~policy:cfg.policy ?max_rules:cfg.max_rules
+          ~exec:cfg.fastpath
+          (* an LRU-evicted flow loses its Local MAT records too, so its next
+             packet re-records from scratch *)
+          ~on_evict:(fun fid -> Chain.remove_flow chain fid)
+          ();
+      classifier = Classifier.create ~fid_bits:cfg.fid_bits ();
+      sup = Sb_fault.Supervisor.create ?injector:cfg.injector cfg.fault_policy;
+      nf_names = Array.of_list (List.map (fun nf -> nf.Nf.name) (Chain.nfs chain));
+      live = Sb_flow.Flow_table.create ();
+      live_lru = Sb_flow.Lru.create ();
+      expired = 0;
+      packets_since_sweep = 0;
+    }
+  in
+  (* Raising event conditions are contained inside the Event Table; route
+     them here so they still advance the registering NF's health. *)
+  Sb_mat.Event_table.set_fault_hook (Chain.events chain) (fun nf _exn ->
+      Sb_fault.Supervisor.record_contained t.sup;
+      note_fault t ~nf);
+  t
 
 let chain t = t.chain
 
 let global_mat t = t.global
 
 let classifier t = t.classifier
+
+let supervisor t = t.sup
 
 let expired_flows t = t.expired
 
@@ -78,46 +122,163 @@ type output = {
   latency_cycles : int;
   service_cycles : int;
   events_fired : int;
+  faults : int;
+}
+
+let flip_verdict = function
+  | Sb_mat.Header_action.Forwarded -> Sb_mat.Header_action.Dropped
+  | Sb_mat.Header_action.Dropped -> Sb_mat.Header_action.Forwarded
+
+let injected_raise t name =
+  let call =
+    match Sb_fault.Supervisor.injector t.sup with
+    | Some inj -> Sb_fault.Injector.calls inj ~nf:name
+    | None -> 0
+  in
+  Sb_fault.Injector.Injected (name, call)
+
+type walk = {
+  w_verdict : Sb_mat.Header_action.verdict;
+  w_stages : Sb_sim.Cost_profile.stage list;
+  w_faults : int;
+  w_contained : bool;  (* a raise was contained mid-walk: quarantine the flow *)
 }
 
 (* Walk the original chain.  [recording] instruments the walk with Local
    MAT recording (the SpeedyBox initial-packet traversal); the extra
-   recording cost is charged to each NF's stage. *)
+   recording cost is charged to each NF's stage.  Every NF call runs under
+   the containment wrapper: a raise (injected or organic) drops the packet,
+   charges the fault to the NF and tells the caller to quarantine the
+   flow's recorded state. *)
 let walk_chain t ~recording ~fid packet =
+  let sup = t.sup in
   let nfs = Chain.nfs t.chain in
   let mats = Chain.local_mats t.chain in
-  let rec go nfs mats stages =
+  let rec go nfs mats stages faults =
     match (nfs, mats) with
-    | [], [] -> (Sb_mat.Header_action.Forwarded, List.rev stages)
+    | [], [] ->
+        {
+          w_verdict = Sb_mat.Header_action.Forwarded;
+          w_stages = List.rev stages;
+          w_faults = faults;
+          w_contained = false;
+        }
     | nf :: nfs, mat :: mats -> (
+        let name = nf.Nf.name in
         let ctx =
           { Api.fid; local_mat = mat; events = Chain.events t.chain; recording }
         in
-        let result = nf.Nf.process ctx packet in
         let overhead =
           Sb_sim.Cycles.nf_rx_tx
           + if recording then Sb_sim.Cycles.local_mat_record else 0
         in
-        let stage =
-          Sb_sim.Cost_profile.serial_stage nf.Nf.name (result.Nf.cycles + overhead)
+        let gate =
+          if Sb_fault.Supervisor.active sup then Sb_fault.Supervisor.gate sup ~nf:name
+          else Sb_fault.Supervisor.Run
         in
-        match result.Nf.verdict with
-        | Sb_mat.Header_action.Dropped ->
-            (Sb_mat.Header_action.Dropped, List.rev (stage :: stages))
-        | Sb_mat.Header_action.Forwarded -> go nfs mats (stage :: stages))
+        match gate with
+        | Sb_fault.Supervisor.Bypass_nf ->
+            (* Failed NF elided from the chain: the packet only transits the
+               port; nothing records, so rebuilt fast paths omit the NF. *)
+            let stage = Sb_sim.Cost_profile.serial_stage name Sb_sim.Cycles.nf_rx_tx in
+            go nfs mats (stage :: stages) faults
+        | Sb_fault.Supervisor.Drop_packet ->
+            (* Failed NF under Drop_flow: the drop records like an ordinary
+               verdict, so the flow's fast path early-drops. *)
+            Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
+            let stage =
+              Sb_sim.Cost_profile.serial_stage name
+                (Sb_sim.Cycles.nf_rx_tx + Sb_sim.Cycles.ha_drop)
+            in
+            {
+              w_verdict = Sb_mat.Header_action.Dropped;
+              w_stages = List.rev (stage :: stages);
+              w_faults = faults;
+              w_contained = false;
+            }
+        | Sb_fault.Supervisor.Run -> (
+            let injected =
+              if Sb_fault.Supervisor.active sup then Sb_fault.Supervisor.draw sup ~nf:name
+              else None
+            in
+            match
+              match injected with
+              | Some Sb_fault.Injector.Raise -> raise (injected_raise t name)
+              | Some Sb_fault.Injector.Corrupt_verdict
+              | Some Sb_fault.Injector.Stall
+              | None ->
+                  nf.Nf.process ctx packet
+            with
+            | exception _exn ->
+                (* Containment: the fault is this NF's, the packet is
+                   dropped, the flow's partial records are quarantined. *)
+                note_fault t ~nf:name;
+                Sb_fault.Supervisor.record_contained sup;
+                Sb_fault.Supervisor.record_faulted_packet sup;
+                let stage =
+                  Sb_sim.Cost_profile.serial_stage name
+                    (overhead + Sb_sim.Cycles.fault_contain)
+                in
+                {
+                  w_verdict = Sb_mat.Header_action.Dropped;
+                  w_stages = List.rev (stage :: stages);
+                  w_faults = faults + 1;
+                  w_contained = true;
+                }
+            | result -> (
+                let result, faults =
+                  match injected with
+                  | Some Sb_fault.Injector.Corrupt_verdict ->
+                      note_fault t ~nf:name;
+                      Sb_fault.Supervisor.record_corrupted sup;
+                      Sb_fault.Supervisor.record_faulted_packet sup;
+                      ( { result with Nf.verdict = flip_verdict result.Nf.verdict },
+                        faults + 1 )
+                  | Some Sb_fault.Injector.Stall ->
+                      note_fault t ~nf:name;
+                      Sb_fault.Supervisor.record_stalled sup;
+                      ( {
+                          result with
+                          Nf.cycles =
+                            result.Nf.cycles + Sb_fault.Supervisor.stall_cycles sup;
+                        },
+                        faults + 1 )
+                  | Some Sb_fault.Injector.Raise | None -> (result, faults)
+                in
+                let stage =
+                  Sb_sim.Cost_profile.serial_stage name (result.Nf.cycles + overhead)
+                in
+                match result.Nf.verdict with
+                | Sb_mat.Header_action.Dropped ->
+                    {
+                      w_verdict = Sb_mat.Header_action.Dropped;
+                      w_stages = List.rev (stage :: stages);
+                      w_faults = faults;
+                      w_contained = false;
+                    }
+                | Sb_mat.Header_action.Forwarded -> go nfs mats (stage :: stages) faults)))
     | _ -> assert false (* nfs and local_mats have equal length *)
   in
-  go nfs mats []
+  go nfs mats [] 0
 
-let finish t verdict packet profile path events_fired =
+let finish t verdict packet profile path events_fired faults =
   let latency_cycles, service_cycles =
     Sb_sim.Platform.latency_and_service t.cfg.platform profile
   in
-  { verdict; packet; profile; path; latency_cycles; service_cycles; events_fired }
+  {
+    verdict;
+    packet;
+    profile;
+    path;
+    latency_cycles;
+    service_cycles;
+    events_fired;
+    faults;
+  }
 
 let process_original t packet =
-  let verdict, stages = walk_chain t ~recording:false ~fid:(-1) packet in
-  finish t verdict packet stages Slow_path 0
+  let w = walk_chain t ~recording:false ~fid:(-1) packet in
+  finish t w.w_verdict packet w.w_stages Slow_path 0 w.w_faults
 
 let cleanup t cls =
   Chain.remove_flow t.chain cls.Classifier.fid;
@@ -185,6 +346,23 @@ let touch t cls now =
    Global MAT's stage assembly instead of appended after the fact. *)
 let detach_item = Sb_sim.Cost_profile.Serial Sb_sim.Cycles.meta_detach
 
+(* Containment of a fast-path fault: count it, quarantine the flow's
+   consolidated state (Global MAT rule, Local MAT records, events,
+   classifier mapping) and drop the packet.  The flow's next packet
+   re-records from scratch — or runs Original when recording is no longer
+   allowed. *)
+let contain_fast_path t cls classifier_stage inj_faults ~nf =
+  note_fault t ~nf;
+  Sb_fault.Supervisor.record_contained t.sup;
+  Sb_fault.Supervisor.record_faulted_packet t.sup;
+  cleanup t cls;
+  Sb_fault.Supervisor.record_quarantine t.sup;
+  let stage =
+    Sb_sim.Cost_profile.serial_stage "GlobalMAT"
+      (Sb_sim.Cycles.fast_path_lookup + Sb_sim.Cycles.fault_contain)
+  in
+  (classifier_stage, stage, inj_faults + 1)
+
 let process_speedybox t packet =
   let now = packet.Sb_packet.Packet.ingress_cycle in
   let cls = Classifier.classify t.classifier packet in
@@ -192,34 +370,109 @@ let process_speedybox t packet =
   let fid = cls.Classifier.fid in
   let classifier_stage = Sb_sim.Cost_profile.serial_stage "Classifier" cls.Classifier.cycles in
   match Sb_mat.Global_mat.find t.global fid with
-  | Some rule ->
-      (* Fast path: the Global MAT handles the packet entirely; the rule
-         found here is threaded through, so this is the only lookup. *)
-      let result =
-        Sb_mat.Global_mat.execute_rule ~egress_item:detach_item t.global
-          (Chain.events t.chain) (Chain.local_mats t.chain) fid rule packet
-      in
-      if cls.Classifier.final then cleanup t cls;
-      finish t result.Sb_mat.Global_mat.verdict packet
-        [ classifier_stage; result.Sb_mat.Global_mat.stage ]
-        Fast_path result.Sb_mat.Global_mat.events_fired
+  | Some rule -> (
+      (* Mirror the slow path's per-NF injector consultation — one draw per
+         NF per packet — so a fault schedule is path-independent. *)
+      let corrupts = ref 0 and stalls = ref 0 and raised = ref None in
+      let injected = ref 0 in
+      if Sb_fault.Supervisor.active t.sup then
+        Array.iter
+          (fun name ->
+            match Sb_fault.Supervisor.draw t.sup ~nf:name with
+            | None -> ()
+            | Some kind -> (
+                incr injected;
+                note_fault t ~nf:name;
+                match kind with
+                | Sb_fault.Injector.Raise ->
+                    Sb_fault.Supervisor.record_contained t.sup;
+                    if !raised = None then raised := Some name
+                | Sb_fault.Injector.Corrupt_verdict ->
+                    Sb_fault.Supervisor.record_corrupted t.sup;
+                    incr corrupts
+                | Sb_fault.Injector.Stall ->
+                    Sb_fault.Supervisor.record_stalled t.sup;
+                    incr stalls))
+          t.nf_names;
+      let n_injected = !injected in
+      match !raised with
+      | Some _nf ->
+          (* The injected crash aborts the rule execution: drop the packet
+             and quarantine the flow (its next packet re-records). *)
+          Sb_fault.Supervisor.record_faulted_packet t.sup;
+          cleanup t cls;
+          Sb_fault.Supervisor.record_quarantine t.sup;
+          let stage =
+            Sb_sim.Cost_profile.serial_stage "GlobalMAT"
+              (Sb_sim.Cycles.fast_path_lookup + Sb_sim.Cycles.fault_contain)
+          in
+          finish t Sb_mat.Header_action.Dropped packet [ classifier_stage; stage ]
+            Fast_path 0 n_injected
+      | None -> (
+          match
+            Sb_mat.Global_mat.execute_rule ~egress_item:detach_item t.global
+              (Chain.events t.chain) (Chain.local_mats t.chain) fid rule packet
+          with
+          | exception exn ->
+              (* An organic fast-path fault — a raising state function or
+                 event update — attributed to its NF when known. *)
+              let nf =
+                match exn with
+                | Sb_fault.Fault.Nf_fault (nf, _, _) -> nf
+                | _ -> "GlobalMAT"
+              in
+              let classifier_stage, stage, faults =
+                contain_fast_path t cls classifier_stage n_injected ~nf
+              in
+              finish t Sb_mat.Header_action.Dropped packet [ classifier_stage; stage ]
+                Fast_path 0 faults
+          | result ->
+              let verdict =
+                if !corrupts land 1 = 1 then flip_verdict result.Sb_mat.Global_mat.verdict
+                else result.Sb_mat.Global_mat.verdict
+              in
+              if !corrupts > 0 then Sb_fault.Supervisor.record_faulted_packet t.sup;
+              let stages =
+                [ classifier_stage; result.Sb_mat.Global_mat.stage ]
+                @
+                if !stalls > 0 then
+                  [
+                    Sb_sim.Cost_profile.serial_stage "InjectedStall"
+                      (!stalls * Sb_fault.Supervisor.stall_cycles t.sup);
+                  ]
+                else []
+              in
+              if cls.Classifier.final then cleanup t cls;
+              finish t verdict packet stages Fast_path
+                result.Sb_mat.Global_mat.events_fired n_injected))
   | None -> begin
     (* Slow path; the flow's establishing packet also records — unless an
-       NF opted out of consolidation (§IV-A3), in which case the chain
-       never builds fast paths at all. *)
-    let recording = cls.Classifier.established && Chain.consolidable t.chain in
-    let verdict, stages = walk_chain t ~recording ~fid packet in
+       NF opted out of consolidation (§IV-A3) or the fault layer no longer
+       trusts the chain (a Degraded NF, or a Failed one pinned to the slow
+       path), in which case no fast path is built. *)
+    let recording =
+      cls.Classifier.established && Chain.consolidable t.chain
+      && ((not (Sb_fault.Supervisor.active t.sup))
+         || Sb_fault.Supervisor.allow_recording t.sup t.nf_names)
+    in
+    let w = walk_chain t ~recording ~fid packet in
+    if w.w_contained then begin
+      (* Quarantine: the walk's partial Local MAT records and events must
+         not leak into a rule; the flow's next packet starts fresh. *)
+      cleanup t cls;
+      Sb_fault.Supervisor.record_quarantine t.sup
+    end;
     let stages =
-      if recording then begin
+      if recording && not w.w_contained then begin
         let cost =
           Sb_mat.Global_mat.consolidate t.global fid (Chain.local_mats t.chain)
         in
-        stages @ [ Sb_sim.Cost_profile.serial_stage "Consolidate" cost ]
+        w.w_stages @ [ Sb_sim.Cost_profile.serial_stage "Consolidate" cost ]
       end
-      else stages
+      else w.w_stages
     in
-    if cls.Classifier.final then cleanup t cls;
-    finish t verdict packet (classifier_stage :: stages) Slow_path 0
+    if cls.Classifier.final && not w.w_contained then cleanup t cls;
+    finish t w.w_verdict packet (classifier_stage :: stages) Slow_path 0 w.w_faults
   end
 
 let process_packet t packet =
@@ -234,6 +487,7 @@ type run_result = {
   slow_path : int;
   fast_path : int;
   events_fired : int;
+  faulted_packets : int;
   latency_us : Sb_sim.Stats.t;
   cycles_per_packet : Sb_sim.Stats.t;
   service : Sb_sim.Stats.t;
@@ -251,7 +505,8 @@ let run_trace ?on_output t packets =
   and dropped = ref 0
   and slow = ref 0
   and fast = ref 0
-  and fired = ref 0 in
+  and fired = ref 0
+  and faulted = ref 0 in
   let latency_us = Sb_sim.Stats.create () in
   let cycles_per_packet = Sb_sim.Stats.create () in
   let service = Sb_sim.Stats.create () in
@@ -279,6 +534,7 @@ let run_trace ?on_output t packets =
       | Sb_mat.Header_action.Dropped -> incr dropped);
       (match out.path with Slow_path -> incr slow | Fast_path -> incr fast);
       fired := !fired + out.events_fired;
+      if out.faults > 0 then incr faulted;
       List.iter record_stage out.profile;
       let us = Sb_sim.Cycles.to_microseconds out.latency_cycles in
       Sb_sim.Stats.add latency_us us;
@@ -301,6 +557,7 @@ let run_trace ?on_output t packets =
     slow_path = !slow;
     fast_path = !fast;
     events_fired = !fired;
+    faulted_packets = !faulted;
     latency_us;
     cycles_per_packet;
     service;

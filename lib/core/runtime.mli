@@ -29,6 +29,14 @@ type config = {
       (** How the Global MAT executes consolidated rules: [Compiled] (the
           default flat-program fast path) or [Interpreted] (the reference
           step-list walker the differential tests compare against). *)
+  fault_policy : Sb_fault.Health.policy;
+      (** Health thresholds and per-NF failure handling (see
+          {!Sb_fault.Health}).  Only consulted once a fault occurs or an
+          injector is armed; a fault-free run never touches it. *)
+  injector : Sb_fault.Injector.t option;
+      (** Deterministic fault injector consulted once per (NF, packet) on
+          both paths.  [None] (default) disables injection and its
+          per-packet bookkeeping entirely. *)
 }
 
 val config :
@@ -39,10 +47,13 @@ val config :
   ?idle_timeout_cycles:int ->
   ?max_rules:int ->
   ?fastpath:Sb_mat.Global_mat.exec_mode ->
+  ?fault_policy:Sb_fault.Health.policy ->
+  ?injector:Sb_fault.Injector.t ->
   unit ->
   config
 (** Defaults: BESS, SpeedyBox mode, Table I policy, 20-bit FIDs, no
-    expiry, unbounded rule table, compiled fast path. *)
+    expiry, unbounded rule table, compiled fast path, default fault
+    policy, no injector. *)
 
 type t
 
@@ -57,6 +68,10 @@ val global_mat : t -> Sb_mat.Global_mat.t
 
 val classifier : t -> Classifier.t
 
+val supervisor : t -> Sb_fault.Supervisor.t
+(** The fault-containment state: per-NF health records and the
+    contained/corrupted/stalled/quarantine counters. *)
+
 val expired_flows : t -> int
 (** Flows evicted by the idle timeout so far. *)
 
@@ -70,13 +85,24 @@ type output = {
   latency_cycles : int;  (** end-to-end under the configured platform *)
   service_cycles : int;  (** per-packet cycles at the throughput bottleneck *)
   events_fired : int;
+  faults : int;
+      (** faults charged while processing this packet (contained raises,
+          corrupted verdicts, injected stalls) — nonzero marks the packet's
+          flow as fault-affected *)
 }
 
 val process_packet : t -> Sb_packet.Packet.t -> output
 (** Processes one packet (mutating it).  In [Original] mode every packet
     walks the chain; in [Speedybox] mode the classifier routes it to the
     slow path (recording when it is the flow's initial packet) or to the
-    Global MAT fast path, and FIN/RST tears the flow's rules down. *)
+    Global MAT fast path, and FIN/RST tears the flow's rules down.
+
+    Faults never propagate out: any raise from an NF [process] call, a
+    recorded state function, or an event update is contained — the packet
+    is dropped, the NF's health record advances, and in SpeedyBox mode the
+    flow's consolidated state (Global MAT rule, Local MAT records, armed
+    events, classifier mapping) is quarantined so the next packet starts
+    from scratch. *)
 
 (** Aggregate statistics over a trace run. *)
 type run_result = {
@@ -86,6 +112,7 @@ type run_result = {
   slow_path : int;
   fast_path : int;
   events_fired : int;
+  faulted_packets : int;  (** packets whose processing charged ≥ 1 fault *)
   latency_us : Sb_sim.Stats.t;  (** per-packet processing latency *)
   cycles_per_packet : Sb_sim.Stats.t;  (** per-packet latency cycles *)
   service : Sb_sim.Stats.t;  (** per-packet bottleneck service cycles *)

@@ -50,13 +50,18 @@ type result = {
   reordered : int;
   sojourn_us : Sb_sim.Stats.t;
   events_fired : int;
+  faults : int;
+  quarantines : int;
 }
 
-let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace =
+let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
+    ?(fault_policy = Sb_fault.Health.default_policy) chain trace =
   let nfs = Array.of_list (Chain.nfs chain) in
   let mats = Array.of_list (Chain.local_mats chain) in
+  let nf_names = Array.map (fun nf -> nf.Nf.name) nfs in
   let classifier = Classifier.create () in
   let global = Sb_mat.Global_mat.create ~policy () in
+  let sup = Sb_fault.Supervisor.create ?injector fault_policy in
   let recording_in_flight : (int, unit) Hashtbl.t = Hashtbl.create 64 in
 
   let heap = Sb_sim.Min_heap.create ~cmp:compare_events in
@@ -124,6 +129,38 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace 
       job.tuple
   in
 
+  (* A Failed NF invalidates every consolidated rule embedding its
+     closures; tear the whole fast path down so flows re-record under the
+     failure policy. *)
+  let flush_fast_state () =
+    let fids = Sb_mat.Global_mat.fold (fun fid _ acc -> fid :: acc) global [] in
+    List.iter
+      (fun fid ->
+        Chain.remove_flow chain fid;
+        Sb_mat.Global_mat.remove_flow global fid)
+      fids
+  in
+  let note_fault ~nf =
+    match Sb_fault.Supervisor.record_fault sup ~nf with
+    | Sb_fault.Health.To_failed -> flush_fast_state ()
+    | Sb_fault.Health.To_degraded | Sb_fault.Health.No_change -> ()
+  in
+  Sb_mat.Event_table.set_fault_hook (Chain.events chain) (fun nf _exn ->
+      Sb_fault.Supervisor.record_contained sup;
+      note_fault ~nf);
+  (* Containment inside a stage: the fault is charged, the job's flow state
+     quarantined and the packet leaves the chain dropped. *)
+  let contain job ~nf cycles =
+    note_fault ~nf;
+    Sb_fault.Supervisor.record_contained sup;
+    Sb_fault.Supervisor.record_faulted_packet sup;
+    stop_recording job;
+    flow_cleanup job;
+    Sb_fault.Supervisor.record_quarantine sup;
+    job.cleanup_after <- false;
+    (cycles + Sb_sim.Cycles.fault_contain, Done Sb_mat.Header_action.Dropped)
+  in
+
   let finish job at verdict =
     (match verdict with
     | Sb_mat.Header_action.Forwarded -> incr forwarded
@@ -161,6 +198,8 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace 
             cls.Classifier.established
             && Chain.consolidable chain
             && not (Hashtbl.mem recording_in_flight cls.Classifier.fid)
+            && ((not (Sb_fault.Supervisor.active sup))
+               || Sb_fault.Supervisor.allow_recording sup nf_names)
           then begin
             Hashtbl.replace recording_in_flight cls.Classifier.fid ();
             job.recording <- true
@@ -168,6 +207,7 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace 
           (cls.Classifier.cycles, Next (To_nf 0))
         end
     | To_nf i -> (
+        let name = nfs.(i).Nf.name in
         let ctx =
           {
             Api.fid = job.packet.Packet.fid;
@@ -176,40 +216,94 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace 
             recording = job.recording;
           }
         in
-        let r = nfs.(i).Nf.process ctx job.packet in
         let overhead =
           Sb_sim.Cycles.nf_rx_tx
           + if job.recording then Sb_sim.Cycles.local_mat_record else 0
         in
-        match r.Nf.verdict with
-        | Sb_mat.Header_action.Dropped ->
-            (* The walk ends here; a recording walk still consolidates so
-               subsequent packets early-drop. *)
-            if job.recording then
-              ( r.Nf.cycles + overhead + consolidate_cost,
-                Done_after_consolidate Sb_mat.Header_action.Dropped )
-            else (r.Nf.cycles + overhead, Done Sb_mat.Header_action.Dropped)
-        | Sb_mat.Header_action.Forwarded ->
-            if i + 1 < Array.length nfs then (r.Nf.cycles + overhead, Next (To_nf (i + 1)))
-            else if job.recording then
-              ( r.Nf.cycles + overhead + consolidate_cost,
-                Done_after_consolidate Sb_mat.Header_action.Forwarded )
-            else (r.Nf.cycles + overhead, Done Sb_mat.Header_action.Forwarded))
+        let finish_walk cycles verdict =
+          if job.recording then (cycles + consolidate_cost, Done_after_consolidate verdict)
+          else (cycles, Done verdict)
+        in
+        let gate =
+          if Sb_fault.Supervisor.active sup then Sb_fault.Supervisor.gate sup ~nf:name
+          else Sb_fault.Supervisor.Run
+        in
+        match gate with
+        | Sb_fault.Supervisor.Bypass_nf ->
+            (* Failed NF elided: the packet only transits the stage's port;
+               nothing records. *)
+            if i + 1 < Array.length nfs then (Sb_sim.Cycles.nf_rx_tx, Next (To_nf (i + 1)))
+            else finish_walk Sb_sim.Cycles.nf_rx_tx Sb_mat.Header_action.Forwarded
+        | Sb_fault.Supervisor.Drop_packet ->
+            (* Failed NF under Drop_flow: record the drop like an ordinary
+               verdict so the flow's fast path early-drops. *)
+            Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
+            finish_walk
+              (Sb_sim.Cycles.nf_rx_tx + Sb_sim.Cycles.ha_drop)
+              Sb_mat.Header_action.Dropped
+        | Sb_fault.Supervisor.Run -> (
+            let injected =
+              if Sb_fault.Supervisor.active sup then Sb_fault.Supervisor.draw sup ~nf:name
+              else None
+            in
+            match
+              match injected with
+              | Some Sb_fault.Injector.Raise -> raise (Sb_fault.Injector.Injected (name, 0))
+              | _ -> nfs.(i).Nf.process ctx job.packet
+            with
+            | exception _exn -> contain job ~nf:name overhead
+            | r -> (
+                let r =
+                  match injected with
+                  | Some Sb_fault.Injector.Corrupt_verdict ->
+                      note_fault ~nf:name;
+                      Sb_fault.Supervisor.record_corrupted sup;
+                      Sb_fault.Supervisor.record_faulted_packet sup;
+                      {
+                        r with
+                        Nf.verdict =
+                          (match r.Nf.verdict with
+                          | Sb_mat.Header_action.Forwarded -> Sb_mat.Header_action.Dropped
+                          | Sb_mat.Header_action.Dropped -> Sb_mat.Header_action.Forwarded);
+                      }
+                  | Some Sb_fault.Injector.Stall ->
+                      note_fault ~nf:name;
+                      Sb_fault.Supervisor.record_stalled sup;
+                      { r with Nf.cycles = r.Nf.cycles + Sb_fault.Supervisor.stall_cycles sup }
+                  | _ -> r
+                in
+                match r.Nf.verdict with
+                | Sb_mat.Header_action.Dropped ->
+                    (* The walk ends here; a recording walk still
+                       consolidates so subsequent packets early-drop. *)
+                    finish_walk (r.Nf.cycles + overhead) Sb_mat.Header_action.Dropped
+                | Sb_mat.Header_action.Forwarded ->
+                    if i + 1 < Array.length nfs then
+                      (r.Nf.cycles + overhead, Next (To_nf (i + 1)))
+                    else finish_walk (r.Nf.cycles + overhead) Sb_mat.Header_action.Forwarded)))
     | To_global_mat -> (
         match Sb_mat.Global_mat.find global job.packet.Packet.fid with
         | None ->
             (* The rule vanished between classify and service (FIN cleanup
                raced ahead); fall back to the original path. *)
             (Sb_sim.Cycles.fast_path_lookup, Next (To_nf 0))
-        | Some rule ->
-            let r =
+        | Some rule -> (
+            match
               Sb_mat.Global_mat.execute_rule global (Chain.events chain)
                 (Chain.local_mats chain) job.packet.Packet.fid rule job.packet
-            in
-            fired := !fired + r.Sb_mat.Global_mat.events_fired;
-            ( Sb_sim.Cost_profile.stage_cycles r.Sb_mat.Global_mat.stage
-              + Sb_sim.Cycles.meta_detach,
-              Done r.Sb_mat.Global_mat.verdict ))
+            with
+            | exception exn ->
+                let nf =
+                  match exn with
+                  | Sb_fault.Fault.Nf_fault (nf, _, _) -> nf
+                  | _ -> "GlobalMAT"
+                in
+                contain job ~nf Sb_sim.Cycles.fast_path_lookup
+            | r ->
+                fired := !fired + r.Sb_mat.Global_mat.events_fired;
+                ( Sb_sim.Cost_profile.stage_cycles r.Sb_mat.Global_mat.stage
+                  + Sb_sim.Cycles.meta_detach,
+                  Done r.Sb_mat.Global_mat.verdict )))
   in
 
   let maybe_start label state now =
@@ -287,4 +381,6 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) chain trace 
     reordered = !reordered;
     sojourn_us;
     events_fired = !fired;
+    faults = Sb_fault.Supervisor.total_faults sup;
+    quarantines = Sb_fault.Supervisor.quarantines sup;
   }

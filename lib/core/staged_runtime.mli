@@ -31,13 +31,22 @@ type result = {
           flow *)
   sojourn_us : Sb_sim.Stats.t;  (** arrival to departure, completed packets *)
   events_fired : int;
+  faults : int;  (** contained + corrupted + stalled faults over the run *)
+  quarantines : int;  (** flows whose consolidated state a fault tore down *)
 }
 
 val run :
   ?ring_capacity:int ->
   ?policy:Sb_mat.Parallel.policy ->
+  ?injector:Sb_fault.Injector.t ->
+  ?fault_policy:Sb_fault.Health.policy ->
   Chain.t ->
   Sb_packet.Packet.t list ->
   result
 (** [run chain trace] — the trace must be in non-decreasing arrival order.
-    Default ring capacity: 64 slots per stage. *)
+    Default ring capacity: 64 slots per stage.
+
+    Faults are contained per stage: a raise from an NF's service (injected
+    by [injector] or organic, including state functions and event updates
+    on the Global MAT stage) drops the packet, quarantines the flow's
+    consolidated state and advances the NF's health under [fault_policy]. *)

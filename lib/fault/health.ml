@@ -1,0 +1,113 @@
+type state = Healthy | Degraded | Failed
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with Healthy -> "Healthy" | Degraded -> "Degraded" | Failed -> "Failed")
+
+type on_failure = Bypass | Drop_flow | Slow_path_only
+
+let pp_on_failure fmt p =
+  Format.pp_print_string fmt
+    (match p with
+    | Bypass -> "bypass"
+    | Drop_flow -> "drop-flow"
+    | Slow_path_only -> "slow-path-only")
+
+let on_failure_of_string = function
+  | "bypass" -> Some Bypass
+  | "drop-flow" | "drop_flow" | "drop" -> Some Drop_flow
+  | "slow-path-only" | "slow_path_only" | "slow-path" -> Some Slow_path_only
+  | _ -> None
+
+type policy = {
+  degraded_after : int;
+  failed_after : int;
+  on_failure : on_failure;
+  overrides : (string * on_failure) list;
+}
+
+let policy ?(degraded_after = 3) ?(failed_after = 8) ?(on_failure = Slow_path_only)
+    ?(overrides = []) () =
+  if degraded_after < 1 then invalid_arg "Health.policy: degraded_after must be positive";
+  if failed_after < degraded_after then
+    invalid_arg "Health.policy: failed_after must be >= degraded_after";
+  { degraded_after; failed_after; on_failure; overrides }
+
+let default_policy = policy ()
+
+type record = {
+  name : string;
+  on_fail : on_failure;
+  mutable faults : int;
+  mutable state : state;
+}
+
+type t = { pol : policy; table : (string, record) Hashtbl.t }
+
+let create pol = { pol; table = Hashtbl.create 8 }
+
+let get t nf =
+  match Hashtbl.find_opt t.table nf with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          name = nf;
+          on_fail =
+            (match List.assoc_opt nf t.pol.overrides with
+            | Some p -> p
+            | None -> t.pol.on_failure);
+          faults = 0;
+          state = Healthy;
+        }
+      in
+      Hashtbl.replace t.table nf r;
+      r
+
+type transition = No_change | To_degraded | To_failed
+
+let record_fault t nf =
+  let r = get t nf in
+  r.faults <- r.faults + 1;
+  let next =
+    if r.faults >= t.pol.failed_after then Failed
+    else if r.faults >= t.pol.degraded_after then Degraded
+    else Healthy
+  in
+  if next = r.state then No_change
+  else begin
+    r.state <- next;
+    match next with
+    | Failed -> To_failed
+    | Degraded -> To_degraded
+    | Healthy -> No_change
+  end
+
+let state t nf =
+  match Hashtbl.find_opt t.table nf with Some r -> r.state | None -> Healthy
+
+let faults t nf = match Hashtbl.find_opt t.table nf with Some r -> r.faults | None -> 0
+
+let on_failure t nf =
+  match Hashtbl.find_opt t.table nf with
+  | Some r -> r.on_fail
+  | None -> (
+      match List.assoc_opt nf t.pol.overrides with
+      | Some p -> p
+      | None -> t.pol.on_failure)
+
+let reset t nf =
+  match Hashtbl.find_opt t.table nf with
+  | Some r ->
+      r.faults <- 0;
+      r.state <- Healthy
+  | None -> ()
+
+let all_healthy t =
+  Hashtbl.fold (fun _ r acc -> acc && r.state = Healthy) t.table true
+
+let total_faults t = Hashtbl.fold (fun _ r acc -> acc + r.faults) t.table 0
+
+let snapshot t =
+  Hashtbl.fold (fun _ r acc -> (r.name, r.state, r.faults) :: acc) t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

@@ -1,0 +1,114 @@
+type t = {
+  health : Health.t;
+  injector : Injector.t option;
+  mutable contained : int;
+  mutable corrupted : int;
+  mutable stalled : int;
+  mutable quarantines : int;
+  mutable faulted_packets : int;
+  mutable active : bool;
+}
+
+let create ?injector policy =
+  {
+    health = Health.create policy;
+    injector;
+    contained = 0;
+    corrupted = 0;
+    stalled = 0;
+    quarantines = 0;
+    faulted_packets = 0;
+    (* With no injector the supervisor stays dormant (zero per-packet work
+       beyond one flag test) until the first organic fault wakes it. *)
+    active = injector <> None;
+  }
+
+let health t = t.health
+
+let injector t = t.injector
+
+let active t = t.active
+
+let draw t ~nf =
+  match t.injector with None -> None | Some inj -> Injector.draw inj ~nf
+
+let stall_cycles t =
+  match t.injector with None -> 0 | Some inj -> Injector.stall_cycles inj
+
+let record_fault t ~nf =
+  t.active <- true;
+  Health.record_fault t.health nf
+
+let record_contained t = t.contained <- t.contained + 1
+
+let record_corrupted t = t.corrupted <- t.corrupted + 1
+
+let record_stalled t = t.stalled <- t.stalled + 1
+
+let record_quarantine t = t.quarantines <- t.quarantines + 1
+
+let record_faulted_packet t = t.faulted_packets <- t.faulted_packets + 1
+
+type gate = Run | Bypass_nf | Drop_packet
+
+(* What a packet about to enter [nf] should do, given the NF's health. *)
+let gate t ~nf =
+  match Health.state t.health nf with
+  | Healthy | Degraded -> Run
+  | Failed -> (
+      match Health.on_failure t.health nf with
+      | Health.Bypass -> Bypass_nf
+      | Health.Drop_flow -> Drop_packet
+      | Health.Slow_path_only -> Run)
+
+(* Whether an initial packet may record and consolidate: every NF must be
+   trusted on the fast path.  Degraded and [Failed + Slow_path_only] NFs
+   are not; Bypass/Drop_flow failures are (the NF contributes nothing, or
+   a plain drop rule). *)
+let allow_recording t names =
+  (not t.active)
+  || Array.for_all
+       (fun nf ->
+         match Health.state t.health nf with
+         | Health.Healthy -> true
+         | Health.Degraded -> false
+         | Health.Failed -> (
+             match Health.on_failure t.health nf with
+             | Health.Bypass | Health.Drop_flow -> true
+             | Health.Slow_path_only -> false))
+       names
+
+let contained t = t.contained
+
+let corrupted t = t.corrupted
+
+let stalled t = t.stalled
+
+let quarantines t = t.quarantines
+
+let faulted_packets t = t.faulted_packets
+
+let total_faults t = t.contained + t.corrupted + t.stalled
+
+let injected t =
+  match t.injector with None -> 0 | Some inj -> Injector.total_injected inj
+
+let summary t =
+  if not t.active then []
+  else begin
+    let lines = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+    add "faults     : %d contained (%d injected), %d corrupted, %d stalled" t.contained
+      (injected t) t.corrupted t.stalled;
+    add "quarantine : %d flows torn down, %d packets dropped by containment" t.quarantines
+      t.faulted_packets;
+    List.iter
+      (fun (nf, state, faults) ->
+        if faults > 0 then
+          add "health     : %-12s %s (%d faults, on-failure %s)" nf
+            (Format.asprintf "%a" Health.pp_state state)
+            faults
+            (Format.asprintf "%a" Health.pp_on_failure (Health.on_failure t.health nf)))
+      (Health.snapshot t.health);
+    List.rev !lines
+  end

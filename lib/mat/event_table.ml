@@ -12,9 +12,18 @@ type event = {
   mutable armed : bool;
 }
 
-type t = event list ref Sb_flow.Flow_table.t
+type t = {
+  flows : event list ref Sb_flow.Flow_table.t;
+  mutable condition_faults : int;
+  mutable on_fault : string -> exn -> unit;
+}
 
-let create () : t = Sb_flow.Flow_table.create ()
+let create () =
+  { flows = Sb_flow.Flow_table.create (); condition_faults = 0; on_fault = (fun _ _ -> ()) }
+
+let set_fault_hook t f = t.on_fault <- f
+
+let condition_faults t = t.condition_faults
 
 let register t ~fid ~nf ?(one_shot = true) ~condition ?new_actions ?new_state_functions
     ?update_fn () =
@@ -26,42 +35,50 @@ let register t ~fid ~nf ?(one_shot = true) ~condition ?new_actions ?new_state_fu
       armed = true;
     }
   in
-  match Sb_flow.Flow_table.find t fid with
+  match Sb_flow.Flow_table.find t.flows fid with
   | Some events -> events := !events @ [ event ]
-  | None -> Sb_flow.Flow_table.set t fid (ref [ event ])
+  | None -> Sb_flow.Flow_table.set t.flows fid (ref [ event ])
 
 let armed_list t fid =
-  match Sb_flow.Flow_table.find t fid with
+  match Sb_flow.Flow_table.find t.flows fid with
   | None -> []
   | Some events -> List.filter (fun e -> e.armed) !events
 
 let armed_count t fid = List.length (armed_list t fid)
 
-let fire armed =
+let fire t armed =
   List.filter_map
     (fun e ->
-      if e.condition () then begin
-        if e.one_shot then e.armed <- false;
-        Some e.update
-      end
-      else None)
+      match e.condition () with
+      | true ->
+          if e.one_shot then e.armed <- false;
+          Some e.update
+      | false -> None
+      | exception exn ->
+          (* A raising condition is a fault of the registering NF, not of
+             the flow: disarm just that event, count it, and keep the
+             flow's other events and its consolidated rule usable. *)
+          e.armed <- false;
+          t.condition_faults <- t.condition_faults + 1;
+          t.on_fault e.update.nf exn;
+          None)
     armed
 
-let check t fid = fire (armed_list t fid)
+let check t fid = fire t (armed_list t fid)
 
 (* The fast path needs both the armed count (for cycle accounting) and the
    fired updates; one table access serves both, and the common no-events
    flow costs exactly one lookup. *)
 let poll t fid =
-  match Sb_flow.Flow_table.find t fid with
+  match Sb_flow.Flow_table.find t.flows fid with
   | None -> (0, [])
   | Some events ->
       let armed = List.filter (fun e -> e.armed) !events in
-      (List.length armed, fire armed)
+      (List.length armed, fire t armed)
 
-let remove_flow t fid = Sb_flow.Flow_table.remove t fid
+let remove_flow t fid = Sb_flow.Flow_table.remove t.flows fid
 
 let total_armed t =
   Sb_flow.Flow_table.fold
     (fun _ events acc -> acc + List.length (List.filter (fun e -> e.armed) !events))
-    t 0
+    t.flows 0

@@ -47,7 +47,19 @@ val armed_count : t -> Sb_flow.Fid.t -> int
 
 val check : t -> Sb_flow.Fid.t -> update list
 (** Evaluates the flow's armed conditions in registration order and returns
-    the updates of those that fired (disarming one-shot events). *)
+    the updates of those that fired (disarming one-shot events).  A
+    {e raising} condition never propagates out of the fast path: the event
+    is disarmed, counted in {!condition_faults} and reported through the
+    fault hook, and the flow's remaining events and consolidated rule stay
+    usable. *)
+
+val condition_faults : t -> int
+(** Conditions that raised (and were disarmed) so far. *)
+
+val set_fault_hook : t -> (string -> exn -> unit) -> unit
+(** [set_fault_hook t f] — [f nf exn] runs when a condition registered by
+    [nf] raises [exn]; the runtime points this at its fault supervisor so
+    condition faults advance the NF's health record. *)
 
 val poll : t -> Sb_flow.Fid.t -> int * update list
 (** [poll t fid] is [(armed_count t fid, check t fid)] in a single table

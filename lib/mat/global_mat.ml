@@ -454,23 +454,28 @@ let execute_rule ?egress_item t events locals fid rule packet =
   let fire_cycles = ref 0 in
   List.iter
     (fun (u : Event_table.update) ->
-      Option.iter (fun f -> f ()) u.Event_table.update_fn;
-      let local_of_nf () =
-        List.find_opt (fun l -> Local_mat.nf_name l = u.Event_table.nf) locals
-      in
-      Option.iter
-        (fun make_actions ->
-          Option.iter
-            (fun local -> Local_mat.replace_actions local fid (make_actions ()))
-            (local_of_nf ()))
-        u.Event_table.new_actions;
-      Option.iter
-        (fun make_sfs ->
-          Option.iter
-            (fun local -> Local_mat.replace_state_functions local fid (make_sfs ()))
-            (local_of_nf ()))
-        u.Event_table.new_state_functions;
-      fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire)
+      (* An update's closures belong to the registering NF; a raise here is
+         that NF's fault and must carry its name out to the supervisor. *)
+      try
+        Option.iter (fun f -> f ()) u.Event_table.update_fn;
+        let local_of_nf () =
+          List.find_opt (fun l -> Local_mat.nf_name l = u.Event_table.nf) locals
+        in
+        Option.iter
+          (fun make_actions ->
+            Option.iter
+              (fun local -> Local_mat.replace_actions local fid (make_actions ()))
+              (local_of_nf ()))
+          u.Event_table.new_actions;
+        Option.iter
+          (fun make_sfs ->
+            Option.iter
+              (fun local -> Local_mat.replace_state_functions local fid (make_sfs ()))
+              (local_of_nf ()))
+          u.Event_table.new_state_functions;
+        fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire
+      with exn ->
+        raise (Sb_fault.Fault.attribute ~nf:u.Event_table.nf ~origin:"event-update" exn))
     fired;
   (* A fired event recompiles the flow's program in place, so [rule] below
      is already the updated record — no re-lookup. *)

@@ -31,7 +31,8 @@ module Batch = struct
   let mode t = t.mode
 
   let run t packet =
-    List.fold_left (fun acc sf -> acc + Sb_sim.Cycles.sf_invoke + sf.run packet) 0 t.fns
+    try List.fold_left (fun acc sf -> acc + Sb_sim.Cycles.sf_invoke + sf.run packet) 0 t.fns
+    with exn -> raise (Sb_fault.Fault.attribute ~nf:t.nf ~origin:"state-function" exn)
 
   let pp fmt t =
     Format.fprintf fmt "%s{%s}" t.nf (String.concat ";" (List.map (fun sf -> sf.label) t.fns))

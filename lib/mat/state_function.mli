@@ -49,7 +49,9 @@ module Batch : sig
 
   val run : t -> Sb_packet.Packet.t -> int
   (** Runs every function in order; total cycles include the per-handler
-      dispatch cost. *)
+      dispatch cost.  A raising handler surfaces as
+      {!Sb_fault.Fault.Nf_fault} naming the batch's NF, so the supervising
+      executor can attribute the fault and quarantine the flow. *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -134,41 +134,70 @@ let table_lookup t tuple =
 
 (* The flow's current backend: the tracked one while it is alive, otherwise
    a fresh consistent-hash selection (retracked) — the Maglev rerouting
-   behaviour both the original path and the fired event go through. *)
+   behaviour both the original path and the fired event go through.  With
+   every backend dead there is nothing to select: the assignment is
+   dropped (so the flow re-selects once a backend is restored) and the
+   caller turns the packet into a drop. *)
 let current_backend t tuple =
   let select () =
     let i = table_lookup t tuple in
-    if i < 0 then invalid_arg "Maglev: all backends dead";
-    Tuple_map.replace t.assignments tuple i;
-    i
+    if i < 0 then begin
+      Tuple_map.remove t.assignments tuple;
+      None
+    end
+    else begin
+      Tuple_map.replace t.assignments tuple i;
+      Some t.backends.(i)
+    end
   in
   match Tuple_map.find_opt t.assignments tuple with
-  | Some i when t.backends.(i).alive -> t.backends.(i)
-  | Some _ | None -> t.backends.(select ())
+  | Some i when t.backends.(i).alive -> Some t.backends.(i)
+  | Some _ | None -> select ()
+
+(* The per-flow reroute actions at fire time: a fresh backend selection, or
+   a plain drop while no backend is alive. *)
+let reroute_actions t tuple () =
+  match current_backend t tuple with
+  | Some backend ->
+      [ Sb_mat.Header_action.Modify [ (Field.Dst_ip, Field.Ip backend.ip) ] ]
+  | None -> [ Sb_mat.Header_action.Drop ]
 
 let process t ctx packet =
   let tuple = Five_tuple.of_packet packet in
-  let backend = current_backend t tuple in
-  let action = Sb_mat.Header_action.Modify [ (Field.Dst_ip, Field.Ip backend.ip) ] in
-  let apply_cost = Sb_mat.Header_action.cost action in
-  (match Sb_mat.Header_action.apply action packet with
-  | Sb_mat.Header_action.Forwarded -> ()
-  | Sb_mat.Header_action.Dropped -> assert false (* modify never drops *));
-  Speedybox.Api.localmat_add_ha ctx action;
-  Speedybox.Api.register_event ctx ~one_shot:false
-    ~condition:(fun () ->
-      match Tuple_map.find_opt t.assignments tuple with
-      | Some i -> not (t.backends.(i).alive)
-      | None -> false)
-    ~new_actions:(fun () ->
-      [ Sb_mat.Header_action.Modify
-          [ (Field.Dst_ip, Field.Ip (current_backend t tuple).ip) ];
-      ])
-    ~update_fn:(fun () -> ignore (current_backend t tuple))
-    ();
-  Speedybox.Nf.forwarded
-    (Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + Sb_sim.Cycles.lb_consistent_hash
-   + apply_cost)
+  let register_reroute () =
+    (* Recurring: fires when the tracked backend dies, and again (for a
+       flow parked on a drop by total backend failure) when any backend
+       comes back. *)
+    Speedybox.Api.register_event ctx ~one_shot:false
+      ~condition:(fun () ->
+        match Tuple_map.find_opt t.assignments tuple with
+        | Some i -> not (t.backends.(i).alive)
+        | None -> Array.exists (fun b -> b.alive) t.backends)
+      ~new_actions:(reroute_actions t tuple)
+      ~update_fn:(fun () -> ignore (current_backend t tuple))
+      ()
+  in
+  match current_backend t tuple with
+  | None ->
+      (* Total backend failure: the flow degrades to a recorded drop — a
+         reachability verdict, never an exception out of the datapath. *)
+      let action = Sb_mat.Header_action.Drop in
+      Speedybox.Api.localmat_add_ha ctx action;
+      register_reroute ();
+      Speedybox.Nf.dropped
+        (Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + Sb_sim.Cycles.lb_consistent_hash
+       + Sb_mat.Header_action.cost action)
+  | Some backend ->
+      let action = Sb_mat.Header_action.Modify [ (Field.Dst_ip, Field.Ip backend.ip) ] in
+      let apply_cost = Sb_mat.Header_action.cost action in
+      (match Sb_mat.Header_action.apply action packet with
+      | Sb_mat.Header_action.Forwarded -> ()
+      | Sb_mat.Header_action.Dropped -> assert false (* modify never drops *));
+      Speedybox.Api.localmat_add_ha ctx action;
+      register_reroute ();
+      Speedybox.Nf.forwarded
+        (Sb_sim.Cycles.parse + Sb_sim.Cycles.classify + Sb_sim.Cycles.lb_consistent_hash
+       + apply_cost)
 
 let nf t =
   Speedybox.Nf.make ~name:t.name

@@ -11,7 +11,13 @@
     #2): under SpeedyBox it registers a recurring per-flow event whose
     condition is "the flow's tracked backend is dead" and whose update
     replaces the recorded [modify(DIP)] with one pointing at the newly
-    selected backend. *)
+    selected backend.
+
+    Total backend failure is a reachability verdict, not an error: with no
+    backend alive, packets get a [Drop] verdict (recorded, so fast paths
+    early-drop) and the flow's assignment is released; the same recurring
+    event re-selects a backend — and rewrites the drop rule back to a
+    forward — once one is restored. *)
 
 (** How the lookup table is populated. *)
 type algorithm =

@@ -49,6 +49,8 @@ let event_fire = 420
 
 let sf_invoke = 55
 
+let fault_contain = 180
+
 (* Fork/join is amortised over DPDK-style 32-packet batches, so the
    per-packet charge is small; the overlap percentage models imperfect
    concurrency between the helper cores (cache contention, skew). *)

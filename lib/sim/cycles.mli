@@ -80,6 +80,10 @@ val event_fire : int
 val sf_invoke : int
 (** Dispatching one recorded state-function handler. *)
 
+val fault_contain : int
+(** Catching an NF fault and releasing the packet's descriptor: the
+    exception unwind plus the fault-counter and quarantine bookkeeping. *)
+
 val parallel_sync : int
 (** Per-packet fork/join overhead when state-function batches run on extra
     cores (amortised over DPDK-style packet batches). *)

@@ -55,6 +55,60 @@ let prop_ipv4_parse_clean =
     (fun bytes ->
       returns_or_invalid (fun () -> ignore (Sb_packet.Ipv4.parse (Bytes.of_string bytes) 0)))
 
+let prop_injection_containment =
+  (* Random chains under random fault schedules: the runtime must never
+     raise, and every fault must be accounted for — the supervisor's total
+     equals the injector's count plus contained event-condition faults. *)
+  let specs = [| "mazunat"; "maglev:3"; "monitor"; "ipfilter"; "statefulfw" |] in
+  QCheck.Test.make ~count:30 ~name:"random chains contain random fault schedules"
+    QCheck.(
+      triple (int_bound 10_000)
+        (list_of_size (Gen.int_range 1 3) (int_bound (Array.length specs - 1)))
+        bool)
+    (fun (seed, picks, speedybox_mode) ->
+      let spec = String.concat "," (List.map (fun i -> specs.(i)) picks) in
+      match Sb_experiments.Chain_registry.build spec with
+      | Error _ -> QCheck.Test.fail_reportf "chain spec %s rejected" spec
+      | Ok build ->
+          let chain = build () in
+          let inj = Sb_fault.Injector.create ~seed () in
+          let kinds =
+            [| Sb_fault.Injector.Raise; Sb_fault.Injector.Corrupt_verdict;
+               Sb_fault.Injector.Stall |]
+          in
+          List.iteri
+            (fun i nf ->
+              let rate = float_of_int ((seed + i) mod 10) /. 100. in
+              Sb_fault.Injector.set_rate inj ~nf:nf.Speedybox.Nf.name
+                kinds.((seed + i) mod 3) rate)
+            (Speedybox.Chain.nfs chain);
+          let mode =
+            if speedybox_mode then Speedybox.Runtime.Speedybox else Speedybox.Runtime.Original
+          in
+          let rt =
+            Speedybox.Runtime.create (Speedybox.Runtime.config ~mode ~injector:inj ()) chain
+          in
+          let trace =
+            Sb_trace.Workload.dcn_trace
+              {
+                Sb_trace.Workload.seed;
+                n_flows = 25;
+                mean_flow_packets = 6.;
+                payload_len = (16, 128);
+                udp_fraction = 0.2;
+                malicious_fraction = 0.1;
+                tokens = [ "attack" ];
+              }
+          in
+          let result = Speedybox.Runtime.run_trace rt trace in
+          let sup = Speedybox.Runtime.supervisor rt in
+          let condition_faults =
+            Sb_mat.Event_table.condition_faults (Speedybox.Chain.events chain)
+          in
+          result.Speedybox.Runtime.packets = List.length trace
+          && Sb_fault.Supervisor.total_faults sup
+             = Sb_fault.Injector.total_injected inj + condition_faults)
+
 let suite =
   Test_util.qcheck_cases
     [
@@ -64,4 +118,5 @@ let suite =
       prop_trace_loader_clean;
       prop_encap_decode_clean;
       prop_ipv4_parse_clean;
+      prop_injection_containment;
     ]

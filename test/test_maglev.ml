@@ -167,6 +167,65 @@ let test_failover_event_mid_flow () =
     Alcotest.(check string) "packets 6-10 on new backend" dsts.(5) dsts.(i)
   done
 
+let test_total_backend_failure () =
+  (* Every backend dies mid-flow: packets must degrade to Drop verdicts —
+     a recorded reachability decision, never an exception — and the flow
+     must revive when a backend is restored. *)
+  let lb = Sb_nf.Maglev.create ~backends:(backends 3) () in
+  let chain =
+    Speedybox.Chain.create ~name:"lb"
+      [ Sb_nf.Maglev.nf lb; Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let packet i = Test_util.udp_packet ~payload:(Printf.sprintf "p%d" i) () in
+  let outs =
+    List.init 12 (fun i ->
+        let i = i + 1 in
+        if i = 5 then List.iter (Sb_nf.Maglev.fail_backend lb) (Sb_nf.Maglev.alive_backends lb);
+        if i = 9 then Sb_nf.Maglev.restore_backend lb "b0";
+        Speedybox.Runtime.process_packet rt (packet i))
+  in
+  let v = Array.of_list (List.map (fun o -> o.Speedybox.Runtime.verdict) outs) in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "packet %d forwarded before failure" (i + 1))
+      true
+      (v.(i) = Sb_mat.Header_action.Forwarded)
+  done;
+  for i = 4 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "packet %d dropped under total failure" (i + 1))
+      true
+      (v.(i) = Sb_mat.Header_action.Dropped)
+  done;
+  for i = 8 to 11 do
+    Alcotest.(check bool)
+      (Printf.sprintf "packet %d forwarded after restore" (i + 1))
+      true
+      (v.(i) = Sb_mat.Header_action.Forwarded)
+  done;
+  (* the revived packets must actually go to the restored backend *)
+  Alcotest.(check string) "rerouted to b0" "192.168.2.10"
+    (Sb_packet.Ipv4_addr.to_string
+       (Sb_packet.Packet.dst_ip (List.nth outs 11).Speedybox.Runtime.packet))
+
+let test_total_failure_original_mode () =
+  (* Same scenario down the original path: the NF's process call itself
+     must yield drops, not raise. *)
+  let lb = Sb_nf.Maglev.create ~backends:(backends 2) () in
+  let chain = Speedybox.Chain.create ~name:"lb" [ Sb_nf.Maglev.nf lb ] in
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Original ())
+      chain
+  in
+  List.iter (Sb_nf.Maglev.fail_backend lb) (Sb_nf.Maglev.alive_backends lb);
+  let out = Speedybox.Runtime.process_packet rt (Test_util.udp_packet ()) in
+  Alcotest.(check bool) "dropped, no raise" true
+    (out.Speedybox.Runtime.verdict = Sb_mat.Header_action.Dropped);
+  Alcotest.(check int) "no faults charged" 0 out.Speedybox.Runtime.faults;
+  Alcotest.(check int) "assignment released" 0 (Sb_nf.Maglev.tracked_flows lb)
+
 let test_failover_equivalence () =
   (* Failure injected at the same point in both runs: outputs and NF state
      must still match. *)
@@ -210,5 +269,7 @@ let suite =
     Alcotest.test_case "create validation" `Quick test_create_validation;
     Alcotest.test_case "connection stickiness" `Quick test_connection_stickiness;
     Alcotest.test_case "failover event mid-flow" `Quick test_failover_event_mid_flow;
+    Alcotest.test_case "total backend failure drops" `Quick test_total_backend_failure;
+    Alcotest.test_case "total failure in original mode" `Quick test_total_failure_original_mode;
     Alcotest.test_case "failover equivalence" `Quick test_failover_equivalence;
   ]
