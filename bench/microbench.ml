@@ -108,6 +108,46 @@ let test_fast_path_supervised =
     (Staged.stage (fun () ->
          Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
 
+let test_fast_path_obs_unarmed =
+  (* The observability acceptance bench: identical to the supervised bench
+     (armed injector at rate 0.0) with the default disarmed sink — the
+     per-packet cost of having observability hooks compiled in but off.
+     The acceptance bound vs the supervised baseline is 2% (scripts/
+     check_bench.sh enforces 5% against this bench's own baseline). *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-obs-off"
+      [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let injector = Sb_fault.Injector.create ~seed:1 () in
+  Sb_fault.Injector.set_rate injector ~nf:"mazunat" Sb_fault.Injector.Raise 0.0;
+  Sb_fault.Injector.set_rate injector ~nf:"monitor" Sb_fault.Injector.Raise 0.0;
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~injector ()) chain in
+  let warm = sample_packet () in
+  let _ = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm) in
+  Test.make ~name:"runtime/fast-path packet obs-unarmed (NAT+Monitor, armed injector)"
+    (Staged.stage (fun () ->
+         Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
+
+let test_fast_path_obs_armed =
+  (* All three pillars live: per-packet counters + latency histogram, one
+     span per stage into the trace ring, and the timeline armed (quiet on
+     the fast path).  What `--metrics-out`/`--trace-out` actually costs. *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-obs-on"
+      [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let obs = Sb_obs.Sink.create ~metrics:true ~trace:true ~timeline:true () in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~obs ()) chain in
+  let warm = sample_packet () in
+  let _ = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm) in
+  Test.make ~name:"runtime/fast-path packet obs-armed (NAT+Monitor, metrics+trace+timeline)"
+    (Staged.stage (fun () ->
+         Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm)))
+
 let test_lru_churn =
   (* 64 flows over a 32-rule cap: every arrival misses (its rule was
      evicted 32 flows ago), re-records, and evicts the current coldest —
@@ -158,6 +198,8 @@ let tests () =
       test_fast_path;
       test_fast_path_with_event;
       test_fast_path_supervised;
+      test_fast_path_obs_unarmed;
+      test_fast_path_obs_armed;
       test_lru_churn;
       test_checksum_full;
       test_checksum_incremental;

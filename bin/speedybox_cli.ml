@@ -96,6 +96,59 @@ let staged_rate_arg =
   in
   Arg.(value & opt (some float) None & info [ "staged-rate" ] ~docv:"MPPS" ~doc)
 
+(* Observability exports (see lib/obs) *)
+
+let metrics_out_arg =
+  let doc =
+    "Write run metrics to $(docv) after the run: Prometheus text format, or \
+     JSON when $(docv) ends in $(b,.json)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write per-packet spans to $(docv) as Chrome trace-event JSON (load in \
+     Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_flows_arg =
+  let doc =
+    "Trace only the first $(docv) distinct flows (bounds the --trace-out \
+     size; default: all flows)."
+  in
+  Arg.(value & opt (some int) None & info [ "trace-flows" ] ~docv:"N" ~doc)
+
+(* One failed write is one stderr line and a nonzero exit, like the trace
+   loaders. *)
+let write_file path contents =
+  try
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Ok ()
+  with Sys_error msg -> Error (Printf.sprintf "speedybox: cannot write %s: %s" path msg)
+
+let export_obs obs ~metrics_out ~trace_out =
+  let ( let* ) = Result.bind in
+  let* () =
+    match (metrics_out, Sb_obs.Sink.metrics obs) with
+    | Some path, Some m ->
+        write_file path
+          (if Filename.check_suffix path ".json" then Sb_obs.Metrics.to_json m
+           else Sb_obs.Metrics.to_prometheus m)
+    | _ -> Ok ()
+  in
+  match (trace_out, Sb_obs.Sink.tracer obs) with
+  | Some path, Some tr -> write_file path (Sb_obs.Tracer.to_chrome_json tr)
+  | _ -> Ok ()
+
+let build_sink ~metrics_out ~trace_out ~trace_flows =
+  if metrics_out = None && trace_out = None then Sb_obs.Sink.null
+  else
+    Sb_obs.Sink.create ~metrics:(metrics_out <> None) ~trace:(trace_out <> None)
+      ?trace_flows ()
+
 (* Fault injection (see lib/fault) *)
 
 let inject_arg =
@@ -152,9 +205,9 @@ let build_injector ~fault_seed specs =
 
 (* run ------------------------------------------------------------------ *)
 
-let staged_run build ?injector trace rate =
+let staged_run build ?injector ~obs trace rate =
   let trace = Sb_trace.Workload.with_poisson_times ~seed:97 ~rate_mpps:rate trace in
-  let r = Speedybox.Staged_runtime.run ?injector (build ()) trace in
+  let r = Speedybox.Staged_runtime.run ?injector ~obs (build ()) trace in
   Printf.printf "staged ONVM executor at %.2f Mpps offered:\n" rate;
   Printf.printf "  verdicts   : %d forwarded, %d dropped by NFs, %d ring overflow\n"
     r.Speedybox.Staged_runtime.forwarded r.Speedybox.Staged_runtime.dropped_by_chain
@@ -174,7 +227,16 @@ let staged_run build ?injector trace rate =
   0
 
 let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
-    show_stages staged_rate inject fault_seed on_failure =
+    show_stages staged_rate inject fault_seed on_failure metrics_out trace_out trace_flows =
+  let finish_with_exports obs code =
+    if code <> 0 then code
+    else
+      match export_obs obs ~metrics_out ~trace_out with
+      | Ok () -> 0
+      | Error msg ->
+          prerr_endline msg;
+          1
+  in
   match
     ( Sb_experiments.Chain_registry.build chain,
       load_or_make_trace ~trace_file ~seed ~flows ~mean_packets,
@@ -184,14 +246,16 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
       prerr_endline msg;
       1
   | Ok build, Ok trace, Ok injector when staged_rate <> None ->
-      staged_run build ?injector trace (Option.get staged_rate)
+      let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+      finish_with_exports obs (staged_run build ?injector ~obs trace (Option.get staged_rate))
   | Ok build, Ok trace, Ok injector ->
+      let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
       let built = build () in
       let rt =
         Speedybox.Runtime.create
           (Speedybox.Runtime.config ~platform ~mode
              ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
-             ?injector ())
+             ?injector ~obs ())
           built
       in
       let result = Speedybox.Runtime.run_trace rt trace in
@@ -210,7 +274,7 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
         print_endline "consolidated rules:";
         print_string (Speedybox.Report.flow_rules rt ~limit:show_rules)
       end;
-      0
+      finish_with_exports obs 0
 
 let run_cmd =
   let doc = "Run a workload through a chain and report statistics." in
@@ -219,7 +283,8 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ chain_arg $ platform_arg $ mode_arg $ seed_arg $ flows_arg
       $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
-      $ staged_rate_arg $ inject_arg $ fault_seed_arg $ on_failure_arg)
+      $ staged_rate_arg $ inject_arg $ fault_seed_arg $ on_failure_arg $ metrics_out_arg
+      $ trace_out_arg $ trace_flows_arg)
 
 (* equivalence ----------------------------------------------------------- *)
 
@@ -309,30 +374,96 @@ let deploy_cmd =
 
 (* trace ------------------------------------------------------------------ *)
 
-let trace_cmd_impl seed flows mean_packets save_file =
-  let trace = make_trace ~seed ~flows ~mean_packets in
-  let sizes = Sb_sim.Stats.create () in
-  List.iter (fun p -> Sb_sim.Stats.add_int sizes p.Sb_packet.Packet.len) trace;
-  let summary = Sb_sim.Stats.summarize sizes in
-  Printf.printf "packets     : %d\n" (List.length trace);
-  Printf.printf "frame bytes : mean %.0f p50 %.0f p90 %.0f max %.0f\n"
-    summary.Sb_sim.Stats.mean summary.Sb_sim.Stats.p50 summary.Sb_sim.Stats.p90
-    summary.Sb_sim.Stats.max;
-  (match save_file with
-  | Some path ->
-      Sb_trace.Trace_io.save path trace;
-      Printf.printf "saved       : %s\n" path
-  | None -> ());
-  0
+(* --flow FID: run the workload through the chain with the flow timeline
+   armed and print the flow's lifecycle (first-packet, consolidated,
+   event-rewrite, quarantined, degraded-bypass, evicted, idle-expired). *)
+let flow_timeline_query ~fid ~chain ~trace_file ~seed ~flows ~mean_packets ~inject
+    ~fault_seed ~on_failure =
+  match
+    ( Sb_experiments.Chain_registry.build chain,
+      load_or_make_trace ~trace_file ~seed ~flows ~mean_packets,
+      build_injector ~fault_seed inject )
+  with
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+      prerr_endline msg;
+      1
+  | Ok build, Ok trace, Ok injector -> (
+      let obs = Sb_obs.Sink.create ~timeline:true () in
+      let rt =
+        Speedybox.Runtime.create
+          (Speedybox.Runtime.config
+             ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
+             ?injector ~obs ())
+          (build ())
+      in
+      ignore (Speedybox.Runtime.run_trace rt trace);
+      match Sb_obs.Sink.timeline obs with
+      | None -> assert false (* the sink was created with the timeline armed *)
+      | Some tl ->
+          let events = Sb_obs.Timeline.events tl fid in
+          if events = [] then begin
+            let known = Sb_obs.Timeline.flows tl in
+            let sample =
+              List.filteri (fun i _ -> i < 10) known
+              |> List.map string_of_int |> String.concat ", "
+            in
+            Printf.eprintf
+              "speedybox: no timeline events for flow %d (%d flows seen%s)\n" fid
+              (List.length known)
+              (if known = [] then "" else ": " ^ sample ^ if List.length known > 10 then ", ..." else "");
+            1
+          end
+          else begin
+            Printf.printf "flow %d lifecycle (%s, chain %s):\n" fid
+              (match trace_file with Some f -> f | None -> Printf.sprintf "seed %d" seed)
+              chain;
+            List.iter (fun e -> Format.printf "  %a@." Sb_obs.Timeline.pp_entry e) events;
+            0
+          end)
+
+let trace_cmd_impl seed flows mean_packets save_file flow chain trace_file inject fault_seed
+    on_failure =
+  match flow with
+  | Some fid ->
+      flow_timeline_query ~fid ~chain ~trace_file ~seed ~flows ~mean_packets ~inject
+        ~fault_seed ~on_failure
+  | None ->
+      let trace = make_trace ~seed ~flows ~mean_packets in
+      let sizes = Sb_sim.Stats.create () in
+      List.iter (fun p -> Sb_sim.Stats.add_int sizes p.Sb_packet.Packet.len) trace;
+      let summary = Sb_sim.Stats.summarize sizes in
+      Printf.printf "packets     : %d\n" (List.length trace);
+      Printf.printf "frame bytes : mean %.0f p50 %.0f p90 %.0f max %.0f\n"
+        summary.Sb_sim.Stats.mean summary.Sb_sim.Stats.p50 summary.Sb_sim.Stats.p90
+        summary.Sb_sim.Stats.max;
+      (match save_file with
+      | Some path ->
+          Sb_trace.Trace_io.save path trace;
+          Printf.printf "saved       : %s\n" path
+      | None -> ());
+      0
 
 let trace_cmd =
-  let doc = "Generate a workload, describe it and optionally save it." in
+  let doc =
+    "Generate a workload, describe it and optionally save it; or, with \
+     $(b,--flow), run it through a chain and print one flow's lifecycle \
+     timeline."
+  in
   let save_arg =
     let doc = "Write the generated trace to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"FILE" ~doc)
   in
+  let flow_arg =
+    let doc =
+      "Run the workload through the chain ($(b,--chain), fault options apply) \
+       and print flow $(docv)'s lifecycle events."
+    in
+    Arg.(value & opt (some int) None & info [ "flow" ] ~docv:"FID" ~doc)
+  in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const trace_cmd_impl $ seed_arg $ flows_arg $ packets_arg $ save_arg)
+    Term.(
+      const trace_cmd_impl $ seed_arg $ flows_arg $ packets_arg $ save_arg $ flow_arg
+      $ chain_arg $ trace_file_arg $ inject_arg $ fault_seed_arg $ on_failure_arg)
 
 let () =
   let doc = "low-latency NFV service chains with cross-NF runtime consolidation" in

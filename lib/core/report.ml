@@ -10,10 +10,15 @@ let run_summary ?(label = "run") rt (result : Runtime.run_result) =
     (pct result.Runtime.slow_path result.Runtime.packets)
     result.Runtime.fast_path
     (pct result.Runtime.fast_path result.Runtime.packets);
-  line "  latency    : mean %.2fus p50 %.2fus p90 %.2fus p99 %.2fus max %.2fus"
-    summary.Sb_sim.Stats.mean summary.Sb_sim.Stats.p50 summary.Sb_sim.Stats.p90
-    summary.Sb_sim.Stats.p99 summary.Sb_sim.Stats.max;
-  line "  throughput : %.3f Mpps (model)" (Runtime.rate_mpps result);
+  (* A zero-packet run has no samples: print "-" rather than "nan". *)
+  let stat v = Format.asprintf "%a" Sb_sim.Stats.pp_stat v in
+  line "  latency    : mean %sus p50 %sus p90 %sus p99 %sus max %sus"
+    (stat summary.Sb_sim.Stats.mean) (stat summary.Sb_sim.Stats.p50)
+    (stat summary.Sb_sim.Stats.p90) (stat summary.Sb_sim.Stats.p99)
+    (stat summary.Sb_sim.Stats.max);
+  (let mpps = Runtime.rate_mpps result in
+   if Float.is_nan mpps then line "  throughput : - (no packets)"
+   else line "  throughput : %.3f Mpps (model)" mpps);
   let mat = Runtime.global_mat rt in
   let mem = Sb_mat.Global_mat.memory_stats mat in
   line "  global mat : %d rules, %d distinct actions, %d batches"
@@ -50,7 +55,11 @@ let stage_breakdown (result : Runtime.run_result) =
         let total = Sb_sim.Stats.mean stats *. float_of_int (Sb_sim.Stats.count stats) in
         (label, Sb_sim.Stats.count stats, Sb_sim.Stats.mean stats, total) :: acc)
       result.Runtime.stage_cycles []
-    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
+    (* Descending by total cycles; label breaks ties so the table is
+       deterministic regardless of hashtable iteration order. *)
+    |> List.sort (fun (la, _, _, a) (lb, _, _, b) ->
+           let c = Float.compare b a in
+           if c <> 0 then c else String.compare la lb)
   in
   let grand_total = List.fold_left (fun acc (_, _, _, t) -> acc +. t) 0. rows in
   let buf = Buffer.create 256 in

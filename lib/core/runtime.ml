@@ -13,12 +13,14 @@ type config = {
   fastpath : Sb_mat.Global_mat.exec_mode;
   fault_policy : Sb_fault.Health.policy;
   injector : Sb_fault.Injector.t option;
+  obs : Sb_obs.Sink.t;
 }
 
 let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     ?(policy = Sb_mat.Parallel.Table_one) ?(fid_bits = Sb_flow.Fid.default_bits)
     ?idle_timeout_cycles ?max_rules ?(fastpath = Sb_mat.Global_mat.Compiled)
-    ?(fault_policy = Sb_fault.Health.default_policy) ?injector () =
+    ?(fault_policy = Sb_fault.Health.default_policy) ?injector
+    ?(obs = Sb_obs.Sink.null) () =
   {
     platform;
     mode;
@@ -29,12 +31,25 @@ let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     fastpath;
     fault_policy;
     injector;
+    obs;
   }
 
 type liveness = {
   mutable last_seen : int;
   tuple : Sb_flow.Five_tuple.t;
   node : Sb_flow.Lru.node;  (* position in the arrival-recency order *)
+}
+
+(* Hot-path metric instruments, resolved against the registry once at
+   construction so per-packet recording is field updates only — the
+   registry's hashtable is never touched while packets flow. *)
+type instruments = {
+  c_slow : Sb_obs.Metrics.Counter.t;
+  c_fast : Sb_obs.Metrics.Counter.t;
+  c_forwarded : Sb_obs.Metrics.Counter.t;
+  c_dropped : Sb_obs.Metrics.Counter.t;
+  h_latency_slow : Sb_obs.Histogram.t;
+  h_latency_fast : Sb_obs.Histogram.t;
 }
 
 type t = {
@@ -48,6 +63,9 @@ type t = {
   live_lru : Sb_flow.Lru.t;  (* coldest-first order for the idle sweep *)
   mutable expired : int;
   mutable packets_since_sweep : int;
+  ins : instruments option;  (* Some iff cfg.obs carries a metrics registry *)
+  mutable obs_now_us : float;  (* simulated clock for hooks without a packet
+                                  in hand (the LRU-eviction callback) *)
 }
 
 (* A Failed NF invalidates every consolidated rule embedding its closures:
@@ -67,6 +85,15 @@ let note_fault t ~nf =
   | Sb_fault.Health.To_failed -> flush_fast_state t
   | Sb_fault.Health.To_degraded | Sb_fault.Health.No_change -> ()
 
+(* Flow-timeline hook.  Callers on the per-packet path guard with
+   [Sb_obs.Sink.armed] first; every call site is on the slow path or a
+   rare-event path, so the unarmed fast path never reaches here. *)
+let obs_timeline t ~fid ~ts_us ?detail kind =
+  if fid >= 0 then
+    match Sb_obs.Sink.timeline t.cfg.obs with
+    | Some tl -> Sb_obs.Timeline.record tl ~fid ~ts_us ?detail kind
+    | None -> ()
+
 let create cfg chain =
   (match Sb_sim.Platform.max_chain_length cfg.platform with
   | Some limit when Chain.length chain > limit ->
@@ -75,26 +102,71 @@ let create cfg chain =
            (Sb_sim.Platform.name cfg.platform)
            limit (Chain.name chain) (Chain.length chain))
   | Some _ | None -> ());
+  (* The eviction callback is built before [t] exists but must reach the
+     timeline with the current simulated clock; the cell is pointed at the
+     real hook once [t] is constructed. *)
+  let evict_hook = ref (fun (_ : Sb_flow.Fid.t) -> ()) in
+  let ins =
+    match Sb_obs.Sink.metrics cfg.obs with
+    | None -> None
+    | Some m ->
+        let chain_label = ("chain", Chain.name chain) in
+        let packets path =
+          Sb_obs.Metrics.counter m
+            ~help:"Packets processed, by execution path"
+            ~labels:[ chain_label; ("path", path) ]
+            "speedybox_packets_total"
+        in
+        let verdicts v =
+          Sb_obs.Metrics.counter m
+            ~help:"Packet verdicts leaving the chain"
+            ~labels:[ chain_label; ("verdict", v) ]
+            "speedybox_verdicts_total"
+        in
+        let latency path =
+          Sb_obs.Metrics.histogram m
+            ~help:"Per-packet processing latency in microseconds"
+            ~labels:[ chain_label; ("path", path) ]
+            "speedybox_packet_latency_us"
+        in
+        Some
+          {
+            c_slow = packets "slow";
+            c_fast = packets "fast";
+            c_forwarded = verdicts "forwarded";
+            c_dropped = verdicts "dropped";
+            h_latency_slow = latency "slow";
+            h_latency_fast = latency "fast";
+          }
+  in
   let t =
     {
       cfg;
       chain;
       global =
         Sb_mat.Global_mat.create ~policy:cfg.policy ?max_rules:cfg.max_rules
-          ~exec:cfg.fastpath
+          ~exec:cfg.fastpath ~obs:cfg.obs
           (* an LRU-evicted flow loses its Local MAT records too, so its next
              packet re-records from scratch *)
-          ~on_evict:(fun fid -> Chain.remove_flow chain fid)
+          ~on_evict:(fun fid ->
+            Chain.remove_flow chain fid;
+            !evict_hook fid)
           ();
       classifier = Classifier.create ~fid_bits:cfg.fid_bits ();
-      sup = Sb_fault.Supervisor.create ?injector:cfg.injector cfg.fault_policy;
+      sup = Sb_fault.Supervisor.create ?injector:cfg.injector ~obs:cfg.obs cfg.fault_policy;
       nf_names = Array.of_list (List.map (fun nf -> nf.Nf.name) (Chain.nfs chain));
       live = Sb_flow.Flow_table.create ();
       live_lru = Sb_flow.Lru.create ();
       expired = 0;
       packets_since_sweep = 0;
+      ins;
+      obs_now_us = 0.;
     }
   in
+  if Sb_obs.Sink.armed cfg.obs then begin
+    Sb_mat.Event_table.set_obs (Chain.events chain) cfg.obs;
+    evict_hook := fun fid -> obs_timeline t ~fid ~ts_us:t.obs_now_us Sb_obs.Timeline.Evicted
+  end;
   (* Raising event conditions are contained inside the Event Table; route
      them here so they still advance the registering NF's health. *)
   Sb_mat.Event_table.set_fault_hook (Chain.events chain) (fun nf _exn ->
@@ -180,6 +252,10 @@ let walk_chain t ~recording ~fid packet =
         | Sb_fault.Supervisor.Bypass_nf ->
             (* Failed NF elided from the chain: the packet only transits the
                port; nothing records, so rebuilt fast paths omit the NF. *)
+            if Sb_obs.Sink.armed t.cfg.obs then
+              obs_timeline t ~fid
+                ~ts_us:(Sb_sim.Cycles.to_microseconds packet.Sb_packet.Packet.ingress_cycle)
+                ~detail:name Sb_obs.Timeline.Degraded_bypass;
             let stage = Sb_sim.Cost_profile.serial_stage name Sb_sim.Cycles.nf_rx_tx in
             go nfs mats (stage :: stages) faults
         | Sb_fault.Supervisor.Drop_packet ->
@@ -314,6 +390,9 @@ let expire_idle_flows t now =
                   Sb_flow.Lru.remove t.live_lru entry.node;
                   Sb_flow.Flow_table.remove t.live fid;
                   t.expired <- t.expired + 1;
+                  if Sb_obs.Sink.armed t.cfg.obs then
+                    obs_timeline t ~fid ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+                      ~detail:"idle sweep" Sb_obs.Timeline.Idle_expired;
                   true
                 end
                 else false)
@@ -334,6 +413,10 @@ let touch t cls now =
              the packet re-walks and re-records, like a fresh flow. *)
           cleanup t cls;
           t.expired <- t.expired + 1;
+          if Sb_obs.Sink.armed t.cfg.obs then
+            obs_timeline t ~fid:cls.Classifier.fid
+              ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+              ~detail:"expired on arrival" Sb_obs.Timeline.Idle_expired;
           record_arrival t cls now
       | Some entry ->
           entry.last_seen <- now;
@@ -351,12 +434,15 @@ let detach_item = Sb_sim.Cost_profile.Serial Sb_sim.Cycles.meta_detach
    classifier mapping) and drop the packet.  The flow's next packet
    re-records from scratch — or runs Original when recording is no longer
    allowed. *)
-let contain_fast_path t cls classifier_stage inj_faults ~nf =
+let contain_fast_path t cls classifier_stage inj_faults ~nf ~now =
   note_fault t ~nf;
   Sb_fault.Supervisor.record_contained t.sup;
   Sb_fault.Supervisor.record_faulted_packet t.sup;
   cleanup t cls;
   Sb_fault.Supervisor.record_quarantine t.sup;
+  if Sb_obs.Sink.armed t.cfg.obs then
+    obs_timeline t ~fid:cls.Classifier.fid ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+      ~detail:nf Sb_obs.Timeline.Quarantined;
   let stage =
     Sb_sim.Cost_profile.serial_stage "GlobalMAT"
       (Sb_sim.Cycles.fast_path_lookup + Sb_sim.Cycles.fault_contain)
@@ -396,12 +482,15 @@ let process_speedybox t packet =
           t.nf_names;
       let n_injected = !injected in
       match !raised with
-      | Some _nf ->
+      | Some nf ->
           (* The injected crash aborts the rule execution: drop the packet
              and quarantine the flow (its next packet re-records). *)
           Sb_fault.Supervisor.record_faulted_packet t.sup;
           cleanup t cls;
           Sb_fault.Supervisor.record_quarantine t.sup;
+          if Sb_obs.Sink.armed t.cfg.obs then
+            obs_timeline t ~fid ~ts_us:(Sb_sim.Cycles.to_microseconds now) ~detail:nf
+              Sb_obs.Timeline.Quarantined;
           let stage =
             Sb_sim.Cost_profile.serial_stage "GlobalMAT"
               (Sb_sim.Cycles.fast_path_lookup + Sb_sim.Cycles.fault_contain)
@@ -422,7 +511,7 @@ let process_speedybox t packet =
                 | _ -> "GlobalMAT"
               in
               let classifier_stage, stage, faults =
-                contain_fast_path t cls classifier_stage n_injected ~nf
+                contain_fast_path t cls classifier_stage n_injected ~nf ~now
               in
               finish t Sb_mat.Header_action.Dropped packet [ classifier_stage; stage ]
                 Fast_path 0 faults
@@ -450,6 +539,15 @@ let process_speedybox t packet =
        NF opted out of consolidation (§IV-A3) or the fault layer no longer
        trusts the chain (a Degraded NF, or a Failed one pinned to the slow
        path), in which case no fast path is built. *)
+    if Sb_obs.Sink.armed t.cfg.obs then begin
+      (* Keep the hook clock current before consolidation can LRU-evict. *)
+      t.obs_now_us <- Sb_sim.Cycles.to_microseconds now;
+      (match Sb_obs.Sink.timeline t.cfg.obs with
+      | Some tl when not (Sb_obs.Timeline.known tl fid) ->
+          obs_timeline t ~fid ~ts_us:t.obs_now_us ~detail:(Chain.name t.chain)
+            Sb_obs.Timeline.First_packet
+      | Some _ | None -> ())
+    end;
     let recording =
       cls.Classifier.established && Chain.consolidable t.chain
       && ((not (Sb_fault.Supervisor.active t.sup))
@@ -460,13 +558,18 @@ let process_speedybox t packet =
       (* Quarantine: the walk's partial Local MAT records and events must
          not leak into a rule; the flow's next packet starts fresh. *)
       cleanup t cls;
-      Sb_fault.Supervisor.record_quarantine t.sup
+      Sb_fault.Supervisor.record_quarantine t.sup;
+      if Sb_obs.Sink.armed t.cfg.obs then
+        obs_timeline t ~fid ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+          ~detail:"slow-path walk" Sb_obs.Timeline.Quarantined
     end;
     let stages =
       if recording && not w.w_contained then begin
         let cost =
           Sb_mat.Global_mat.consolidate t.global fid (Chain.local_mats t.chain)
         in
+        if Sb_obs.Sink.armed t.cfg.obs then
+          obs_timeline t ~fid ~ts_us:t.obs_now_us Sb_obs.Timeline.Consolidated;
         w.w_stages @ [ Sb_sim.Cost_profile.serial_stage "Consolidate" cost ]
       end
       else w.w_stages
@@ -475,10 +578,62 @@ let process_speedybox t packet =
     finish t w.w_verdict packet (classifier_stage :: stages) Slow_path 0 w.w_faults
   end
 
+(* Everything observability learns per packet derives from the [output]
+   the executor produced anyway, so one armed-sink branch after processing
+   covers metrics and tracing for both paths and both modes — the unarmed
+   fast path pays exactly that branch and nothing else. *)
+let instrument t packet out =
+  let obs = t.cfg.obs in
+  let fid = out.packet.Sb_packet.Packet.fid in
+  let ts0 = Sb_sim.Cycles.to_microseconds packet.Sb_packet.Packet.ingress_cycle in
+  t.obs_now_us <- ts0;
+  (match t.ins with
+  | Some ins ->
+      (match out.path with
+      | Slow_path ->
+          Sb_obs.Metrics.Counter.incr ins.c_slow;
+          Sb_obs.Histogram.observe ins.h_latency_slow
+            (Sb_sim.Cycles.to_microseconds out.latency_cycles)
+      | Fast_path ->
+          Sb_obs.Metrics.Counter.incr ins.c_fast;
+          Sb_obs.Histogram.observe ins.h_latency_fast
+            (Sb_sim.Cycles.to_microseconds out.latency_cycles));
+      (match out.verdict with
+      | Sb_mat.Header_action.Forwarded -> Sb_obs.Metrics.Counter.incr ins.c_forwarded
+      | Sb_mat.Header_action.Dropped -> Sb_obs.Metrics.Counter.incr ins.c_dropped)
+  | None -> ());
+  match Sb_obs.Sink.tracer obs with
+  | Some tr when Sb_obs.Tracer.sampled tr fid ->
+      (* One span per visited stage: per-NF spans on the slow path, one
+         compiled-program (GlobalMAT) span on the fast path, plus the
+         Classifier and Consolidate stages.  Span times tile the packet's
+         stage sequence starting at its ingress timestamp. *)
+      let cat = match out.path with Slow_path -> "slow" | Fast_path -> "fast" in
+      let ts = ref ts0 in
+      List.iter
+        (fun (stage : Sb_sim.Cost_profile.stage) ->
+          let dur =
+            Sb_sim.Cycles.to_microseconds (Sb_sim.Cost_profile.stage_cycles stage)
+          in
+          let cat =
+            if String.equal stage.Sb_sim.Cost_profile.label "Consolidate" then
+              "consolidate"
+            else cat
+          in
+          Sb_obs.Tracer.record tr ~name:stage.Sb_sim.Cost_profile.label ~cat
+            ~ts_us:!ts ~dur_us:dur ~tid:fid [];
+          ts := !ts +. dur)
+        out.profile
+  | Some _ | None -> ()
+
 let process_packet t packet =
-  match t.cfg.mode with
-  | Original -> process_original t packet
-  | Speedybox -> process_speedybox t packet
+  let out =
+    match t.cfg.mode with
+    | Original -> process_original t packet
+    | Speedybox -> process_speedybox t packet
+  in
+  if Sb_obs.Sink.armed t.cfg.obs then instrument t packet out;
+  out
 
 type run_result = {
   packets : int;
@@ -550,6 +705,19 @@ let run_trace ?on_output t packets =
         (Option.value (Hashtbl.find_opt flow_time_us key) ~default:0. +. us);
       Option.iter (fun f -> f original out) on_output)
     packets;
+  (* End-of-run table occupancy, as gauges (once per run, not per packet). *)
+  (match Sb_obs.Sink.metrics t.cfg.obs with
+  | Some m ->
+      let g name help v =
+        Sb_obs.Metrics.Gauge.set
+          (Sb_obs.Metrics.gauge m ~help ~labels:[ ("chain", Chain.name t.chain) ] name)
+          (float_of_int v)
+      in
+      g "speedybox_rules_installed" "Consolidated rules in the Global MAT"
+        (Sb_mat.Global_mat.flow_count t.global);
+      g "speedybox_events_armed" "Event Table conditions currently armed"
+        (Sb_mat.Event_table.total_armed (Chain.events t.chain))
+  | None -> ());
   {
     packets = !count;
     forwarded = !forwarded;

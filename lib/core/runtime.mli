@@ -37,6 +37,16 @@ type config = {
       (** Deterministic fault injector consulted once per (NF, packet) on
           both paths.  [None] (default) disables injection and its
           per-packet bookkeeping entirely. *)
+  obs : Sb_obs.Sink.t;
+      (** Observability sink ({!Sb_obs.Sink.null} by default — disarmed).
+          When armed, the runtime feeds whichever pillars the sink carries:
+          per-path packet counters and latency histograms plus end-of-run
+          occupancy gauges into the metrics registry, one span per visited
+          stage into the tracer, and flow-lifecycle events (first-packet,
+          consolidated, event-rewrite, quarantined, degraded-NF bypass,
+          LRU-evicted, idle-expired) into the timeline.  Unarmed, the
+          per-packet cost is a single branch (see the `obs-unarmed` entry
+          in [BENCH_fastpath.json]). *)
 }
 
 val config :
@@ -49,11 +59,12 @@ val config :
   ?fastpath:Sb_mat.Global_mat.exec_mode ->
   ?fault_policy:Sb_fault.Health.policy ->
   ?injector:Sb_fault.Injector.t ->
+  ?obs:Sb_obs.Sink.t ->
   unit ->
   config
 (** Defaults: BESS, SpeedyBox mode, Table I policy, 20-bit FIDs, no
     expiry, unbounded rule table, compiled fast path, default fault
-    policy, no injector. *)
+    policy, no injector, disarmed observability sink. *)
 
 type t
 

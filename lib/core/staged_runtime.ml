@@ -55,13 +55,38 @@ type result = {
 }
 
 let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
-    ?(fault_policy = Sb_fault.Health.default_policy) chain trace =
+    ?(fault_policy = Sb_fault.Health.default_policy) ?(obs = Sb_obs.Sink.null) chain
+    trace =
   let nfs = Array.of_list (Chain.nfs chain) in
   let mats = Array.of_list (Chain.local_mats chain) in
   let nf_names = Array.map (fun nf -> nf.Nf.name) nfs in
   let classifier = Classifier.create () in
-  let global = Sb_mat.Global_mat.create ~policy () in
-  let sup = Sb_fault.Supervisor.create ?injector fault_policy in
+  let global = Sb_mat.Global_mat.create ~policy ~obs () in
+  let sup = Sb_fault.Supervisor.create ?injector ~obs fault_policy in
+  if Sb_obs.Sink.armed obs then Sb_mat.Event_table.set_obs (Chain.events chain) obs;
+  (* Instruments resolved once up front; per-event recording is then field
+     updates only (see {!Runtime}). *)
+  let ins =
+    match Sb_obs.Sink.metrics obs with
+    | None -> None
+    | Some m ->
+        let chain_label = ("chain", Chain.name chain) in
+        let verdicts v =
+          Sb_obs.Metrics.counter m
+            ~help:"Packet verdicts leaving the staged pipeline"
+            ~labels:[ chain_label; ("verdict", v) ]
+            "speedybox_staged_verdicts_total"
+        in
+        Some
+          ( verdicts "forwarded",
+            verdicts "dropped",
+            Sb_obs.Metrics.counter m
+              ~help:"Packets tail-dropped by a full stage ring"
+              ~labels:[ chain_label ] "speedybox_staged_overflow_total",
+            Sb_obs.Metrics.histogram m
+              ~help:"Arrival-to-departure sojourn in microseconds"
+              ~labels:[ chain_label ] "speedybox_staged_sojourn_us" )
+  in
   let recording_in_flight : (int, unit) Hashtbl.t = Hashtbl.create 64 in
 
   let heap = Sb_sim.Min_heap.create ~cmp:compare_events in
@@ -150,13 +175,21 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
       note_fault ~nf);
   (* Containment inside a stage: the fault is charged, the job's flow state
      quarantined and the packet leaves the chain dropped. *)
-  let contain job ~nf cycles =
+  let contain job ~nf ~now cycles =
     note_fault ~nf;
     Sb_fault.Supervisor.record_contained sup;
     Sb_fault.Supervisor.record_faulted_packet sup;
     stop_recording job;
     flow_cleanup job;
     Sb_fault.Supervisor.record_quarantine sup;
+    if Sb_obs.Sink.armed obs then begin
+      match Sb_obs.Sink.timeline obs with
+      | Some tl when job.packet.Packet.fid >= 0 ->
+          Sb_obs.Timeline.record tl ~fid:job.packet.Packet.fid
+            ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+            ~detail:nf Sb_obs.Timeline.Quarantined
+      | Some _ | None -> ()
+    end;
     job.cleanup_after <- false;
     (cycles + Sb_sim.Cycles.fault_contain, Done Sb_mat.Header_action.Dropped)
   in
@@ -165,7 +198,16 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
     (match verdict with
     | Sb_mat.Header_action.Forwarded -> incr forwarded
     | Sb_mat.Header_action.Dropped -> incr dropped_by_chain);
-    Sb_sim.Stats.add sojourn_us (Sb_sim.Cycles.to_microseconds (at - job.arrival));
+    let us = Sb_sim.Cycles.to_microseconds (at - job.arrival) in
+    Sb_sim.Stats.add sojourn_us us;
+    (if Sb_obs.Sink.armed obs then
+       match ins with
+       | Some (c_fwd, c_drop, _, h) ->
+           (match verdict with
+           | Sb_mat.Header_action.Forwarded -> Sb_obs.Metrics.Counter.incr c_fwd
+           | Sb_mat.Header_action.Dropped -> Sb_obs.Metrics.Counter.incr c_drop);
+           Sb_obs.Histogram.observe h us
+       | None -> ());
     retire ~check:true job;
     if job.cleanup_after then flow_cleanup job
   in
@@ -179,7 +221,7 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
   in
 
   (* The actual work a stage performs when it starts serving a job. *)
-  let serve job route =
+  let serve job route now =
     match route with
     | To_classifier ->
         let cls = Classifier.classify classifier job.packet in
@@ -251,7 +293,7 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
               | Some Sb_fault.Injector.Raise -> raise (Sb_fault.Injector.Injected (name, 0))
               | _ -> nfs.(i).Nf.process ctx job.packet
             with
-            | exception _exn -> contain job ~nf:name overhead
+            | exception _exn -> contain job ~nf:name ~now overhead
             | r -> (
                 let r =
                   match injected with
@@ -298,7 +340,7 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
                   | Sb_fault.Fault.Nf_fault (nf, _, _) -> nf
                   | _ -> "GlobalMAT"
                 in
-                contain job ~nf Sb_sim.Cycles.fast_path_lookup
+                contain job ~nf ~now Sb_sim.Cycles.fast_path_lookup
             | r ->
                 fired := !fired + r.Sb_mat.Global_mat.events_fired;
                 ( Sb_sim.Cost_profile.stage_cycles r.Sb_mat.Global_mat.stage
@@ -312,7 +354,17 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
       | None -> ()
       | Some (job, route) ->
           state.busy <- true;
-          let service, outcome = serve job route in
+          let service, outcome = serve job route now in
+          (if Sb_obs.Sink.armed obs then
+             (* One span per stage service, on the event clock: ring waits
+                show up as gaps between a flow's spans. *)
+             match Sb_obs.Sink.tracer obs with
+             | Some tr ->
+                 Sb_obs.Tracer.record tr ~name:label ~cat:"stage"
+                   ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+                   ~dur_us:(Sb_sim.Cycles.to_microseconds service)
+                   ~tid:job.packet.Packet.fid []
+             | None -> ());
           state.outcome <- Some outcome;
           schedule (now + service) (Complete label)
     end
@@ -326,6 +378,10 @@ let run ?(ring_capacity = 64) ?(policy = Sb_mat.Parallel.Table_one) ?injector
         if Sb_sim.Ring.push state.ring entry then maybe_start label state event.at
         else begin
           incr dropped_overflow;
+          (if Sb_obs.Sink.armed obs then
+             match ins with
+             | Some (_, _, c_overflow, _) -> Sb_obs.Metrics.Counter.incr c_overflow
+             | None -> ());
           stop_recording job;
           retire job
         end

@@ -40,11 +40,18 @@ val run :
   ?policy:Sb_mat.Parallel.policy ->
   ?injector:Sb_fault.Injector.t ->
   ?fault_policy:Sb_fault.Health.policy ->
+  ?obs:Sb_obs.Sink.t ->
   Chain.t ->
   Sb_packet.Packet.t list ->
   result
 (** [run chain trace] — the trace must be in non-decreasing arrival order.
     Default ring capacity: 64 slots per stage.
+
+    [obs] (default {!Sb_obs.Sink.null}): when armed, every stage service
+    records one tracer span on the event clock (ring waits appear as gaps
+    between a flow's spans), departures feed verdict counters and a
+    sojourn histogram ([speedybox_staged_*]), ring overflows are counted,
+    and fault quarantines land on the flow timeline.
 
     Faults are contained per stage: a raise from an NF's service (injected
     by [injector] or organic, including state functions and event updates

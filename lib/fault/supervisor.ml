@@ -1,6 +1,7 @@
 type t = {
   health : Health.t;
   injector : Injector.t option;
+  obs : Sb_obs.Sink.t;
   mutable contained : int;
   mutable corrupted : int;
   mutable stalled : int;
@@ -9,10 +10,11 @@ type t = {
   mutable active : bool;
 }
 
-let create ?injector policy =
+let create ?injector ?(obs = Sb_obs.Sink.null) policy =
   {
     health = Health.create policy;
     injector;
+    obs;
     contained = 0;
     corrupted = 0;
     stalled = 0;
@@ -22,6 +24,17 @@ let create ?injector policy =
        beyond one flag test) until the first organic fault wakes it. *)
     active = injector <> None;
   }
+
+(* Fault metrics only materialise when a fault is recorded, so the
+   registry lookup cost sits entirely off the healthy path. *)
+let obs_count t name labels =
+  if Sb_obs.Sink.armed t.obs then
+    match Sb_obs.Sink.metrics t.obs with
+    | Some m ->
+        Sb_obs.Metrics.Counter.incr
+          (Sb_obs.Metrics.counter m ~labels
+             ~help:"Fault-containment events by the supervisor" name)
+    | None -> ()
 
 let health t = t.health
 
@@ -37,17 +50,28 @@ let stall_cycles t =
 
 let record_fault t ~nf =
   t.active <- true;
+  obs_count t "speedybox_faults_total" [ ("nf", nf) ];
   Health.record_fault t.health nf
 
-let record_contained t = t.contained <- t.contained + 1
+let record_contained t =
+  t.contained <- t.contained + 1;
+  obs_count t "speedybox_fault_kinds_total" [ ("kind", "contained") ]
 
-let record_corrupted t = t.corrupted <- t.corrupted + 1
+let record_corrupted t =
+  t.corrupted <- t.corrupted + 1;
+  obs_count t "speedybox_fault_kinds_total" [ ("kind", "corrupted") ]
 
-let record_stalled t = t.stalled <- t.stalled + 1
+let record_stalled t =
+  t.stalled <- t.stalled + 1;
+  obs_count t "speedybox_fault_kinds_total" [ ("kind", "stalled") ]
 
-let record_quarantine t = t.quarantines <- t.quarantines + 1
+let record_quarantine t =
+  t.quarantines <- t.quarantines + 1;
+  obs_count t "speedybox_quarantines_total" []
 
-let record_faulted_packet t = t.faulted_packets <- t.faulted_packets + 1
+let record_faulted_packet t =
+  t.faulted_packets <- t.faulted_packets + 1;
+  obs_count t "speedybox_faulted_packets_total" []
 
 type gate = Run | Bypass_nf | Drop_packet
 

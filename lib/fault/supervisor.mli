@@ -17,7 +17,12 @@
 
 type t
 
-val create : ?injector:Injector.t -> Health.policy -> t
+val create : ?injector:Injector.t -> ?obs:Sb_obs.Sink.t -> Health.policy -> t
+(** [obs] (default {!Sb_obs.Sink.null}) receives fault metrics
+    ([speedybox_faults_total{nf}], [speedybox_fault_kinds_total{kind}],
+    [speedybox_quarantines_total], [speedybox_faulted_packets_total]) when
+    armed with a metrics registry; the counters only cost a registry
+    lookup when a fault actually occurs. *)
 
 val health : t -> Health.t
 

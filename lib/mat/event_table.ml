@@ -16,12 +16,32 @@ type t = {
   flows : event list ref Sb_flow.Flow_table.t;
   mutable condition_faults : int;
   mutable on_fault : string -> exn -> unit;
+  mutable obs : Sb_obs.Sink.t;
 }
 
 let create () =
-  { flows = Sb_flow.Flow_table.create (); condition_faults = 0; on_fault = (fun _ _ -> ()) }
+  {
+    flows = Sb_flow.Flow_table.create ();
+    condition_faults = 0;
+    on_fault = (fun _ _ -> ());
+    obs = Sb_obs.Sink.null;
+  }
 
 let set_fault_hook t f = t.on_fault <- f
+
+let set_obs t obs = t.obs <- obs
+
+(* Firings and condition faults are rare, so these go through the registry
+   per occurrence; the per-packet [poll] on event-free flows never reaches
+   them. *)
+let obs_count t name ~nf =
+  if Sb_obs.Sink.armed t.obs then
+    match Sb_obs.Sink.metrics t.obs with
+    | Some m ->
+        Sb_obs.Metrics.Counter.incr
+          (Sb_obs.Metrics.counter m ~labels:[ ("nf", nf) ]
+             ~help:"Event Table activity by registering NF" name)
+    | None -> ()
 
 let condition_faults t = t.condition_faults
 
@@ -52,6 +72,7 @@ let fire t armed =
       match e.condition () with
       | true ->
           if e.one_shot then e.armed <- false;
+          obs_count t "speedybox_events_fired_total" ~nf:e.update.nf;
           Some e.update
       | false -> None
       | exception exn ->
@@ -60,6 +81,7 @@ let fire t armed =
              flow's other events and its consolidated rule usable. *)
           e.armed <- false;
           t.condition_faults <- t.condition_faults + 1;
+          obs_count t "speedybox_event_condition_faults_total" ~nf:e.update.nf;
           t.on_fault e.update.nf exn;
           None)
     armed

@@ -61,6 +61,13 @@ val set_fault_hook : t -> (string -> exn -> unit) -> unit
     [nf] raises [exn]; the runtime points this at its fault supervisor so
     condition faults advance the NF's health record. *)
 
+val set_obs : t -> Sb_obs.Sink.t -> unit
+(** Points the table at an observability sink: fired conditions and
+    condition faults bump [speedybox_events_fired_total{nf}] and
+    [speedybox_event_condition_faults_total{nf}] when the sink is armed
+    with a metrics registry.  The per-packet [poll] on event-free flows
+    touches none of this. *)
+
 val poll : t -> Sb_flow.Fid.t -> int * update list
 (** [poll t fid] is [(armed_count t fid, check t fid)] in a single table
     access — the fast path's per-packet event probe. *)

@@ -75,6 +75,8 @@ type t = {
   lru : Sb_flow.Lru.t;  (* recency order over [rules], O(1) touch/evict *)
   max_rules : int option;
   on_evict : Sb_flow.Fid.t -> unit;
+  obs : Sb_obs.Sink.t;
+  obs_consolidations : Sb_obs.Metrics.Counter.t option;  (* resolved once *)
   mutable clock : int;
   mutable evicted : int;
   mutable consolidations : int;
@@ -86,7 +88,7 @@ type t = {
 }
 
 let create ?(policy = Parallel.Table_one) ?max_rules ?(exec = Compiled)
-    ?(on_evict = fun _ -> ()) () =
+    ?(on_evict = fun _ -> ()) ?(obs = Sb_obs.Sink.null) () =
   (match max_rules with
   | Some n when n < 1 -> invalid_arg "Global_mat.create: max_rules must be positive"
   | Some _ | None -> ());
@@ -97,6 +99,13 @@ let create ?(policy = Parallel.Table_one) ?max_rules ?(exec = Compiled)
     lru = Sb_flow.Lru.create ();
     max_rules;
     on_evict;
+    obs;
+    obs_consolidations =
+      Option.map
+        (fun m ->
+          Sb_obs.Metrics.counter m ~help:"Consolidations performed (initial + event-driven)"
+            "speedybox_consolidations_total")
+        (Sb_obs.Sink.metrics obs);
     clock = 0;
     evicted = 0;
     consolidations = 0;
@@ -268,6 +277,9 @@ let consolidate t fid locals =
       Sb_flow.Flow_table.set t.rules fid
         { steps; program; overall; n_source_actions; last_use = tick t; node });
   t.consolidations <- t.consolidations + 1;
+  (match t.obs_consolidations with
+  | Some c -> Sb_obs.Metrics.Counter.incr c
+  | None -> ());
   List.length locals * Sb_sim.Cycles.global_consolidate_per_nf
 
 let find t fid = Sb_flow.Flow_table.find t.rules fid
@@ -448,6 +460,30 @@ let run_steps_interp rule packet =
 
 (* ---- Fast-path entry points ---- *)
 
+(* An Event Table firing is the one fast-path moment a flow's behaviour
+   changes; surface it on all three observability pillars.  Only reached
+   when an update actually fired, so the unarmed (and the armed-but-quiet)
+   fast path never pays for it. *)
+let obs_event_rewrite t ~fid ~nf packet =
+  let ts_us = Sb_sim.Cycles.to_microseconds packet.Packet.ingress_cycle in
+  (match Sb_obs.Sink.metrics t.obs with
+  | Some m ->
+      Sb_obs.Metrics.Counter.incr
+        (Sb_obs.Metrics.counter m ~labels:[ ("nf", nf) ]
+           ~help:"Consolidated-rule rewrites applied by Event Table firings"
+           "speedybox_event_rewrites_total")
+  | None -> ());
+  (match Sb_obs.Sink.tracer t.obs with
+  | Some tr ->
+      Sb_obs.Tracer.record tr ~name:"event-rewrite" ~cat:"event" ~ts_us
+        ~dur_us:(Sb_sim.Cycles.to_microseconds Sb_sim.Cycles.event_fire)
+        ~tid:fid
+        [ ("nf", Sb_obs.Tracer.Str nf) ]
+  | None -> ());
+  match Sb_obs.Sink.timeline t.obs with
+  | Some tl -> Sb_obs.Timeline.record tl ~fid ~ts_us ~detail:nf Sb_obs.Timeline.Event_rewrite
+  | None -> ()
+
 let execute_rule ?egress_item t events locals fid rule packet =
   let armed, fired = Event_table.poll events fid in
   let event_cycles = armed * Sb_sim.Cycles.event_check in
@@ -473,7 +509,8 @@ let execute_rule ?egress_item t events locals fid rule packet =
               (fun local -> Local_mat.replace_state_functions local fid (make_sfs ()))
               (local_of_nf ()))
           u.Event_table.new_state_functions;
-        fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire
+        fire_cycles := !fire_cycles + Sb_sim.Cycles.event_fire;
+        if Sb_obs.Sink.armed t.obs then obs_event_rewrite t ~fid ~nf:u.Event_table.nf packet
       with exn ->
         raise (Sb_fault.Fault.attribute ~nf:u.Event_table.nf ~origin:"event-update" exn))
     fired;

@@ -65,13 +65,17 @@ val create :
   ?max_rules:int ->
   ?exec:exec_mode ->
   ?on_evict:(Sb_flow.Fid.t -> unit) ->
+  ?obs:Sb_obs.Sink.t ->
   unit ->
   t
 (** [max_rules] caps the consolidated-rule table (unbounded by default):
     inserting beyond the cap evicts the least-recently-used flow's rule —
     the evicted flow's next packet simply re-records, like a megaflow
     cache miss.  [on_evict] lets the runtime tear down the flow's Local
-    MAT records alongside.
+    MAT records alongside.  [obs] (default {!Sb_obs.Sink.null}) receives
+    [speedybox_consolidations_total] and, on Event Table firings,
+    [speedybox_event_rewrites_total{nf}] plus an ["event-rewrite"] trace
+    span and a flow-timeline entry; nothing is recorded per packet.
     @raise Invalid_argument when [max_rules < 1]. *)
 
 val policy : t -> Parallel.policy

@@ -1,0 +1,116 @@
+let sub_buckets = 16
+
+(* Octaves cover [2^min_exp, 2^(min_exp + octaves)); exponents here follow
+   [Float.frexp]'s convention (v = m * 2^e with m in [0.5, 1)), so a value
+   v in [2^(k-1), 2^k) has e = k. *)
+let min_exp = -20
+
+let octaves = 64
+
+(* Bucket 0 is underflow (v < 2^min_exp, including 0); the last bucket is
+   overflow.  Everything between is octave * sub_buckets linear slots. *)
+let n_buckets = (octaves * sub_buckets) + 2
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;  (* exact observed min *)
+  mutable hi : float;  (* exact observed max *)
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; total = 0.; lo = infinity; hi = neg_infinity }
+
+let clear t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.n <- 0;
+  t.total <- 0.;
+  t.lo <- infinity;
+  t.hi <- neg_infinity
+
+let index v =
+  if v < Float.ldexp 1. min_exp then 0
+  else begin
+    let m, e = Float.frexp v in
+    if e > min_exp + octaves then n_buckets - 1
+    else begin
+      let oct = e - min_exp - 1 in
+      let s = int_of_float ((m -. 0.5) *. 2. *. float_of_int sub_buckets) in
+      let s = if s >= sub_buckets then sub_buckets - 1 else s in
+      1 + (oct * sub_buckets) + s
+    end
+  end
+
+(* Bounds of bucket [i]: the inverse of [index]. *)
+let bounds_of_index i =
+  if i <= 0 then (0., Float.ldexp 1. min_exp)
+  else if i >= n_buckets - 1 then (Float.ldexp 1. (min_exp + octaves), infinity)
+  else begin
+    let oct = (i - 1) / sub_buckets in
+    let s = (i - 1) mod sub_buckets in
+    let e = min_exp + 1 + oct in
+    let frac k = 0.5 +. (float_of_int k /. float_of_int (2 * sub_buckets)) in
+    (Float.ldexp (frac s) e, Float.ldexp (frac (s + 1)) e)
+  end
+
+let bucket_bounds v = bounds_of_index (index v)
+
+let observe t v =
+  if not (Float.is_nan v || v < 0.) then begin
+    t.counts.(index v) <- t.counts.(index v) + 1;
+    t.n <- t.n + 1;
+    t.total <- t.total +. v;
+    if v < t.lo then t.lo <- v;
+    if v > t.hi then t.hi <- v
+  end
+
+let observe_int t v = observe t (float_of_int v)
+
+let count t = t.n
+
+let sum t = t.total
+
+let mean t = if t.n = 0 then nan else t.total /. float_of_int t.n
+
+let min_value t = if t.n = 0 then nan else t.lo
+
+let max_value t = if t.n = 0 then nan else t.hi
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let target = p /. 100. *. float_of_int t.n in
+    let rec walk i cum =
+      if i >= n_buckets then t.hi
+      else begin
+        let c = t.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo, hi = bounds_of_index i in
+          (* Clamp the bucket to the exact observed range: the overflow
+             bucket has no finite upper bound, and the extreme buckets
+             often extend past the observed min/max. *)
+          let hi = Float.min (if hi = infinity then t.hi else hi) t.hi in
+          let lo = Float.min (Float.max lo t.lo) hi in
+          let frac = (target -. cum) /. float_of_int c in
+          let frac = Float.max 0. (Float.min 1. frac) in
+          lo +. ((hi -. lo) *. frac)
+        end
+        else walk (i + 1) cum'
+      end
+    in
+    let v = walk 0 0. in
+    Float.max t.lo (Float.min t.hi v)
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let _, hi = bounds_of_index i in
+      acc := (hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc

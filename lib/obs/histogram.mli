@@ -1,0 +1,56 @@
+(** Log-bucketed streaming histogram: O(1) [observe], bounded memory,
+    percentiles within a fixed relative error.
+
+    Values bucket geometrically — each power-of-two octave splits into
+    [sub_buckets] linear sub-buckets — so the relative width of any bucket
+    is at most [1 / sub_buckets] (6.25%).  This replaces the sorted-array
+    percentile path ({!Sb_sim.Stats}) for hot counters: [observe] is a
+    handful of arithmetic ops and one array increment, with no allocation,
+    no sorting, and no growth beyond the fixed bucket table.
+
+    The representable range is [2^-20, 2^44) (sub-microsecond latencies up
+    to ~10^13 cycles); values outside it land in saturating underflow /
+    overflow buckets.  Exact [min]/[max]/[sum] are tracked alongside, so
+    means are exact and percentile estimates clamp to the observed range. *)
+
+type t
+
+val sub_buckets : int
+(** Linear sub-buckets per power-of-two octave (16). *)
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val observe : t -> float -> unit
+(** O(1).  Negative and NaN values are ignored. *)
+
+val observe_int : t -> int -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** [nan] when empty, like {!Sb_sim.Stats.mean}. *)
+
+val min_value : t -> float
+(** Exact observed minimum; [nan] when empty. *)
+
+val max_value : t -> float
+(** Exact observed maximum; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100]: linear interpolation inside the
+    bucket containing the target rank, clamped to the exact observed
+    [min]/[max].  The estimate is within one bucket width of the true
+    order statistic.  [nan] when empty. *)
+
+val bucket_bounds : float -> float * float
+(** [bucket_bounds v] is the [[lo, hi)] range of the bucket [v] falls in —
+    the resolution of any estimate near [v] (used by tests to assert
+    percentile accuracy against exact order statistics). *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending — the
+    Prometheus cumulative-bucket export is built from these. *)

@@ -1,0 +1,27 @@
+type t = {
+  armed : bool;
+  metrics : Metrics.t option;
+  tracer : Tracer.t option;
+  timeline : Timeline.t option;
+}
+
+let null = { armed = false; metrics = None; tracer = None; timeline = None }
+
+let create ?(metrics = false) ?(trace = false) ?trace_capacity ?trace_flows
+    ?(timeline = false) () =
+  let m = if metrics then Some (Metrics.create ()) else None in
+  let tr =
+    if trace then
+      Some (Tracer.create ?capacity:trace_capacity ?max_flows:trace_flows ())
+    else None
+  in
+  let tl = if timeline then Some (Timeline.create ()) else None in
+  { armed = m <> None || tr <> None || tl <> None; metrics = m; tracer = tr; timeline = tl }
+
+let armed t = t.armed
+
+let metrics t = t.metrics
+
+let tracer t = t.tracer
+
+let timeline t = t.timeline

@@ -1,0 +1,38 @@
+(** The observability sink: the one handle the executors, the MAT layer and
+    the fault supervisor hold.  A sink bundles up to three pillars — a
+    {!Metrics} registry, a {!Tracer} and a {!Timeline} — and a precomputed
+    [armed] flag.
+
+    The contract that keeps observability near-free when off: every hook in
+    the per-packet path is guarded by a single [Sink.armed] test (one
+    immutable-field load and branch), and {!null} — the default everywhere —
+    is never armed.  Arming any pillar arms the sink; the unarmed fast path
+    therefore pays exactly one predictable branch per packet
+    ([BENCH_fastpath.json], `obs-unarmed` entry). *)
+
+type t
+
+val null : t
+(** The disarmed sink (no pillars).  The default for every consumer. *)
+
+val create :
+  ?metrics:bool ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  ?trace_flows:int ->
+  ?timeline:bool ->
+  unit ->
+  t
+(** Arms the requested pillars (all default [false]; creating with none
+    armed returns an unarmed sink, equivalent to {!null}).
+    [trace_capacity] and [trace_flows] configure the {!Tracer} ring size
+    and flow-sampled retention. *)
+
+val armed : t -> bool
+(** The single fast-path check. *)
+
+val metrics : t -> Metrics.t option
+
+val tracer : t -> Tracer.t option
+
+val timeline : t -> Timeline.t option

@@ -1,0 +1,48 @@
+type kind =
+  | First_packet
+  | Consolidated
+  | Event_rewrite
+  | Quarantined
+  | Degraded_bypass
+  | Evicted
+  | Idle_expired
+
+let kind_label = function
+  | First_packet -> "first-packet"
+  | Consolidated -> "consolidated"
+  | Event_rewrite -> "event-rewrite"
+  | Quarantined -> "quarantined"
+  | Degraded_bypass -> "degraded-bypass"
+  | Evicted -> "evicted"
+  | Idle_expired -> "idle-expired"
+
+type entry = { ts_us : float; kind : kind; detail : string }
+
+type t = {
+  flows : (int, entry list ref) Hashtbl.t;  (* entries newest-first *)
+  mutable total : int;
+}
+
+let create () = { flows = Hashtbl.create 64; total = 0 }
+
+let record t ~fid ~ts_us ?(detail = "") kind =
+  let entry = { ts_us; kind; detail } in
+  (match Hashtbl.find_opt t.flows fid with
+  | Some entries -> entries := entry :: !entries
+  | None -> Hashtbl.replace t.flows fid (ref [ entry ]));
+  t.total <- t.total + 1
+
+let known t fid = Hashtbl.mem t.flows fid
+
+let events t fid =
+  match Hashtbl.find_opt t.flows fid with
+  | None -> []
+  | Some entries -> List.rev !entries
+
+let flows t =
+  Hashtbl.fold (fun fid _ acc -> fid :: acc) t.flows [] |> List.sort Int.compare
+
+let total_events t = t.total
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%10.3fus  %-15s %s" e.ts_us (kind_label e.kind) e.detail

@@ -1,0 +1,37 @@
+(** The flow-lifecycle timeline: an append-only per-flow event log
+    answering {e why a flow took the path it did} — when its rule was
+    consolidated, rewritten by an Event Table firing, quarantined by the
+    fault layer, bypassed around a failed NF, LRU-evicted or idle-expired.
+    Queryable per flow ID from the CLI ([speedybox trace --flow FID]). *)
+
+type kind =
+  | First_packet  (** the flow's establishing packet entered the chain *)
+  | Consolidated  (** a consolidated rule was (re)installed *)
+  | Event_rewrite  (** an Event Table firing rewrote the flow's rule *)
+  | Quarantined  (** a fault tore the flow's consolidated state down *)
+  | Degraded_bypass  (** a packet bypassed a Failed NF under [Bypass] *)
+  | Evicted  (** the rule was LRU-evicted at the table cap *)
+  | Idle_expired  (** the idle timeout expired the flow *)
+
+val kind_label : kind -> string
+
+type entry = { ts_us : float; kind : kind; detail : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> fid:int -> ts_us:float -> ?detail:string -> kind -> unit
+
+val known : t -> int -> bool
+(** Whether any event has been recorded for this flow. *)
+
+val events : t -> int -> entry list
+(** The flow's events in record order; [[]] for unknown flows. *)
+
+val flows : t -> int list
+(** Flow IDs with at least one event, ascending. *)
+
+val total_events : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,93 @@
+type arg = Str of string | Int of int
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type t = {
+  ring : span option array;
+  mutable write : int;  (* next slot, wraps *)
+  mutable total : int;  (* spans ever recorded *)
+  sampled_flows : (int, unit) Hashtbl.t;
+  max_flows : int;
+}
+
+let create ?(capacity = 65536) ?(max_flows = max_int) () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be positive";
+  if max_flows < 0 then invalid_arg "Tracer.create: max_flows must be non-negative";
+  {
+    ring = Array.make capacity None;
+    write = 0;
+    total = 0;
+    sampled_flows = Hashtbl.create 64;
+    max_flows;
+  }
+
+let sampled t fid =
+  Hashtbl.mem t.sampled_flows fid
+  || Hashtbl.length t.sampled_flows < t.max_flows
+     && begin
+          Hashtbl.replace t.sampled_flows fid ();
+          true
+        end
+
+let record t ~name ~cat ~ts_us ~dur_us ~tid args =
+  if sampled t tid then begin
+    t.ring.(t.write) <- Some { name; cat; ts_us; dur_us; tid; args };
+    t.write <- (t.write + 1) mod Array.length t.ring;
+    t.total <- t.total + 1
+  end
+
+let recorded t = min t.total (Array.length t.ring)
+
+let dropped t = max 0 (t.total - Array.length t.ring)
+
+let spans t =
+  let cap = Array.length t.ring in
+  let n = recorded t in
+  let first = if t.total <= cap then 0 else t.write in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some s -> s
+      | None -> assert false (* slots below [recorded] are filled *))
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Int i -> string_of_int i
+
+(* Chrome trace-event format: complete events (ph "X"), timestamps in
+   microseconds — loads directly in Perfetto / chrome://tracing. *)
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let all = spans t in
+  List.iteri
+    (fun i s ->
+      let args =
+        String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)) s.args)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}%s\n"
+           (escape s.name) (escape s.cat) s.ts_us s.dur_us s.tid args
+           (if i < List.length all - 1 then "," else "")))
+    all;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** The structured trace recorder: per-packet spans captured into a
+    fixed-size ring buffer and exported as Chrome trace-event JSON, so a
+    run opens directly in Perfetto or [chrome://tracing].
+
+    Spans carry the simulated clock in microseconds ([ph: "X"] complete
+    events); the flow ID becomes the Chrome [tid], so each traced flow
+    renders as its own track.  Retention is flow-sampled: the first
+    [max_flows] distinct flow IDs seen are retained and every later flow
+    is ignored ([--trace-flows N] on the CLI), bounding both the ring
+    pressure and the export size on large runs.  When the ring wraps, the
+    oldest spans are overwritten — {!dropped} reports how many, so
+    truncation is never silent. *)
+
+type arg = Str of string | Int of int
+
+type span = {
+  name : string;
+  cat : string;  (** taxonomy: ["slow" | "fast" | "consolidate" | "event" | "stage"] *)
+  ts_us : float;
+  dur_us : float;
+  tid : int;  (** the flow ID *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> ?max_flows:int -> unit -> t
+(** [capacity] (default 65536) spans are retained, oldest overwritten
+    first; [max_flows] (default unlimited) caps the distinct flows traced.
+    @raise Invalid_argument when [capacity < 1] or [max_flows < 0]. *)
+
+val sampled : t -> int -> bool
+(** Whether spans for this flow ID are retained; admits unseen flows while
+    under the [max_flows] cap. *)
+
+val record :
+  t -> name:string -> cat:string -> ts_us:float -> dur_us:float -> tid:int ->
+  (string * arg) list -> unit
+(** Records one complete span; a no-op when the flow is not {!sampled}. *)
+
+val recorded : t -> int
+(** Spans currently held (≤ capacity). *)
+
+val dropped : t -> int
+(** Spans overwritten by ring wrap-around. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val to_chrome_json : t -> string
+(** The Chrome trace-event JSON (a [traceEvents] array of [ph: "X"]
+    events, [pid] 1, [tid] = flow ID, timestamps in microseconds). *)

@@ -104,6 +104,11 @@ let summarize t =
     max = max_value t;
   }
 
+(* An empty accumulator summarizes to nan everywhere; print those fields as
+   "-" rather than leaking "nan" into reports. *)
+let pp_stat fmt v =
+  if Float.is_nan v then Format.pp_print_string fmt "-" else Format.fprintf fmt "%.2f" v
+
 let pp_summary fmt s =
-  Format.fprintf fmt "n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f min=%.2f max=%.2f" s.n s.mean
-    s.p50 s.p90 s.p99 s.min s.max
+  Format.fprintf fmt "n=%d mean=%a p50=%a p90=%a p99=%a min=%a max=%a" s.n pp_stat s.mean
+    pp_stat s.p50 pp_stat s.p90 pp_stat s.p99 pp_stat s.min pp_stat s.max

@@ -44,4 +44,9 @@ type summary = {
 
 val summarize : t -> summary
 
+val pp_stat : Format.formatter -> float -> unit
+(** ["%.2f"], except [nan] (the empty-accumulator value) prints as ["-"]. *)
+
 val pp_summary : Format.formatter -> summary -> unit
+(** Empty summaries ([n = 0]) print ["-"] for every statistic, never
+    ["nan"]. *)

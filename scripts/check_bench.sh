@@ -1,0 +1,48 @@
+#!/bin/sh
+# Guard the zero-cost-when-disabled contract of the observability hooks.
+#
+# Compares the "current" measurement of the obs-unarmed fast-path microbench
+# against its frozen "baseline" entry in BENCH_fastpath.json and fails when
+# current exceeds baseline by more than TOLERANCE (default 5%).
+#
+# Usage: scripts/check_bench.sh [BENCH_fastpath.json]
+set -eu
+
+BENCH_FILE="${1:-BENCH_fastpath.json}"
+TOLERANCE="${TOLERANCE:-1.05}"
+BENCH_NAME="speedybox/runtime/fast-path packet obs-unarmed (NAT+Monitor, armed injector)"
+
+if [ ! -f "$BENCH_FILE" ]; then
+  echo "check_bench: $BENCH_FILE not found" >&2
+  exit 1
+fi
+
+python3 - "$BENCH_FILE" "$BENCH_NAME" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+path, name, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+data = json.load(open(path))
+
+try:
+    baseline = data["baseline"][name]
+    current = data["current"][name]
+except KeyError as missing:
+    print(f"check_bench: {missing} entry for {name!r} missing in {path}", file=sys.stderr)
+    sys.exit(1)
+
+limit = baseline * tolerance
+verdict = "OK" if current <= limit else "FAIL"
+print(
+    f"check_bench: {name}\n"
+    f"  baseline {baseline:.1f} ns, current {current:.1f} ns, "
+    f"limit {limit:.1f} ns ({tolerance:.2f}x) -> {verdict}"
+)
+if current > limit:
+    print(
+        "check_bench: obs-unarmed fast path regressed beyond tolerance; "
+        "the disabled-observability hook must stay one branch per packet",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+EOF
