@@ -174,6 +174,61 @@ let test_lru_churn =
          i := (!i + 1) land 63;
          Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy p)))
 
+(* The burst benches measure one [process_burst] of [burst_size] packets
+   per run; [run] divides their figures by [burst_size] so the JSON and the
+   printed table stay per-packet and directly comparable with the
+   per-packet benches above. *)
+let burst_size = Speedybox.Runtime.default_burst
+
+let test_burst_fast_path =
+  (* The burst counterpart of the fast-path bench: 32 subsequent packets
+     of one pre-recorded NAT+Monitor flow per run — classification
+     prescan, last-flow rule memo, scratch packets refilled in place. *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-burst" [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+  let warm = sample_packet () in
+  let _ = Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy warm) in
+  let batch = Array.init burst_size (fun _ -> Sb_packet.Packet.scratch ()) in
+  Test.make ~name:"runtime/burst-32 fast-path (NAT+Monitor, per packet)"
+    (Staged.stage (fun () ->
+         for i = 0 to burst_size - 1 do
+           Sb_packet.Packet.copy_into ~src:warm ~dst:batch.(i)
+         done;
+         Speedybox.Runtime.process_burst rt batch))
+
+let test_burst_lru_churn =
+  (* The lru-churn workload in bursts of 32: every packet still misses the
+     rule table (its flow was evicted 32 arrivals ago), so this measures
+     burst overheads when the memo never hits and eviction churns. *)
+  let nat = Sb_nf.Mazunat.create ~external_ip:(ip "203.0.113.1") () in
+  let monitor = Sb_nf.Monitor.create () in
+  let chain =
+    Speedybox.Chain.create ~name:"bench-burst-churn"
+      [ Sb_nf.Mazunat.nf nat; Sb_nf.Monitor.nf monitor ]
+  in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~max_rules:32 ()) chain in
+  let packets =
+    Array.init 64 (fun i ->
+        Sb_packet.Packet.tcp
+          ~payload:(String.make 64 'x')
+          ~src:(ip (Printf.sprintf "10.3.0.%d" (i + 1)))
+          ~dst:(ip "192.168.1.10") ~src_port:(42000 + i) ~dst_port:80 ())
+  in
+  Array.iter (fun p -> ignore (Speedybox.Runtime.process_packet rt (Sb_packet.Packet.copy p))) packets;
+  let batch = Array.init burst_size (fun _ -> Sb_packet.Packet.scratch ()) in
+  let base = ref 0 in
+  Test.make ~name:"runtime/burst lru-churn (64 flows, 32-rule cap, per packet)"
+    (Staged.stage (fun () ->
+         for i = 0 to burst_size - 1 do
+           Sb_packet.Packet.copy_into ~src:packets.(!base + i) ~dst:batch.(i)
+         done;
+         base := (!base + burst_size) land 63;
+         Speedybox.Runtime.process_burst rt batch))
+
 let test_checksum_full =
   let packet = sample_packet () in
   let l3 = Sb_packet.Packet.l3_offset packet in
@@ -201,9 +256,19 @@ let tests () =
       test_fast_path_obs_unarmed;
       test_fast_path_obs_armed;
       test_lru_churn;
+      test_burst_fast_path;
+      test_burst_lru_churn;
       test_checksum_full;
       test_checksum_incremental;
     ]
+
+(* Benches whose run processes more than one packet: their measured ns/run
+   divides by the batch size before printing/recording. *)
+let per_run_packets =
+  [
+    ("speedybox/runtime/burst-32 fast-path (NAT+Monitor, per packet)", burst_size);
+    ("speedybox/runtime/burst lru-churn (64 flows, 32-rule cap, per packet)", burst_size);
+  ]
 
 (* ---- JSON emission (hand-rolled; the build has no JSON library) ----
 
@@ -307,6 +372,11 @@ let run ?json () =
     |> List.map (fun (name, ols) ->
            let ns =
              match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+           in
+           let ns =
+             match List.assoc_opt name per_run_packets with
+             | Some n -> ns /. float_of_int n
+             | None -> ns
            in
            (name, ns))
   in

@@ -96,6 +96,16 @@ let staged_rate_arg =
   in
   Arg.(value & opt (some float) None & info [ "staged-rate" ] ~docv:"MPPS" ~doc)
 
+let burst_arg =
+  let doc =
+    "Process the trace in bursts of $(docv) packets (DPDK-style).  On the \
+     analytic runtime results are identical to per-packet processing, just \
+     cheaper; on the staged executor ($(b,--staged-rate)) stages drain \
+     their rings in bursts, amortizing the ring hop.  Default 1 \
+     (per-packet)."
+  in
+  Arg.(value & opt int 1 & info [ "b"; "burst" ] ~docv:"N" ~doc)
+
 (* Observability exports (see lib/obs) *)
 
 let metrics_out_arg =
@@ -205,9 +215,9 @@ let build_injector ~fault_seed specs =
 
 (* run ------------------------------------------------------------------ *)
 
-let staged_run build ?injector ~obs trace rate =
+let staged_run build ?injector ~obs ~burst trace rate =
   let trace = Sb_trace.Workload.with_poisson_times ~seed:97 ~rate_mpps:rate trace in
-  let r = Speedybox.Staged_runtime.run ?injector ~obs (build ()) trace in
+  let r = Speedybox.Staged_runtime.run ~burst ?injector ~obs (build ()) trace in
   Printf.printf "staged ONVM executor at %.2f Mpps offered:\n" rate;
   Printf.printf "  verdicts   : %d forwarded, %d dropped by NFs, %d ring overflow\n"
     r.Speedybox.Staged_runtime.forwarded r.Speedybox.Staged_runtime.dropped_by_chain
@@ -227,7 +237,12 @@ let staged_run build ?injector ~obs trace rate =
   0
 
 let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
-    show_stages staged_rate inject fault_seed on_failure metrics_out trace_out trace_flows =
+    show_stages staged_rate burst inject fault_seed on_failure metrics_out trace_out trace_flows
+    =
+  if burst < 1 then begin
+    prerr_endline "speedybox: --burst must be >= 1";
+    exit 2
+  end;
   let finish_with_exports obs code =
     if code <> 0 then code
     else
@@ -247,7 +262,8 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
       1
   | Ok build, Ok trace, Ok injector when staged_rate <> None ->
       let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
-      finish_with_exports obs (staged_run build ?injector ~obs trace (Option.get staged_rate))
+      finish_with_exports obs
+        (staged_run build ?injector ~obs ~burst trace (Option.get staged_rate))
   | Ok build, Ok trace, Ok injector ->
       let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
       let built = build () in
@@ -258,7 +274,7 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
              ?injector ~obs ())
           built
       in
-      let result = Speedybox.Runtime.run_trace rt trace in
+      let result = Speedybox.Runtime.run_trace ~burst rt trace in
       print_string
         (Speedybox.Report.run_summary
            ~label:
@@ -283,8 +299,8 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ chain_arg $ platform_arg $ mode_arg $ seed_arg $ flows_arg
       $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
-      $ staged_rate_arg $ inject_arg $ fault_seed_arg $ on_failure_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_flows_arg)
+      $ staged_rate_arg $ burst_arg $ inject_arg $ fault_seed_arg $ on_failure_arg
+      $ metrics_out_arg $ trace_out_arg $ trace_flows_arg)
 
 (* equivalence ----------------------------------------------------------- *)
 

@@ -1,9 +1,9 @@
 type classification = {
-  fid : Sb_flow.Fid.t;
-  tuple : Sb_flow.Five_tuple.t;
-  established : bool;
-  final : bool;
-  cycles : int;
+  mutable fid : Sb_flow.Fid.t;
+  mutable tuple : Sb_flow.Five_tuple.t;
+  mutable established : bool;
+  mutable final : bool;
+  mutable cycles : int;
 }
 
 type t = { conntrack : Sb_flow.Conntrack.t; fid_bits : int }
@@ -13,18 +13,27 @@ let create ?(fid_bits = Sb_flow.Fid.default_bits) () =
 
 let fid_bits t = t.fid_bits
 
-let classify t packet =
+let scratch () =
+  { fid = 0; tuple = Sb_flow.Five_tuple.dummy; established = false; final = false; cycles = 0 }
+
+(* The burst path classifies into caller-owned scratch records, so a whole
+   burst costs no classification allocations (the tuple itself is still
+   built fresh: it outlives the packet as a conntrack / liveness key). *)
+let classify_into t packet cls =
   let tuple = Sb_flow.Five_tuple.of_packet packet in
   let fid = Sb_flow.Fid.of_tuple ~bits:t.fid_bits tuple in
   packet.Sb_packet.Packet.fid <- fid;
   let verdict = Sb_flow.Conntrack.observe t.conntrack tuple packet in
-  {
-    fid;
-    tuple;
-    established = verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
-    final = verdict.Sb_flow.Conntrack.final;
-    cycles = Sb_sim.Cycles.classifier;
-  }
+  cls.fid <- fid;
+  cls.tuple <- tuple;
+  cls.established <- verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
+  cls.final <- verdict.Sb_flow.Conntrack.final;
+  cls.cycles <- Sb_sim.Cycles.classifier
+
+let classify t packet =
+  let cls = scratch () in
+  classify_into t packet cls;
+  cls
 
 let forget t tuple = Sb_flow.Conntrack.forget t.conntrack tuple
 

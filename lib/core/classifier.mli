@@ -9,15 +9,19 @@
     packet that triggers rule cleanup. *)
 
 type classification = {
-  fid : Sb_flow.Fid.t;
-  tuple : Sb_flow.Five_tuple.t;
+  mutable fid : Sb_flow.Fid.t;
+  mutable tuple : Sb_flow.Five_tuple.t;
       (** the tuple as seen at chain ingress, before any NF rewrites it *)
-  established : bool;
+  mutable established : bool;
       (** the flow is past its handshake — recording may begin when no
           consolidated rule exists yet *)
-  final : bool;  (** FIN or RST: delete the flow's rules after processing *)
-  cycles : int;  (** classifier work for this packet *)
+  mutable final : bool;
+      (** FIN or RST: delete the flow's rules after processing *)
+  mutable cycles : int;  (** classifier work for this packet *)
 }
+(** Fields are mutable so the burst path can classify into reusable
+    scratch records ({!classify_into}); {!classify} still returns a fresh
+    record per call. *)
 
 type t
 
@@ -29,6 +33,13 @@ val fid_bits : t -> int
 val classify : t -> Sb_packet.Packet.t -> classification
 (** Assigns the FID (writing it into the packet metadata) and advances the
     flow's connection state. *)
+
+val scratch : unit -> classification
+(** A blank classification for use with {!classify_into}. *)
+
+val classify_into : t -> Sb_packet.Packet.t -> classification -> unit
+(** Like {!classify} but fills a caller-owned scratch record in place —
+    the burst path's allocation-free variant. *)
 
 val forget : t -> Sb_flow.Five_tuple.t -> unit
 (** Drops connection state for the flow with this ingress tuple (rule

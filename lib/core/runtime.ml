@@ -66,6 +66,8 @@ type t = {
   ins : instruments option;  (* Some iff cfg.obs carries a metrics registry *)
   mutable obs_now_us : float;  (* simulated clock for hooks without a packet
                                   in hand (the LRU-eviction callback) *)
+  mutable cls_scratch : Classifier.classification array;
+      (* per-burst classification scratch, grown to the largest burst seen *)
 }
 
 (* A Failed NF invalidates every consolidated rule embedding its closures:
@@ -161,6 +163,7 @@ let create cfg chain =
       packets_since_sweep = 0;
       ins;
       obs_now_us = 0.;
+      cls_scratch = [||];
     }
   in
   if Sb_obs.Sink.armed cfg.obs then begin
@@ -449,13 +452,15 @@ let contain_fast_path t cls classifier_stage inj_faults ~nf ~now =
   in
   (classifier_stage, stage, inj_faults + 1)
 
-let process_speedybox t packet =
+(* The body shared by the per-packet and burst paths: [cls] has been
+   classified (and [touch]ed) by the caller, and [rule_opt] is the Global
+   MAT resolution — a plain [find] per packet, or the burst loop's
+   last-flow memo. *)
+let process_with_rule t packet cls rule_opt =
   let now = packet.Sb_packet.Packet.ingress_cycle in
-  let cls = Classifier.classify t.classifier packet in
-  touch t cls now;
   let fid = cls.Classifier.fid in
   let classifier_stage = Sb_sim.Cost_profile.serial_stage "Classifier" cls.Classifier.cycles in
-  match Sb_mat.Global_mat.find t.global fid with
+  match rule_opt with
   | Some rule -> (
       (* Mirror the slow path's per-NF injector consultation — one draw per
          NF per packet — so a fault schedule is path-independent. *)
@@ -578,6 +583,12 @@ let process_speedybox t packet =
     finish t w.w_verdict packet (classifier_stage :: stages) Slow_path 0 w.w_faults
   end
 
+let process_speedybox t packet =
+  let now = packet.Sb_packet.Packet.ingress_cycle in
+  let cls = Classifier.classify t.classifier packet in
+  touch t cls now;
+  process_with_rule t packet cls (Sb_mat.Global_mat.find t.global cls.Classifier.fid)
+
 (* Everything observability learns per packet derives from the [output]
    the executor produced anyway, so one armed-sink branch after processing
    covers metrics and tracing for both paths and both modes — the unarmed
@@ -635,6 +646,88 @@ let process_packet t packet =
   if Sb_obs.Sink.armed t.cfg.obs then instrument t packet out;
   out
 
+(* ---- Burst processing ---- *)
+
+let default_burst = 32
+
+let ensure_cls_scratch t n =
+  if Array.length t.cls_scratch < n then
+    t.cls_scratch <- Array.init n (fun _ -> Classifier.scratch ());
+  t.cls_scratch
+
+(* Process [packets.(off .. off+n-1)] as one burst, calling [emit k out]
+   for each packet in order ([k] relative to [off]).
+
+   The burst is classified ahead of execution — amortizing tuple
+   extraction, FID hashing and conntrack probes over the batch — with one
+   restriction: a FIN/RST ([final]) classification ends the prescan,
+   because its execution tears down the flow's conntrack entry and a
+   same-flow packet classified beyond it would read state the per-packet
+   order has already erased (a retained [Closing] where a fresh flow would
+   re-establish).  Every other mid-burst state change (fault quarantine,
+   idle expiry) yields the same classification either way.
+
+   Execution then resolves each packet's rule through a one-entry
+   last-flow memo: consecutive packets of one flow skip the Global MAT
+   lookup.  The memo is valid only while the MAT's generation is
+   unchanged — any eviction, removal or quarantine bumps it — and an
+   absent rule is never memoized (the slow path may consolidate one
+   without a generation bump).  In-place event rewrites keep the memoized
+   rule record current by construction. *)
+let process_burst_seg t packets off n emit =
+  match t.cfg.mode with
+  | Original ->
+      for k = 0 to n - 1 do
+        let packet = packets.(off + k) in
+        let out = process_original t packet in
+        if Sb_obs.Sink.armed t.cfg.obs then instrument t packet out;
+        emit k out
+      done
+  | Speedybox ->
+      let cls_arr = ensure_cls_scratch t n in
+      let memo_fid = ref (-1) and memo_rule = ref None and memo_gen = ref (-1) in
+      let i = ref 0 in
+      while !i < n do
+        let j = ref !i in
+        let stop = ref false in
+        while (not !stop) && !j < n do
+          let cls = Array.unsafe_get cls_arr !j in
+          Classifier.classify_into t.classifier packets.(off + !j) cls;
+          if cls.Classifier.final then stop := true;
+          incr j
+        done;
+        for k = !i to !j - 1 do
+          let packet = packets.(off + k) in
+          let cls = Array.unsafe_get cls_arr k in
+          touch t cls packet.Sb_packet.Packet.ingress_cycle;
+          let fid = cls.Classifier.fid in
+          let gen = Sb_mat.Global_mat.generation t.global in
+          let rule =
+            if fid = !memo_fid && gen = !memo_gen then !memo_rule
+            else begin
+              let r = Sb_mat.Global_mat.find t.global fid in
+              (match r with
+              | Some _ ->
+                  memo_fid := fid;
+                  memo_gen := gen;
+                  memo_rule := r
+              | None -> memo_fid := -1);
+              r
+            end
+          in
+          let out = process_with_rule t packet cls rule in
+          if Sb_obs.Sink.armed t.cfg.obs then instrument t packet out;
+          emit k out
+        done;
+        i := !j
+      done
+
+let process_burst t packets =
+  let n = Array.length packets in
+  let rev = ref [] in
+  process_burst_seg t packets 0 n (fun _ out -> rev := out :: !rev);
+  Array.of_list (List.rev !rev)
+
 type run_result = {
   packets : int;
   forwarded : int;
@@ -646,16 +739,21 @@ type run_result = {
   latency_us : Sb_sim.Stats.t;
   cycles_per_packet : Sb_sim.Stats.t;
   service : Sb_sim.Stats.t;
-  flow_time_us : (int, float) Hashtbl.t;
+  flow_time_us : float Sb_flow.Flow_table.t;
   stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t;
 }
+
+(* Non-TCP/UDP packets have no 5-tuple; their time buckets under this
+   sentinel instead of crashing the whole run. *)
+let no_flow_fid = -1
 
 let rate_mpps r =
   let mean = Sb_sim.Stats.mean r.service in
   if Float.is_nan mean then nan
   else Sb_sim.Cycles.rate_mpps (int_of_float (Float.round mean))
 
-let run_trace ?on_output t packets =
+let run_trace ?on_output ?(burst = 1) t packets =
+  if burst < 1 then invalid_arg "Runtime.run_trace: burst must be positive";
   let forwarded = ref 0
   and dropped = ref 0
   and slow = ref 0
@@ -665,7 +763,7 @@ let run_trace ?on_output t packets =
   let latency_us = Sb_sim.Stats.create () in
   let cycles_per_packet = Sb_sim.Stats.create () in
   let service = Sb_sim.Stats.create () in
-  let flow_time_us : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let flow_time_us : float Sb_flow.Flow_table.t = Sb_flow.Flow_table.create ~initial_size:256 () in
   let stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t = Hashtbl.create 16 in
   let record_stage stage =
     let stats =
@@ -679,32 +777,70 @@ let run_trace ?on_output t packets =
     Sb_sim.Stats.add_int stats (Sb_sim.Cost_profile.stage_cycles stage)
   in
   let count = ref 0 in
-  List.iter
-    (fun original ->
-      incr count;
-      let packet = Sb_packet.Packet.copy original in
-      let out = process_packet t packet in
-      (match out.verdict with
-      | Sb_mat.Header_action.Forwarded -> incr forwarded
-      | Sb_mat.Header_action.Dropped -> incr dropped);
-      (match out.path with Slow_path -> incr slow | Fast_path -> incr fast);
-      fired := !fired + out.events_fired;
-      if out.faults > 0 then incr faulted;
-      List.iter record_stage out.profile;
-      let us = Sb_sim.Cycles.to_microseconds out.latency_cycles in
-      Sb_sim.Stats.add latency_us us;
-      Sb_sim.Stats.add_int cycles_per_packet out.latency_cycles;
-      Sb_sim.Stats.add_int service out.service_cycles;
-      let key =
-        if out.packet.Sb_packet.Packet.fid >= 0 then out.packet.Sb_packet.Packet.fid
-        else
-          Sb_flow.Fid.of_tuple ~bits:t.cfg.fid_bits
-            (Sb_flow.Five_tuple.of_packet original)
-      in
-      Hashtbl.replace flow_time_us key
-        (Option.value (Hashtbl.find_opt flow_time_us key) ~default:0. +. us);
-      Option.iter (fun f -> f original out) on_output)
-    packets;
+  let consume original out =
+    incr count;
+    (match out.verdict with
+    | Sb_mat.Header_action.Forwarded -> incr forwarded
+    | Sb_mat.Header_action.Dropped -> incr dropped);
+    (match out.path with Slow_path -> incr slow | Fast_path -> incr fast);
+    fired := !fired + out.events_fired;
+    if out.faults > 0 then incr faulted;
+    List.iter record_stage out.profile;
+    let us = Sb_sim.Cycles.to_microseconds out.latency_cycles in
+    Sb_sim.Stats.add latency_us us;
+    Sb_sim.Stats.add_int cycles_per_packet out.latency_cycles;
+    Sb_sim.Stats.add_int service out.service_cycles;
+    let key =
+      if out.packet.Sb_packet.Packet.fid >= 0 then out.packet.Sb_packet.Packet.fid
+      else
+        match Sb_flow.Five_tuple.of_packet_opt original with
+        | Some tuple -> Sb_flow.Fid.of_tuple ~bits:t.cfg.fid_bits tuple
+        | None -> no_flow_fid
+    in
+    Sb_flow.Flow_table.update flow_time_us key ~default:0. (fun acc -> acc +. us);
+    Option.iter (fun f -> f original out) on_output
+  in
+  (* The trace's packets are never mutated: each is replayed through a copy.
+     Without an [on_output] callback nothing can retain the processed
+     packet, so the copies live in reusable scratch buffers; with one, the
+     callback may keep [out.packet] (tests do), so copies stay fresh. *)
+  (if burst = 1 then
+     match on_output with
+     | None ->
+         let scratch = Sb_packet.Packet.scratch () in
+         List.iter
+           (fun original ->
+             Sb_packet.Packet.copy_into ~src:original ~dst:scratch;
+             consume original (process_packet t scratch))
+           packets
+     | Some _ ->
+         List.iter
+           (fun original -> consume original (process_packet t (Sb_packet.Packet.copy original)))
+           packets
+   else begin
+     let originals = Array.of_list packets in
+     let total = Array.length originals in
+     let pool =
+       if on_output = None then Array.init (min burst total) (fun _ -> Sb_packet.Packet.scratch ())
+       else [||]
+     in
+     let i = ref 0 in
+     while !i < total do
+       let n = min burst (total - !i) in
+       let seg =
+         if on_output = None then begin
+           for k = 0 to n - 1 do
+             Sb_packet.Packet.copy_into ~src:originals.(!i + k) ~dst:pool.(k)
+           done;
+           pool
+         end
+         else Array.init n (fun k -> Sb_packet.Packet.copy originals.(!i + k))
+       in
+       let base = !i in
+       process_burst_seg t seg 0 n (fun k out -> consume originals.(base + k) out);
+       i := !i + n
+     done
+   end);
   (* End-of-run table occupancy, as gauges (once per run, not per packet). *)
   (match Sb_obs.Sink.metrics t.cfg.obs with
   | Some m ->

@@ -37,6 +37,7 @@ type result = {
 
 val run :
   ?ring_capacity:int ->
+  ?burst:int ->
   ?policy:Sb_mat.Parallel.policy ->
   ?injector:Sb_fault.Injector.t ->
   ?fault_policy:Sb_fault.Health.policy ->
@@ -46,6 +47,15 @@ val run :
   result
 (** [run chain trace] — the trace must be in non-decreasing arrival order.
     Default ring capacity: 64 slots per stage.
+
+    [burst] (default 1) sets the ring dequeue burst: with [burst > 1] a
+    stage drains up to that many jobs from its ring in one access,
+    charging [ring_hop_onvm] once per drain (to the drain's first job)
+    instead of once per forwarded packet — OpenNetVM's dequeue-burst
+    amortization.  Drained jobs also free their ring slots immediately,
+    so bursty arrivals overflow less.  [burst = 1] is the original
+    job-at-a-time model, bit-for-bit.
+    @raise Invalid_argument when [burst < 1].
 
     [obs] (default {!Sb_obs.Sink.null}): when armed, every stage service
     records one tracer span on the event clock (ring waits appear as gaps

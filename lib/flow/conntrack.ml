@@ -12,31 +12,23 @@ let pp_state fmt s =
 
 type verdict = { state : state; established_now : bool; final : bool }
 
-module Table = Hashtbl.Make (struct
-  type t = Five_tuple.t
+type t = state Tuple_map.t
 
-  let equal = Five_tuple.equal
+let create () = Tuple_map.create 1024
 
-  let hash = Five_tuple.hash
-end)
-
-type t = state Table.t
-
-let create () = Table.create 1024
-
-(* Each [Table] operation rehashes the 13-byte tuple, so the steady-state
+(* Each [Tuple_map] operation rehashes the 13-byte tuple, so the steady-state
    path does exactly one: a single [find_opt], and no [replace] when the
    state would not change (the common case — an established flow's
    mid-stream segment). *)
 let observe t key p =
   match Packet.proto p with
   | Packet.Udp ->
-      let found = Table.find_opt t key in
-      if found <> Some Established then Table.replace t key Established;
+      let found = Tuple_map.find_opt t key in
+      if found <> Some Established then Tuple_map.replace t key Established;
       { state = Established; established_now = found = None; final = false }
   | Packet.Tcp ->
       let flags = Packet.tcp_flags p in
-      let found = Table.find_opt t key in
+      let found = Tuple_map.find_opt t key in
       let fresh = found = None in
       let prev = Option.value found ~default:Closing in
       let next =
@@ -52,7 +44,7 @@ let observe t key p =
           | Established -> Established
           | Closing -> if fresh then Established else Closing
       in
-      if found <> Some next then Table.replace t key next;
+      if found <> Some next then Tuple_map.replace t key next;
       {
         state = next;
         established_now =
@@ -60,8 +52,8 @@ let observe t key p =
         final = flags.Tcp.Flags.fin || flags.Tcp.Flags.rst;
       }
 
-let state t key = Table.find_opt t key
+let state t key = Tuple_map.find_opt t key
 
-let forget t key = Table.remove t key
+let forget t key = Tuple_map.remove t key
 
-let active_flows t = Table.length t
+let active_flows t = Tuple_map.length t

@@ -26,6 +26,14 @@ let of_packet p =
     proto;
   }
 
+let of_packet_opt p =
+  let buf = p.Packet.buf in
+  let l3 = Packet.l3_offset p in
+  let proto = Ipv4.get_proto buf l3 in
+  if proto <> 6 && proto <> 17 then None else Some (of_packet p)
+
+let dummy = { src_ip = 0l; dst_ip = 0l; src_port = 0; dst_port = 0; proto = 0 }
+
 let reverse t =
   { t with src_ip = t.dst_ip; dst_ip = t.src_ip; src_port = t.dst_port; dst_port = t.src_port }
 

@@ -9,7 +9,15 @@ type t = {
 }
 
 val of_packet : Sb_packet.Packet.t -> t
-(** Reads the current (possibly already rewritten) header fields. *)
+(** Reads the current (possibly already rewritten) header fields.
+    @raise Invalid_argument on a non-TCP/UDP packet. *)
+
+val of_packet_opt : Sb_packet.Packet.t -> t option
+(** Like {!of_packet} but [None] on a non-TCP/UDP packet. *)
+
+val dummy : t
+(** An all-zero tuple (protocol 0, so never produced by {!of_packet});
+    usable as an array filler. *)
 
 val reverse : t -> t
 (** Swaps source and destination; the key of the return direction. *)

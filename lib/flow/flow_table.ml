@@ -1,25 +1,29 @@
-type 'a t = (int, 'a) Hashtbl.t
+(* FID-keyed flow tables ride directly on the flat open-addressing table:
+   fids are plain ints, so a lookup is one multiplicative hash and a short
+   linear probe over an int array — no per-binding boxing, no bucket
+   chains.  [Fid.t] values are non-negative, well clear of the reserved
+   [Flat_table.empty_key]. *)
 
-let create ?(initial_size = 1024) () = Hashtbl.create initial_size
+type 'a t = 'a Flat_table.t
 
-let find t fid = Hashtbl.find_opt t fid
+let create ?(initial_size = 1024) () = Flat_table.create ~initial_size ()
 
-let find_exn t fid = Hashtbl.find t fid
+let find = Flat_table.find
 
-let mem t fid = Hashtbl.mem t fid
+let find_exn = Flat_table.find_exn
 
-let set t fid v = Hashtbl.replace t fid v
+let mem = Flat_table.mem
 
-let update t fid ~default f =
-  let current = Option.value (Hashtbl.find_opt t fid) ~default in
-  Hashtbl.replace t fid (f current)
+let set = Flat_table.set
 
-let remove t fid = Hashtbl.remove t fid
+let update = Flat_table.update
 
-let clear t = Hashtbl.reset t
+let remove = Flat_table.remove
 
-let length t = Hashtbl.length t
+let clear = Flat_table.clear
 
-let iter f t = Hashtbl.iter f t
+let length = Flat_table.length
 
-let fold f t init = Hashtbl.fold f t init
+let iter = Flat_table.iter
+
+let fold = Flat_table.fold

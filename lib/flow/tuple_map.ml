@@ -1,15 +1,188 @@
-include Hashtbl.Make (struct
-  type t = Five_tuple.t
+(* Flow-state maps keyed by 5-tuples, flattened the same way as
+   {!Flat_table}: open addressing with linear probing over plain arrays.
+   Each slot stores the key's precomputed hash next to it, so a probe
+   compares ints and only falls back to the structural [Five_tuple.equal]
+   on a hash hit — the common miss never dereferences a tuple record.
 
-  let equal = Five_tuple.equal
+   [Five_tuple.hash] lands in [0, max_int], so [-1] is free to mark empty
+   slots; [Five_tuple.dummy] fills vacant key cells so removed tuples are
+   not retained. *)
 
-  let hash = Five_tuple.hash
-end)
+type key = Five_tuple.t
+
+let no_hash = -1
+
+type 'a t = {
+  mutable hashes : int array;  (* [no_hash] marks a free slot *)
+  mutable keys : key array;
+  mutable vals : 'a array;  (* [||] until the first insert *)
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable size : int;
+  mutable filler : 'a option;
+}
+
+let rec ceil_pow2 n k = if k >= n then k else ceil_pow2 n (k * 2)
+
+let create initial_size =
+  let cap = ceil_pow2 (max initial_size 8) 8 in
+  {
+    hashes = Array.make cap no_hash;
+    keys = Array.make cap Five_tuple.dummy;
+    vals = [||];
+    mask = cap - 1;
+    size = 0;
+    filler = None;
+  }
+
+let slot_of_hash mask h =
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land mask
+
+let length t = t.size
+
+(* Returns the slot holding [key], or [-1 - slot] of the free slot where it
+   would be inserted — one probe serves lookup and insertion alike. *)
+let probe_slot t h key =
+  let hashes = t.hashes and keys = t.keys and mask = t.mask in
+  let rec probe i =
+    let hi = Array.unsafe_get hashes i in
+    if hi = no_hash then -1 - i
+    else if hi = h && Five_tuple.equal (Array.unsafe_get keys i) key then i
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of_hash mask h)
+
+let find_opt t key =
+  let s = probe_slot t (Five_tuple.hash key) key in
+  if s >= 0 then Some (Array.unsafe_get t.vals s) else None
+
+let mem t key = probe_slot t (Five_tuple.hash key) key >= 0
+
+let ensure_vals t v =
+  if Array.length t.vals = 0 then begin
+    t.vals <- Array.make (Array.length t.hashes) v;
+    t.filler <- Some v
+  end
+
+let insert_fresh hashes keys vals mask h key v =
+  let rec probe i =
+    if Array.unsafe_get hashes i = no_hash then begin
+      hashes.(i) <- h;
+      keys.(i) <- key;
+      vals.(i) <- v
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of_hash mask h)
+
+let grow t =
+  let old_hashes = t.hashes and old_keys = t.keys and old_vals = t.vals in
+  let cap = 2 * (t.mask + 1) in
+  let hashes = Array.make cap no_hash in
+  let keys = Array.make cap Five_tuple.dummy in
+  match t.filler with
+  | None -> begin
+      t.hashes <- hashes;
+      t.keys <- keys;
+      t.mask <- cap - 1
+    end
+  | Some filler ->
+      let vals = Array.make cap filler in
+      let mask = cap - 1 in
+      for i = 0 to Array.length old_hashes - 1 do
+        let h = Array.unsafe_get old_hashes i in
+        if h <> no_hash then
+          insert_fresh hashes keys vals mask h
+            (Array.unsafe_get old_keys i)
+            (Array.unsafe_get old_vals i)
+      done;
+      t.hashes <- hashes;
+      t.keys <- keys;
+      t.vals <- vals;
+      t.mask <- mask
+
+let maybe_grow t = if (t.size + 1) * 4 > (t.mask + 1) * 3 then grow t
+
+let replace t key v =
+  maybe_grow t;
+  ensure_vals t v;
+  let h = Five_tuple.hash key in
+  let s = probe_slot t h key in
+  if s >= 0 then t.vals.(s) <- v
+  else begin
+    let s = -1 - s in
+    t.hashes.(s) <- h;
+    t.keys.(s) <- key;
+    t.vals.(s) <- v;
+    t.size <- t.size + 1
+  end
 
 let find_or_add t key ~default =
-  match find_opt t key with
-  | Some v -> v
-  | None ->
-      let v = default () in
-      replace t key v;
-      v
+  maybe_grow t;
+  let h = Five_tuple.hash key in
+  let s = probe_slot t h key in
+  if s >= 0 then Array.unsafe_get t.vals s
+  else begin
+    let s = -1 - s in
+    let v = default () in
+    ensure_vals t v;
+    t.hashes.(s) <- h;
+    t.keys.(s) <- key;
+    t.vals.(s) <- v;
+    t.size <- t.size + 1;
+    v
+  end
+
+let remove t key =
+  let h = Five_tuple.hash key in
+  let s = probe_slot t h key in
+  if s >= 0 then begin
+    let hashes = t.hashes and keys = t.keys and mask = t.mask in
+    (* Backward-shift deletion, as in {!Flat_table.remove}. *)
+    let rec shift hole j =
+      let j = (j + 1) land mask in
+      let hj = Array.unsafe_get hashes j in
+      if hj = no_hash then begin
+        hashes.(hole) <- no_hash;
+        keys.(hole) <- Five_tuple.dummy;
+        (match t.filler with Some f -> t.vals.(hole) <- f | None -> ());
+        t.size <- t.size - 1
+      end
+      else begin
+        let ideal = slot_of_hash mask hj in
+        let stays =
+          if hole <= j then ideal > hole && ideal <= j else ideal > hole || ideal <= j
+        in
+        if stays then shift hole j
+        else begin
+          hashes.(hole) <- hj;
+          keys.(hole) <- keys.(j);
+          t.vals.(hole) <- t.vals.(j);
+          shift j j
+        end
+      end
+    in
+    shift s s
+  end
+
+let clear t =
+  Array.fill t.hashes 0 (Array.length t.hashes) no_hash;
+  Array.fill t.keys 0 (Array.length t.keys) Five_tuple.dummy;
+  (match t.filler with
+  | Some f -> Array.fill t.vals 0 (Array.length t.vals) f
+  | None -> ());
+  t.size <- 0
+
+let iter f t =
+  let hashes = t.hashes in
+  for i = 0 to Array.length hashes - 1 do
+    if Array.unsafe_get hashes i <> no_hash then f t.keys.(i) t.vals.(i)
+  done
+
+let fold f t init =
+  let hashes = t.hashes in
+  let acc = ref init in
+  for i = 0 to Array.length hashes - 1 do
+    if Array.unsafe_get hashes i <> no_hash then acc := f t.keys.(i) t.vals.(i) !acc
+  done;
+  !acc

@@ -1,8 +1,36 @@
 (** Hash tables keyed by 5-tuples — the flow-state tables NFs keep
     internally (their original code keys on the tuple it sees, not on the
-    SpeedyBox FID). *)
+    SpeedyBox FID).
 
-include Hashtbl.S with type key = Five_tuple.t
+    Flat open-addressing layout: keys, their precomputed hashes and values
+    live in parallel arrays, probed linearly, so lookups compare ints
+    before ever dereferencing a tuple record. *)
 
-val find_or_add : 'a t -> Five_tuple.t -> default:(unit -> 'a) -> 'a
-(** Returns the existing binding or inserts [default ()] first. *)
+type key = Five_tuple.t
+
+type 'a t
+
+val create : int -> 'a t
+(** [create n] makes an empty map sized for about [n] flows (capacity is
+    rounded up to a power of two). *)
+
+val find_opt : 'a t -> key -> 'a option
+
+val find_or_add : 'a t -> key -> default:(unit -> 'a) -> 'a
+(** Returns the existing binding or inserts [default ()] first — a single
+    probe either way. *)
+
+val replace : 'a t -> key -> 'a -> unit
+(** Inserts or overwrites. *)
+
+val mem : 'a t -> key -> bool
+
+val remove : 'a t -> key -> unit
+
+val clear : 'a t -> unit
+
+val length : 'a t -> int
+
+val iter : (key -> 'a -> unit) -> 'a t -> unit
+
+val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

@@ -80,6 +80,10 @@ type t = {
   mutable clock : int;
   mutable evicted : int;
   mutable consolidations : int;
+  mutable generation : int;
+      (* bumped whenever a fid→rule binding is dropped (evict/remove/clear);
+         the burst path's last-flow memo is valid only within a generation.
+         In-place reconsolidation keeps the rule record — no bump needed. *)
   (* Grow-only scratch buffers for wave snapshot/merge: reused across
      packets so multi-batch waves allocate nothing per execution. *)
   mutable snap : Bytes.t;
@@ -109,6 +113,7 @@ let create ?(policy = Parallel.Table_one) ?max_rules ?(exec = Compiled)
     clock = 0;
     evicted = 0;
     consolidations = 0;
+    generation = 0;
     snap = Bytes.create 256;
     snap_len = 0;
     aux = Bytes.create 256;
@@ -133,6 +138,7 @@ let evict_lru t =
   | Some fid ->
       Sb_flow.Flow_table.remove t.rules fid;
       t.evicted <- t.evicted + 1;
+      t.generation <- t.generation + 1;
       t.on_evict fid
 
 let is_identity (c : Consolidate.t) =
@@ -291,11 +297,15 @@ let remove_flow t fid =
   | None -> ()
   | Some r ->
       Sb_flow.Lru.remove t.lru r.node;
-      Sb_flow.Flow_table.remove t.rules fid
+      Sb_flow.Flow_table.remove t.rules fid;
+      t.generation <- t.generation + 1
 
 let clear t =
   Sb_flow.Flow_table.clear t.rules;
-  Sb_flow.Lru.clear t.lru
+  Sb_flow.Lru.clear t.lru;
+  t.generation <- t.generation + 1
+
+let generation t = t.generation
 
 let flow_count t = Sb_flow.Flow_table.length t.rules
 

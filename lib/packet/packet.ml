@@ -84,6 +84,19 @@ let copy t =
     ingress_cycle = t.ingress_cycle;
   }
 
+let scratch () = { buf = Bytes.create 128; len = 0; outer = []; fid = -1; ingress_cycle = 0 }
+
+(* The hot loop's substitute for [copy]: the destination's buffer is kept
+   and only regrown when too small, so replaying a template packet into a
+   scratch allocates nothing in the steady state. *)
+let copy_into ~src ~dst =
+  if Bytes.length dst.buf < src.len then dst.buf <- Bytes.create src.len;
+  Bytes.blit src.buf 0 dst.buf 0 src.len;
+  dst.len <- src.len;
+  dst.outer <- src.outer;
+  dst.fid <- src.fid;
+  dst.ingress_cycle <- src.ingress_cycle
+
 let get_field t field =
   let l3 = l3_offset t in
   let l4 = l4_offset t in

@@ -52,6 +52,15 @@ val udp :
 val copy : t -> t
 (** Deep copy, including metadata. *)
 
+val scratch : unit -> t
+(** An empty reusable packet for {!copy_into}; not a valid packet until
+    written to. *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Copies [src] into [dst] in place, reusing [dst]'s buffer when large
+    enough — the allocation-free alternative to {!copy} for replaying a
+    template packet through the hot loop. *)
+
 (** {1 Layout} *)
 
 val l2_offset : t -> int

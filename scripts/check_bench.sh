@@ -1,48 +1,97 @@
 #!/bin/sh
-# Guard the zero-cost-when-disabled contract of the observability hooks.
+# Guard the hot-path microbench contracts.
 #
-# Compares the "current" measurement of the obs-unarmed fast-path microbench
-# against its frozen "baseline" entry in BENCH_fastpath.json and fails when
-# current exceeds baseline by more than TOLERANCE (default 5%).
+# For each guarded bench, compares the "current" measurement against its
+# frozen "baseline" entry in BENCH_fastpath.json and fails when current
+# exceeds baseline by more than TOLERANCE (default 5%):
+#
+#   - obs-unarmed fast path: the zero-cost-when-disabled observability
+#     contract (a disarmed sink must stay one branch per packet);
+#   - fast-path packet (NAT+Monitor): the per-packet fast path must not
+#     regress;
+#   - burst-32 fast path / burst lru-churn: the burst path (per-packet
+#     figures) must not regress.
+#
+# Additionally checks the burst speedup contract: the burst-32 fast path
+# must be at least 25% faster per packet than the per-packet fast path
+# measured in the same run (ratio of the two "current" entries must stay
+# <= BURST_SPEEDUP, default 0.75).
 #
 # Usage: scripts/check_bench.sh [BENCH_fastpath.json]
 set -eu
 
 BENCH_FILE="${1:-BENCH_fastpath.json}"
 TOLERANCE="${TOLERANCE:-1.05}"
-BENCH_NAME="speedybox/runtime/fast-path packet obs-unarmed (NAT+Monitor, armed injector)"
+BURST_SPEEDUP="${BURST_SPEEDUP:-0.75}"
 
 if [ ! -f "$BENCH_FILE" ]; then
   echo "check_bench: $BENCH_FILE not found" >&2
   exit 1
 fi
 
-python3 - "$BENCH_FILE" "$BENCH_NAME" "$TOLERANCE" <<'EOF'
+python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" <<'EOF'
 import json
 import sys
 
-path, name, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+path, tolerance, burst_speedup = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 data = json.load(open(path))
 
-try:
-    baseline = data["baseline"][name]
-    current = data["current"][name]
-except KeyError as missing:
-    print(f"check_bench: {missing} entry for {name!r} missing in {path}", file=sys.stderr)
-    sys.exit(1)
-
-limit = baseline * tolerance
-verdict = "OK" if current <= limit else "FAIL"
-print(
-    f"check_bench: {name}\n"
-    f"  baseline {baseline:.1f} ns, current {current:.1f} ns, "
-    f"limit {limit:.1f} ns ({tolerance:.2f}x) -> {verdict}"
-)
-if current > limit:
-    print(
-        "check_bench: obs-unarmed fast path regressed beyond tolerance; "
+GUARDED = [
+    (
+        "speedybox/runtime/fast-path packet obs-unarmed (NAT+Monitor, armed injector)",
         "the disabled-observability hook must stay one branch per packet",
+    ),
+    (
+        "speedybox/runtime/fast-path packet (NAT+Monitor)",
+        "the per-packet fast path regressed",
+    ),
+    (
+        "speedybox/runtime/burst-32 fast-path (NAT+Monitor, per packet)",
+        "the burst fast path regressed",
+    ),
+    (
+        "speedybox/runtime/burst lru-churn (64 flows, 32-rule cap, per packet)",
+        "the burst lru-churn path regressed",
+    ),
+]
+
+failed = False
+for name, why in GUARDED:
+    try:
+        baseline = data["baseline"][name]
+        current = data["current"][name]
+    except KeyError as missing:
+        print(f"check_bench: {missing} entry for {name!r} missing in {path}", file=sys.stderr)
+        sys.exit(1)
+    limit = baseline * tolerance
+    verdict = "OK" if current <= limit else "FAIL"
+    print(
+        f"check_bench: {name}\n"
+        f"  baseline {baseline:.1f} ns, current {current:.1f} ns, "
+        f"limit {limit:.1f} ns ({tolerance:.2f}x) -> {verdict}"
+    )
+    if current > limit:
+        print(f"check_bench: {why} beyond tolerance", file=sys.stderr)
+        failed = True
+
+# Burst speedup: compare burst-32 against the per-packet fast path from the
+# SAME run (current vs current), so machine speed cancels out.
+fast = data["current"]["speedybox/runtime/fast-path packet (NAT+Monitor)"]
+burst = data["current"]["speedybox/runtime/burst-32 fast-path (NAT+Monitor, per packet)"]
+ratio = burst / fast
+verdict = "OK" if ratio <= burst_speedup else "FAIL"
+print(
+    f"check_bench: burst-32 speedup\n"
+    f"  per-packet {fast:.1f} ns, burst-32 {burst:.1f} ns/packet, "
+    f"ratio {ratio:.2f} (need <= {burst_speedup:.2f}) -> {verdict}"
+)
+if ratio > burst_speedup:
+    print(
+        "check_bench: burst-32 fast path is not enough faster than the "
+        "per-packet fast path",
         file=sys.stderr,
     )
-    sys.exit(1)
+    failed = True
+
+sys.exit(1 if failed else 0)
 EOF
