@@ -229,6 +229,106 @@ let test_burst_lru_churn =
          base := (!base + burst_size) land 63;
          Speedybox.Runtime.process_burst rt batch))
 
+(* ---- sharded runtime benches ----
+
+   One workload — 64 flows of 32 packets each, flow-contiguous so both the
+   unsharded burst path and the sharded stretch coalescer see full 32-packet
+   same-flow batches — timed under three executors: the plain runtime, the
+   deterministic sharded executor (steering + stretch segmentation overhead)
+   and the Domain-parallel executor (ring + merge overhead; real speedup
+   only with spare cores).  scripts/check_bench.sh guards the deterministic
+   overhead always and the parallel speedup when the recording machine had
+   at least 4 cores — which is why [run] records the core count alongside
+   the timings.
+
+   Setup is lazy and the shard benches run last in the suite: once a
+   process has spawned its first [Domain], the OCaml runtime stays in
+   multi-domain mode and every later single-threaded bench measures
+   15-50% slow — warming the parallel executor at module init silently
+   taxed the guarded fast-path benches. *)
+
+let shard_flows = 64
+let shard_pkts_per_flow = 32
+let shard_trace_len = shard_flows * shard_pkts_per_flow
+
+let shard_trace () =
+  List.concat
+    (List.init shard_flows (fun f ->
+         List.init shard_pkts_per_flow (fun _ ->
+             Sb_packet.Packet.tcp
+               ~payload:(String.make 64 'x')
+               ~src:(ip (Printf.sprintf "10.4.0.%d" (f + 1)))
+               ~dst:(ip "192.168.1.10") ~src_port:(43000 + f) ~dst_port:80 ())))
+
+(* Monitor only: per-flow state and a per-flow digest, so the same chain is
+   valid under every executor (no cross-flow NF state to shard-skew). *)
+let shard_chain i =
+  Speedybox.Chain.create
+    ~name:(Printf.sprintf "bench-shard-%d" i)
+    [ Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]
+
+let test_shard_unsharded =
+  let state =
+    lazy
+      (let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) (shard_chain 0) in
+       let trace = shard_trace () in
+       ignore (Speedybox.Runtime.run_trace ~burst:burst_size rt trace);
+       (rt, trace))
+  in
+  Test.make ~name:"shard/unsharded run_trace (64 flows x 32, per packet)"
+    (Staged.stage (fun () ->
+         let rt, trace = Lazy.force state in
+         Speedybox.Runtime.run_trace ~burst:burst_size rt trace))
+
+let test_shard_deterministic_1 =
+  (* The framework overhead floor: one shard delegates to the unsharded
+     burst path, so this differs from the bench above only by the control
+     drain and plan bookkeeping. *)
+  let state =
+    lazy
+      (let sh = Sb_shard.Sharded.create ~shards:1 (Speedybox.Runtime.config ()) shard_chain in
+       let trace = shard_trace () in
+       ignore (Sb_shard.Sharded.run_trace ~burst:burst_size sh trace);
+       (sh, trace))
+  in
+  Test.make ~name:"shard/deterministic-1 (64 flows x 32, per packet)"
+    (Staged.stage (fun () ->
+         let sh, trace = Lazy.force state in
+         Sb_shard.Sharded.run_trace ~burst:burst_size sh trace))
+
+let test_shard_deterministic_4 =
+  (* Steering hash + flow directory + stretch segmentation across 4 shards,
+     single-threaded: what determinism costs per packet. *)
+  let state =
+    lazy
+      (let sh = Sb_shard.Sharded.create ~shards:4 (Speedybox.Runtime.config ()) shard_chain in
+       let trace = shard_trace () in
+       ignore (Sb_shard.Sharded.run_trace ~burst:burst_size sh trace);
+       (sh, trace))
+  in
+  Test.make ~name:"shard/deterministic-4 (64 flows x 32, per packet)"
+    (Staged.stage (fun () ->
+         let sh, trace = Lazy.force state in
+         Sb_shard.Sharded.run_trace ~burst:burst_size sh trace))
+
+let test_shard_parallel_4 =
+  (* 4 worker domains spawned per run, fed over the blocking rings, results
+     merged: on a single-core box this measures pure overhead; with >= 4
+     cores it should beat deterministic-4 by the guarded factor.  Last in
+     the suite — the first Domain.spawn degrades every later
+     single-threaded bench in the same process (see header comment). *)
+  let state =
+    lazy
+      (let sh = Sb_shard.Sharded.create ~shards:4 (Speedybox.Runtime.config ()) shard_chain in
+       let trace = shard_trace () in
+       ignore (Sb_shard.Parallel_exec.run_trace ~burst:burst_size sh trace);
+       (sh, trace))
+  in
+  Test.make ~name:"shard/parallel-4 (64 flows x 32, per packet)"
+    (Staged.stage (fun () ->
+         let sh, trace = Lazy.force state in
+         Sb_shard.Parallel_exec.run_trace ~burst:burst_size sh trace))
+
 let test_checksum_full =
   let packet = sample_packet () in
   let l3 = Sb_packet.Packet.l3_offset packet in
@@ -260,6 +360,12 @@ let tests () =
       test_burst_lru_churn;
       test_checksum_full;
       test_checksum_incremental;
+      (* Shard benches last, parallel-4 very last: their Domain spawns
+         poison single-threaded timings for the rest of the process. *)
+      test_shard_unsharded;
+      test_shard_deterministic_1;
+      test_shard_deterministic_4;
+      test_shard_parallel_4;
     ]
 
 (* Benches whose run processes more than one packet: their measured ns/run
@@ -268,6 +374,10 @@ let per_run_packets =
   [
     ("speedybox/runtime/burst-32 fast-path (NAT+Monitor, per packet)", burst_size);
     ("speedybox/runtime/burst lru-churn (64 flows, 32-rule cap, per packet)", burst_size);
+    ("speedybox/shard/unsharded run_trace (64 flows x 32, per packet)", shard_trace_len);
+    ("speedybox/shard/deterministic-1 (64 flows x 32, per packet)", shard_trace_len);
+    ("speedybox/shard/deterministic-4 (64 flows x 32, per packet)", shard_trace_len);
+    ("speedybox/shard/parallel-4 (64 flows x 32, per packet)", shard_trace_len);
   ]
 
 (* ---- JSON emission (hand-rolled; the build has no JSON library) ----
@@ -379,6 +489,13 @@ let run ?json () =
              | None -> ns
            in
            (name, ns))
+  in
+  (* Not a timing: the parallel-executor speedup guard in check_bench.sh
+     only applies when the machine that recorded the figures had spare
+     cores, so the core count rides along in the same JSON. *)
+  let by_name =
+    by_name
+    @ [ ("speedybox/shard/available-cores", float_of_int (Domain.recommended_domain_count ())) ]
   in
   List.iter (fun (name, ns) -> Printf.printf "  %-60s %10.1f ns/run\n" name ns) by_name;
   Option.iter (fun path -> emit_json path by_name) json

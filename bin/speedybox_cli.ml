@@ -106,6 +106,22 @@ let burst_arg =
   in
   Arg.(value & opt int 1 & info [ "b"; "burst" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Steer packets by symmetric flow hash across $(docv) shards, each with \
+     its own runtime and chain instance (see lib/shard).  Default 1 \
+     (unsharded)."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_parallel_arg =
+  let doc =
+    "Run the shards on one OCaml domain each (the parallel executor).  \
+     Requires $(b,--shards) > 1, no $(b,--inject) and no observability \
+     exports; without it the deterministic single-threaded executor runs."
+  in
+  Arg.(value & flag & info [ "shard-parallel" ] ~doc)
+
 (* Observability exports (see lib/obs) *)
 
 let metrics_out_arg =
@@ -237,11 +253,39 @@ let staged_run build ?injector ~obs ~burst trace rate =
   0
 
 let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
-    show_stages staged_rate burst inject fault_seed on_failure metrics_out trace_out trace_flows
-    =
+    show_stages staged_rate burst shards shard_parallel inject fault_seed on_failure
+    metrics_out trace_out trace_flows =
   if burst < 1 then begin
     prerr_endline "speedybox: --burst must be >= 1";
     exit 2
+  end;
+  if shards < 1 then begin
+    prerr_endline "speedybox: --shards must be >= 1";
+    exit 2
+  end;
+  if shards > 1 && staged_rate <> None then begin
+    prerr_endline "speedybox: --shards and --staged-rate are mutually exclusive";
+    exit 2
+  end;
+  if shard_parallel then begin
+    (* Surface the parallel executor's preconditions as CLI errors rather
+       than Invalid_argument backtraces. *)
+    if shards < 2 then begin
+      prerr_endline "speedybox: --shard-parallel requires --shards >= 2";
+      exit 2
+    end;
+    if inject <> [] then begin
+      prerr_endline
+        "speedybox: --shard-parallel cannot run with --inject (fault schedules are \
+         global); drop --shard-parallel for the deterministic executor";
+      exit 2
+    end;
+    if metrics_out <> None || trace_out <> None then begin
+      prerr_endline
+        "speedybox: --shard-parallel cannot export observability (sinks are \
+         unsynchronised); drop --shard-parallel or the export flags";
+      exit 2
+    end
   end;
   let finish_with_exports obs code =
     if code <> 0 then code
@@ -264,6 +308,45 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
       let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
       finish_with_exports obs
         (staged_run build ?injector ~obs ~burst trace (Option.get staged_rate))
+  | Ok build, Ok trace, Ok injector when shards > 1 ->
+      let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+      let cfg =
+        Speedybox.Runtime.config ~platform ~mode
+          ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
+          ?injector ~obs ()
+      in
+      let sh = Sb_shard.Sharded.create ~shards cfg (fun _ -> build ()) in
+      let result =
+        if shard_parallel then Sb_shard.Parallel_exec.run_trace ~burst sh trace
+        else Sb_shard.Sharded.run_trace ~burst sh trace
+      in
+      let rts = List.init shards (Sb_shard.Sharded.runtime sh) in
+      print_string
+        (Speedybox.Report.sharded_run_summary
+           ~label:
+             (Printf.sprintf "%s on %s (%s, %d shards, %s)" chain
+                (Sb_sim.Platform.name platform)
+                (match mode with
+                | Speedybox.Runtime.Original -> "original"
+                | Speedybox.Runtime.Speedybox -> "speedybox")
+                shards
+                (if shard_parallel then "parallel" else "deterministic"))
+           rts result);
+      print_string (Speedybox.Report.shard_summary (Sb_shard.Sharded.stats sh));
+      if show_stages then print_string (Speedybox.Report.stage_breakdown result);
+      if show_state then
+        List.iteri
+          (fun i rt ->
+            Printf.printf "shard %d " i;
+            print_string (Speedybox.Report.chain_state (Speedybox.Runtime.chain rt)))
+          rts;
+      if show_rules > 0 then
+        List.iteri
+          (fun i rt ->
+            Printf.printf "shard %d consolidated rules:\n" i;
+            print_string (Speedybox.Report.flow_rules rt ~limit:show_rules))
+          rts;
+      finish_with_exports obs 0
   | Ok build, Ok trace, Ok injector ->
       let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
       let built = build () in
@@ -299,8 +382,8 @@ let run_cmd =
     Term.(
       const run_cmd_impl $ chain_arg $ platform_arg $ mode_arg $ seed_arg $ flows_arg
       $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
-      $ staged_rate_arg $ burst_arg $ inject_arg $ fault_seed_arg $ on_failure_arg
-      $ metrics_out_arg $ trace_out_arg $ trace_flows_arg)
+      $ staged_rate_arg $ burst_arg $ shards_arg $ shard_parallel_arg $ inject_arg
+      $ fault_seed_arg $ on_failure_arg $ metrics_out_arg $ trace_out_arg $ trace_flows_arg)
 
 (* equivalence ----------------------------------------------------------- *)
 

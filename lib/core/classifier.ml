@@ -35,6 +35,10 @@ let classify t packet =
   classify_into t packet cls;
   cls
 
+let export_flow t tuple = Sb_flow.Conntrack.state t.conntrack tuple
+
+let adopt_flow t tuple st = Sb_flow.Conntrack.adopt t.conntrack tuple st
+
 let forget t tuple = Sb_flow.Conntrack.forget t.conntrack tuple
 
 let active_flows t = Sb_flow.Conntrack.active_flows t.conntrack

@@ -41,6 +41,16 @@ val classify_into : t -> Sb_packet.Packet.t -> classification -> unit
 (** Like {!classify} but fills a caller-owned scratch record in place —
     the burst path's allocation-free variant. *)
 
+val export_flow : t -> Sb_flow.Five_tuple.t -> Sb_flow.Conntrack.state option
+(** The connection state tracked under this (direction-sensitive) tuple,
+    for a flow-migration handoff.  Conntrack keys each direction of a
+    connection separately, so a full handoff exports both the tuple and
+    its reverse. *)
+
+val adopt_flow : t -> Sb_flow.Five_tuple.t -> Sb_flow.Conntrack.state -> unit
+(** Installs connection state exported from another classifier
+    ({!export_flow}) — the receiving half of a flow-migration handoff. *)
+
 val forget : t -> Sb_flow.Five_tuple.t -> unit
 (** Drops connection state for the flow with this ingress tuple (rule
     cleanup after the final packet). *)

@@ -1,7 +1,12 @@
 let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
 
-let run_summary ?(label = "run") rt (result : Runtime.run_result) =
-  let buf = Buffer.create 512 in
+let stat v = Format.asprintf "%a" Sb_sim.Stats.pp_stat v
+
+(* The result-only lines shared by the unsharded and sharded summaries:
+   verdicts, paths, latency, model throughput and flow processing times —
+   with the sentinel bucket (packets that have no 5-tuple) reported by
+   name, so the raw sentinel FID never leaks into output. *)
+let core_lines buf label (result : Runtime.run_result) =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let summary = Sb_sim.Stats.summarize result.Runtime.latency_us in
   line "%s: %d packets (%d forwarded, %d dropped)" label result.Runtime.packets
@@ -11,19 +16,43 @@ let run_summary ?(label = "run") rt (result : Runtime.run_result) =
     result.Runtime.fast_path
     (pct result.Runtime.fast_path result.Runtime.packets);
   (* A zero-packet run has no samples: print "-" rather than "nan". *)
-  let stat v = Format.asprintf "%a" Sb_sim.Stats.pp_stat v in
   line "  latency    : mean %sus p50 %sus p90 %sus p99 %sus max %sus"
     (stat summary.Sb_sim.Stats.mean) (stat summary.Sb_sim.Stats.p50)
     (stat summary.Sb_sim.Stats.p90) (stat summary.Sb_sim.Stats.p99)
     (stat summary.Sb_sim.Stats.max);
   (let mpps = Runtime.rate_mpps result in
    if Float.is_nan mpps then line "  throughput : - (no packets)"
-   else line "  throughput : %.3f Mpps (model)" mpps);
+   else line "  throughput : %.3f Mpps (model)" mpps)
+
+let flow_time_lines buf (result : Runtime.run_result) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let flow_stats = Sb_sim.Stats.create () in
+  let non_flow = ref None in
+  Sb_flow.Flow_table.iter
+    (fun fid us ->
+      if fid = Runtime.no_flow_fid then non_flow := Some us
+      else Sb_sim.Stats.add flow_stats us)
+    result.Runtime.flow_time_us;
+  if Sb_sim.Stats.count flow_stats > 0 then
+    line "  flow time  : %d flows, mean %sus p50 %sus p99 %sus"
+      (Sb_sim.Stats.count flow_stats)
+      (stat (Sb_sim.Stats.mean flow_stats))
+      (stat (Sb_sim.Stats.percentile flow_stats 50.))
+      (stat (Sb_sim.Stats.percentile flow_stats 99.));
+  match !non_flow with
+  | Some us -> line "  non-flow   : %.2fus (packets with no 5-tuple)" us
+  | None -> ()
+
+let run_summary ?(label = "run") rt (result : Runtime.run_result) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  core_lines buf label result;
   let mat = Runtime.global_mat rt in
   let mem = Sb_mat.Global_mat.memory_stats mat in
   line "  global mat : %d rules, %d distinct actions, %d batches"
     mem.Sb_mat.Global_mat.rules mem.Sb_mat.Global_mat.distinct_actions
     mem.Sb_mat.Global_mat.batches;
+  flow_time_lines buf result;
   if result.Runtime.events_fired > 0 then
     line "  events     : %d fired" result.Runtime.events_fired;
   if Sb_mat.Global_mat.evictions mat > 0 then
@@ -33,6 +62,39 @@ let run_summary ?(label = "run") rt (result : Runtime.run_result) =
   List.iter (fun s -> line "  %s" s) (Sb_fault.Supervisor.summary (Runtime.supervisor rt));
   let cond_faults = Sb_mat.Event_table.condition_faults (Chain.events (Runtime.chain rt)) in
   if cond_faults > 0 then line "  events     : %d raising conditions disarmed" cond_faults;
+  Buffer.contents buf
+
+let sharded_run_summary ?(label = "run") rts (result : Runtime.run_result) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  core_lines buf label result;
+  (* Table occupancy summed across shards; distinct actions are per-shard
+     distinct, so the sum is an upper bound when shards share actions. *)
+  let rules, actions, batches, evictions =
+    List.fold_left
+      (fun (r, a, b, e) rt ->
+        let mat = Runtime.global_mat rt in
+        let mem = Sb_mat.Global_mat.memory_stats mat in
+        ( r + mem.Sb_mat.Global_mat.rules,
+          a + mem.Sb_mat.Global_mat.distinct_actions,
+          b + mem.Sb_mat.Global_mat.batches,
+          e + Sb_mat.Global_mat.evictions mat ))
+      (0, 0, 0, 0) rts
+  in
+  line "  global mat : %d rules, %d distinct actions, %d batches (summed over %d shards)"
+    rules actions batches (List.length rts);
+  flow_time_lines buf result;
+  if result.Runtime.events_fired > 0 then
+    line "  events     : %d fired" result.Runtime.events_fired;
+  if evictions > 0 then line "  evictions  : %d (LRU rule cap)" evictions;
+  (let expired = List.fold_left (fun acc rt -> acc + Runtime.expired_flows rt) 0 rts in
+   if expired > 0 then line "  expiry     : %d idle flows" expired);
+  List.iteri
+    (fun i rt ->
+      let sup = Runtime.supervisor rt in
+      if Sb_fault.Supervisor.active sup then
+        List.iter (fun s -> line "  shard %d: %s" i s) (Sb_fault.Supervisor.summary sup))
+    rts;
   Buffer.contents buf
 
 let chain_state chain =
@@ -70,6 +132,44 @@ let stage_breakdown (result : Runtime.run_result) =
         (Printf.sprintf "  %-14s %7d pkts  mean %6.0f  share %5.1f%%\n" label n mean
            (100. *. total /. Float.max 1. grand_total)))
     rows;
+  Buffer.contents buf
+
+type shard_row = {
+  shard : int;
+  packets : int;
+  flows : int;
+  rules : int;
+  control_msgs : int;
+  migrated_in : int;
+  migrated_out : int;
+}
+
+(* Report depends only on this row type, not on the shard library (which
+   sits above the core): the sharded runtime renders its stats through
+   here so the CLI prints one consistent table. *)
+let shard_summary rows =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "shards: %d" (List.length rows);
+  List.iter
+    (fun r ->
+      let migr =
+        if r.migrated_in = 0 && r.migrated_out = 0 then ""
+        else Printf.sprintf "  migr +%d/-%d" r.migrated_in r.migrated_out
+      in
+      let ctrl =
+        if r.control_msgs = 0 then "" else Printf.sprintf "  ctrl %d" r.control_msgs
+      in
+      line "  shard %-3d: %7d pkts  %5d flows  %5d rules%s%s" r.shard r.packets r.flows
+        r.rules ctrl migr)
+    rows;
+  (let total = List.fold_left (fun acc r -> acc + r.packets) 0 rows in
+   let peak = List.fold_left (fun acc r -> max acc r.packets) 0 rows in
+   let n = List.length rows in
+   if n > 1 && total > 0 then
+     (* Peak-to-mean packet ratio: 1.00 is a perfectly even spread. *)
+     line "  balance  : peak/mean %.2f"
+       (float_of_int (peak * n) /. float_of_int total));
   Buffer.contents buf
 
 let flow_rules rt ~limit =

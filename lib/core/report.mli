@@ -4,8 +4,31 @@
 val run_summary :
   ?label:string -> Runtime.t -> Runtime.run_result -> string
 (** A multi-line summary: packet/verdict/path counters, latency
-    percentiles, model throughput, Global MAT occupancy and sharing, and
-    eviction/expiry counters when those features are active. *)
+    percentiles, model throughput, Global MAT occupancy and sharing, flow
+    processing times (the sentinel non-TCP/UDP bucket appears as a named
+    "non-flow" line, never as a raw FID), and eviction/expiry counters
+    when those features are active. *)
+
+val sharded_run_summary :
+  ?label:string -> Runtime.t list -> Runtime.run_result -> string
+(** {!run_summary} for a sharded run: the same result-derived lines, with
+    table occupancy/evictions/expiry summed across the shard runtimes and
+    any active shard's fault summary prefixed with its shard index. *)
+
+(** One shard's end-of-run figures, as the sharded runtime reports them
+    (Report sits below the shard library, so it takes plain rows). *)
+type shard_row = {
+  shard : int;
+  packets : int;  (** packets steered to this shard *)
+  flows : int;  (** flows the shard's directory owned at end of run *)
+  rules : int;  (** consolidated rules installed at end of run *)
+  control_msgs : int;  (** broadcast control messages absorbed *)
+  migrated_in : int;
+  migrated_out : int;
+}
+
+val shard_summary : shard_row list -> string
+(** A per-shard table plus a peak/mean balance figure (for >1 shard). *)
 
 val chain_state : Chain.t -> string
 (** Per-NF state digests, indented under the chain name. *)

@@ -68,6 +68,9 @@ type t = {
                                   in hand (the LRU-eviction callback) *)
   mutable cls_scratch : Classifier.classification array;
       (* per-burst classification scratch, grown to the largest burst seen *)
+  mutable fault_listener : (string -> unit) option;
+      (* notified after every locally-recorded fault — how a sharded
+         runtime broadcasts NF health changes to its sibling shards *)
 }
 
 (* A Failed NF invalidates every consolidated rule embedding its closures:
@@ -83,7 +86,19 @@ let flush_fast_state t =
     fids
 
 let note_fault t ~nf =
-  match Sb_fault.Supervisor.record_fault t.sup ~nf with
+  (match Sb_fault.Supervisor.record_fault t.sup ~nf with
+  | Sb_fault.Health.To_failed -> flush_fast_state t
+  | Sb_fault.Health.To_degraded | Sb_fault.Health.No_change -> ());
+  match t.fault_listener with Some f -> f nf | None -> ()
+
+let set_fault_listener t f = t.fault_listener <- Some f
+
+(* A fault another shard recorded (and already counted): keep this
+   runtime's view of the NF's health in lock-step, including the fast-path
+   flush when the NF crosses into [Failed], without re-emitting metrics or
+   re-notifying the listener (which would echo the broadcast forever). *)
+let absorb_remote_fault t ~nf =
+  match Sb_fault.Supervisor.absorb_fault t.sup ~nf with
   | Sb_fault.Health.To_failed -> flush_fast_state t
   | Sb_fault.Health.To_degraded | Sb_fault.Health.No_change -> ()
 
@@ -164,6 +179,7 @@ let create cfg chain =
       ins;
       obs_now_us = 0.;
       cls_scratch = [||];
+      fault_listener = None;
     }
   in
   if Sb_obs.Sink.armed cfg.obs then begin
@@ -655,7 +671,7 @@ let ensure_cls_scratch t n =
     t.cls_scratch <- Array.init n (fun _ -> Classifier.scratch ());
   t.cls_scratch
 
-(* Process [packets.(off .. off+n-1)] as one burst, calling [emit k out]
+(* Process [packets.(off .. off+len-1)] as one burst, calling [emit k out]
    for each packet in order ([k] relative to [off]).
 
    The burst is classified ahead of execution — amortizing tuple
@@ -674,7 +690,7 @@ let ensure_cls_scratch t n =
    absent rule is never memoized (the slow path may consolidate one
    without a generation bump).  In-place event rewrites keep the memoized
    rule record current by construction. *)
-let process_burst_seg t packets off n emit =
+let process_burst_into t packets ~off ~len:n emit =
   match t.cfg.mode with
   | Original ->
       for k = 0 to n - 1 do
@@ -725,7 +741,7 @@ let process_burst_seg t packets off n emit =
 let process_burst t packets =
   let n = Array.length packets in
   let rev = ref [] in
-  process_burst_seg t packets 0 n (fun _ out -> rev := out :: !rev);
+  process_burst_into t packets ~off:0 ~len:n (fun _ out -> rev := out :: !rev);
   Array.of_list (List.rev !rev)
 
 type run_result = {
@@ -752,52 +768,127 @@ let rate_mpps r =
   if Float.is_nan mean then nan
   else Sb_sim.Cycles.rate_mpps (int_of_float (Float.round mean))
 
-let run_trace ?on_output ?(burst = 1) t packets =
-  if burst < 1 then invalid_arg "Runtime.run_trace: burst must be positive";
-  let forwarded = ref 0
-  and dropped = ref 0
-  and slow = ref 0
-  and fast = ref 0
-  and fired = ref 0
-  and faulted = ref 0 in
-  let latency_us = Sb_sim.Stats.create () in
-  let cycles_per_packet = Sb_sim.Stats.create () in
-  let service = Sb_sim.Stats.create () in
-  let flow_time_us : float Sb_flow.Flow_table.t = Sb_flow.Flow_table.create ~initial_size:256 () in
-  let stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t = Hashtbl.create 16 in
-  let record_stage stage =
-    let stats =
-      match Hashtbl.find_opt stage_cycles stage.Sb_sim.Cost_profile.label with
-      | Some s -> s
-      | None ->
-          let s = Sb_sim.Stats.create () in
-          Hashtbl.replace stage_cycles stage.Sb_sim.Cost_profile.label s;
-          s
-    in
-    Sb_sim.Stats.add_int stats (Sb_sim.Cost_profile.stage_cycles stage)
-  in
-  let count = ref 0 in
-  let consume original out =
-    incr count;
+(* The run accumulator behind [run_trace], exposed so the sharded
+   executors fold their outputs through the exact same code: the
+   deterministic executor feeds one accumulator in global order, the
+   parallel executor feeds one per shard and [absorb]s them into the run
+   total — either way the [run_result] is identical by construction to an
+   unsharded run over the same outputs. *)
+module Acc = struct
+  type acc = {
+    fid_bits : int;
+    mutable count : int;
+    mutable forwarded : int;
+    mutable dropped : int;
+    mutable slow : int;
+    mutable fast : int;
+    mutable fired : int;
+    mutable faulted : int;
+    latency_us : Sb_sim.Stats.t;
+    cycles_per_packet : Sb_sim.Stats.t;
+    service : Sb_sim.Stats.t;
+    flow_time_us : float Sb_flow.Flow_table.t;
+    stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t;
+  }
+
+  let create ?(fid_bits = Sb_flow.Fid.default_bits) () =
+    {
+      fid_bits;
+      count = 0;
+      forwarded = 0;
+      dropped = 0;
+      slow = 0;
+      fast = 0;
+      fired = 0;
+      faulted = 0;
+      latency_us = Sb_sim.Stats.create ();
+      cycles_per_packet = Sb_sim.Stats.create ();
+      service = Sb_sim.Stats.create ();
+      flow_time_us = Sb_flow.Flow_table.create ~initial_size:256 ();
+      stage_cycles = Hashtbl.create 16;
+    }
+
+  let stage_stats acc label =
+    match Hashtbl.find_opt acc.stage_cycles label with
+    | Some s -> s
+    | None ->
+        let s = Sb_sim.Stats.create () in
+        Hashtbl.replace acc.stage_cycles label s;
+        s
+
+  let consume acc original out =
+    acc.count <- acc.count + 1;
     (match out.verdict with
-    | Sb_mat.Header_action.Forwarded -> incr forwarded
-    | Sb_mat.Header_action.Dropped -> incr dropped);
-    (match out.path with Slow_path -> incr slow | Fast_path -> incr fast);
-    fired := !fired + out.events_fired;
-    if out.faults > 0 then incr faulted;
-    List.iter record_stage out.profile;
+    | Sb_mat.Header_action.Forwarded -> acc.forwarded <- acc.forwarded + 1
+    | Sb_mat.Header_action.Dropped -> acc.dropped <- acc.dropped + 1);
+    (match out.path with
+    | Slow_path -> acc.slow <- acc.slow + 1
+    | Fast_path -> acc.fast <- acc.fast + 1);
+    acc.fired <- acc.fired + out.events_fired;
+    if out.faults > 0 then acc.faulted <- acc.faulted + 1;
+    List.iter
+      (fun stage ->
+        Sb_sim.Stats.add_int
+          (stage_stats acc stage.Sb_sim.Cost_profile.label)
+          (Sb_sim.Cost_profile.stage_cycles stage))
+      out.profile;
     let us = Sb_sim.Cycles.to_microseconds out.latency_cycles in
-    Sb_sim.Stats.add latency_us us;
-    Sb_sim.Stats.add_int cycles_per_packet out.latency_cycles;
-    Sb_sim.Stats.add_int service out.service_cycles;
+    Sb_sim.Stats.add acc.latency_us us;
+    Sb_sim.Stats.add_int acc.cycles_per_packet out.latency_cycles;
+    Sb_sim.Stats.add_int acc.service out.service_cycles;
+    (* The flow-time bucket keys by the FID as classified, falling back to
+       re-deriving it from the pristine input when the chain dropped the
+       packet before classification stamped it. *)
     let key =
       if out.packet.Sb_packet.Packet.fid >= 0 then out.packet.Sb_packet.Packet.fid
       else
         match Sb_flow.Five_tuple.of_packet_opt original with
-        | Some tuple -> Sb_flow.Fid.of_tuple ~bits:t.cfg.fid_bits tuple
+        | Some tuple -> Sb_flow.Fid.of_tuple ~bits:acc.fid_bits tuple
         | None -> no_flow_fid
     in
-    Sb_flow.Flow_table.update flow_time_us key ~default:0. (fun acc -> acc +. us);
+    Sb_flow.Flow_table.update acc.flow_time_us key ~default:0. (fun sum -> sum +. us)
+
+  let absorb dst src =
+    dst.count <- dst.count + src.count;
+    dst.forwarded <- dst.forwarded + src.forwarded;
+    dst.dropped <- dst.dropped + src.dropped;
+    dst.slow <- dst.slow + src.slow;
+    dst.fast <- dst.fast + src.fast;
+    dst.fired <- dst.fired + src.fired;
+    dst.faulted <- dst.faulted + src.faulted;
+    Sb_sim.Stats.absorb dst.latency_us src.latency_us;
+    Sb_sim.Stats.absorb dst.cycles_per_packet src.cycles_per_packet;
+    Sb_sim.Stats.absorb dst.service src.service;
+    Sb_flow.Flow_table.iter
+      (fun fid us ->
+        Sb_flow.Flow_table.update dst.flow_time_us fid ~default:0. (fun sum -> sum +. us))
+      src.flow_time_us;
+    Hashtbl.iter
+      (fun label stats -> Sb_sim.Stats.absorb (stage_stats dst label) stats)
+      src.stage_cycles
+
+  let result acc =
+    {
+      packets = acc.count;
+      forwarded = acc.forwarded;
+      dropped = acc.dropped;
+      slow_path = acc.slow;
+      fast_path = acc.fast;
+      events_fired = acc.fired;
+      faulted_packets = acc.faulted;
+      latency_us = acc.latency_us;
+      cycles_per_packet = acc.cycles_per_packet;
+      service = acc.service;
+      flow_time_us = acc.flow_time_us;
+      stage_cycles = acc.stage_cycles;
+    }
+end
+
+let run_trace ?on_output ?(burst = 1) t packets =
+  if burst < 1 then invalid_arg "Runtime.run_trace: burst must be positive";
+  let acc = Acc.create ~fid_bits:t.cfg.fid_bits () in
+  let consume original out =
+    Acc.consume acc original out;
     Option.iter (fun f -> f original out) on_output
   in
   (* The trace's packets are never mutated: each is replayed through a copy.
@@ -837,34 +928,27 @@ let run_trace ?on_output ?(burst = 1) t packets =
          else Array.init n (fun k -> Sb_packet.Packet.copy originals.(!i + k))
        in
        let base = !i in
-       process_burst_seg t seg 0 n (fun k out -> consume originals.(base + k) out);
+       process_burst_into t seg ~off:0 ~len:n (fun k out -> consume originals.(base + k) out);
        i := !i + n
      done
    end);
-  (* End-of-run table occupancy, as gauges (once per run, not per packet). *)
+  (* End-of-run table occupancy (and the sentinel non-flow time bucket),
+     as gauges — once per run, not per packet. *)
   (match Sb_obs.Sink.metrics t.cfg.obs with
   | Some m ->
       let g name help v =
         Sb_obs.Metrics.Gauge.set
           (Sb_obs.Metrics.gauge m ~help ~labels:[ ("chain", Chain.name t.chain) ] name)
-          (float_of_int v)
+          v
       in
       g "speedybox_rules_installed" "Consolidated rules in the Global MAT"
-        (Sb_mat.Global_mat.flow_count t.global);
+        (float_of_int (Sb_mat.Global_mat.flow_count t.global));
       g "speedybox_events_armed" "Event Table conditions currently armed"
-        (Sb_mat.Event_table.total_armed (Chain.events t.chain))
+        (float_of_int (Sb_mat.Event_table.total_armed (Chain.events t.chain)));
+      (match Sb_flow.Flow_table.find acc.Acc.flow_time_us no_flow_fid with
+      | Some us ->
+          g "speedybox_non_flow_time_us"
+            "Processing time spent on packets with no 5-tuple (non-TCP/UDP)" us
+      | None -> ())
   | None -> ());
-  {
-    packets = !count;
-    forwarded = !forwarded;
-    dropped = !dropped;
-    slow_path = !slow;
-    fast_path = !fast;
-    events_fired = !fired;
-    faulted_packets = !faulted;
-    latency_us;
-    cycles_per_packet;
-    service;
-    flow_time_us;
-    stage_cycles;
-  }
+  Acc.result acc

@@ -83,6 +83,21 @@ val supervisor : t -> Sb_fault.Supervisor.t
 (** The fault-containment state: per-NF health records and the
     contained/corrupted/stalled/quarantine counters. *)
 
+val set_fault_listener : t -> (string -> unit) -> unit
+(** [set_fault_listener t f] calls [f nf] after every fault this runtime
+    records against NF [nf] (on either path, including event-update
+    faults).  The sharded runtime uses this to broadcast NF health changes
+    to sibling shards; the listener fires after local containment (health
+    advance, fast-path flush on failure) has completed. *)
+
+val absorb_remote_fault : t -> nf:string -> unit
+(** [absorb_remote_fault t ~nf] advances [nf]'s health as if a fault had
+    been recorded here — including tearing the fast path down when the NF
+    crosses into [Failed] — without counting it in metrics or notifying
+    the fault listener.  This is the receiving side of a sharded
+    runtime's fault broadcast: the shard that owned the faulting packet
+    already counted it. *)
+
 val expired_flows : t -> int
 (** Flows evicted by the idle timeout so far. *)
 
@@ -130,6 +145,15 @@ val process_burst : t -> Sb_packet.Packet.t array -> output array
     and FIN teardowns invalidate it; in-place event rewrites update the
     memoized rule record directly. *)
 
+val process_burst_into :
+  t -> Sb_packet.Packet.t array -> off:int -> len:int -> (int -> output -> unit) -> unit
+(** [process_burst_into t packets ~off ~len emit] is {!process_burst} over
+    [packets.(off .. off+len-1)] without materialising the output array:
+    [emit k out] fires per packet in order, [k] relative to [off].  This
+    is the allocation-free core {!process_burst} and {!run_trace} are built
+    on, exposed for executors (the sharded runtime) that interleave bursts
+    across several runtimes. *)
+
 (** Aggregate statistics over a trace run. *)
 type run_result = {
   packets : int;
@@ -145,14 +169,43 @@ type run_result = {
   flow_time_us : float Sb_flow.Flow_table.t;
       (** per-FID aggregated processing time (the paper's flow processing
           time metric, Fig. 9); packets without a 5-tuple (non-TCP/UDP)
-          bucket under the sentinel FID [-1] *)
+          bucket under the sentinel {!no_flow_fid} — reporting surfaces
+          that bucket as a named "non-flow" line, never as a raw FID *)
   stage_cycles : (string, Sb_sim.Stats.t) Hashtbl.t;
       (** per-stage-label cycle samples (one per packet that visited the
           stage) — where the chain's time actually goes *)
 }
 
+val no_flow_fid : int
+(** The sentinel FID ([-1]) that buckets non-TCP/UDP packets in
+    {!run_result.flow_time_us}. *)
+
 val rate_mpps : run_result -> float
 (** Sustained rate implied by the mean bottleneck service time. *)
+
+(** The accumulator {!run_trace} folds outputs through, exposed so sharded
+    executors build their {!run_result} via the identical code: feed one
+    accumulator in global order (deterministic executor) or one per shard
+    merged with {!Acc.absorb} (parallel executor). *)
+module Acc : sig
+  type acc
+
+  val create : ?fid_bits:int -> unit -> acc
+  (** [fid_bits] (default {!Sb_flow.Fid.default_bits}) must match the
+      runtime's, for the flow-time fallback re-derivation. *)
+
+  val consume : acc -> Sb_packet.Packet.t -> output -> unit
+  (** [consume acc original out] folds one packet's output in; [original]
+      is the packet as submitted (pre-processing), used to key the
+      flow-time bucket when the chain dropped before classification. *)
+
+  val absorb : acc -> acc -> unit
+  (** [absorb dst src] merges [src]'s accumulation into [dst] ([src] is
+      left untouched): counters add, sample sets union, flow-time buckets
+      sum per FID. *)
+
+  val result : acc -> run_result
+end
 
 val run_trace :
   ?on_output:(Sb_packet.Packet.t -> output -> unit) ->

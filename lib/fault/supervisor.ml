@@ -53,6 +53,13 @@ let record_fault t ~nf =
   obs_count t "speedybox_faults_total" [ ("nf", nf) ];
   Health.record_fault t.health nf
 
+(* A fault that happened on another shard: advance health and wake, but do
+   NOT count it — the shard that owned the packet already emitted the
+   metric, and double-counting would skew the run totals. *)
+let absorb_fault t ~nf =
+  t.active <- true;
+  Health.record_fault t.health nf
+
 let record_contained t =
   t.contained <- t.contained + 1;
   obs_count t "speedybox_fault_kinds_total" [ ("kind", "contained") ]

@@ -39,6 +39,12 @@ val record_fault : t -> nf:string -> Health.transition
 (** Attributes one fault and advances the NF's health; also wakes the
     supervisor ({!active} becomes true). *)
 
+val absorb_fault : t -> nf:string -> Health.transition
+(** Like {!record_fault}, but for a fault another supervisor already
+    counted (a sharded runtime's broadcast): advances health and wakes the
+    supervisor without emitting metrics, so run totals count each fault
+    once. *)
+
 val record_contained : t -> unit
 (** A raise (injected or organic) was caught and contained. *)
 

@@ -54,6 +54,11 @@ let observe t key p =
 
 let state t key = Tuple_map.find_opt t key
 
+(* Cross-tracker handoff (flow migration): the source tracker exports via
+   [state], the target installs the entry verbatim so the connection does
+   not re-handshake on its new home. *)
+let adopt t key st = Tuple_map.replace t key st
+
 let forget t key = Tuple_map.remove t key
 
 let active_flows t = Tuple_map.length t

@@ -36,6 +36,11 @@ val observe : t -> Five_tuple.t -> Sb_packet.Packet.t -> verdict
 
 val state : t -> Five_tuple.t -> state option
 
+val adopt : t -> Five_tuple.t -> state -> unit
+(** [adopt t key st] installs an entry exported from another tracker
+    (via {!state}) — the conntrack half of a flow migration handoff, so
+    an established connection stays established on its new shard. *)
+
 val forget : t -> Five_tuple.t -> unit
 (** Removes the flow, freeing its state (called on rule cleanup). *)
 

@@ -300,6 +300,32 @@ let remove_flow t fid =
       Sb_flow.Flow_table.remove t.rules fid;
       t.generation <- t.generation + 1
 
+(* Flow-migration handoff: install a copy of a rule exported from another
+   table.  The source record's intrusive LRU node belongs to the source
+   table's recency list, so adoption builds a fresh record (and node) here
+   and leaves the source untouched — the caller tears the source binding
+   down with [remove_flow] afterwards. *)
+let adopt t fid (src : rule) =
+  (match Sb_flow.Flow_table.find t.rules fid with
+  | Some r ->
+      Sb_flow.Lru.remove t.lru r.node;
+      Sb_flow.Flow_table.remove t.rules fid;
+      t.generation <- t.generation + 1
+  | None -> ());
+  (match t.max_rules with
+  | Some cap when Sb_flow.Flow_table.length t.rules >= cap -> evict_lru t
+  | Some _ | None -> ());
+  let node = Sb_flow.Lru.add t.lru fid in
+  Sb_flow.Flow_table.set t.rules fid
+    {
+      steps = src.steps;
+      program = src.program;
+      overall = src.overall;
+      n_source_actions = src.n_source_actions;
+      last_use = tick t;
+      node;
+    }
+
 let clear t =
   Sb_flow.Flow_table.clear t.rules;
   Sb_flow.Lru.clear t.lru;

@@ -96,6 +96,14 @@ val mem : t -> Sb_flow.Fid.t -> bool
 
 val remove_flow : t -> Sb_flow.Fid.t -> unit
 
+val adopt : t -> Sb_flow.Fid.t -> rule -> unit
+(** [adopt t fid src] installs a copy of [src] — a rule exported (via
+    {!find}) from {e another} table — as [fid]'s rule here: the Global-MAT
+    half of a flow-migration handoff.  The source record is left untouched
+    (its intrusive LRU node belongs to the source table); the caller is
+    expected to [remove_flow] it from the source afterwards.  Replaces any
+    existing binding and honours this table's [max_rules] cap. *)
+
 val clear : t -> unit
 
 val flow_count : t -> int

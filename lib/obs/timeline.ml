@@ -6,6 +6,7 @@ type kind =
   | Degraded_bypass
   | Evicted
   | Idle_expired
+  | Migrated
 
 let kind_label = function
   | First_packet -> "first-packet"
@@ -15,6 +16,7 @@ let kind_label = function
   | Degraded_bypass -> "degraded-bypass"
   | Evicted -> "evicted"
   | Idle_expired -> "idle-expired"
+  | Migrated -> "migrated"
 
 type entry = { ts_us : float; kind : kind; detail : string }
 

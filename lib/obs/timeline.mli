@@ -12,6 +12,7 @@ type kind =
   | Degraded_bypass  (** a packet bypassed a Failed NF under [Bypass] *)
   | Evicted  (** the rule was LRU-evicted at the table cap *)
   | Idle_expired  (** the idle timeout expired the flow *)
+  | Migrated  (** the sharded runtime handed the flow to another shard *)
 
 val kind_label : kind -> string
 

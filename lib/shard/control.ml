@@ -1,0 +1,39 @@
+type msg = Nf_fault of string | Apply of (int -> Speedybox.Runtime.t -> unit)
+
+type inbox = {
+  lock : Mutex.t;
+  mutable queue : msg list;  (* newest-first; reversed at drain *)
+  mutable drained : int;
+}
+
+type t = inbox array
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Control.create: shards must be positive";
+  Array.init shards (fun _ -> { lock = Mutex.create (); queue = []; drained = 0 })
+
+let shards t = Array.length t
+
+let post t ~shard msg =
+  let inbox = t.(shard) in
+  Mutex.lock inbox.lock;
+  inbox.queue <- msg :: inbox.queue;
+  Mutex.unlock inbox.lock
+
+let broadcast t ?(from = -1) msg =
+  Array.iteri (fun i _ -> if i <> from then post t ~shard:i msg) t
+
+let drain t ~shard handler =
+  let inbox = t.(shard) in
+  (* Snapshot under the lock, handle outside it: handlers may post further
+     messages (a drained fault can trigger a broadcast) without deadlock. *)
+  Mutex.lock inbox.lock;
+  let batch = List.rev inbox.queue in
+  inbox.queue <- [];
+  Mutex.unlock inbox.lock;
+  let n = List.length batch in
+  inbox.drained <- inbox.drained + n;
+  List.iter handler batch;
+  n
+
+let absorbed t ~shard = t.(shard).drained

@@ -1,0 +1,87 @@
+open Speedybox
+
+(* A ring entry: pristine originals (for flow-time keying) alongside the
+   copies the worker will mutate, both owned by the receiving shard once
+   pushed.  [Stop] ends the worker's loop. *)
+type job = Batch of Sb_packet.Packet.t array * Sb_packet.Packet.t array | Stop
+
+let ring_capacity = 8
+
+let run_trace ?(burst = Runtime.default_burst) t packets =
+  if burst < 1 then invalid_arg "Parallel_exec.run_trace: burst must be positive";
+  let cfg = Sharded.config t in
+  if cfg.Runtime.injector <> None then
+    invalid_arg
+      "Parallel_exec.run_trace: fault injection requires the deterministic executor \
+       (injector draw sequences are global mutable state)";
+  if Sb_obs.Sink.armed cfg.Runtime.obs then
+    invalid_arg
+      "Parallel_exec.run_trace: observability sinks are unsynchronised; use the \
+       deterministic executor or a disarmed sink";
+  let n = Sharded.shard_count t in
+  if n = 1 then Sharded.run_trace ~burst t packets
+  else begin
+    let rings = Array.init n (fun _ -> Shard_ring.create ~capacity:ring_capacity) in
+    let accs =
+      Array.init n (fun _ -> Runtime.Acc.create ~fid_bits:cfg.Runtime.fid_bits ())
+    in
+    let workers =
+      Array.init n (fun s ->
+          Domain.spawn (fun () ->
+              let rt = Sharded.runtime t s in
+              let acc = accs.(s) in
+              let rec loop () =
+                match Shard_ring.pop rings.(s) with
+                | Stop -> ()
+                | Batch (copies, originals) ->
+                    (* Health broadcasts from sibling shards converge at
+                       batch boundaries. *)
+                    Sharded.drain_control t s;
+                    Runtime.process_burst_into rt copies ~off:0
+                      ~len:(Array.length copies) (fun k out ->
+                        Runtime.Acc.consume acc originals.(k) out);
+                    loop ()
+              in
+              loop ()))
+    in
+    (* The feeder (this thread) steers the trace into per-shard pending
+       buffers and ships each as a batch when it fills; a full ring blocks
+       the feeder — backpressure, never packet loss. *)
+    let pending = Array.make n [] in
+    let pend_len = Array.make n 0 in
+    let flush s =
+      if pend_len.(s) > 0 then begin
+        let originals = Array.of_list (List.rev pending.(s)) in
+        pending.(s) <- [];
+        pend_len.(s) <- 0;
+        let copies = Array.map Sb_packet.Packet.copy originals in
+        Shard_ring.push rings.(s) (Batch (copies, originals))
+      end
+    in
+    List.iter
+      (fun p ->
+        let s = Sharded.shard_of_packet t p in
+        Sharded.note_arrival t s p;
+        pending.(s) <- p :: pending.(s);
+        pend_len.(s) <- pend_len.(s) + 1;
+        if pend_len.(s) >= burst then flush s;
+        Sharded.prune_if_final t p)
+      packets;
+    for s = 0 to n - 1 do
+      flush s;
+      Shard_ring.push rings.(s) Stop
+    done;
+    Array.iter Domain.join workers;
+    (* Workers have stopped: absorb any broadcast still queued (a fault on
+       one shard's final batch), so health converges across shards. *)
+    for s = 0 to n - 1 do
+      Sharded.drain_control t s
+    done;
+    (* Join gives the happens-before edge that makes every worker's
+       accumulator safely readable here. *)
+    let total = accs.(0) in
+    for s = 1 to n - 1 do
+      Runtime.Acc.absorb total accs.(s)
+    done;
+    Runtime.Acc.result total
+  end

@@ -1,0 +1,33 @@
+(** The Domain-parallel executor over a {!Sharded.t} plan.
+
+    One OCaml domain per shard, each looping over a bounded input ring
+    ({!Shard_ring}) of packet batches; the caller's thread steers the
+    trace into per-shard batches, and per-shard accumulators merge into
+    one {!Speedybox.Runtime.run_result} at the end
+    ({!Speedybox.Runtime.Acc.absorb}).  Workers drain their {!Control}
+    inbox at batch boundaries, so fault broadcasts still converge —
+    eventually rather than before-the-very-next-packet, which is why this
+    executor trades the deterministic one's bit-exactness for wall-clock
+    scaling.  Rings block (mutex + condition) rather than spin, so the
+    executor degrades gracefully to time-slicing on fewer cores than
+    shards.
+
+    Restrictions, both checked up front: no fault injector (the injector's
+    per-NF draw sequences are global mutable state — racing domains over
+    them would corrupt the schedule, not just reorder it), and a disarmed
+    observability sink (metrics/trace/timeline sinks are unsynchronised).
+    Organic NF behaviour, including raising NFs, is fine — containment is
+    per-shard and health broadcasts are mutex-protected. *)
+
+val run_trace :
+  ?burst:int ->
+  Sharded.t ->
+  Sb_packet.Packet.t list ->
+  Speedybox.Runtime.run_result
+(** [run_trace ~burst t packets] processes the trace across one domain per
+    shard (batches of [burst], default {!Speedybox.Runtime.default_burst}).
+    Aggregates equal the deterministic executor's whenever processing is
+    order-independent across shards (per-flow chains, no faults); per-flow
+    results always match, since steering is identical.
+    @raise Invalid_argument when [burst < 1], when the plan carries an
+    injector, or when its observability sink is armed. *)

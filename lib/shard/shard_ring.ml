@@ -1,0 +1,53 @@
+type 'a t = {
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  slots : 'a option array;
+  mutable head : int;  (* next pop *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Shard_ring.create: capacity must be positive";
+  {
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    slots = Array.make capacity None;
+    head = 0;
+    len = 0;
+  }
+
+let push t v =
+  Mutex.lock t.lock;
+  let cap = Array.length t.slots in
+  while t.len = cap do
+    Condition.wait t.not_full t.lock
+  done;
+  t.slots.((t.head + t.len) mod cap) <- Some v;
+  t.len <- t.len + 1;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  while t.len = 0 do
+    Condition.wait t.not_empty t.lock
+  done;
+  let v =
+    match t.slots.(t.head) with
+    | Some v -> v
+    | None -> assert false (* len > 0 ⇒ the head slot is filled *)
+  in
+  t.slots.(t.head) <- None;
+  t.head <- (t.head + 1) mod Array.length t.slots;
+  t.len <- t.len - 1;
+  Condition.signal t.not_full;
+  Mutex.unlock t.lock;
+  v
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n

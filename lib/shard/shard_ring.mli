@@ -1,0 +1,21 @@
+(** A bounded blocking queue: the per-shard input ring of the
+    Domain-parallel executor.
+
+    Deliberately {e blocking} (mutex + condition variables), never
+    spinning: the producer sleeps when a shard's ring is full
+    (backpressure), the consumer sleeps when it is empty — so the executor
+    stays correct and civil even on a single-core box, where a spin-wait
+    would starve the domain it is waiting on. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the ring is full. *)
+
+val pop : 'a t -> 'a
+(** Blocks while the ring is empty. *)
+
+val length : 'a t -> int

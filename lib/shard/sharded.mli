@@ -1,0 +1,107 @@
+(** The sharded runtime: N independent {!Speedybox.Runtime.t}s behind a
+    symmetric-flow-hash steering function.
+
+    Each shard owns a full runtime — its own Global/Local MATs, conntrack,
+    Event Table, fault supervisor — over its own chain instance, so
+    per-flow state needs no locking: steering ({!Steer}) sends both
+    directions of a connection to one shard.  The two genuinely global
+    concerns travel over the {!Control} inboxes: NF health (faults
+    broadcast so chain-wide thresholds keep meaning chain-wide) and
+    operator control events ({!broadcast}).
+
+    Two executors share one plan.  {!run_trace} here is the
+    {e deterministic} one: single-threaded, packets processed in global
+    arrival order with maximal same-shard stretches batched through the
+    burst path, control messages absorbed before every stretch.  Its
+    results are bit-exact with an unsharded {!Speedybox.Runtime.run_trace}
+    over the same trace (same per-packet outputs, aggregates, NF state and
+    fault attribution) whenever the chain's cross-flow state is per-flow —
+    the property the differential tests pin down.  {!Parallel_exec} runs
+    the same plan across OCaml domains for wall-clock speedup.
+
+    Shard failure or load imbalance is handled by explicit flow migration
+    ({!migrate_flow}, {!drain_shard}, {!rebalance}): the flow's conntrack
+    entries (both directions) and — when no events are armed on it — its
+    consolidated rule move to the new shard; event-armed flows tear down
+    and re-record on their new home, and quarantined flows move by
+    steering alone (no rule is resurrected).  Migrations are logged to the
+    flow timeline as [Migrated]. *)
+
+type t
+
+val create : ?shards:int -> Speedybox.Runtime.config -> (int -> Speedybox.Chain.t) -> t
+(** [create ~shards cfg build_chain] builds [shards] (default 1) runtimes,
+    each over its own [build_chain i].  The config is shared — including
+    the injector (one global fault schedule, drawn in arrival order by the
+    deterministic executor) and the observability sink.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_count : t -> int
+
+val runtime : t -> int -> Speedybox.Runtime.t
+(** Shard [i]'s runtime, for inspection (supervisor counters, MAT
+    occupancy, chain state). *)
+
+val shard_of_packet : t -> Sb_packet.Packet.t -> int
+(** Where this packet steers right now: the migration override when its
+    flow has one, the symmetric hash otherwise. *)
+
+val run_trace :
+  ?on_output:(Sb_packet.Packet.t -> Speedybox.Runtime.output -> unit) ->
+  ?burst:int ->
+  t ->
+  Sb_packet.Packet.t list ->
+  Speedybox.Runtime.run_result
+(** The deterministic executor: global arrival order, same-shard stretches
+    (capped at [burst], default {!Speedybox.Runtime.default_burst}) batched
+    through {!Speedybox.Runtime.process_burst_into}, control inboxes
+    drained before each stretch and once more at end of run (so every
+    shard's health table converges).  [on_output] fires per packet in global
+    order.  With one shard this delegates to the unsharded burst path.
+    @raise Invalid_argument when [burst < 1]. *)
+
+val broadcast : t -> (int -> Speedybox.Runtime.t -> unit) -> unit
+(** Queue a control closure to every shard (applied to each shard's
+    runtime at its next drain — before its next stretch under the
+    deterministic executor).  The carrier for chain-wide NF control
+    events: backend death/revival, threshold changes. *)
+
+val migrate_flow : t -> fid:Sb_flow.Fid.t -> dest:int -> bool
+(** [migrate_flow t ~fid ~dest] hands the flow — and its reverse
+    direction — to shard [dest]: conntrack entries move, the consolidated
+    rule transplants when the flow has no armed events (otherwise it tears
+    down to re-record), steering overrides point at [dest], and the
+    timeline logs [Migrated].  False when the flow is unknown or already
+    on [dest].
+    @raise Invalid_argument when [dest] is out of range. *)
+
+val drain_shard : t -> from:int -> dest:int -> int
+(** Migrate every flow owned by shard [from] to [dest] (evacuation before
+    taking a shard out); returns the number of flows moved. *)
+
+val rebalance : t -> int
+(** Even out directory ownership by migrating flows from the most- to the
+    least-loaded shard until the spread stops improving; returns the
+    number of flows moved. *)
+
+val stats : t -> Speedybox.Report.shard_row list
+(** Per-shard end-of-run figures, ready for
+    {!Speedybox.Report.shard_summary}. *)
+
+(** {2 Executor plumbing}
+
+    Hooks {!Parallel_exec} drives the shared plan through; not part of the
+    user-facing API. *)
+
+val config : t -> Speedybox.Runtime.config
+
+val drain_control : t -> int -> unit
+(** Absorb every control message queued for shard [i]. *)
+
+val note_arrival : t -> int -> Sb_packet.Packet.t -> unit
+(** Record that a packet was steered to shard [i]: per-shard counters, the
+    flow directory, and the simulated clock. *)
+
+val prune_if_final : t -> Sb_packet.Packet.t -> unit
+(** Drop both directions' steering state after a FIN/RST packet has been
+    handed off for processing. *)

@@ -1,0 +1,22 @@
+(* Direction-normalise before hashing: both orientations of a connection
+   must reach the same shard, so hash the lexicographically smaller of the
+   tuple and its reverse.  [Five_tuple.hash] is already well mixed; a
+   final multiplicative scramble decorrelates the modulo from the hash's
+   low bits. *)
+let canonical t =
+  let r = Sb_flow.Five_tuple.reverse t in
+  if Sb_flow.Five_tuple.compare t r <= 0 then t else r
+
+let shard_of_tuple ~shards t =
+  if shards < 1 then invalid_arg "Steer.shard_of_tuple: shards must be positive";
+  if shards = 1 then 0
+  else begin
+    let h = Sb_flow.Five_tuple.hash (canonical t) in
+    let h = h * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 31)) land max_int mod shards
+  end
+
+let shard_of_packet ~shards packet =
+  match Sb_flow.Five_tuple.of_packet_opt packet with
+  | Some t -> shard_of_tuple ~shards t
+  | None -> 0

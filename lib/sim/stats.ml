@@ -69,6 +69,23 @@ let percentile t p =
 
 let median t = percentile t 50.
 
+(* Bulk sample merge, for combining per-shard accumulators: the dst grows
+   at most once and the samples land unsorted (sorting is deferred to the
+   next order-statistic query, as with [add]). *)
+let absorb dst src =
+  if src.len > 0 then begin
+    let need = dst.len + src.len in
+    if need > Array.length dst.data then begin
+      let rec cap n = if n >= need then n else cap (2 * n) in
+      let bigger = Array.make (cap (Array.length dst.data)) 0. in
+      Array.blit dst.data 0 bigger 0 dst.len;
+      dst.data <- bigger
+    end;
+    Array.blit src.data 0 dst.data dst.len src.len;
+    dst.len <- need;
+    dst.sorted <- false
+  end
+
 let cdf t ~points =
   if t.len = 0 || points < 1 then []
   else begin

@@ -9,6 +9,10 @@ val add : t -> float -> unit
 
 val add_int : t -> int -> unit
 
+val absorb : t -> t -> unit
+(** [absorb dst src] adds every sample of [src] to [dst] (leaving [src]
+    untouched) — how per-shard accumulators merge into a run total. *)
+
 val count : t -> int
 
 val mean : t -> float

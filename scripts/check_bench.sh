@@ -17,23 +17,37 @@
 # measured in the same run (ratio of the two "current" entries must stay
 # <= BURST_SPEEDUP, default 0.75).
 #
+# Shard executor contracts (same-run ratios, so machine speed cancels):
+#
+#   - the deterministic sharded executor at 1 shard must stay within
+#     SHARD_OVERHEAD (default 1.10) of the unsharded run_trace over the
+#     same trace — the framework may not tax an unsharded deployment;
+#   - the Domain-parallel executor at 4 shards must be at least
+#     SHARD_SPEEDUP (default 1.5) times faster than the deterministic
+#     executor over the same 4-shard plan — enforced only when the run
+#     recorded >= 4 available cores ("speedybox/shard/available-cores");
+#     on smaller machines the figures are printed but not gated.
+#
 # Usage: scripts/check_bench.sh [BENCH_fastpath.json]
 set -eu
 
 BENCH_FILE="${1:-BENCH_fastpath.json}"
 TOLERANCE="${TOLERANCE:-1.05}"
 BURST_SPEEDUP="${BURST_SPEEDUP:-0.75}"
+SHARD_OVERHEAD="${SHARD_OVERHEAD:-1.10}"
+SHARD_SPEEDUP="${SHARD_SPEEDUP:-1.5}"
 
 if [ ! -f "$BENCH_FILE" ]; then
   echo "check_bench: $BENCH_FILE not found" >&2
   exit 1
 fi
 
-python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" <<'EOF'
+python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" <<'EOF'
 import json
 import sys
 
 path, tolerance, burst_speedup = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+shard_overhead, shard_speedup = float(sys.argv[4]), float(sys.argv[5])
 data = json.load(open(path))
 
 GUARDED = [
@@ -92,6 +106,58 @@ if ratio > burst_speedup:
         file=sys.stderr,
     )
     failed = True
+
+# Shard executor contracts (PR 5), all same-run ratios.
+unsharded = data["current"]["speedybox/shard/unsharded run_trace (64 flows x 32, per packet)"]
+det1 = data["current"]["speedybox/shard/deterministic-1 (64 flows x 32, per packet)"]
+det4 = data["current"]["speedybox/shard/deterministic-4 (64 flows x 32, per packet)"]
+par4 = data["current"]["speedybox/shard/parallel-4 (64 flows x 32, per packet)"]
+cores = data["current"].get("speedybox/shard/available-cores", 1.0)
+
+ratio = det1 / unsharded
+verdict = "OK" if ratio <= shard_overhead else "FAIL"
+print(
+    f"check_bench: sharded deterministic overhead (1 shard)\n"
+    f"  unsharded {unsharded:.1f} ns, deterministic-1 {det1:.1f} ns/packet, "
+    f"ratio {ratio:.2f} (need <= {shard_overhead:.2f}) -> {verdict}"
+)
+if ratio > shard_overhead:
+    print(
+        "check_bench: the deterministic sharded executor taxes an unsharded "
+        "deployment beyond tolerance",
+        file=sys.stderr,
+    )
+    failed = True
+
+# Steering + stretch segmentation cost across 4 shards: informational (it
+# buys the parallelism below, so it is not a regression gate).
+print(
+    f"check_bench: sharded deterministic steering cost (4 shards)\n"
+    f"  unsharded {unsharded:.1f} ns, deterministic-4 {det4:.1f} ns/packet, "
+    f"ratio {det4 / unsharded:.2f} (informational)"
+)
+
+speedup = det4 / par4
+if cores >= 4:
+    verdict = "OK" if speedup >= shard_speedup else "FAIL"
+    print(
+        f"check_bench: parallel executor speedup (4 shards, {cores:.0f} cores)\n"
+        f"  deterministic-4 {det4:.1f} ns, parallel-4 {par4:.1f} ns/packet, "
+        f"speedup {speedup:.2f}x (need >= {shard_speedup:.2f}x) -> {verdict}"
+    )
+    if speedup < shard_speedup:
+        print(
+            "check_bench: the Domain-parallel executor does not scale over the "
+            "deterministic executor despite spare cores",
+            file=sys.stderr,
+        )
+        failed = True
+else:
+    print(
+        f"check_bench: parallel executor speedup (4 shards, {cores:.0f} cores)\n"
+        f"  deterministic-4 {det4:.1f} ns, parallel-4 {par4:.1f} ns/packet, "
+        f"speedup {speedup:.2f}x -> SKIPPED (needs >= 4 cores to be meaningful)"
+    )
 
 sys.exit(1 if failed else 0)
 EOF

@@ -77,6 +77,57 @@ let prop_flat_table_matches_hashtbl =
       = dump (fun f acc -> Hashtbl.fold f reference acc)
       && Sb_flow.Flat_table.length ft = Hashtbl.length reference)
 
+(* Backward-shift deletion across the capacity wraparound: in a capacity-8
+   table, keys homed at the last slots probe past index 0, so removing one
+   must shift survivors backwards ACROSS the boundary (the [hole <= j]
+   split in [remove]).  Keys are drawn only from ones whose home slot (the
+   table's own multiplicative hash, replicated here) lies in the wrap
+   window {6, 7, 0, 1}, and the live count stays <= 6 so the table never
+   grows out of capacity 8. *)
+let prop_flat_table_wraparound =
+  let slot_of_key mask key =
+    let h = key * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 31)) land mask
+  in
+  let boundary_keys =
+    let rec collect k acc =
+      if List.length acc >= 12 then List.rev acc
+      else
+        let slot = slot_of_key 7 k in
+        collect (k + 1) (if slot >= 6 || slot <= 1 then k :: acc else acc)
+    in
+    collect 0 []
+  in
+  let wrapping = List.filter (fun k -> slot_of_key 7 k >= 6) boundary_keys in
+  QCheck.Test.make ~count:500 ~name:"flat table backward-shift across index 0"
+    QCheck.(list_of_size (Gen.int_range 0 60) (pair (int_bound 11) bool))
+    (fun ops ->
+      let ft = Sb_flow.Flat_table.create ~initial_size:8 () in
+      let reference = Hashtbl.create 8 in
+      let set k =
+        if Hashtbl.length reference < 6 then begin
+          Sb_flow.Flat_table.set ft k (k * 31);
+          Hashtbl.replace reference k (k * 31)
+        end
+      in
+      let remove k =
+        Sb_flow.Flat_table.remove ft k;
+        Hashtbl.remove reference k
+      in
+      (* Seed a cluster that provably spans the boundary: three keys homed
+         at slots {6,7} fill 6..7 and spill into 0..1. *)
+      List.iteri (fun i k -> if i < 3 then set k) wrapping;
+      List.iter
+        (fun (i, add) ->
+          let k = List.nth boundary_keys i in
+          if add then set k else remove k)
+        ops;
+      let dump fold = fold (fun k v acc -> (k, v) :: acc) [] |> List.sort compare in
+      dump (fun f acc -> Sb_flow.Flat_table.fold f ft acc)
+      = dump (fun f acc -> Hashtbl.fold f reference acc)
+      && Sb_flow.Flat_table.length ft = Hashtbl.length reference
+      && Hashtbl.fold (fun k v ok -> ok && Sb_flow.Flat_table.find ft k = Some v) reference true)
+
 let prop_tuple_map_matches_hashtbl =
   QCheck.Test.make ~count:200 ~name:"tuple map matches Hashtbl under random ops"
     QCheck.(list_of_size (Gen.int_range 0 300) (pair (int_bound 15) (int_bound 2)))
@@ -365,4 +416,9 @@ let suite =
     Alcotest.test_case "non-TCP/UDP buckets under sentinel fid" `Quick test_non_tcp_udp_sentinel;
     Alcotest.test_case "burst < 1 rejected" `Quick test_run_trace_rejects_bad_burst;
   ]
-  @ Test_util.qcheck_cases [ prop_flat_table_matches_hashtbl; prop_tuple_map_matches_hashtbl ]
+  @ Test_util.qcheck_cases
+      [
+        prop_flat_table_matches_hashtbl;
+        prop_flat_table_wraparound;
+        prop_tuple_map_matches_hashtbl;
+      ]

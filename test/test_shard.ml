@@ -1,0 +1,524 @@
+(* The sharded runtime's deterministic executor must be observably
+   identical to the unsharded burst path: same per-packet verdicts, paths,
+   bytes and stage visits, same aggregates, flow times, NF state and fault
+   attribution — for any shard count, over randomized traces with armed
+   events and injected faults.  Plus direct coverage of steering symmetry,
+   the control broadcast plane, flow migration (rule transplant,
+   event-armed teardown, quarantine preservation, timeline logging,
+   drain/rebalance) and the Domain-parallel executor's guards and
+   aggregate agreement. *)
+
+open Sb_packet
+
+let builder spec =
+  match Sb_experiments.Chain_registry.build spec with
+  | Ok build -> build
+  | Error msg -> Alcotest.fail msg
+
+let obs_of (out : Speedybox.Runtime.output) =
+  {
+    Test_burst.fid = out.Speedybox.Runtime.packet.Packet.fid;
+    forwarded = out.Speedybox.Runtime.verdict = Sb_mat.Header_action.Forwarded;
+    fast = out.Speedybox.Runtime.path = Speedybox.Runtime.Fast_path;
+    events = out.Speedybox.Runtime.events_fired;
+    faults = out.Speedybox.Runtime.faults;
+    latency = out.Speedybox.Runtime.latency_cycles;
+    service = out.Speedybox.Runtime.service_cycles;
+    stages =
+      List.map
+        (fun st -> (st.Sb_sim.Cost_profile.label, Sb_sim.Cost_profile.stage_cycles st))
+        out.Speedybox.Runtime.profile;
+    bytes = Packet.wire out.Speedybox.Runtime.packet;
+  }
+
+(* Builds a [shards]-way sharded runtime over fresh chain instances (and,
+   when given, a freshly armed injector — shared by every shard, as one
+   global fault schedule) and runs the trace on the deterministic
+   executor. *)
+let observe_sharded ?arm_injector ~chain_spec ~shards ~burst trace =
+  let build = builder chain_spec in
+  let chains = Array.init shards (fun _ -> build ()) in
+  let injector =
+    Option.map
+      (fun arm ->
+        let inj = Sb_fault.Injector.create ~seed:11 () in
+        arm inj chains.(0);
+        inj)
+      arm_injector
+  in
+  let sh =
+    Sb_shard.Sharded.create ~shards
+      (Speedybox.Runtime.config ?injector ())
+      (fun i -> chains.(i))
+  in
+  let obs = ref [] in
+  let result =
+    Sb_shard.Sharded.run_trace ~burst sh trace ~on_output:(fun _original out ->
+        obs := obs_of out :: !obs)
+  in
+  (sh, List.rev !obs, result, List.init shards (Sb_shard.Sharded.runtime sh))
+
+let supervisor_sum rts =
+  let open Sb_fault.Supervisor in
+  List.fold_left
+    (fun (a, b, c, d, e, f) rt ->
+      let s = Speedybox.Runtime.supervisor rt in
+      ( a + contained s,
+        b + corrupted s,
+        c + stalled s,
+        d + quarantines s,
+        e + faulted_packets s,
+        f + total_faults s ))
+    (0, 0, 0, 0, 0, 0) rts
+
+(* Per-NF state merged across shards: each NF's digest lines (per-flow on
+   the chains used here) concatenated and sorted, so a 1-shard merge is
+   just the sorted unsharded digest. *)
+let merged_digests chains =
+  match chains with
+  | [] -> []
+  | first :: _ ->
+      List.mapi
+        (fun idx nf ->
+          let lines =
+            List.concat_map
+              (fun chain ->
+                let nf = List.nth (Speedybox.Chain.nfs chain) idx in
+                match nf.Speedybox.Nf.state_digest () with
+                | "" -> []
+                | d -> String.split_on_char '\n' d)
+              chains
+          in
+          (nf.Speedybox.Nf.name, List.sort String.compare lines))
+        (Speedybox.Chain.nfs first)
+
+let health_snapshot rt =
+  Sb_fault.Health.snapshot (Sb_fault.Supervisor.health (Speedybox.Runtime.supervisor rt))
+
+let check_sharded_matches label (obs_u, res_u, rt_u, chain_u) (obs_s, res_s, rts_s) =
+  if List.length obs_u <> List.length obs_s then
+    Alcotest.failf "%s: %d vs %d observations" label (List.length obs_u)
+      (List.length obs_s);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf
+          "%s: packet %d diverges\n\
+          \  unsharded: fid=%d fwd=%b fast=%b ev=%d faults=%d lat=%d\n\
+          \  sharded  : fid=%d fwd=%b fast=%b ev=%d faults=%d lat=%d%s"
+          label i a.Test_burst.fid a.Test_burst.forwarded a.Test_burst.fast
+          a.Test_burst.events a.Test_burst.faults a.Test_burst.latency b.Test_burst.fid
+          b.Test_burst.forwarded b.Test_burst.fast b.Test_burst.events b.Test_burst.faults
+          b.Test_burst.latency
+          (if a.Test_burst.bytes <> b.Test_burst.bytes then " (bytes differ)" else ""))
+    (List.combine obs_u obs_s);
+  let open Speedybox.Runtime in
+  Alcotest.(check int) (label ^ ": packets") res_u.packets res_s.packets;
+  Alcotest.(check int) (label ^ ": forwarded") res_u.forwarded res_s.forwarded;
+  Alcotest.(check int) (label ^ ": dropped") res_u.dropped res_s.dropped;
+  Alcotest.(check int) (label ^ ": slow path") res_u.slow_path res_s.slow_path;
+  Alcotest.(check int) (label ^ ": fast path") res_u.fast_path res_s.fast_path;
+  Alcotest.(check int) (label ^ ": events fired") res_u.events_fired res_s.events_fired;
+  Alcotest.(check int) (label ^ ": faulted packets") res_u.faulted_packets res_s.faulted_packets;
+  Alcotest.(check bool)
+    (label ^ ": flow times") true
+    (Test_burst.flow_times res_u = Test_burst.flow_times res_s);
+  Alcotest.(check bool)
+    (label ^ ": stage stats") true
+    (Test_burst.stage_stats res_u = Test_burst.stage_stats res_s);
+  Alcotest.(check bool)
+    (label ^ ": fault attribution (summed)") true
+    (supervisor_sum [ rt_u ] = supervisor_sum rts_s);
+  (* Every shard absorbs every broadcast fault, so each shard's per-NF
+     health table must equal the unsharded one exactly. *)
+  List.iteri
+    (fun i rt ->
+      if health_snapshot rt <> health_snapshot rt_u then
+        Alcotest.failf "%s: shard %d health diverges from unsharded" label i)
+    rts_s;
+  Alcotest.(check bool)
+    (label ^ ": merged NF state") true
+    (merged_digests [ chain_u ]
+    = merged_digests (List.map Speedybox.Runtime.chain rts_s))
+
+let differential ?arm_injector ~chain_spec ~label trace =
+  let reference =
+    Test_burst.observe_run ?arm_injector ~chain_spec ~burst:1 trace
+  in
+  List.iter
+    (fun (shards, burst) ->
+      let _, obs, result, rts =
+        observe_sharded ?arm_injector ~chain_spec ~shards ~burst trace
+      in
+      check_sharded_matches
+        (Printf.sprintf "%s, %d shards, burst %d" label shards burst)
+        reference (obs, result, rts))
+    [ (1, 32); (2, 1); (2, 32); (3, 8); (4, 32) ]
+
+(* Chains whose per-NF digests are per-flow lines (monitor, dosguard), so
+   the merged-state comparison is exact; a dosguard budget of 500 never
+   trips, making it a plain two-NF chain. *)
+let test_differential_plain () =
+  List.iter
+    (fun seed ->
+      differential ~chain_spec:"monitor,dosguard:500" ~label:"plain"
+        (Test_burst.random_trace seed))
+    [ 7; 99 ]
+
+let test_differential_events () =
+  (* dosguard:5 arms per-flow events that rewrite consolidated rules when
+     the budget trips; firing order must survive sharding. *)
+  List.iter
+    (fun seed ->
+      differential ~chain_spec:"monitor,dosguard:5" ~label:"armed events"
+        (Test_burst.random_trace seed))
+    [ 3; 42 ]
+
+let test_differential_faults () =
+  let arm_injector inj chain =
+    match Speedybox.Chain.nfs chain with
+    | first :: second :: _ ->
+        Sb_fault.Injector.set_rate inj ~nf:first.Speedybox.Nf.name Sb_fault.Injector.Raise
+          0.05;
+        Sb_fault.Injector.set_rate inj ~nf:second.Speedybox.Nf.name
+          Sb_fault.Injector.Corrupt_verdict 0.03
+    | _ -> Alcotest.fail "chain too short"
+  in
+  (* One injector shared by every shard: the deterministic executor's
+     global arrival order keeps the draw schedule identical to unsharded,
+     and fault broadcasts keep every shard's health in lockstep. *)
+  List.iter
+    (fun seed ->
+      differential ~arm_injector ~chain_spec:"monitor,dosguard:5" ~label:"injected faults"
+        (Test_burst.random_trace seed))
+    [ 5; 63 ]
+
+let test_differential_fin_midburst () =
+  let trace =
+    Test_util.tcp_flow ~sport:40000 6
+    @ Test_util.tcp_flow ~sport:40001 4
+    @ Test_util.tcp_flow ~sport:40000 6
+  in
+  differential ~chain_spec:"monitor,dosguard:500" ~label:"FIN mid-burst" trace
+
+let test_non_flow_steers_to_shard_zero () =
+  (* A GRE packet has no 5-tuple: it steers to shard 0 (Original mode —
+     the Speedybox classifier requires TCP/UDP) and its processing time
+     buckets under the sentinel, reported as "non-flow", never a raw
+     FID. *)
+  let gre =
+    let p = Test_util.tcp_packet ~sport:51515 () in
+    Bytes.set p.Packet.buf (Packet.l3_offset p + 9) (Char.chr 47);
+    p
+  in
+  let build = builder "monitor" in
+  let sh =
+    Sb_shard.Sharded.create ~shards:2
+      (Speedybox.Runtime.config ~mode:Speedybox.Runtime.Original ())
+      (fun _ -> build ())
+  in
+  Alcotest.(check int) "steered to shard 0" 0 (Sb_shard.Sharded.shard_of_packet sh gre);
+  let result =
+    Sb_shard.Sharded.run_trace ~burst:4 sh
+      [ Packet.copy gre; Test_util.tcp_packet (); Packet.copy gre ]
+  in
+  Alcotest.(check int) "all processed" 3 result.Speedybox.Runtime.packets;
+  Alcotest.(check bool) "sentinel bucket" true
+    (Sb_flow.Flow_table.mem result.Speedybox.Runtime.flow_time_us
+       Speedybox.Runtime.no_flow_fid)
+
+(* --- steering --- *)
+
+let test_steer_symmetric () =
+  for i = 0 to 199 do
+    let t = Test_util.tuple ~sport:(20000 + i) ~dport:(i mod 7) () in
+    let s = Sb_shard.Steer.shard_of_tuple ~shards:4 t in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    Alcotest.(check int) "reverse direction co-located" s
+      (Sb_shard.Steer.shard_of_tuple ~shards:4 (Sb_flow.Five_tuple.reverse t));
+    Alcotest.(check int) "one shard is shard 0" 0
+      (Sb_shard.Steer.shard_of_tuple ~shards:1 t)
+  done;
+  Alcotest.check_raises "shards < 1 rejected"
+    (Invalid_argument "Steer.shard_of_tuple: shards must be positive")
+    (fun () -> ignore (Sb_shard.Steer.shard_of_tuple ~shards:0 (Test_util.tuple ())))
+
+let test_steer_spreads () =
+  (* Not a uniformity proof, just an anti-degeneracy check: 400 distinct
+     connections across 4 shards must not all pile onto one. *)
+  let counts = Array.make 4 0 in
+  for i = 0 to 399 do
+    let t = Test_util.tuple ~sport:(10000 + i) () in
+    let s = Sb_shard.Steer.shard_of_tuple ~shards:4 t in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c = 0 then Alcotest.failf "shard %d received no flows" i)
+    counts
+
+(* --- control plane --- *)
+
+let test_control_broadcast () =
+  let c = Sb_shard.Control.create ~shards:3 in
+  Sb_shard.Control.broadcast c ~from:1 (Sb_shard.Control.Nf_fault "monitor");
+  Sb_shard.Control.post c ~shard:1 (Sb_shard.Control.Nf_fault "snort");
+  let seen s =
+    let names = ref [] in
+    ignore
+      (Sb_shard.Control.drain c ~shard:s (function
+        | Sb_shard.Control.Nf_fault nf -> names := nf :: !names
+        | Sb_shard.Control.Apply _ -> ()));
+    List.rev !names
+  in
+  Alcotest.(check (list string)) "shard 0 got the broadcast" [ "monitor" ] (seen 0);
+  Alcotest.(check (list string)) "sender excluded, direct post kept" [ "snort" ] (seen 1);
+  Alcotest.(check (list string)) "shard 2 got the broadcast" [ "monitor" ] (seen 2);
+  Alcotest.(check (list string)) "drained inboxes are empty" [] (seen 0);
+  Alcotest.(check int) "absorbed counts persist" 1 (Sb_shard.Control.absorbed c ~shard:2)
+
+let test_sharded_broadcast_applies () =
+  let sh, _, _, _ =
+    observe_sharded ~chain_spec:"monitor" ~shards:2 ~burst:4 []
+  in
+  let hit = Array.make 2 false in
+  Sb_shard.Sharded.broadcast sh (fun i _rt -> hit.(i) <- true);
+  (* Queued, not yet applied: closures run at each shard's next drain. *)
+  Alcotest.(check bool) "deferred until drain" false (hit.(0) || hit.(1));
+  ignore
+    (Sb_shard.Sharded.run_trace sh
+       (Test_util.tcp_flow ~sport:40000 2 @ Test_util.tcp_flow ~sport:40007 2));
+  (* Two flows are enough only if they land on different shards; drain
+     explicitly so the assertion is placement-independent. *)
+  Sb_shard.Sharded.drain_control sh 0;
+  Sb_shard.Sharded.drain_control sh 1;
+  Alcotest.(check bool) "applied on every shard" true (hit.(0) && hit.(1))
+
+(* --- migration --- *)
+
+let fid_of sh tuple =
+  Sb_flow.Fid.of_tuple ~bits:(Sb_shard.Sharded.config sh).Speedybox.Runtime.fid_bits tuple
+
+let test_migrate_moves_state () =
+  let sh, _, _, _ = observe_sharded ~chain_spec:"monitor" ~shards:2 ~burst:8 [] in
+  let trace = Test_util.tcp_flow ~sport:40000 ~fin:false 6 in
+  let half_a = Test_burst.observe_run ~chain_spec:"monitor" ~burst:8 (trace @ trace) in
+  ignore (Sb_shard.Sharded.run_trace ~burst:8 sh trace);
+  let tuple = Test_util.tuple ~sport:40000 () in
+  let fid = fid_of sh tuple in
+  let src = Sb_shard.Sharded.shard_of_packet sh (Test_util.tcp_packet ~sport:40000 ()) in
+  let dest = 1 - src in
+  let mat i = Speedybox.Runtime.global_mat (Sb_shard.Sharded.runtime sh i) in
+  let cls i = Speedybox.Runtime.classifier (Sb_shard.Sharded.runtime sh i) in
+  Alcotest.(check bool) "rule starts on src" true (Sb_mat.Global_mat.find (mat src) fid <> None);
+  Alcotest.(check bool) "moved" true (Sb_shard.Sharded.migrate_flow sh ~fid ~dest);
+  Alcotest.(check bool) "rule left src" true (Sb_mat.Global_mat.find (mat src) fid = None);
+  Alcotest.(check bool) "rule transplanted" true (Sb_mat.Global_mat.find (mat dest) fid <> None);
+  Alcotest.(check bool) "conntrack left src" true
+    (Speedybox.Classifier.export_flow (cls src) tuple = None);
+  Alcotest.(check bool) "conntrack adopted" true
+    (Speedybox.Classifier.export_flow (cls dest) tuple <> None);
+  Alcotest.(check int) "steering follows" dest
+    (Sb_shard.Sharded.shard_of_packet sh (Test_util.tcp_packet ~sport:40000 ()));
+  Alcotest.(check bool) "repeat migration is a no-op" false
+    (Sb_shard.Sharded.migrate_flow sh ~fid ~dest);
+  (* The transplanted rule keeps working: the continuation stays bit-exact
+     with an unsharded run of the whole trace (in particular, no extra
+     slow-path re-record on the new home). *)
+  let obs = ref [] in
+  let res2 =
+    Sb_shard.Sharded.run_trace ~burst:8 sh trace ~on_output:(fun _ out ->
+        obs := obs_of out :: !obs)
+  in
+  let obs_u, _, _, _ = half_a in
+  let expected_tail =
+    List.filteri (fun i _ -> i >= List.length trace) obs_u
+  in
+  Alcotest.(check bool) "continuation matches unsharded" true (List.rev !obs = expected_tail);
+  Alcotest.(check int) "no re-record after transplant" 0 res2.Speedybox.Runtime.slow_path
+
+let test_migrate_event_armed_tears_down () =
+  let sh, _, _, _ = observe_sharded ~chain_spec:"monitor,dosguard:5" ~shards:2 ~burst:8 [] in
+  (* 3 packets: consolidated, and the dosguard budget event still armed. *)
+  let trace = Test_util.tcp_flow ~sport:40000 ~fin:false 2 in
+  ignore (Sb_shard.Sharded.run_trace ~burst:8 sh trace);
+  let tuple = Test_util.tuple ~sport:40000 () in
+  let fid = fid_of sh tuple in
+  let src = Sb_shard.Sharded.shard_of_packet sh (Test_util.tcp_packet ~sport:40000 ()) in
+  let dest = 1 - src in
+  let events i =
+    Speedybox.Chain.events (Speedybox.Runtime.chain (Sb_shard.Sharded.runtime sh i))
+  in
+  let mat i = Speedybox.Runtime.global_mat (Sb_shard.Sharded.runtime sh i) in
+  Alcotest.(check bool) "event armed before" true
+    (Sb_mat.Event_table.armed_count (events src) fid > 0);
+  Alcotest.(check bool) "moved" true (Sb_shard.Sharded.migrate_flow sh ~fid ~dest);
+  (* The Event Table's registrations live in the source chain: the rule
+     must NOT transplant — it tears down and re-records on [dest]. *)
+  Alcotest.(check bool) "no transplanted rule" true (Sb_mat.Global_mat.find (mat dest) fid = None);
+  Alcotest.(check int) "source events torn down" 0
+    (Sb_mat.Event_table.armed_count (events src) fid);
+  let res =
+    Sb_shard.Sharded.run_trace ~burst:8 sh (Test_util.tcp_flow ~sport:40000 ~fin:false 2)
+  in
+  Alcotest.(check bool) "re-records on new home" true (res.Speedybox.Runtime.slow_path > 0);
+  Alcotest.(check bool) "rule rebuilt on dest" true (Sb_mat.Global_mat.find (mat dest) fid <> None);
+  Alcotest.(check bool) "event re-armed on dest" true
+    (Sb_mat.Event_table.armed_count (events dest) fid > 0)
+
+let test_migrate_quarantined_stays_down () =
+  let arm_injector inj _chain =
+    Sb_fault.Injector.set_rate inj ~nf:"monitor" Sb_fault.Injector.Raise 1.0
+  in
+  let sh, _, _, _ =
+    observe_sharded ~arm_injector ~chain_spec:"monitor" ~shards:2 ~burst:8 []
+  in
+  (* Every monitor call raises: the first packet faults, is contained, and
+     the flow is quarantined with its consolidated state torn down. *)
+  ignore (Sb_shard.Sharded.run_trace ~burst:8 sh [ Test_util.tcp_packet ~sport:40000 () ]);
+  let tuple = Test_util.tuple ~sport:40000 () in
+  let fid = fid_of sh tuple in
+  let src = Sb_shard.Sharded.shard_of_packet sh (Test_util.tcp_packet ~sport:40000 ()) in
+  let dest = 1 - src in
+  let mat i = Speedybox.Runtime.global_mat (Sb_shard.Sharded.runtime sh i) in
+  Alcotest.(check int) "quarantined" 1
+    (Sb_fault.Supervisor.quarantines
+       (Speedybox.Runtime.supervisor (Sb_shard.Sharded.runtime sh src)));
+  Alcotest.(check bool) "no rule after quarantine" true (Sb_mat.Global_mat.find (mat src) fid = None);
+  Alcotest.(check bool) "moved by steering alone" true
+    (Sb_shard.Sharded.migrate_flow sh ~fid ~dest);
+  (* Migration must not resurrect anything the fault layer tore down. *)
+  Alcotest.(check bool) "still no rule on dest" true (Sb_mat.Global_mat.find (mat dest) fid = None);
+  Alcotest.(check int) "rule table empty on dest" 0
+    (Sb_mat.Global_mat.flow_count (mat dest))
+
+let test_migrate_logs_timeline () =
+  let build = builder "monitor" in
+  let obs = Sb_obs.Sink.create ~timeline:true () in
+  let sh =
+    Sb_shard.Sharded.create ~shards:2 (Speedybox.Runtime.config ~obs ()) (fun _ -> build ())
+  in
+  ignore (Sb_shard.Sharded.run_trace sh (Test_util.tcp_flow ~sport:40000 ~fin:false 3));
+  let tuple = Test_util.tuple ~sport:40000 () in
+  let fid = fid_of sh tuple in
+  let src = Sb_shard.Sharded.shard_of_packet sh (Test_util.tcp_packet ~sport:40000 ()) in
+  let dest = 1 - src in
+  Alcotest.(check bool) "moved" true (Sb_shard.Sharded.migrate_flow sh ~fid ~dest);
+  match Sb_obs.Sink.timeline obs with
+  | None -> Alcotest.fail "timeline was armed"
+  | Some tl ->
+      let migrations =
+        List.filter
+          (fun e -> e.Sb_obs.Timeline.kind = Sb_obs.Timeline.Migrated)
+          (Sb_obs.Timeline.events tl fid)
+      in
+      Alcotest.(check int) "one migration entry" 1 (List.length migrations);
+      Alcotest.(check string) "detail names the hop"
+        (Printf.sprintf "shard %d -> %d" src dest)
+        (List.hd migrations).Sb_obs.Timeline.detail
+
+let directory_counts sh =
+  List.map (fun r -> r.Speedybox.Report.flows) (Sb_shard.Sharded.stats sh)
+
+let test_drain_shard_and_rebalance () =
+  let sh, _, _, _ = observe_sharded ~chain_spec:"monitor" ~shards:3 ~burst:8 [] in
+  let trace =
+    List.concat_map
+      (fun i -> Test_util.tcp_flow ~sport:(30000 + (7 * i)) ~fin:false 2)
+      (List.init 18 Fun.id)
+  in
+  ignore (Sb_shard.Sharded.run_trace ~burst:8 sh trace);
+  let before = directory_counts sh in
+  Alcotest.(check int) "directory holds every flow" 18 (List.fold_left ( + ) 0 before);
+  (* Evacuate shard 0 entirely. *)
+  let owned0 = List.nth before 0 in
+  let moved = Sb_shard.Sharded.drain_shard sh ~from:0 ~dest:1 in
+  Alcotest.(check int) "every owned flow moved" owned0 moved;
+  Alcotest.(check int) "shard 0 empty" 0 (List.nth (directory_counts sh) 0);
+  Alcotest.(check int) "nothing lost" 18
+    (List.fold_left ( + ) 0 (directory_counts sh));
+  (* Rebalance spreads the now-lopsided directory back out. *)
+  let spread counts = List.fold_left max 0 counts - List.fold_left min max_int counts in
+  let before_spread = spread (directory_counts sh) in
+  let rebalanced = Sb_shard.Sharded.rebalance sh in
+  let after_spread = spread (directory_counts sh) in
+  Alcotest.(check bool) "rebalance moved flows" true (rebalanced > 0);
+  Alcotest.(check bool) "spread shrank" true (after_spread < before_spread);
+  Alcotest.(check int) "still nothing lost" 18
+    (List.fold_left ( + ) 0 (directory_counts sh))
+
+(* --- the parallel executor --- *)
+
+let test_parallel_matches_deterministic () =
+  let trace = Test_burst.random_trace 17 in
+  let _, _, det, det_rts =
+    observe_sharded ~chain_spec:"monitor,dosguard:5" ~shards:3 ~burst:16 trace
+  in
+  let build = builder "monitor,dosguard:5" in
+  let sh = Sb_shard.Sharded.create ~shards:3 (Speedybox.Runtime.config ()) (fun _ -> build ()) in
+  let par = Sb_shard.Parallel_exec.run_trace ~burst:16 sh trace in
+  let open Speedybox.Runtime in
+  Alcotest.(check int) "packets" det.packets par.packets;
+  Alcotest.(check int) "forwarded" det.forwarded par.forwarded;
+  Alcotest.(check int) "dropped" det.dropped par.dropped;
+  Alcotest.(check int) "slow path" det.slow_path par.slow_path;
+  Alcotest.(check int) "fast path" det.fast_path par.fast_path;
+  Alcotest.(check int) "events fired" det.events_fired par.events_fired;
+  (* Each flow lives on exactly one shard and its packets stay in order
+     there, so per-flow times are bit-exact, not just close. *)
+  Alcotest.(check bool) "flow times" true
+    (Test_burst.flow_times det = Test_burst.flow_times par);
+  Alcotest.(check bool) "merged NF state" true
+    (merged_digests (List.map Speedybox.Runtime.chain det_rts)
+    = merged_digests
+        (List.init 3 (fun i -> Speedybox.Runtime.chain (Sb_shard.Sharded.runtime sh i))))
+
+let test_parallel_guards () =
+  let build = builder "monitor" in
+  let inj = Sb_fault.Injector.create ~seed:1 () in
+  Sb_fault.Injector.set_rate inj ~nf:"monitor" Sb_fault.Injector.Raise 0.1;
+  let with_inj =
+    Sb_shard.Sharded.create ~shards:2
+      (Speedybox.Runtime.config ~injector:inj ())
+      (fun _ -> build ())
+  in
+  (match Sb_shard.Parallel_exec.run_trace with_inj [] with
+  | _ -> Alcotest.fail "injector must be rejected"
+  | exception Invalid_argument _ -> ());
+  let armed_obs =
+    Sb_shard.Sharded.create ~shards:2
+      (Speedybox.Runtime.config ~obs:(Sb_obs.Sink.create ~metrics:true ()) ())
+      (fun _ -> build ())
+  in
+  (match Sb_shard.Parallel_exec.run_trace armed_obs [] with
+  | _ -> Alcotest.fail "armed sink must be rejected"
+  | exception Invalid_argument _ -> ());
+  let plain =
+    Sb_shard.Sharded.create ~shards:2 (Speedybox.Runtime.config ()) (fun _ -> build ())
+  in
+  (match Sb_shard.Parallel_exec.run_trace ~burst:0 plain [] with
+  | _ -> Alcotest.fail "burst 0 must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "sharded = unsharded (plain chain)" `Quick test_differential_plain;
+    Alcotest.test_case "sharded = unsharded (armed events)" `Quick test_differential_events;
+    Alcotest.test_case "sharded = unsharded (injected faults)" `Quick test_differential_faults;
+    Alcotest.test_case "sharded = unsharded (FIN mid-burst)" `Quick test_differential_fin_midburst;
+    Alcotest.test_case "non-flow packets steer to shard 0" `Quick
+      test_non_flow_steers_to_shard_zero;
+    Alcotest.test_case "steering is direction-symmetric" `Quick test_steer_symmetric;
+    Alcotest.test_case "steering spreads flows" `Quick test_steer_spreads;
+    Alcotest.test_case "control broadcast excludes sender" `Quick test_control_broadcast;
+    Alcotest.test_case "sharded broadcast applies at drain" `Quick test_sharded_broadcast_applies;
+    Alcotest.test_case "migration transplants rule and conntrack" `Quick test_migrate_moves_state;
+    Alcotest.test_case "migration tears down event-armed rules" `Quick
+      test_migrate_event_armed_tears_down;
+    Alcotest.test_case "migration preserves quarantine" `Quick
+      test_migrate_quarantined_stays_down;
+    Alcotest.test_case "migration logs the timeline" `Quick test_migrate_logs_timeline;
+    Alcotest.test_case "drain_shard and rebalance" `Quick test_drain_shard_and_rebalance;
+    Alcotest.test_case "parallel executor matches deterministic" `Quick
+      test_parallel_matches_deterministic;
+    Alcotest.test_case "parallel executor guards" `Quick test_parallel_guards;
+  ]
