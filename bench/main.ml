@@ -26,7 +26,15 @@ let sections json : (string * string * (unit -> unit)) list =
     ("eventrate", "fast-path cost vs event frequency (extension)", Sb_experiments.Event_rate.run);
     ("staged", "staged ONVM executor: races, reordering, queueing (extension)", Sb_experiments.Staged_pipeline.run);
     ("ablations", "design-choice ablations (A1-A4)", Sb_experiments.Ablations.run);
-    ("micro", "Bechamel wall-clock microbenchmarks", fun () -> Microbench.run ?json ());
+    ("scale", "million-flow idle-expiry load sweep", fun () -> ignore (Scale_sweep.run ()));
+    ( "micro",
+      "Bechamel wall-clock microbenchmarks",
+      fun () ->
+        (* When recording JSON the scale sweep rides along (it runs first:
+           single-threaded, before any Domain spawns) so its per-packet
+           figures land in the same file check_bench.sh reads. *)
+        let extra = match json with Some _ -> Scale_sweep.run () | None -> [] in
+        Microbench.run ?json ~extra () );
   ]
 
 let usage () =

@@ -42,6 +42,13 @@ let state_digest t =
   String.concat "\n"
     (List.map (fun nf -> Printf.sprintf "%s: %s" nf.Nf.name (nf.Nf.state_digest ())) t.nfs)
 
-let remove_flow t fid =
+(* [tuple] extends the teardown into the NFs' own per-flow state; only the
+   idle-expiry path passes it — FIN cleanup and rule eviction leave NF
+   state alone (counters outliving their connection is what the original
+   NF code does, and the equivalence checker compares against that). *)
+let remove_flow ?tuple t fid =
   List.iter (fun mat -> Sb_mat.Local_mat.remove_flow mat fid) t.local_mats;
-  Sb_mat.Event_table.remove_flow t.events fid
+  Sb_mat.Event_table.remove_flow t.events fid;
+  match tuple with
+  | Some tu -> List.iter (fun nf -> nf.Nf.remove_flow tu) t.nfs
+  | None -> ()

@@ -29,5 +29,8 @@ val consolidable : t -> bool
 val state_digest : t -> string
 (** Concatenated per-NF state digests, for equivalence comparison. *)
 
-val remove_flow : t -> Sb_flow.Fid.t -> unit
-(** Deletes the flow's record from every Local MAT and the Event Table. *)
+val remove_flow : ?tuple:Sb_flow.Five_tuple.t -> t -> Sb_flow.Fid.t -> unit
+(** Deletes the flow's record from every Local MAT and the Event Table.
+    With [tuple] (passed only by the idle-expiry path) each NF's
+    {!Nf.t.remove_flow} hook also runs, so conntrack-style per-flow NF
+    state is reclaimed when flows go idle. *)

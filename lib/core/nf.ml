@@ -4,6 +4,7 @@ type t = {
   name : string;
   process : Api.nf_context -> Sb_packet.Packet.t -> result;
   state_digest : unit -> string;
+  remove_flow : Sb_flow.Five_tuple.t -> unit;
   consolidable : bool;
 }
 
@@ -11,5 +12,6 @@ let forwarded cycles = { verdict = Sb_mat.Header_action.Forwarded; cycles }
 
 let dropped cycles = { verdict = Sb_mat.Header_action.Dropped; cycles }
 
-let make ~name ?(state_digest = fun () -> "") ?(consolidable = true) process =
-  { name; process; state_digest; consolidable }
+let make ~name ?(state_digest = fun () -> "") ?(remove_flow = fun _ -> ())
+    ?(consolidable = true) process =
+  { name; process; state_digest; remove_flow; consolidable }

@@ -16,6 +16,13 @@ type t = {
       (** A stable rendering of the NF's internal state (counters, logs,
           mappings), compared by the equivalence checker; [""] for
           stateless NFs. *)
+  remove_flow : Sb_flow.Five_tuple.t -> unit;
+      (** Drops any per-flow state the NF holds for the given ingress
+          tuple.  Called when the runtime's idle timer expires a flow, so
+          stateful NFs (conntrack-style counters) stay bounded under flow
+          churn.  Best-effort: an NF that keys its state by a tuple some
+          upstream NF rewrote will not find the ingress tuple and keeps
+          the entry.  Defaults to a no-op. *)
   consolidable : bool;
       (** The paper's applicable-scope boundary (§IV-A3): an NF whose
           per-packet behaviour is not determined per flow — buffering NFs,
@@ -33,7 +40,8 @@ val dropped : int -> result
 val make :
   name:string ->
   ?state_digest:(unit -> string) ->
+  ?remove_flow:(Sb_flow.Five_tuple.t -> unit) ->
   ?consolidable:bool ->
   (Api.nf_context -> Sb_packet.Packet.t -> result) ->
   t
-(** [consolidable] defaults to [true]. *)
+(** [consolidable] defaults to [true]; [remove_flow] to a no-op. *)

@@ -83,6 +83,11 @@ let sharded_run_summary ?(label = "run") rts (result : Runtime.run_result) =
   in
   line "  global mat : %d rules, %d distinct actions, %d batches (summed over %d shards)"
     rules actions batches (List.length rts);
+  (* Parallel execution is only as good as the cores backing the shards;
+     print what this machine offers so a disappointing speedup is
+     explainable from the report alone. *)
+  line "  cores      : %d available for Domain-parallel execution"
+    (Domain.recommended_domain_count ());
   flow_time_lines buf result;
   if result.Runtime.events_fired > 0 then
     line "  events     : %d fired" result.Runtime.events_fired;

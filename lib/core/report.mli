@@ -12,8 +12,10 @@ val run_summary :
 val sharded_run_summary :
   ?label:string -> Runtime.t list -> Runtime.run_result -> string
 (** {!run_summary} for a sharded run: the same result-derived lines, with
-    table occupancy/evictions/expiry summed across the shard runtimes and
-    any active shard's fault summary prefixed with its shard index. *)
+    table occupancy/evictions/expiry summed across the shard runtimes, the
+    machine's available core count (what bounds the Domain-parallel
+    executor), and any active shard's fault summary prefixed with its
+    shard index. *)
 
 (** One shard's end-of-run figures, as the sharded runtime reports them
     (Report sits below the shard library, so it takes plain rows). *)

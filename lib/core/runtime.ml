@@ -37,7 +37,7 @@ let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
 type liveness = {
   mutable last_seen : int;
   tuple : Sb_flow.Five_tuple.t;
-  node : Sb_flow.Lru.node;  (* position in the arrival-recency order *)
+  epoch : int;  (* incarnation tag matching this entry's timer-wheel stamp *)
 }
 
 (* Hot-path metric instruments, resolved against the registry once at
@@ -60,9 +60,9 @@ type t = {
   sup : Sb_fault.Supervisor.t;
   nf_names : string array;
   live : liveness Sb_flow.Flow_table.t;  (* idle-expiry bookkeeping *)
-  live_lru : Sb_flow.Lru.t;  (* coldest-first order for the idle sweep *)
+  wheel : Sb_flow.Timer_wheel.t option;  (* Some iff idle expiry is on *)
   mutable expired : int;
-  mutable packets_since_sweep : int;
+  mutable live_epoch : int;  (* next incarnation tag for [live] entries *)
   ins : instruments option;  (* Some iff cfg.obs carries a metrics registry *)
   mutable obs_now_us : float;  (* simulated clock for hooks without a packet
                                   in hand (the LRU-eviction callback) *)
@@ -173,9 +173,15 @@ let create cfg chain =
       sup = Sb_fault.Supervisor.create ?injector:cfg.injector ~obs:cfg.obs cfg.fault_policy;
       nf_names = Array.of_list (List.map (fun nf -> nf.Nf.name) (Chain.nfs chain));
       live = Sb_flow.Flow_table.create ();
-      live_lru = Sb_flow.Lru.create ();
+      wheel =
+        (match cfg.idle_timeout_cycles with
+        | None -> None
+        | Some timeout ->
+            Some
+              (Sb_flow.Timer_wheel.create
+                 ~tick_shift:(Sb_flow.Timer_wheel.tick_shift_for_timeout timeout)));
       expired = 0;
-      packets_since_sweep = 0;
+      live_epoch = 0;
       ins;
       obs_now_us = 0.;
       cls_scratch = [||];
@@ -379,69 +385,71 @@ let cleanup t cls =
   Chain.remove_flow t.chain cls.Classifier.fid;
   Sb_mat.Global_mat.remove_flow t.global cls.Classifier.fid;
   Classifier.forget t.classifier cls.Classifier.tuple;
-  (match Sb_flow.Flow_table.find t.live cls.Classifier.fid with
-  | Some entry -> Sb_flow.Lru.remove t.live_lru entry.node
-  | None -> ());
+  (* Any timer-wheel entry for the flow dangles until it fires, where its
+     stale epoch identifies it as dead — O(1) now beats finding it in its
+     slot. *)
   Sb_flow.Flow_table.remove t.live cls.Classifier.fid
 
-let sweep_interval = 64
+let expire_flow t fid entry now =
+  Chain.remove_flow ~tuple:entry.tuple t.chain fid;
+  Sb_mat.Global_mat.remove_flow t.global fid;
+  Classifier.forget t.classifier entry.tuple;
+  Sb_flow.Flow_table.remove t.live fid;
+  t.expired <- t.expired + 1;
+  if Sb_obs.Sink.armed t.cfg.obs then
+    obs_timeline t ~fid ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+      ~detail:"idle timer" Sb_obs.Timeline.Idle_expired
 
 (* Idle expiry: evict flows whose last packet arrived more than the
    configured timeout ago (arrival clock = packet ingress timestamps).
-   The liveness entries sit in a recency list, so the periodic sweep walks
-   from the cold end and stops at the first live flow — stale flows are
-   found in O(stale), not O(table). *)
-let expire_idle_flows t now =
-  match t.cfg.idle_timeout_cycles with
-  | None -> ()
-  | Some timeout ->
-      t.packets_since_sweep <- t.packets_since_sweep + 1;
-      if t.packets_since_sweep >= sweep_interval then begin
-        t.packets_since_sweep <- 0;
-        Sb_flow.Lru.sweep t.live_lru (fun fid ->
-            match Sb_flow.Flow_table.find t.live fid with
-            | None -> false
-            | Some entry ->
-                if now - entry.last_seen > timeout then begin
-                  Chain.remove_flow t.chain fid;
-                  Sb_mat.Global_mat.remove_flow t.global fid;
-                  Classifier.forget t.classifier entry.tuple;
-                  Sb_flow.Lru.remove t.live_lru entry.node;
-                  Sb_flow.Flow_table.remove t.live fid;
-                  t.expired <- t.expired + 1;
-                  if Sb_obs.Sink.armed t.cfg.obs then
-                    obs_timeline t ~fid ~ts_us:(Sb_sim.Cycles.to_microseconds now)
-                      ~detail:"idle sweep" Sb_obs.Timeline.Idle_expired;
-                  true
-                end
-                else false)
-      end
+   Each recorded flow arms a one-shot timer-wheel entry; a packet for a
+   live flow only rewrites [last_seen] (no wheel operation), and a firing
+   timer either expires the flow or lazily re-arms at [last_seen +
+   timeout].  Advancing past quiet stretches is O(ticks), not O(flows), so
+   the cost stays flat at a million tracked flows. *)
+let expire_idle_flows t wheel timeout now =
+  Sb_flow.Timer_wheel.advance wheel ~now (fun fid stamp ->
+      match Sb_flow.Flow_table.find t.live fid with
+      | Some entry when entry.epoch = stamp ->
+          if now - entry.last_seen > timeout then begin
+            expire_flow t fid entry now;
+            Sb_flow.Timer_wheel.Expire
+          end
+          else Sb_flow.Timer_wheel.Rearm (entry.last_seen + timeout)
+      | Some _ | None ->
+          (* A stale incarnation: the flow was cleaned up (and possibly
+             re-recorded with a fresh stamp) since this timer was armed. *)
+          Sb_flow.Timer_wheel.Expire)
 
-let record_arrival t cls now =
-  let node = Sb_flow.Lru.add t.live_lru cls.Classifier.fid in
+let record_arrival t wheel timeout cls now =
+  let epoch = t.live_epoch in
+  t.live_epoch <- epoch + 1;
   Sb_flow.Flow_table.set t.live cls.Classifier.fid
-    { last_seen = now; tuple = cls.Classifier.tuple; node }
+    { last_seen = now; tuple = cls.Classifier.tuple; epoch };
+  Sb_flow.Timer_wheel.add wheel ~key:cls.Classifier.fid ~stamp:epoch
+    ~deadline:(now + timeout)
 
 let touch t cls now =
-  match t.cfg.idle_timeout_cycles with
-  | None -> ()
-  | Some timeout ->
+  match (t.cfg.idle_timeout_cycles, t.wheel) with
+  | None, _ | _, None -> ()
+  | Some timeout, Some wheel ->
+      (* Fire due timers first: if the arriving flow itself idled out, the
+         wheel tears it down here and the packet re-records below like a
+         fresh flow. *)
+      expire_idle_flows t wheel timeout now;
       (match Sb_flow.Flow_table.find t.live cls.Classifier.fid with
       | Some entry when now - entry.last_seen > timeout ->
-          (* The flow idled out before this packet: tear its rules down so
-             the packet re-walks and re-records, like a fresh flow. *)
+          (* Only reachable when arrivals outrun the wheel's tick
+             quantisation: treat exactly like a wheel-fired expiry. *)
           cleanup t cls;
           t.expired <- t.expired + 1;
           if Sb_obs.Sink.armed t.cfg.obs then
             obs_timeline t ~fid:cls.Classifier.fid
               ~ts_us:(Sb_sim.Cycles.to_microseconds now)
               ~detail:"expired on arrival" Sb_obs.Timeline.Idle_expired;
-          record_arrival t cls now
-      | Some entry ->
-          entry.last_seen <- now;
-          Sb_flow.Lru.touch t.live_lru entry.node
-      | None -> record_arrival t cls now);
-      expire_idle_flows t now
+          record_arrival t wheel timeout cls now
+      | Some entry -> entry.last_seen <- now
+      | None -> record_arrival t wheel timeout cls now)
 
 (* Forwarded packets pay the metadata detach at egress; a dropped packet's
    descriptor is simply released.  One preallocated item, threaded into the

@@ -66,4 +66,10 @@ let process t ctx packet =
 let nf t =
   Speedybox.Nf.make ~name:t.name
     ~state_digest:(fun () -> dump t)
+      (* Idle teardown reclaims counters below the threshold; a flow that
+         earned a block keeps it even through a quiet spell. *)
+    ~remove_flow:(fun tuple ->
+      match Tuple_map.find_opt t.flows tuple with
+      | Some c when c.count < t.threshold -> Tuple_map.remove t.flows tuple
+      | Some _ | None -> ())
     (fun ctx packet -> process t ctx packet)

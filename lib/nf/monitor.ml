@@ -49,4 +49,5 @@ let process t ctx packet =
 let nf t =
   Speedybox.Nf.make ~name:t.name
     ~state_digest:(fun () -> dump t)
+    ~remove_flow:(fun tuple -> Tuple_map.remove t.flows tuple)
     (fun ctx packet -> process t ctx packet)

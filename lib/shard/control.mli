@@ -39,7 +39,8 @@ val broadcast : t -> ?from:int -> msg -> unit
 val drain : t -> shard:int -> (msg -> unit) -> int
 (** Apply the handler to every queued message in arrival order, returning
     how many were absorbed.  Messages posted by the handler itself are
-    left for the next drain. *)
+    left for the next drain.  An empty inbox costs one atomic load — no
+    mutex — so executors can afford a drain at every batch boundary. *)
 
 val absorbed : t -> shard:int -> int
 (** Total messages this shard has drained so far. *)

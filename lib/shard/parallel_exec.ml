@@ -1,11 +1,20 @@
 open Speedybox
 
-(* A ring entry: pristine originals (for flow-time keying) alongside the
-   copies the worker will mutate, both owned by the receiving shard once
-   pushed.  [Stop] ends the worker's loop. *)
-type job = Batch of Sb_packet.Packet.t array * Sb_packet.Packet.t array | Stop
-
 let ring_capacity = 8
+
+(* Batches in flight per (src, dst) pair: [ring_capacity] in the data
+   ring, one open at the producer, one being processed at the consumer.
+   Returning a batch to its free ring therefore never blocks. *)
+let pool_capacity = ring_capacity + 2
+
+(* A mesh transfer unit: up to [burst] pointers to pristine trace
+   originals.  The receiving shard copies them into its own scratch pool
+   before processing — the copy the old feeder did serially now happens in
+   parallel on the consuming domain, and no allocation happens per batch:
+   buffers recycle over the free rings for the whole run. *)
+type batch = { pkts : Sb_packet.Packet.t array; mutable len : int }
+
+let dummy_batch = { pkts = [||]; len = 0 }
 
 let run_trace ?(burst = Runtime.default_burst) t packets =
   if burst < 1 then invalid_arg "Parallel_exec.run_trace: burst must be positive";
@@ -21,67 +30,173 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
   let n = Sharded.shard_count t in
   if n = 1 then Sharded.run_trace ~burst t packets
   else begin
-    let rings = Array.init n (fun _ -> Shard_ring.create ~capacity:ring_capacity) in
+    let originals = Array.of_list packets in
+    let total = Array.length originals in
+    let filler = Sb_packet.Packet.scratch () in
+    (* The N x N mesh: [data.(src).(dst)] carries full batches from the
+       domain that scanned them to the shard that owns them ([src = dst]
+       for a slice's home-shard packets — one uniform path keeps buffering
+       bounded by the pool, wherever the packets came from);
+       [free.(src).(dst)] carries empty batches back.  Each ring has
+       exactly one pushing and one popping domain. *)
+    let mk_data () = Shard_ring.create ~capacity:ring_capacity ~dummy:dummy_batch in
+    let data = Array.init n (fun _ -> Array.init n (fun _ -> mk_data ())) in
+    let free =
+      Array.init n (fun _ ->
+          Array.init n (fun _ ->
+              let r = Shard_ring.create ~capacity:pool_capacity ~dummy:dummy_batch in
+              for _ = 1 to pool_capacity do
+                if not (Shard_ring.try_push r { pkts = Array.make burst filler; len = 0 })
+                then assert false
+              done;
+              r))
+    in
     let accs =
       Array.init n (fun _ -> Runtime.Acc.create ~fid_bits:cfg.Runtime.fid_bits ())
     in
-    let workers =
-      Array.init n (fun s ->
-          Domain.spawn (fun () ->
-              let rt = Sharded.runtime t s in
-              let acc = accs.(s) in
-              let rec loop () =
-                match Shard_ring.pop rings.(s) with
-                | Stop -> ()
-                | Batch (copies, originals) ->
-                    (* Health broadcasts from sibling shards converge at
-                       batch boundaries. *)
-                    Sharded.drain_control t s;
-                    Runtime.process_burst_into rt copies ~off:0
-                      ~len:(Array.length copies) (fun k out ->
-                        Runtime.Acc.consume acc originals.(k) out);
-                    loop ()
-              in
-              loop ()))
+    let worker d =
+      let rt = Sharded.runtime t d in
+      let acc = accs.(d) in
+      (* This domain's slice of the trace: it steers these packets itself,
+         keeping the home-shard ones and exchanging the rest — there is no
+         central feeder to serialise behind. *)
+      let lo = total * d / n and hi = total * (d + 1) / n in
+      let scratch = Array.init burst (fun _ -> Sb_packet.Packet.scratch ()) in
+      let outbox = Array.make n dummy_batch in
+      let cpos = ref 0 in
+      (* No steering bookkeeping here: the plan's directory and counters
+         are plain single-threaded tables, replayed sequentially by
+         [Sharded.absorb_parallel_trace] after the join.  That keeps them
+         bit-identical to the deterministic executor (including under
+         cross-shard fid collisions, which no per-worker note merge can
+         order) and keeps the parallel hot path lean. *)
+      let process_batch src b =
+        (* Health broadcasts from sibling shards converge at batch
+           boundaries. *)
+        Sharded.drain_control t d;
+        let len = b.len in
+        for k = 0 to len - 1 do
+          Sb_packet.Packet.copy_into ~src:b.pkts.(k) ~dst:scratch.(k)
+        done;
+        Runtime.process_burst_into rt scratch ~off:0 ~len (fun k out ->
+            Runtime.Acc.consume acc b.pkts.(k) out);
+        b.len <- 0;
+        if not (Shard_ring.try_push free.(src).(d) b) then assert false
+      in
+      (* One step of in-order consumption: sources drain in slice order
+         (ring [src] fully, then [src+1], ...), which is what keeps a
+         flow's packets in global trace order even when they arrive from
+         different slices.  [blocking] only once this domain has nothing
+         left to scan. *)
+      let consume_step ~blocking =
+        if !cpos >= n then false
+        else begin
+          let src = !cpos in
+          let ring = data.(src).(d) in
+          match Shard_ring.try_pop ring with
+          | Some b ->
+              process_batch src b;
+              true
+          | None ->
+              if Shard_ring.closed_and_drained ring then begin
+                incr cpos;
+                true
+              end
+              else if blocking then begin
+                (match Shard_ring.pop ring with
+                | Some b -> process_batch src b
+                | None -> incr cpos);
+                true
+              end
+              else false
+        end
+      in
+      (* A full peer ring (or exhausted free pool) is relieved by
+         consuming our own input; when there is nothing consumable either
+         we SPIN, we never park while scanning.  Progress is guaranteed
+         for spinners: take the minimal consume position [m] over all
+         domains — some blocked domain sits at [m] with a full or closing
+         inbound ring [m -> c], and because every spinner re-runs
+         [consume_step] each iteration, that domain consumes.  Parking
+         would break exactly this argument: a producer parked on a full
+         ring is not re-checking its own inbox, and the peer wake-up for
+         that inbox goes to consumer-side parkers only — two domains each
+         parked pushing into the other's full ring deadlock (observed on
+         bursty per-flow traces; the slice-order constraint forbids the
+         obvious escape of draining a later source early). *)
+      let rec push_data ring b =
+        if not (Shard_ring.try_push ring b) then begin
+          if not (consume_step ~blocking:false) then Domain.cpu_relax ();
+          push_data ring b
+        end
+      in
+      let rec acquire_batch ring =
+        match Shard_ring.try_pop ring with
+        | Some b -> b
+        | None ->
+            if not (consume_step ~blocking:false) then Domain.cpu_relax ();
+            acquire_batch ring
+      in
+      let scan_pos = ref lo in
+      let scan_chunk budget =
+        let remaining = ref budget in
+        while !remaining > 0 && !scan_pos < hi do
+          let p = originals.(!scan_pos) in
+          let s = Sharded.shard_of_packet t p in
+          let ob =
+            if outbox.(s) == dummy_batch then begin
+              let b = acquire_batch free.(d).(s) in
+              outbox.(s) <- b;
+              b
+            end
+            else outbox.(s)
+          in
+          ob.pkts.(ob.len) <- p;
+          ob.len <- ob.len + 1;
+          if ob.len = burst then begin
+            outbox.(s) <- dummy_batch;
+            push_data data.(d).(s) ob
+          end;
+          incr scan_pos;
+          decr remaining
+        done
+      in
+      while !scan_pos < hi do
+        scan_chunk (4 * burst);
+        ignore (consume_step ~blocking:false : bool)
+      done;
+      (* Flush partial batches and close this domain's outgoing rings —
+         close is the termination signal; no in-band sentinel. *)
+      for s = 0 to n - 1 do
+        let ob = outbox.(s) in
+        if ob != dummy_batch then begin
+          outbox.(s) <- dummy_batch;
+          if ob.len > 0 then push_data data.(d).(s) ob
+        end;
+        Shard_ring.close data.(d).(s)
+      done;
+      while !cpos < n do
+        ignore (consume_step ~blocking:true : bool)
+      done;
+      Sharded.drain_control t d
     in
-    (* The feeder (this thread) steers the trace into per-shard pending
-       buffers and ships each as a batch when it fills; a full ring blocks
-       the feeder — backpressure, never packet loss. *)
-    let pending = Array.make n [] in
-    let pend_len = Array.make n 0 in
-    let flush s =
-      if pend_len.(s) > 0 then begin
-        let originals = Array.of_list (List.rev pending.(s)) in
-        pending.(s) <- [];
-        pend_len.(s) <- 0;
-        let copies = Array.map Sb_packet.Packet.copy originals in
-        Shard_ring.push rings.(s) (Batch (copies, originals))
-      end
-    in
-    List.iter
-      (fun p ->
-        let s = Sharded.shard_of_packet t p in
-        Sharded.note_arrival t s p;
-        pending.(s) <- p :: pending.(s);
-        pend_len.(s) <- pend_len.(s) + 1;
-        if pend_len.(s) >= burst then flush s;
-        Sharded.prune_if_final t p)
-      packets;
-    for s = 0 to n - 1 do
-      flush s;
-      Shard_ring.push rings.(s) Stop
-    done;
-    Array.iter Domain.join workers;
+    (* Shard 0 runs on the calling thread: n shards cost n domains, not
+       n + 1. *)
+    let domains = Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+    worker 0;
+    Array.iter Domain.join domains;
     (* Workers have stopped: absorb any broadcast still queued (a fault on
        one shard's final batch), so health converges across shards. *)
     for s = 0 to n - 1 do
       Sharded.drain_control t s
     done;
     (* Join gives the happens-before edge that makes every worker's
-       accumulator safely readable here. *)
-    let total = accs.(0) in
+       accumulator safely readable here; the steering tables were never
+       shared at all — replay them now, in trace order. *)
+    Sharded.absorb_parallel_trace t originals;
+    let merged = accs.(0) in
     for s = 1 to n - 1 do
-      Runtime.Acc.absorb total accs.(s)
+      Runtime.Acc.absorb merged accs.(s)
     done;
-    Runtime.Acc.result total
+    Runtime.Acc.result merged
   end

@@ -1,16 +1,24 @@
 (** The Domain-parallel executor over a {!Sharded.t} plan.
 
-    One OCaml domain per shard, each looping over a bounded input ring
-    ({!Shard_ring}) of packet batches; the caller's thread steers the
-    trace into per-shard batches, and per-shard accumulators merge into
-    one {!Speedybox.Runtime.run_result} at the end
-    ({!Speedybox.Runtime.Acc.absorb}).  Workers drain their {!Control}
-    inbox at batch boundaries, so fault broadcasts still converge —
-    eventually rather than before-the-very-next-packet, which is why this
-    executor trades the deterministic one's bit-exactness for wall-clock
-    scaling.  Rings block (mutex + condition) rather than spin, so the
-    executor degrades gracefully to time-slicing on fewer cores than
-    shards.
+    Feederless: the trace is split into one contiguous slice per shard,
+    and each domain runs the whole-burst steering prescan over its own
+    slice — home-shard packets and misdirected ones alike travel as
+    pointer batches over an N x N mesh of lock-free SPSC rings
+    ({!Shard_ring}), with empty batches recycling back over return rings
+    so the steady state allocates nothing per batch.  The receiving shard
+    copies originals into its own scratch pool ({!Sb_packet.Packet.copy_into})
+    and processes them with {!Speedybox.Runtime.process_burst_into}; it
+    drains sources in slice order, so a flow's packets keep their global
+    trace order and per-flow results stay bit-exact with the deterministic
+    executor.
+
+    Aggregates equal the deterministic executor's whenever processing is
+    order-independent across shards (per-flow chains, no faults); health
+    broadcasts over {!Control} converge at batch boundaries — eventually
+    rather than before-the-very-next-packet, which is the one freedom this
+    executor trades for wall-clock scaling.  Steering bookkeeping (packet
+    counts, the flow directory) is kept per domain and merged into the
+    plan after the join.
 
     Restrictions, both checked up front: no fault injector (the injector's
     per-NF draw sequences are global mutable state — racing domains over
@@ -25,9 +33,7 @@ val run_trace :
   Sb_packet.Packet.t list ->
   Speedybox.Runtime.run_result
 (** [run_trace ~burst t packets] processes the trace across one domain per
-    shard (batches of [burst], default {!Speedybox.Runtime.default_burst}).
-    Aggregates equal the deterministic executor's whenever processing is
-    order-independent across shards (per-flow chains, no faults); per-flow
-    results always match, since steering is identical.
+    shard — shard 0 on the calling thread — in batches of [burst] (default
+    {!Speedybox.Runtime.default_burst}).
     @raise Invalid_argument when [burst < 1], when the plan carries an
     injector, or when its observability sink is armed. *)

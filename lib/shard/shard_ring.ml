@@ -1,53 +1,203 @@
-type 'a t = {
-  lock : Mutex.t;
-  not_full : Condition.t;
-  not_empty : Condition.t;
-  slots : 'a option array;
-  mutable head : int;  (* next pop *)
-  mutable len : int;
+(* One side of the ring: the cursor this side owns plus its cached view of
+   the peer's cursor.  Grouping them by OWNER (not by cursor) keeps each
+   domain's stores on memory it alone writes; the pad words inflate the
+   record past a cache line so the two sides' blocks cannot share one.
+   OCaml gives no placement control, so this (plus allocating a spacer
+   between the sides) is best-effort padding — the structure, not the
+   layout, is what the SPSC protocol relies on. *)
+type side = {
+  pos : int Atomic.t;  (* owned cursor: monotonically increasing *)
+  mutable peer_cache : int;  (* peer cursor lower bound, refreshed on demand *)
+  mutable pad0 : int;
+  mutable pad1 : int;
+  mutable pad2 : int;
+  mutable pad3 : int;
+  mutable pad4 : int;
+  mutable pad5 : int;
 }
 
-let create ~capacity =
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  dummy : 'a;
+  prod : side;  (* [prod.pos] = next slot to write, owned by the producer *)
+  cons : side;  (* [cons.pos] = next slot to read, owned by the consumer *)
+  closed : bool Atomic.t;
+  (* Parking: a side that exhausted its spin budget raises its own flag
+     and waits on [cond]; the peer broadcasts only when it sees the flag,
+     so the uncontended path never touches the mutex.  One flag per side —
+     with a shared flag, a consumer clearing it on wake-up would erase a
+     concurrently-parking producer's flag and strand it. *)
+  prod_parked : bool Atomic.t;
+  cons_parked : bool Atomic.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+}
+
+let spin_budget = 128
+
+let make_side () =
+  { pos = Atomic.make 0; peer_cache = 0; pad0 = 0; pad1 = 0; pad2 = 0; pad3 = 0;
+    pad4 = 0; pad5 = 0 }
+
+(* Minor-heap allocation is a bump pointer, so an ignored allocation
+   between the two sides spaces their blocks at least a line apart. *)
+let spacer () = Sys.opaque_identity (Array.make 16 0)
+
+let create ~capacity ~dummy =
   if capacity < 1 then invalid_arg "Shard_ring.create: capacity must be positive";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  let prod = make_side () in
+  ignore (spacer ());
+  let cons = make_side () in
+  ignore (spacer ());
   {
-    lock = Mutex.create ();
-    not_full = Condition.create ();
-    not_empty = Condition.create ();
-    slots = Array.make capacity None;
-    head = 0;
-    len = 0;
+    slots = Array.make !cap dummy;
+    mask = !cap - 1;
+    dummy;
+    prod;
+    cons;
+    closed = Atomic.make false;
+    prod_parked = Atomic.make false;
+    cons_parked = Atomic.make false;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
   }
 
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.prod.pos - Atomic.get t.cons.pos
+
+let is_closed t = Atomic.get t.closed
+
+(* Wake the peer if its park flag is up.  Taking the mutex orders the
+   broadcast after the peer's re-check-then-wait, so the wakeup cannot be
+   lost. *)
+let wake t flag =
+  if Atomic.get flag then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
+
+(* Park until [ready] holds.  The flag is set and the condition re-checked
+   under the mutex: the peer either observes the flag (and broadcasts
+   under the same mutex, hence after our wait begins) or its state change
+   is visible to our re-check. *)
+let park t flag ready =
+  Mutex.lock t.mutex;
+  Atomic.set flag true;
+  if not (ready ()) then Condition.wait t.cond t.mutex;
+  Atomic.set flag false;
+  Mutex.unlock t.mutex
+
+let closed_for_push () = invalid_arg "Shard_ring: push to a closed ring"
+
+let try_push t v =
+  if Atomic.get t.closed then closed_for_push ();
+  let tail = Atomic.get t.prod.pos in
+  let cap = t.mask + 1 in
+  if tail - t.prod.peer_cache >= cap then t.prod.peer_cache <- Atomic.get t.cons.pos;
+  if tail - t.prod.peer_cache >= cap then false
+  else begin
+    t.slots.(tail land t.mask) <- v;
+    Atomic.set t.prod.pos (tail + 1);
+    wake t t.cons_parked;
+    true
+  end
+
 let push t v =
-  Mutex.lock t.lock;
-  let cap = Array.length t.slots in
-  while t.len = cap do
-    Condition.wait t.not_full t.lock
-  done;
-  t.slots.((t.head + t.len) mod cap) <- Some v;
-  t.len <- t.len + 1;
-  Condition.signal t.not_empty;
-  Mutex.unlock t.lock
+  let spins = ref spin_budget in
+  while not (try_push t v) do
+    if !spins > 0 then begin
+      decr spins;
+      Domain.cpu_relax ()
+    end
+    else begin
+      park t t.prod_parked (fun () ->
+          Atomic.get t.prod.pos - Atomic.get t.cons.pos < t.mask + 1);
+      spins := spin_budget
+    end
+  done
+
+let push_batch t src ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Array.length src then
+    invalid_arg "Shard_ring.push_batch";
+  if Atomic.get t.closed then closed_for_push ();
+  let tail = Atomic.get t.prod.pos in
+  let cap = t.mask + 1 in
+  if tail + len - t.prod.peer_cache > cap then t.prod.peer_cache <- Atomic.get t.cons.pos;
+  let room = cap - (tail - t.prod.peer_cache) in
+  let n = if len < room then len else room in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      t.slots.((tail + i) land t.mask) <- src.(pos + i)
+    done;
+    Atomic.set t.prod.pos (tail + n);
+    wake t t.cons_parked
+  end;
+  n
+
+let try_pop t =
+  let head = Atomic.get t.cons.pos in
+  if head = t.cons.peer_cache then t.cons.peer_cache <- Atomic.get t.prod.pos;
+  if head = t.cons.peer_cache then None
+  else begin
+    let i = head land t.mask in
+    let v = t.slots.(i) in
+    t.slots.(i) <- t.dummy;
+    Atomic.set t.cons.pos (head + 1);
+    wake t t.prod_parked;
+    Some v
+  end
+
+(* Check closed BEFORE re-reading the producer cursor: the producer's last
+   push precedes its close, so close-then-still-empty means drained. *)
+let closed_and_drained t =
+  Atomic.get t.closed && Atomic.get t.cons.pos = Atomic.get t.prod.pos
 
 let pop t =
-  Mutex.lock t.lock;
-  while t.len = 0 do
-    Condition.wait t.not_empty t.lock
-  done;
-  let v =
-    match t.slots.(t.head) with
-    | Some v -> v
-    | None -> assert false (* len > 0 ⇒ the head slot is filled *)
+  let rec go spins =
+    match try_pop t with
+    | Some _ as v -> v
+    | None ->
+        if closed_and_drained t then None
+        else if spins > 0 then begin
+          Domain.cpu_relax ();
+          go (spins - 1)
+        end
+        else begin
+          park t t.cons_parked (fun () ->
+              Atomic.get t.closed
+              || Atomic.get t.cons.pos <> Atomic.get t.prod.pos);
+          go spin_budget
+        end
   in
-  t.slots.(t.head) <- None;
-  t.head <- (t.head + 1) mod Array.length t.slots;
-  t.len <- t.len - 1;
-  Condition.signal t.not_full;
-  Mutex.unlock t.lock;
-  v
+  go spin_budget
 
-let length t =
-  Mutex.lock t.lock;
-  let n = t.len in
-  Mutex.unlock t.lock;
+let pop_batch t dst =
+  let head = Atomic.get t.cons.pos in
+  if head = t.cons.peer_cache then t.cons.peer_cache <- Atomic.get t.prod.pos;
+  let avail = t.cons.peer_cache - head in
+  let n = if Array.length dst < avail then Array.length dst else avail in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      let s = (head + i) land t.mask in
+      dst.(i) <- t.slots.(s);
+      t.slots.(s) <- t.dummy
+    done;
+    Atomic.set t.cons.pos (head + n);
+    wake t t.prod_parked
+  end;
   n
+
+let close t =
+  Atomic.set t.closed true;
+  (* Unconditional broadcast: close is rare and must never strand a
+     consumer that was between its flag set and its wait. *)
+  Mutex.lock t.mutex;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex

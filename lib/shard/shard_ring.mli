@@ -1,21 +1,66 @@
-(** A bounded blocking queue: the per-shard input ring of the
-    Domain-parallel executor.
+(** A bounded single-producer/single-consumer ring buffer.
 
-    Deliberately {e blocking} (mutex + condition variables), never
-    spinning: the producer sleeps when a shard's ring is full
-    (backpressure), the consumer sleeps when it is empty — so the executor
-    stays correct and civil even on a single-core box, where a spin-wait
-    would starve the domain it is waiting on. *)
+    The hand-off primitive of the Domain-parallel executor: exactly one
+    domain pushes and exactly one domain pops, which lets both sides run
+    lock-free on a pair of monotonically increasing [Atomic] cursors over
+    a power-of-two slot array.  Each side caches the peer's cursor and
+    refreshes it only on apparent full/empty, so an uncontended push or
+    pop is one atomic store plus one plain load — no mutex, no shared
+    write other than the owned cursor.
+
+    Blocking operations back off in three stages: a bounded spin of
+    [Domain.cpu_relax], then parking on a condition variable that the peer
+    signals only when it observes a parked flag — the fast path pays one
+    read-mostly atomic load for that.
+
+    Termination is explicit: the producer calls {!close} after its last
+    push, and {!pop} returns [None] once the ring is closed {e and}
+    drained, replacing in-band stop sentinels. *)
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> dummy:'a -> 'a t
+(** [capacity] (>= 1) is rounded up to a power of two.  [dummy] fills
+    empty slots so popped values are not retained against the GC; it is
+    never returned. *)
 
-val push : 'a t -> 'a -> unit
-(** Blocks while the ring is full. *)
-
-val pop : 'a t -> 'a
-(** Blocks while the ring is empty. *)
+val capacity : 'a t -> int
 
 val length : 'a t -> int
+(** Occupied slots; racy by nature, exact only when both sides are
+    quiescent. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer only.  Blocks (spin, then park) while full.
+    @raise Invalid_argument if the ring is closed. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only.  [false] when full; never blocks.
+    @raise Invalid_argument if the ring is closed. *)
+
+val push_batch : 'a t -> 'a array -> pos:int -> len:int -> int
+(** Producer only.  Pushes as many of [src.(pos .. pos+len-1)] as fit
+    right now under a single cursor publish; returns how many. *)
+
+val pop : 'a t -> 'a option
+(** Consumer only.  Blocks (spin, then park) while empty; [None] once the
+    ring is closed and drained — the producer's last push wins over a
+    concurrent close. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only.  [None] when nothing is available {e right now};
+    distinguish termination with {!closed_and_drained}. *)
+
+val pop_batch : 'a t -> 'a array -> int
+(** Consumer only.  Pops up to [Array.length dst] currently-available
+    items into [dst] under a single cursor publish; returns how many
+    (0 when empty). *)
+
+val close : 'a t -> unit
+(** Producer only, after its final push.  Wakes a parked consumer;
+    idempotent. *)
+
+val is_closed : 'a t -> bool
+
+val closed_and_drained : 'a t -> bool
+(** The consumer will never see another item. *)

@@ -71,14 +71,20 @@ let broadcast t f = Control.broadcast t.control (Control.Apply f)
 
 (* ---- Steering bookkeeping ---- *)
 
-let note_arrival t s packet =
-  t.steered.(s) <- t.steered.(s) + 1;
-  t.now_us <- Sb_sim.Cycles.to_microseconds packet.Sb_packet.Packet.ingress_cycle;
+(* Directory-only part of an arrival, separated so the post-burst
+   sequential replay below can re-establish entries without
+   double-counting [steered]. *)
+let note_seen t s packet =
   match Sb_flow.Five_tuple.of_packet_opt packet with
   | None -> ()
   | Some tuple ->
       let fid = fid_of t tuple in
       if not (Hashtbl.mem t.directory fid) then Hashtbl.replace t.directory fid (tuple, s)
+
+let note_arrival t s packet =
+  t.steered.(s) <- t.steered.(s) + 1;
+  t.now_us <- Sb_sim.Cycles.to_microseconds packet.Sb_packet.Packet.ingress_cycle;
+  note_seen t s packet
 
 (* After a FIN/RST packet has processed (the runtime tore the flow's rules
    and conntrack down), drop both directions' steering state too: a new
@@ -96,6 +102,26 @@ let prune_if_final t packet =
         Hashtbl.remove t.overrides rfid
       end
   | Some _ | None -> ()
+
+(* ---- Parallel-run bookkeeping ----
+
+   The steering tables above are plain Hashtbls, touched only
+   single-threaded.  The parallel executor's workers therefore never
+   touch them: after [Domain.join] the main thread replays the trace's
+   steering events here — the same code in the same order as the
+   deterministic executor, so counters, clock and directory end
+   bit-identical to a deterministic run.  (Per-worker net-state notes
+   cannot achieve this: two distinct flows on different shards may
+   collide on one fid, and no per-shard summary can recover how their
+   arrivals and FINs interleaved in trace order.) *)
+
+let absorb_parallel_trace t originals =
+  Array.iter
+    (fun p ->
+      let s = shard_of_packet t p in
+      note_arrival t s p;
+      prune_if_final t p)
+    originals
 
 (* ---- Migration ---- *)
 
@@ -304,7 +330,15 @@ let run_trace ?on_output ?(burst = Runtime.default_burst) t packets =
       Runtime.process_burst_into t.runtimes.(s) seg ~off:0 ~len (fun k out ->
           Runtime.Acc.consume acc originals.(base + k) out;
           Option.iter (fun f -> f originals.(base + k) out) on_output);
+      (* Sequential replay of the directory events: per packet in trace
+         order, arrival then prune.  This makes the end state independent
+         of where burst boundaries fall — a flow that closes and restarts
+         inside one burst stays in the directory, exactly as it would had
+         the FIN and the new SYN landed in different bursts (and exactly
+         as the parallel executor, whose batch boundaries differ, computes
+         it). *)
       for k = 0 to len - 1 do
+        note_seen t s originals.(base + k);
         prune_if_final t originals.(base + k)
       done;
       i := !j

@@ -105,3 +105,13 @@ val note_arrival : t -> int -> Sb_packet.Packet.t -> unit
 val prune_if_final : t -> Sb_packet.Packet.t -> unit
 (** Drop both directions' steering state after a FIN/RST packet has been
     handed off for processing. *)
+
+val absorb_parallel_trace : t -> Sb_packet.Packet.t array -> unit
+(** Replay the whole trace's steering bookkeeping ({!note_arrival} then
+    {!prune_if_final} per packet, in trace order) after a parallel run's
+    [Domain.join].  Running the deterministic executor's own bookkeeping
+    sequentially is what keeps counters, clock and directory bit-identical
+    to a deterministic run even when two distinct flows on different
+    shards collide on one fid — no per-worker note merge can order such
+    interleavings, and it also keeps bookkeeping off the parallel hot
+    path. *)

@@ -1,14 +1,48 @@
+(* Count, mean, min and max are exact over every sample ever added.  Order
+   statistics (percentiles, CDFs) read a uniform reservoir (Vitter's
+   algorithm R) of at most [reservoir_cap] samples, so an accumulator's
+   memory is bounded no matter how many packets a run streams — a
+   million-flow load sweep must not retain a float per packet.  Below the
+   cap nothing is discarded and every statistic is exact, which covers the
+   differential tests that compare accumulators sample-for-sample. *)
+let reservoir_cap = 1 lsl 16
+
 type t = {
   mutable data : float array;
-  mutable len : int;
+  mutable len : int;  (* filled reservoir slots, <= reservoir_cap *)
+  mutable seen : int;  (* samples offered over the accumulator's life *)
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
   mutable sorted : bool;
+  mutable rng : int;  (* xorshift state for replacement draws *)
 }
 
-let create () = { data = Array.make 64 0.; len = 0; sorted = true }
+let create () =
+  {
+    data = Array.make 64 0.;
+    len = 0;
+    seen = 0;
+    sum = 0.;
+    lo = infinity;
+    hi = neg_infinity;
+    sorted = true;
+    rng = 0x9e3779b9;
+  }
 
-let add t x =
+(* Deterministic xorshift: reservoir contents depend only on the sample
+   sequence, never on global randomness. *)
+let draw t bound =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  t.rng <- x land max_int;
+  t.rng mod bound
+
+let store t x =
   if t.len = Array.length t.data then begin
-    let bigger = Array.make (2 * t.len) 0. in
+    let bigger = Array.make (min reservoir_cap (2 * t.len)) 0. in
     Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
   end;
@@ -16,9 +50,23 @@ let add t x =
   t.len <- t.len + 1;
   t.sorted <- false
 
+let add t x =
+  t.seen <- t.seen + 1;
+  t.sum <- t.sum +. x;
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  if t.len < reservoir_cap then store t x
+  else begin
+    let j = draw t t.seen in
+    if j < reservoir_cap then begin
+      t.data.(j) <- x;
+      t.sorted <- false
+    end
+  end
+
 let add_int t x = add t (float_of_int x)
 
-let count t = t.len
+let count t = t.seen
 
 let ensure_sorted t =
   if not t.sorted then begin
@@ -28,29 +76,11 @@ let ensure_sorted t =
     t.sorted <- true
   end
 
-let mean t =
-  if t.len = 0 then nan
-  else begin
-    let sum = ref 0. in
-    for i = 0 to t.len - 1 do
-      sum := !sum +. t.data.(i)
-    done;
-    !sum /. float_of_int t.len
-  end
+let mean t = if t.seen = 0 then nan else t.sum /. float_of_int t.seen
 
-let min_value t =
-  if t.len = 0 then nan
-  else begin
-    ensure_sorted t;
-    t.data.(0)
-  end
+let min_value t = if t.seen = 0 then nan else t.lo
 
-let max_value t =
-  if t.len = 0 then nan
-  else begin
-    ensure_sorted t;
-    t.data.(t.len - 1)
-  end
+let max_value t = if t.seen = 0 then nan else t.hi
 
 let percentile t p =
   if t.len = 0 then nan
@@ -69,20 +99,32 @@ let percentile t p =
 
 let median t = percentile t 50.
 
-(* Bulk sample merge, for combining per-shard accumulators: the dst grows
-   at most once and the samples land unsorted (sorting is deferred to the
-   next order-statistic query, as with [add]). *)
+(* Bulk merge, for combining per-shard accumulators.  The exact aggregates
+   merge exactly; the reservoirs concatenate while they fit (the common
+   case — shard runs stay far below the cap, so the merge stays
+   sample-for-sample exact).  Overflowing samples displace random slots,
+   which keeps the reservoir a fair-enough mixture without re-weighting. *)
 let absorb dst src =
+  dst.seen <- dst.seen + src.seen;
+  dst.sum <- dst.sum +. src.sum;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi;
   if src.len > 0 then begin
-    let need = dst.len + src.len in
-    if need > Array.length dst.data then begin
-      let rec cap n = if n >= need then n else cap (2 * n) in
-      let bigger = Array.make (cap (Array.length dst.data)) 0. in
-      Array.blit dst.data 0 bigger 0 dst.len;
-      dst.data <- bigger
+    let fits = min src.len (reservoir_cap - dst.len) in
+    if fits > 0 then begin
+      let need = dst.len + fits in
+      if need > Array.length dst.data then begin
+        let rec cap n = if n >= need then n else cap (2 * n) in
+        let bigger = Array.make (min reservoir_cap (cap (Array.length dst.data))) 0. in
+        Array.blit dst.data 0 bigger 0 dst.len;
+        dst.data <- bigger
+      end;
+      Array.blit src.data 0 dst.data dst.len fits;
+      dst.len <- need
     end;
-    Array.blit src.data 0 dst.data dst.len src.len;
-    dst.len <- need;
+    for i = fits to src.len - 1 do
+      dst.data.(draw dst reservoir_cap) <- src.data.(i)
+    done;
     dst.sorted <- false
   end
 
@@ -112,7 +154,7 @@ type summary = {
 
 let summarize t =
   {
-    n = t.len;
+    n = t.seen;
     mean = mean t;
     p50 = percentile t 50.;
     p90 = percentile t 90.;

@@ -1,5 +1,11 @@
 (** Sample accumulators for latency/throughput reporting: means, percentiles
-    and CDFs, matching the quantities the paper's figures plot. *)
+    and CDFs, matching the quantities the paper's figures plot.
+
+    Memory is bounded: count, mean, min and max are exact over every
+    sample, while order statistics are computed over a uniform reservoir
+    of at most 65536 samples (exact below that, an unbiased estimate
+    beyond it) — so accumulators stay small even when a run streams
+    millions of packets. *)
 
 type t
 
@@ -33,7 +39,8 @@ val cdf : t -> points:int -> (float * float) list
     cumulative probabilities; each pair is [(value, probability)]. *)
 
 val values : t -> float array
-(** A sorted copy of all samples. *)
+(** A sorted copy of the retained samples (all of them below the
+    reservoir cap). *)
 
 (** A one-line summary record for table printing. *)
 type summary = {

@@ -28,6 +28,11 @@
 #     recorded >= 4 available cores ("speedybox/shard/available-cores");
 #     on smaller machines the figures are printed but not gated.
 #
+# Scale sweep contract (same-run ratio): the per-packet cost of the
+# idle-expiry stream at 1M flows must stay within SCALE_GROWTH (default
+# 8.0) of the 10k-flow figure — a linear expiry sweep fails this by
+# orders of magnitude.  Skipped when the JSON predates the scale sweep.
+#
 # Usage: scripts/check_bench.sh [BENCH_fastpath.json]
 set -eu
 
@@ -36,18 +41,20 @@ TOLERANCE="${TOLERANCE:-1.05}"
 BURST_SPEEDUP="${BURST_SPEEDUP:-0.75}"
 SHARD_OVERHEAD="${SHARD_OVERHEAD:-1.10}"
 SHARD_SPEEDUP="${SHARD_SPEEDUP:-1.5}"
+SCALE_GROWTH="${SCALE_GROWTH:-8.0}"
 
 if [ ! -f "$BENCH_FILE" ]; then
   echo "check_bench: $BENCH_FILE not found" >&2
   exit 1
 fi
 
-python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" <<'EOF'
+python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" <<'EOF'
 import json
 import sys
 
 path, tolerance, burst_speedup = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 shard_overhead, shard_speedup = float(sys.argv[4]), float(sys.argv[5])
+scale_growth = float(sys.argv[6])
 data = json.load(open(path))
 
 GUARDED = [
@@ -158,6 +165,31 @@ else:
         f"  deterministic-4 {det4:.1f} ns, parallel-4 {par4:.1f} ns/packet, "
         f"speedup {speedup:.2f}x -> SKIPPED (needs >= 4 cores to be meaningful)"
     )
+
+# Scale sweep (PR 6): per-packet cost must stay roughly flat as the flow
+# population grows 100x — the timer wheel's O(ticks) expiry against the
+# linear sweep's O(live flows) per advance.  Same-run ratio, generous
+# bound: table growth legitimately costs cache misses, a linear sweep
+# would cost orders of magnitude.
+small = data["current"].get("speedybox/scale/10k-flows idle-expiry stream (ns per packet)")
+large = data["current"].get("speedybox/scale/1M-flows idle-expiry stream (ns per packet)")
+if small is None or large is None:
+    print("check_bench: scale sweep entries absent -> SKIPPED (re-record to gate)")
+else:
+    ratio = large / small
+    verdict = "OK" if ratio <= scale_growth else "FAIL"
+    print(
+        f"check_bench: scale sweep flatness (10k -> 1M flows)\n"
+        f"  10k {small:.1f} ns/packet, 1M {large:.1f} ns/packet, "
+        f"ratio {ratio:.2f} (need <= {scale_growth:.2f}) -> {verdict}"
+    )
+    if ratio > scale_growth:
+        print(
+            "check_bench: per-packet cost blows up with the flow population "
+            "(is idle expiry scanning linearly?)",
+            file=sys.stderr,
+        )
+        failed = True
 
 sys.exit(1 if failed else 0)
 EOF

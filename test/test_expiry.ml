@@ -81,6 +81,27 @@ let test_poisson_stamping () =
        false
      with Invalid_argument _ -> true)
 
+let test_expiry_reclaims_nf_state () =
+  (* Idle expiry also tears down the NFs' own per-flow state via their
+     remove_flow hooks — the point of bounded memory at scale.  The
+     monitor's counter table must shrink when a flow is swept. *)
+  let mon = Sb_nf.Monitor.create () in
+  let rt =
+    Speedybox.Runtime.create
+      (Speedybox.Runtime.config ~idle_timeout_cycles:10_000 ())
+      (Speedybox.Chain.create ~name:"mon" [ Sb_nf.Monitor.nf mon ])
+  in
+  ignore (Speedybox.Runtime.process_packet rt (timed_packet ~at:0));
+  Alcotest.(check int) "monitor tracks the flow" 1 (Sb_nf.Monitor.flow_count mon);
+  (* Other-flow traffic past the timeout drives the sweep. *)
+  for i = 1 to 50 do
+    let p = Test_util.udp_packet ~sport:49000 ~dport:53 () in
+    p.Packet.ingress_cycle <- 20_000 + (i * 100);
+    ignore (Speedybox.Runtime.process_packet rt p)
+  done;
+  Alcotest.(check int) "abandoned flow swept" 1 (Speedybox.Runtime.expired_flows rt);
+  Alcotest.(check int) "monitor state reclaimed" 1 (Sb_nf.Monitor.flow_count mon)
+
 let test_expiry_preserves_equivalence () =
   (* With aggressive expiry, outputs and state still match the original
      chain: expiry only forces re-recording. *)
@@ -112,5 +133,6 @@ let suite =
     Alcotest.test_case "untimed packets never expire" `Quick test_untimed_packets_never_expire;
     Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
     Alcotest.test_case "poisson stamping" `Quick test_poisson_stamping;
+    Alcotest.test_case "expiry reclaims NF state" `Quick test_expiry_reclaims_nf_state;
     Alcotest.test_case "expiry preserves equivalence" `Quick test_expiry_preserves_equivalence;
   ]

@@ -1,0 +1,106 @@
+(* The SPSC ring under real concurrency: one producer domain, one consumer
+   domain, asserting the contract the parallel executor leans on — every
+   pushed value arrives exactly once, in push order, and close-then-drain
+   terminates the consumer. *)
+open Sb_shard
+
+let test_fifo_stress () =
+  (* A tiny ring forces constant wrap-around, full/empty transitions and
+     the spin -> park backoff on both sides. *)
+  let ring = Shard_ring.create ~capacity:4 ~dummy:(-1) in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Shard_ring.push ring i
+        done;
+        Shard_ring.close ring)
+  in
+  let next = ref 0 in
+  let rec drain () =
+    match Shard_ring.pop ring with
+    | Some v ->
+        if v <> !next then
+          Alcotest.failf "out of order: got %d, expected %d" v !next;
+        incr next;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check int) "every value arrived exactly once" n !next;
+  Alcotest.(check bool) "closed and drained" true (Shard_ring.closed_and_drained ring)
+
+let test_batch_stress () =
+  (* Batched push against batched pop, with mismatched chunk sizes so the
+     cursors publish at different granularities. *)
+  let ring = Shard_ring.create ~capacity:8 ~dummy:(-1) in
+  let n = 8_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        let src = Array.init n (fun i -> i) in
+        let pos = ref 0 in
+        while !pos < n do
+          let chunk = min (1 + (!pos mod 5)) (n - !pos) in
+          let pushed = Shard_ring.push_batch ring src ~pos:!pos ~len:chunk in
+          if pushed = 0 then Domain.cpu_relax ();
+          pos := !pos + pushed
+        done;
+        Shard_ring.close ring)
+  in
+  let buf = Array.make 7 (-1) in
+  let next = ref 0 in
+  let running = ref true in
+  while !running do
+    let got = Shard_ring.pop_batch ring buf in
+    if got = 0 then
+      if Shard_ring.closed_and_drained ring then running := false
+      else Domain.cpu_relax ()
+    else
+      for k = 0 to got - 1 do
+        if buf.(k) <> !next then
+          Alcotest.failf "batch out of order: got %d, expected %d" buf.(k) !next;
+        incr next
+      done
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "every value arrived exactly once" n !next
+
+let test_close_semantics () =
+  let ring = Shard_ring.create ~capacity:4 ~dummy:0 in
+  Alcotest.(check bool) "push" true (Shard_ring.try_push ring 1);
+  Alcotest.(check bool) "push" true (Shard_ring.try_push ring 2);
+  Shard_ring.close ring;
+  Alcotest.(check bool) "closed" true (Shard_ring.is_closed ring);
+  Alcotest.(check bool) "close does not drop queued items" false
+    (Shard_ring.closed_and_drained ring);
+  (match Shard_ring.try_push ring 3 with
+  | _ -> Alcotest.fail "push after close must be rejected"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (option int)) "first" (Some 1) (Shard_ring.pop ring);
+  Alcotest.(check (option int)) "second" (Some 2) (Shard_ring.pop ring);
+  Alcotest.(check (option int)) "then closed" None (Shard_ring.pop ring);
+  Alcotest.(check (option int)) "stays closed" None (Shard_ring.pop ring)
+
+let test_capacity_and_empty () =
+  let ring = Shard_ring.create ~capacity:5 ~dummy:0 in
+  Alcotest.(check int) "capacity rounds up to a power of two" 8
+    (Shard_ring.capacity ring);
+  Alcotest.(check (option int)) "empty try_pop" None (Shard_ring.try_pop ring);
+  Alcotest.(check bool) "empty but not terminated" false
+    (Shard_ring.closed_and_drained ring);
+  for i = 1 to 8 do
+    Alcotest.(check bool) "fills to capacity" true (Shard_ring.try_push ring i)
+  done;
+  Alcotest.(check bool) "rejects when full" false (Shard_ring.try_push ring 9);
+  Alcotest.(check int) "length" 8 (Shard_ring.length ring);
+  Alcotest.(check (option int)) "pops" (Some 1) (Shard_ring.try_pop ring);
+  Alcotest.(check bool) "space again" true (Shard_ring.try_push ring 9)
+
+let suite =
+  [
+    Alcotest.test_case "SPSC fifo stress (two domains)" `Quick test_fifo_stress;
+    Alcotest.test_case "SPSC batch stress (two domains)" `Quick test_batch_stress;
+    Alcotest.test_case "close semantics" `Quick test_close_semantics;
+    Alcotest.test_case "capacity and emptiness" `Quick test_capacity_and_empty;
+  ]

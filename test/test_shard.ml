@@ -472,6 +472,36 @@ let test_parallel_matches_deterministic () =
     = merged_digests
         (List.init 3 (fun i -> Speedybox.Runtime.chain (Sb_shard.Sharded.runtime sh i))))
 
+let test_parallel_dir_collisions () =
+  (* With a tiny fid space, two distinct flows on *different* shards
+     collide on one fid, and their arrivals and FIN-prunes interleave in
+     trace order across shards.  The end-of-run directory (the per-shard
+     [flows] column) must still match the deterministic executor exactly —
+     which only works because the parallel run replays the steering
+     bookkeeping sequentially after the join rather than merging
+     per-worker notes. *)
+  List.iter
+    (fun seed ->
+      let trace = Test_burst.random_trace seed in
+      let build = builder "monitor" in
+      let mk () =
+        Sb_shard.Sharded.create ~shards:3
+          (Speedybox.Runtime.config ~fid_bits:6 ())
+          (fun _ -> build ())
+      in
+      let det_plan = mk () in
+      let det = Sb_shard.Sharded.run_trace ~burst:16 det_plan trace in
+      let par_plan = mk () in
+      let par = Sb_shard.Parallel_exec.run_trace ~burst:16 par_plan trace in
+      Alcotest.(check int)
+        (Printf.sprintf "packets (seed %d)" seed)
+        det.Speedybox.Runtime.packets par.Speedybox.Runtime.packets;
+      Alcotest.(check bool)
+        (Printf.sprintf "shard stats identical (seed %d)" seed)
+        true
+        (Sb_shard.Sharded.stats det_plan = Sb_shard.Sharded.stats par_plan))
+    [ 1; 5; 9; 13 ]
+
 let test_parallel_guards () =
   let build = builder "monitor" in
   let inj = Sb_fault.Injector.create ~seed:1 () in
@@ -520,5 +550,7 @@ let suite =
     Alcotest.test_case "drain_shard and rebalance" `Quick test_drain_shard_and_rebalance;
     Alcotest.test_case "parallel executor matches deterministic" `Quick
       test_parallel_matches_deterministic;
+    Alcotest.test_case "parallel directory under fid collisions" `Quick
+      test_parallel_dir_collisions;
     Alcotest.test_case "parallel executor guards" `Quick test_parallel_guards;
   ]

@@ -1,0 +1,185 @@
+(* The hierarchical timer wheel against a linear-sweep reference model.
+
+   The contract the runtime's idle expiry relies on: after [advance ~now],
+   the set of expired keys is exactly [{ k | now - last_seen k > timeout }]
+   — the same set a full linear scan over the liveness table would evict —
+   regardless of tick quantisation, lazy re-arms, cascades between levels
+   or dangling entries left by cancels.  The property test drives both the
+   wheel (with runtime-style epoch-stamped liveness entries) and the model
+   through randomized arm/touch/cancel/advance schedules and compares
+   after every advance. *)
+
+module Wheel = Sb_flow.Timer_wheel
+
+type entry = { mutable last_seen : int; epoch : int }
+
+type sim = {
+  wheel : Wheel.t;
+  live : (int, entry) Hashtbl.t;  (* wheel-side liveness, epoch-tagged *)
+  model : (int, int) Hashtbl.t;  (* reference: key -> last_seen *)
+  timeout : int;
+  mutable epoch : int;
+  mutable now : int;
+  mutable expired_wheel : int list;
+  mutable expired_model : int list;
+}
+
+let make_sim timeout =
+  {
+    wheel = Wheel.create ~tick_shift:(Wheel.tick_shift_for_timeout timeout);
+    live = Hashtbl.create 64;
+    model = Hashtbl.create 64;
+    timeout;
+    epoch = 0;
+    now = 0;
+    expired_wheel = [];
+    expired_model = [];
+  }
+
+let advance sim =
+  Wheel.advance sim.wheel ~now:sim.now (fun key stamp ->
+      match Hashtbl.find_opt sim.live key with
+      | Some e when e.epoch = stamp ->
+          if sim.now - e.last_seen > sim.timeout then begin
+            Hashtbl.remove sim.live key;
+            sim.expired_wheel <- key :: sim.expired_wheel;
+            Wheel.Expire
+          end
+          else Wheel.Rearm (e.last_seen + sim.timeout)
+      | Some _ | None -> Wheel.Expire (* stale incarnation: just drop *));
+  let stale =
+    Hashtbl.fold
+      (fun k ls acc -> if sim.now - ls > sim.timeout then k :: acc else acc)
+      sim.model []
+  in
+  List.iter
+    (fun k ->
+      Hashtbl.remove sim.model k;
+      sim.expired_model <- k :: sim.expired_model)
+    stale
+
+let check_agreement sim =
+  let sorted l = List.sort Int.compare l in
+  if sorted sim.expired_wheel <> sorted sim.expired_model then
+    Alcotest.failf "expired sets diverge at t=%d: wheel [%s] model [%s]" sim.now
+      (String.concat ";" (List.map string_of_int (sorted sim.expired_wheel)))
+      (String.concat ";" (List.map string_of_int (sorted sim.expired_model)));
+  let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+  if sorted (keys sim.live) <> sorted (keys sim.model) then
+    Alcotest.failf "live sets diverge at t=%d" sim.now
+
+(* Mirrors the runtime's [touch]: timers fire for the current clock before
+   the arrival is recorded, and a live flow's arrival is a plain
+   [last_seen] update — no wheel operation. *)
+let arrive sim key =
+  advance sim;
+  (match Hashtbl.find_opt sim.live key with
+  | Some e -> e.last_seen <- sim.now
+  | None ->
+      let epoch = sim.epoch in
+      sim.epoch <- epoch + 1;
+      Hashtbl.replace sim.live key { last_seen = sim.now; epoch };
+      Wheel.add sim.wheel ~key ~stamp:epoch ~deadline:(sim.now + sim.timeout));
+  Hashtbl.replace sim.model key sim.now
+
+(* Mirrors [Runtime.cleanup]: the flow dies outside the expiry path and
+   its wheel entry dangles until the stale stamp is collected. *)
+let cancel sim key =
+  Hashtbl.remove sim.live key;
+  Hashtbl.remove sim.model key
+
+type op = Arrive of int * int | Cancel of int | Advance of int
+
+let apply sim = function
+  | Arrive (key, dt) ->
+      sim.now <- sim.now + dt;
+      arrive sim key
+  | Cancel key -> cancel sim key
+  | Advance dt ->
+      sim.now <- sim.now + dt;
+      advance sim;
+      check_agreement sim
+
+let op_gen timeout =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k dt -> Arrive (k, dt)) (int_bound 15) (int_bound (timeout / 2)));
+        (1, map (fun k -> Cancel k) (int_bound 15));
+        (3, map (fun dt -> Advance dt) (int_bound (2 * timeout)));
+        (* Rare long jumps cross level-1/2 cascade boundaries. *)
+        (1, map (fun dt -> Advance (dt * 997)) (int_bound (50 * timeout)));
+      ])
+
+let prop_matches_linear_sweep =
+  QCheck.Test.make ~count:200 ~name:"wheel expiry = linear sweep"
+    (QCheck.make QCheck.Gen.(list_size (int_range 10 300) (op_gen 1_000)))
+    (fun ops ->
+      let sim = make_sim 1_000 in
+      List.iter (apply sim) ops;
+      sim.now <- sim.now + (3 * 1_000);
+      advance sim;
+      check_agreement sim;
+      true)
+
+let test_cascade_levels () =
+  (* One abandoned flow, then jumps that land in successively higher
+     wheel levels; each advance must still find it exactly once. *)
+  List.iter
+    (fun jump ->
+      let sim = make_sim 1_000 in
+      arrive sim 7;
+      sim.now <- sim.now + jump;
+      advance sim;
+      check_agreement sim;
+      Alcotest.(check (list int))
+        (Printf.sprintf "expired after jump %d" jump)
+        [ 7 ] sim.expired_wheel)
+    [ 1_001; 40_000; 1_000_000; 300_000_000; 1 lsl 45 ]
+
+let test_rearm_keeps_flow_alive () =
+  let sim = make_sim 1_000 in
+  arrive sim 3;
+  (* Touches spaced under the timeout: lazy re-arms must chain without
+     ever expiring, across many wheel revolutions. *)
+  for _ = 1 to 500 do
+    sim.now <- sim.now + 900;
+    arrive sim 3
+  done;
+  Alcotest.(check (list int)) "never expired" [] sim.expired_wheel;
+  Alcotest.(check int) "one armed entry, not one per touch" 1 (Wheel.length sim.wheel)
+
+let test_cancel_and_reuse () =
+  let sim = make_sim 1_000 in
+  arrive sim 9;
+  cancel sim 9;
+  sim.now <- sim.now + 10;
+  (* Same key returns with a fresh epoch while the dangling entry is still
+     armed: the stale stamp must not expire the new incarnation. *)
+  arrive sim 9;
+  sim.now <- sim.now + 500;
+  advance sim;
+  check_agreement sim;
+  Alcotest.(check (list int)) "no false expiry" [] sim.expired_wheel;
+  sim.now <- sim.now + 2_000;
+  advance sim;
+  check_agreement sim;
+  Alcotest.(check (list int)) "real expiry still fires" [ 9 ] sim.expired_wheel
+
+let test_clear () =
+  let w = Wheel.create ~tick_shift:4 in
+  Wheel.add w ~key:1 ~stamp:0 ~deadline:100;
+  Wheel.add w ~key:2 ~stamp:1 ~deadline:200;
+  Alcotest.(check int) "armed" 2 (Wheel.length w);
+  Wheel.clear w;
+  Alcotest.(check int) "cleared" 0 (Wheel.length w);
+  Wheel.advance w ~now:10_000 (fun _ _ -> Alcotest.fail "fired after clear")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_matches_linear_sweep;
+    Alcotest.test_case "cascades across levels" `Quick test_cascade_levels;
+    Alcotest.test_case "lazy re-arm keeps flows alive" `Quick test_rearm_keeps_flow_alive;
+    Alcotest.test_case "cancel leaves no false expiry" `Quick test_cancel_and_reuse;
+    Alcotest.test_case "clear" `Quick test_clear;
+  ]
