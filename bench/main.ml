@@ -26,6 +26,7 @@ let sections json : (string * string * (unit -> unit)) list =
     ("eventrate", "fast-path cost vs event frequency (extension)", Sb_experiments.Event_rate.run);
     ("staged", "staged ONVM executor: races, reordering, queueing (extension)", Sb_experiments.Staged_pipeline.run);
     ("ablations", "design-choice ablations (A1-A4)", Sb_experiments.Ablations.run);
+    ("impair", "adversarial-impairment correctness matrix (robustness extension)", Sb_experiments.Impair_matrix.run);
     ("scale", "million-flow idle-expiry load sweep", fun () -> ignore (Scale_sweep.run ()));
     ( "micro",
       "Bechamel wall-clock microbenchmarks",

@@ -331,6 +331,45 @@ let test_shard_parallel_4 =
          let sh, trace = Lazy.force state in
          Sb_shard.Parallel_exec.run_trace ~burst:burst_size sh trace))
 
+(* The robustness bench: the burst fast path fed a deterministically
+   impaired trace (moderate reorder + duplication + loss over 64 flows x
+   32 packets).  Duplicates exercise the DoS-style dedup window and the
+   rule memo under repeated bytes; reordering breaks up same-flow
+   stretches; loss shrinks them.  check_bench.sh guards this against its
+   own baseline, while the unimpaired fast-path benches above guard the
+   "clean traffic pays nothing" half of the acceptance bound. *)
+let impaired_trace_len, test_impaired_fastpath =
+  let clean =
+    List.concat
+      (List.init 64 (fun f ->
+           List.init 32 (fun _ ->
+               Sb_packet.Packet.tcp
+                 ~payload:(String.make 64 'x')
+                 ~src:(ip (Printf.sprintf "10.5.0.%d" (f + 1)))
+                 ~dst:(ip "192.168.1.10") ~src_port:(44000 + f) ~dst_port:80 ())))
+  in
+  let spec =
+    match Sb_impair.Impair.parse_spec "reorder:0.1,dup:0.05,loss:0.05" with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let impaired, _ = Sb_impair.Impair.apply ~seed:42 spec clean in
+  let state =
+    lazy
+      (let chain =
+         Speedybox.Chain.create ~name:"bench-impaired"
+           [ Sb_nf.Monitor.nf (Sb_nf.Monitor.create ()) ]
+       in
+       let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) chain in
+       ignore (Speedybox.Runtime.run_trace ~burst:burst_size rt impaired);
+       (rt, impaired))
+  in
+  ( List.length impaired,
+    Test.make ~name:"runtime/impaired-fastpath burst-32 (reorder+dup+loss, per packet)"
+      (Staged.stage (fun () ->
+           let rt, impaired = Lazy.force state in
+           Speedybox.Runtime.run_trace ~burst:burst_size rt impaired)) )
+
 let test_checksum_full =
   let packet = sample_packet () in
   let l3 = Sb_packet.Packet.l3_offset packet in
@@ -365,6 +404,7 @@ let tests_single_threaded () =
       test_lru_churn;
       test_burst_fast_path;
       test_burst_lru_churn;
+      test_impaired_fastpath;
       test_checksum_full;
       test_checksum_incremental;
       test_shard_unsharded;
@@ -380,6 +420,8 @@ let per_run_packets =
   [
     ("speedybox/runtime/burst-32 fast-path (NAT+Monitor, per packet)", burst_size);
     ("speedybox/runtime/burst lru-churn (64 flows, 32-rule cap, per packet)", burst_size);
+    ( "speedybox/runtime/impaired-fastpath burst-32 (reorder+dup+loss, per packet)",
+      impaired_trace_len );
     ("speedybox/shard/unsharded run_trace (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/deterministic-1 (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/deterministic-4 (64 flows x 32, per packet)", shard_trace_len);

@@ -175,6 +175,24 @@ let build_sink ~metrics_out ~trace_out ~trace_flows =
     Sb_obs.Sink.create ~metrics:(metrics_out <> None) ~trace:(trace_out <> None)
       ?trace_flows ()
 
+(* Impairment stage (see lib/impair) *)
+
+let impair_arg =
+  let doc =
+    "Impair the trace before it reaches the executor: a comma-separated \
+     mutator spec such as $(b,reorder:0.05,dup:0.01,loss:0.02).  Mutators: \
+     $(b,reorder), $(b,loss), $(b,dup), $(b,corrupt), $(b,corrupt-fix), \
+     $(b,retrans), $(b,delay), $(b,blackhole); rates in [0,1].  The \
+     impaired trace is a deterministic function of the spec and \
+     $(b,--impair-seed).  Corrupting mutators arm checksum verification at \
+     the classifier."
+  in
+  Arg.(value & opt (some string) None & info [ "impair" ] ~docv:"SPEC" ~doc)
+
+let impair_seed_arg =
+  let doc = "Seed for the impairment stage's per-mutator RNGs." in
+  Arg.(value & opt int 1 & info [ "impair-seed" ] ~docv:"SEED" ~doc)
+
 (* Fault injection (see lib/fault) *)
 
 let inject_arg =
@@ -254,7 +272,7 @@ let staged_run build ?injector ~obs ~burst trace rate =
 
 let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
     show_stages staged_rate burst shards shard_parallel inject fault_seed on_failure
-    metrics_out trace_out trace_flows =
+    impair impair_seed metrics_out trace_out trace_flows =
   if burst < 1 then begin
     prerr_endline "speedybox: --burst must be >= 1";
     exit 2
@@ -296,84 +314,112 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
           prerr_endline msg;
           1
   in
+  (* --impair parse errors surface like every other bad option: one line,
+     exit 1, no backtrace. *)
+  let impair_spec =
+    match impair with
+    | None -> Ok None
+    | Some spec ->
+        Result.fold
+          ~ok:(fun s -> Ok (Some s))
+          ~error:(fun msg -> Error ("speedybox: --impair: " ^ msg))
+          (Sb_impair.Impair.parse_spec spec)
+  in
   match
     ( Sb_experiments.Chain_registry.build chain,
       load_or_make_trace ~trace_file ~seed ~flows ~mean_packets,
-      build_injector ~fault_seed inject )
+      build_injector ~fault_seed inject,
+      impair_spec )
   with
-  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+  | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _ | _, _, _, Error msg ->
       prerr_endline msg;
       1
-  | Ok build, Ok trace, Ok injector when staged_rate <> None ->
-      let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
-      finish_with_exports obs
-        (staged_run build ?injector ~obs ~burst trace (Option.get staged_rate))
-  | Ok build, Ok trace, Ok injector when shards > 1 ->
-      let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
-      let cfg =
-        Speedybox.Runtime.config ~platform ~mode
-          ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
-          ?injector ~obs ()
+  | Ok build, Ok trace, Ok injector, Ok impair_spec ->
+      (* Impair before any executor sees the trace; corrupting mutators arm
+         checksum verification at the classifier so damaged headers are
+         rejected rather than consolidated. *)
+      let trace, verify_checksums =
+        match impair_spec with
+        | None -> (trace, false)
+        | Some spec ->
+            let impaired, summary = Sb_impair.Impair.apply ~seed:impair_seed spec trace in
+            print_endline (Sb_impair.Impair.summary_line ~seed:impair_seed summary);
+            ( impaired,
+              List.exists (function Sb_impair.Impair.Corrupt _ -> true | _ -> false) spec )
       in
-      let sh = Sb_shard.Sharded.create ~shards cfg (fun _ -> build ()) in
-      let result =
-        if shard_parallel then Sb_shard.Parallel_exec.run_trace ~burst sh trace
-        else Sb_shard.Sharded.run_trace ~burst sh trace
-      in
-      let rts = List.init shards (Sb_shard.Sharded.runtime sh) in
-      print_string
-        (Speedybox.Report.sharded_run_summary
-           ~label:
-             (Printf.sprintf "%s on %s (%s, %d shards, %s)" chain
-                (Sb_sim.Platform.name platform)
-                (match mode with
-                | Speedybox.Runtime.Original -> "original"
-                | Speedybox.Runtime.Speedybox -> "speedybox")
-                shards
-                (if shard_parallel then "parallel" else "deterministic"))
-           rts result);
-      print_string (Speedybox.Report.shard_summary (Sb_shard.Sharded.stats sh));
-      if show_stages then print_string (Speedybox.Report.stage_breakdown result);
-      if show_state then
-        List.iteri
-          (fun i rt ->
-            Printf.printf "shard %d " i;
-            print_string (Speedybox.Report.chain_state (Speedybox.Runtime.chain rt)))
-          rts;
-      if show_rules > 0 then
-        List.iteri
-          (fun i rt ->
-            Printf.printf "shard %d consolidated rules:\n" i;
-            print_string (Speedybox.Report.flow_rules rt ~limit:show_rules))
-          rts;
-      finish_with_exports obs 0
-  | Ok build, Ok trace, Ok injector ->
-      let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
-      let built = build () in
-      let rt =
-        Speedybox.Runtime.create
-          (Speedybox.Runtime.config ~platform ~mode
-             ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
-             ?injector ~obs ())
-          built
-      in
-      let result = Speedybox.Runtime.run_trace ~burst rt trace in
-      print_string
-        (Speedybox.Report.run_summary
-           ~label:
-             (Printf.sprintf "%s on %s (%s)" chain
-                (Sb_sim.Platform.name platform)
-                (match mode with
-                | Speedybox.Runtime.Original -> "original"
-                | Speedybox.Runtime.Speedybox -> "speedybox"))
-           rt result);
-      if show_stages then print_string (Speedybox.Report.stage_breakdown result);
-      if show_state then print_string (Speedybox.Report.chain_state built);
-      if show_rules > 0 then begin
-        print_endline "consolidated rules:";
-        print_string (Speedybox.Report.flow_rules rt ~limit:show_rules)
-      end;
-      finish_with_exports obs 0
+      if staged_rate <> None then begin
+        let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+        finish_with_exports obs
+          (staged_run build ?injector ~obs ~burst trace (Option.get staged_rate))
+      end
+      else if shards > 1 then begin
+        let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+        let cfg =
+          Speedybox.Runtime.config ~platform ~mode ~verify_checksums
+            ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
+            ?injector ~obs ()
+        in
+        let sh = Sb_shard.Sharded.create ~shards cfg (fun _ -> build ()) in
+        let result =
+          if shard_parallel then Sb_shard.Parallel_exec.run_trace ~burst sh trace
+          else Sb_shard.Sharded.run_trace ~burst sh trace
+        in
+        let rts = List.init shards (Sb_shard.Sharded.runtime sh) in
+        print_string
+          (Speedybox.Report.sharded_run_summary
+             ~label:
+               (Printf.sprintf "%s on %s (%s, %d shards, %s)" chain
+                  (Sb_sim.Platform.name platform)
+                  (match mode with
+                  | Speedybox.Runtime.Original -> "original"
+                  | Speedybox.Runtime.Speedybox -> "speedybox")
+                  shards
+                  (if shard_parallel then "parallel" else "deterministic"))
+             rts result);
+        print_string (Speedybox.Report.shard_summary (Sb_shard.Sharded.stats sh));
+        if show_stages then print_string (Speedybox.Report.stage_breakdown result);
+        if show_state then
+          List.iteri
+            (fun i rt ->
+              Printf.printf "shard %d " i;
+              print_string (Speedybox.Report.chain_state (Speedybox.Runtime.chain rt)))
+            rts;
+        if show_rules > 0 then
+          List.iteri
+            (fun i rt ->
+              Printf.printf "shard %d consolidated rules:\n" i;
+              print_string (Speedybox.Report.flow_rules rt ~limit:show_rules))
+            rts;
+        finish_with_exports obs 0
+      end
+      else begin
+        let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+        let built = build () in
+        let rt =
+          Speedybox.Runtime.create
+            (Speedybox.Runtime.config ~platform ~mode ~verify_checksums
+               ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
+               ?injector ~obs ())
+            built
+        in
+        let result = Speedybox.Runtime.run_trace ~burst rt trace in
+        print_string
+          (Speedybox.Report.run_summary
+             ~label:
+               (Printf.sprintf "%s on %s (%s)" chain
+                  (Sb_sim.Platform.name platform)
+                  (match mode with
+                  | Speedybox.Runtime.Original -> "original"
+                  | Speedybox.Runtime.Speedybox -> "speedybox"))
+             rt result);
+        if show_stages then print_string (Speedybox.Report.stage_breakdown result);
+        if show_state then print_string (Speedybox.Report.chain_state built);
+        if show_rules > 0 then begin
+          print_endline "consolidated rules:";
+          print_string (Speedybox.Report.flow_rules rt ~limit:show_rules)
+        end;
+        finish_with_exports obs 0
+      end
 
 let run_cmd =
   let doc = "Run a workload through a chain and report statistics." in
@@ -383,7 +429,8 @@ let run_cmd =
       const run_cmd_impl $ chain_arg $ platform_arg $ mode_arg $ seed_arg $ flows_arg
       $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
       $ staged_rate_arg $ burst_arg $ shards_arg $ shard_parallel_arg $ inject_arg
-      $ fault_seed_arg $ on_failure_arg $ metrics_out_arg $ trace_out_arg $ trace_flows_arg)
+      $ fault_seed_arg $ on_failure_arg $ impair_arg $ impair_seed_arg $ metrics_out_arg
+      $ trace_out_arg $ trace_flows_arg)
 
 (* equivalence ----------------------------------------------------------- *)
 

@@ -3,32 +3,72 @@ type classification = {
   mutable tuple : Sb_flow.Five_tuple.t;
   mutable established : bool;
   mutable final : bool;
+  mutable malformed : bool;
   mutable cycles : int;
 }
 
-type t = { conntrack : Sb_flow.Conntrack.t; fid_bits : int }
+type t = {
+  conntrack : Sb_flow.Conntrack.t;
+  fid_bits : int;
+  verify_checksums : bool;
+  mutable rejected : int;
+}
 
-let create ?(fid_bits = Sb_flow.Fid.default_bits) () =
-  { conntrack = Sb_flow.Conntrack.create (); fid_bits }
+let create ?(fid_bits = Sb_flow.Fid.default_bits) ?(verify_checksums = false) () =
+  { conntrack = Sb_flow.Conntrack.create (); fid_bits; verify_checksums; rejected = 0 }
 
 let fid_bits t = t.fid_bits
 
+let rejected t = t.rejected
+
 let scratch () =
-  { fid = 0; tuple = Sb_flow.Five_tuple.dummy; established = false; final = false; cycles = 0 }
+  {
+    fid = 0;
+    tuple = Sb_flow.Five_tuple.dummy;
+    established = false;
+    final = false;
+    malformed = false;
+    cycles = 0;
+  }
+
+let reject t cls =
+  t.rejected <- t.rejected + 1;
+  cls.fid <- -1;
+  cls.tuple <- Sb_flow.Five_tuple.dummy;
+  cls.established <- false;
+  cls.final <- false;
+  cls.malformed <- true;
+  cls.cycles <- Sb_sim.Cycles.classifier
 
 (* The burst path classifies into caller-owned scratch records, so a whole
    burst costs no classification allocations (the tuple itself is still
-   built fresh: it outlives the packet as a conntrack / liveness key). *)
+   built fresh: it outlives the packet as a conntrack / liveness key).
+
+   A packet that does not parse to a 5-tuple — or, with [verify_checksums],
+   whose checksums are stale — is marked [malformed] and never touches
+   conntrack: corrupted headers are rejected here, before any NF state can
+   absorb them. *)
 let classify_into t packet cls =
-  let tuple = Sb_flow.Five_tuple.of_packet packet in
-  let fid = Sb_flow.Fid.of_tuple ~bits:t.fid_bits tuple in
-  packet.Sb_packet.Packet.fid <- fid;
-  let verdict = Sb_flow.Conntrack.observe t.conntrack tuple packet in
-  cls.fid <- fid;
-  cls.tuple <- tuple;
-  cls.established <- verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
-  cls.final <- verdict.Sb_flow.Conntrack.final;
-  cls.cycles <- Sb_sim.Cycles.classifier
+  (* A bare proto-byte read, not [Five_tuple.of_packet_opt]: the hot path
+     pays two integer compares instead of an option allocation. *)
+  let proto =
+    Sb_packet.Ipv4.get_proto packet.Sb_packet.Packet.buf
+      (Sb_packet.Packet.l3_offset packet)
+  in
+  if proto <> 6 && proto <> 17 then reject t cls
+  else if t.verify_checksums && not (Sb_packet.Packet.checksums_ok packet) then reject t cls
+  else begin
+    let tuple = Sb_flow.Five_tuple.of_packet packet in
+    let fid = Sb_flow.Fid.of_tuple ~bits:t.fid_bits tuple in
+    packet.Sb_packet.Packet.fid <- fid;
+    let verdict = Sb_flow.Conntrack.observe t.conntrack tuple packet in
+    cls.fid <- fid;
+    cls.tuple <- tuple;
+    cls.established <- verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
+    cls.final <- verdict.Sb_flow.Conntrack.final;
+    cls.malformed <- false;
+    cls.cycles <- Sb_sim.Cycles.classifier
+  end
 
 let classify t packet =
   let cls = scratch () in

@@ -17,6 +17,11 @@ type classification = {
           consolidated rule exists yet *)
   mutable final : bool;
       (** FIN or RST: delete the flow's rules after processing *)
+  mutable malformed : bool;
+      (** the packet failed admission — no 5-tuple (non-TCP/UDP or a
+          corrupted protocol byte), or stale checksums under
+          [verify_checksums] — and must be rejected before reaching any
+          NF; [fid] is [-1] and conntrack was not touched *)
   mutable cycles : int;  (** classifier work for this packet *)
 }
 (** Fields are mutable so the burst path can classify into reusable
@@ -25,10 +30,17 @@ type classification = {
 
 type t
 
-val create : ?fid_bits:int -> unit -> t
-(** [fid_bits] defaults to {!Sb_flow.Fid.default_bits} (20, as the paper). *)
+val create : ?fid_bits:int -> ?verify_checksums:bool -> unit -> t
+(** [fid_bits] defaults to {!Sb_flow.Fid.default_bits} (20, as the paper).
+    [verify_checksums] (default [false]) additionally validates IPv4 and
+    L4 checksums at admission, marking stale packets [malformed] — the
+    defense against in-flight corruption, off by default because clean
+    traces always verify and the check costs a payload scan per packet. *)
 
 val fid_bits : t -> int
+
+val rejected : t -> int
+(** Packets marked [malformed] by this classifier so far. *)
 
 val classify : t -> Sb_packet.Packet.t -> classification
 (** Assigns the FID (writing it into the packet metadata) and advances the

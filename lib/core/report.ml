@@ -59,6 +59,9 @@ let run_summary ?(label = "run") rt (result : Runtime.run_result) =
     line "  evictions  : %d (LRU rule cap)" (Sb_mat.Global_mat.evictions mat);
   if Runtime.expired_flows rt > 0 then
     line "  expiry     : %d idle flows" (Runtime.expired_flows rt);
+  if Runtime.rejected_malformed rt > 0 then
+    line "  malformed  : %d packets rejected at the classifier"
+      (Runtime.rejected_malformed rt);
   List.iter (fun s -> line "  %s" s) (Sb_fault.Supervisor.summary (Runtime.supervisor rt));
   let cond_faults = Sb_mat.Event_table.condition_faults (Chain.events (Runtime.chain rt)) in
   if cond_faults > 0 then line "  events     : %d raising conditions disarmed" cond_faults;
@@ -94,6 +97,8 @@ let sharded_run_summary ?(label = "run") rts (result : Runtime.run_result) =
   if evictions > 0 then line "  evictions  : %d (LRU rule cap)" evictions;
   (let expired = List.fold_left (fun acc rt -> acc + Runtime.expired_flows rt) 0 rts in
    if expired > 0 then line "  expiry     : %d idle flows" expired);
+  (let rejected = List.fold_left (fun acc rt -> acc + Runtime.rejected_malformed rt) 0 rts in
+   if rejected > 0 then line "  malformed  : %d packets rejected at the classifier" rejected);
   List.iteri
     (fun i rt ->
       let sup = Runtime.supervisor rt in

@@ -14,13 +14,14 @@ type config = {
   fault_policy : Sb_fault.Health.policy;
   injector : Sb_fault.Injector.t option;
   obs : Sb_obs.Sink.t;
+  verify_checksums : bool;
 }
 
 let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     ?(policy = Sb_mat.Parallel.Table_one) ?(fid_bits = Sb_flow.Fid.default_bits)
     ?idle_timeout_cycles ?max_rules ?(fastpath = Sb_mat.Global_mat.Compiled)
     ?(fault_policy = Sb_fault.Health.default_policy) ?injector
-    ?(obs = Sb_obs.Sink.null) () =
+    ?(obs = Sb_obs.Sink.null) ?(verify_checksums = false) () =
   {
     platform;
     mode;
@@ -32,6 +33,7 @@ let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     fault_policy;
     injector;
     obs;
+    verify_checksums;
   }
 
 type liveness = {
@@ -169,7 +171,8 @@ let create cfg chain =
             Chain.remove_flow chain fid;
             !evict_hook fid)
           ();
-      classifier = Classifier.create ~fid_bits:cfg.fid_bits ();
+      classifier =
+        Classifier.create ~fid_bits:cfg.fid_bits ~verify_checksums:cfg.verify_checksums ();
       sup = Sb_fault.Supervisor.create ?injector:cfg.injector ~obs:cfg.obs cfg.fault_policy;
       nf_names = Array.of_list (List.map (fun nf -> nf.Nf.name) (Chain.nfs chain));
       live = Sb_flow.Flow_table.create ();
@@ -208,6 +211,8 @@ let classifier t = t.classifier
 let supervisor t = t.sup
 
 let expired_flows t = t.expired
+
+let rejected_malformed t = Classifier.rejected t.classifier
 
 type path = Slow_path | Fast_path
 
@@ -607,11 +612,22 @@ let process_with_rule t packet cls rule_opt =
     finish t w.w_verdict packet (classifier_stage :: stages) Slow_path 0 w.w_faults
   end
 
+(* A malformed packet (no 5-tuple, or stale checksums under
+   [verify_checksums]) is rejected at the classifier: it never reaches an
+   NF, never touches conntrack or the liveness tables, and cannot perturb
+   the burst path's rule memo. *)
+let process_malformed t packet cls =
+  let classifier_stage = Sb_sim.Cost_profile.serial_stage "Classifier" cls.Classifier.cycles in
+  finish t Sb_mat.Header_action.Dropped packet [ classifier_stage ] Slow_path 0 0
+
 let process_speedybox t packet =
   let now = packet.Sb_packet.Packet.ingress_cycle in
   let cls = Classifier.classify t.classifier packet in
-  touch t cls now;
-  process_with_rule t packet cls (Sb_mat.Global_mat.find t.global cls.Classifier.fid)
+  if cls.Classifier.malformed then process_malformed t packet cls
+  else begin
+    touch t cls now;
+    process_with_rule t packet cls (Sb_mat.Global_mat.find t.global cls.Classifier.fid)
+  end
 
 (* Everything observability learns per packet derives from the [output]
    the executor produced anyway, so one armed-sink branch after processing
@@ -723,23 +739,28 @@ let process_burst_into t packets ~off ~len:n emit =
         for k = !i to !j - 1 do
           let packet = packets.(off + k) in
           let cls = Array.unsafe_get cls_arr k in
-          touch t cls packet.Sb_packet.Packet.ingress_cycle;
-          let fid = cls.Classifier.fid in
-          let gen = Sb_mat.Global_mat.generation t.global in
-          let rule =
-            if fid = !memo_fid && gen = !memo_gen then !memo_rule
+          let out =
+            if cls.Classifier.malformed then process_malformed t packet cls
             else begin
-              let r = Sb_mat.Global_mat.find t.global fid in
-              (match r with
-              | Some _ ->
-                  memo_fid := fid;
-                  memo_gen := gen;
-                  memo_rule := r
-              | None -> memo_fid := -1);
-              r
+              touch t cls packet.Sb_packet.Packet.ingress_cycle;
+              let fid = cls.Classifier.fid in
+              let gen = Sb_mat.Global_mat.generation t.global in
+              let rule =
+                if fid = !memo_fid && gen = !memo_gen then !memo_rule
+                else begin
+                  let r = Sb_mat.Global_mat.find t.global fid in
+                  (match r with
+                  | Some _ ->
+                      memo_fid := fid;
+                      memo_gen := gen;
+                      memo_rule := r
+                  | None -> memo_fid := -1);
+                  r
+                end
+              in
+              process_with_rule t packet cls rule
             end
           in
-          let out = process_with_rule t packet cls rule in
           if Sb_obs.Sink.armed t.cfg.obs then instrument t packet out;
           emit k out
         done;

@@ -47,6 +47,15 @@ type config = {
           LRU-evicted, idle-expired) into the timeline.  Unarmed, the
           per-packet cost is a single branch (see the `obs-unarmed` entry
           in [BENCH_fastpath.json]). *)
+  verify_checksums : bool;
+      (** Validate IPv4/L4 checksums at classifier admission and reject
+          stale packets as malformed (they drop before reaching any NF).
+          Off by default: clean traces always verify, and the check costs
+          a payload scan per packet.  The CLI arms it automatically when
+          [--impair] can corrupt packets.  Packets with no parseable
+          5-tuple are rejected regardless of this flag (in SpeedyBox
+          mode; Original mode runs no classifier, so an NF's own parse
+          failure is contained as a fault instead). *)
 }
 
 val config :
@@ -60,11 +69,13 @@ val config :
   ?fault_policy:Sb_fault.Health.policy ->
   ?injector:Sb_fault.Injector.t ->
   ?obs:Sb_obs.Sink.t ->
+  ?verify_checksums:bool ->
   unit ->
   config
 (** Defaults: BESS, SpeedyBox mode, Table I policy, 20-bit FIDs, no
     expiry, unbounded rule table, compiled fast path, default fault
-    policy, no injector, disarmed observability sink. *)
+    policy, no injector, disarmed observability sink, no checksum
+    verification. *)
 
 type t
 
@@ -100,6 +111,12 @@ val absorb_remote_fault : t -> nf:string -> unit
 
 val expired_flows : t -> int
 (** Flows evicted by the idle timeout so far. *)
+
+val rejected_malformed : t -> int
+(** Packets rejected at the classifier so far — no parseable 5-tuple, or
+    stale checksums under [verify_checksums].  Rejected packets drop with
+    only the classifier stage charged and never touch conntrack, the
+    MATs, or any NF. *)
 
 type path = Slow_path | Fast_path
 

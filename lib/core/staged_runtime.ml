@@ -239,28 +239,34 @@ let run ?(ring_capacity = 64) ?(burst = 1) ?(policy = Sb_mat.Parallel.Table_one)
     match route with
     | To_classifier ->
         let cls = Classifier.classify classifier job.packet in
-        job.tuple <- Some cls.Classifier.tuple;
-        job.cleanup_after <- cls.Classifier.final;
-        if Sb_mat.Global_mat.mem global cls.Classifier.fid then begin
-          incr fast;
-          (cls.Classifier.cycles, Next To_global_mat)
-        end
+        if cls.Classifier.malformed then
+          (* Rejected at admission: no tuple, no conntrack state, no NF —
+             the packet leaves the classifier stage dropped. *)
+          (cls.Classifier.cycles, Done Sb_mat.Header_action.Dropped)
         else begin
-          incr slow;
-          (* Only one packet of a flow records at a time: packets arriving
-             while the initial packet is still mid-chain walk uninstrumented
-             — the consolidation race real deployments have. *)
-          if
-            cls.Classifier.established
-            && Chain.consolidable chain
-            && not (Hashtbl.mem recording_in_flight cls.Classifier.fid)
-            && ((not (Sb_fault.Supervisor.active sup))
-               || Sb_fault.Supervisor.allow_recording sup nf_names)
-          then begin
-            Hashtbl.replace recording_in_flight cls.Classifier.fid ();
-            job.recording <- true
-          end;
-          (cls.Classifier.cycles, Next (To_nf 0))
+          job.tuple <- Some cls.Classifier.tuple;
+          job.cleanup_after <- cls.Classifier.final;
+          if Sb_mat.Global_mat.mem global cls.Classifier.fid then begin
+            incr fast;
+            (cls.Classifier.cycles, Next To_global_mat)
+          end
+          else begin
+            incr slow;
+            (* Only one packet of a flow records at a time: packets arriving
+               while the initial packet is still mid-chain walk uninstrumented
+               — the consolidation race real deployments have. *)
+            if
+              cls.Classifier.established
+              && Chain.consolidable chain
+              && not (Hashtbl.mem recording_in_flight cls.Classifier.fid)
+              && ((not (Sb_fault.Supervisor.active sup))
+                 || Sb_fault.Supervisor.allow_recording sup nf_names)
+            then begin
+              Hashtbl.replace recording_in_flight cls.Classifier.fid ();
+              job.recording <- true
+            end;
+            (cls.Classifier.cycles, Next (To_nf 0))
+          end
         end
     | To_nf i -> (
         let name = nfs.(i).Nf.name in

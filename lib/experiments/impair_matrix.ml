@@ -1,0 +1,166 @@
+type digest = {
+  packets : int;
+  forwarded : int;
+  dropped : int;
+  slow_path : int;
+  fast_path : int;
+  events_fired : int;
+  malformed : int;
+}
+
+type row = {
+  label : string;
+  input_packets : int;
+  output_packets : int;
+  digest : digest;
+  mean_us : float;
+  delta_mean_us : float;
+  agree : bool;
+}
+
+(* A chain with consolidation, header rewriting, an armed per-flow budget
+   event and per-flow counters: every runtime mechanism the impairments
+   are supposed to stress.  The budget is low enough that the heavy-tailed
+   elephants trip it even on the clean trace. *)
+let chain_spec = "mazunat,dosguard:48,monitor"
+
+let clean_trace () =
+  Sb_trace.Workload.dcn_trace
+    {
+      Sb_trace.Workload.seed = 2024;
+      n_flows = 120;
+      mean_flow_packets = 10.;
+      payload_len = (16, 512);
+      udp_fraction = 0.1;
+      malicious_fraction = 0.05;
+      tokens = [ "attack" ];
+    }
+
+let impair_seed = 7
+
+(* Every mutator at a mild and a harsh severity. *)
+let scenarios =
+  [
+    "reorder:0.05";
+    "reorder:0.3";
+    "loss:0.02";
+    "loss:0.2";
+    "dup:0.02";
+    "dup:0.2";
+    "corrupt:0.02";
+    "corrupt:0.2";
+    "corrupt-fix:0.02";
+    "corrupt-fix:0.2";
+    "retrans:0.1";
+    "retrans:0.5";
+    "delay:0.05";
+    "delay:0.3";
+    "blackhole:0.02";
+    "blackhole:0.1";
+  ]
+
+let build_chain () =
+  match Chain_registry.build chain_spec with
+  | Ok build -> build ()
+  | Error msg -> failwith msg
+
+let digest_of ~malformed (r : Speedybox.Runtime.run_result) =
+  {
+    packets = r.Speedybox.Runtime.packets;
+    forwarded = r.Speedybox.Runtime.forwarded;
+    dropped = r.Speedybox.Runtime.dropped;
+    slow_path = r.Speedybox.Runtime.slow_path;
+    fast_path = r.Speedybox.Runtime.fast_path;
+    events_fired = r.Speedybox.Runtime.events_fired;
+    malformed;
+  }
+
+let run_per_packet ~verify_checksums trace =
+  let rt =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~verify_checksums ()) (build_chain ())
+  in
+  let r = Speedybox.Runtime.run_trace rt trace in
+  (digest_of ~malformed:(Speedybox.Runtime.rejected_malformed rt) r, r)
+
+let run_burst ~verify_checksums trace =
+  let rt =
+    Speedybox.Runtime.create (Speedybox.Runtime.config ~verify_checksums ()) (build_chain ())
+  in
+  let r = Speedybox.Runtime.run_trace ~burst:32 rt trace in
+  digest_of ~malformed:(Speedybox.Runtime.rejected_malformed rt) r
+
+let run_sharded ~verify_checksums trace =
+  let cfg = Speedybox.Runtime.config ~verify_checksums () in
+  let sh = Sb_shard.Sharded.create ~shards:4 cfg (fun _ -> build_chain ()) in
+  let r = Sb_shard.Sharded.run_trace ~burst:32 sh trace in
+  let malformed =
+    List.init 4 (Sb_shard.Sharded.runtime sh)
+    |> List.fold_left (fun acc rt -> acc + Speedybox.Runtime.rejected_malformed rt) 0
+  in
+  digest_of ~malformed r
+
+let measure ~label ~input_packets ~delta_vs trace =
+  (* Corruption arms checksum verification everywhere, exactly as the CLI
+     does, so damaged-but-parseable headers are rejected instead of
+     consolidated into wrong rules. *)
+  let verify_checksums =
+    String.length label >= 7 && String.equal (String.sub label 0 7) "corrupt"
+  in
+  let digest, r = run_per_packet ~verify_checksums trace in
+  let burst = run_burst ~verify_checksums trace in
+  let sharded = run_sharded ~verify_checksums trace in
+  (* The mean, not a percentile: impairment moves the tails and the mix
+     (cheap classifier rejects, extra slow-path visits), which percentiles
+     sitting on the fast path never see. *)
+  let mean = Sb_sim.Stats.mean r.Speedybox.Runtime.latency_us in
+  {
+    label;
+    input_packets;
+    output_packets = List.length trace;
+    digest;
+    mean_us = mean;
+    delta_mean_us = (match delta_vs with None -> 0. | Some base -> mean -. base);
+    agree = digest = burst && digest = sharded;
+  }
+
+let matrix () =
+  let clean = clean_trace () in
+  let n = List.length clean in
+  let base = measure ~label:"clean" ~input_packets:n ~delta_vs:None clean in
+  base
+  :: List.map
+       (fun label ->
+         let spec =
+           match Sb_impair.Impair.parse_spec label with
+           | Ok spec -> spec
+           | Error msg -> failwith msg
+         in
+         let impaired, _summary = Sb_impair.Impair.apply ~seed:impair_seed spec clean in
+         measure ~label ~input_packets:n ~delta_vs:(Some base.mean_us) impaired)
+       scenarios
+
+let check () = List.for_all (fun row -> row.agree) (matrix ())
+
+let run () =
+  Harness.print_header "Impairment matrix"
+    "every mutator x 2 severities, per-packet vs burst-32 vs sharded-4";
+  Harness.print_row
+    "  scenario          in -> out     fwd   drop  slow  fast  events  malformed  \
+     mean-us  d-mean   executors";
+  let rows = matrix () in
+  List.iter
+    (fun row ->
+      Harness.print_row
+        (Printf.sprintf "  %-16s %5d -> %-5d %5d  %5d %5d %5d  %6d  %9d  %7.2f  %+6.2f   %s"
+           row.label row.input_packets row.output_packets row.digest.forwarded
+           row.digest.dropped row.digest.slow_path row.digest.fast_path
+           row.digest.events_fired row.digest.malformed row.mean_us row.delta_mean_us
+           (if row.agree then "ok" else "DIVERGE")))
+    rows;
+  Harness.print_note
+    "digest = (fwd, drop, slow, fast, events, malformed); the three executors must\n\
+    \  agree exactly on every impaired trace - 'DIVERGE' fails the run.";
+  if not (List.for_all (fun row -> row.agree) rows) then begin
+    prerr_endline "impair matrix: executor divergence detected";
+    exit 1
+  end

@@ -34,8 +34,20 @@ let observe t key p =
       let next =
         if flags.Tcp.Flags.rst then Closing
         else if flags.Tcp.Flags.fin then Closing
-        else if flags.Tcp.Flags.syn && flags.Tcp.Flags.ack then Syn_received
-        else if flags.Tcp.Flags.syn then Syn_sent
+        else if flags.Tcp.Flags.syn && flags.Tcp.Flags.ack then
+          (* A SYN-ACK retransmitted after the handshake completed must not
+             regress the connection to mid-handshake. *)
+          match prev with
+          | Established when not fresh -> Established
+          | Syn_sent | Syn_received | Established | Closing -> Syn_received
+        else if flags.Tcp.Flags.syn then
+          (* A retransmitted SYN never downgrades progress: an established
+             flow stays established (its consolidated rule stays valid),
+             and a mid-handshake flow holds its position. *)
+          match prev with
+          | Established when not fresh -> Established
+          | Syn_received when not fresh -> Syn_received
+          | Syn_sent | Syn_received | Established | Closing -> Syn_sent
         else
           (* A plain segment: completes the handshake when we were mid-way,
              otherwise keeps the current state. *)

@@ -32,7 +32,17 @@ val observe : t -> Five_tuple.t -> Sb_packet.Packet.t -> verdict
 (** [observe t key p] advances the flow's state machine with packet [p].
     [key] must be direction-normalised by the caller (the classifier keys
     both directions of a connection by the initiator's tuple).  Non-TCP
-    packets jump straight to [Established]. *)
+    packets jump straight to [Established].
+
+    Adversarial timelines degrade to defined states rather than undefined
+    transitions: a SYN (or SYN-ACK) retransmitted after establishment
+    keeps the flow [Established] (never [established_now], so recording
+    is not re-triggered); a duplicate SYN mid-handshake holds its
+    position; FIN-before-SYN yields [Closing] with [final] set (cleanup
+    then removes the entry); a FIN or RST on an already-closed flow is
+    [Closing]+[final] again, and the cleanup it triggers is idempotent;
+    data after FIN re-establishes as a fresh flow (the entry was removed
+    at cleanup). *)
 
 val state : t -> Five_tuple.t -> state option
 

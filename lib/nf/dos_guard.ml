@@ -3,7 +3,16 @@ open Sb_flow
 
 type count_mode = All_packets | Syn_only
 
-type cell = { mutable count : int }
+type cell = {
+  mutable count : int;
+  (* Sequence number of the last TCP packet this cell counted: a packet
+     re-presenting the same seq (a duplicate or an immediate retransmit)
+     is not counted again, so duplication cannot push a flow over its
+     budget or double-fire the armed budget event.  UDP has no sequence
+     numbers, so UDP duplicates stay indistinguishable from new packets. *)
+  mutable last_seq : int32;
+  mutable has_last : bool;
+}
 
 type t = { name : string; mode : count_mode; threshold : int; flows : cell Tuple_map.t }
 
@@ -34,13 +43,27 @@ let counts_packet t packet =
       | Packet.Tcp -> (Packet.tcp_flags packet).Tcp.Flags.syn
       | Packet.Udp -> false)
 
+(* Shared by the slow path and the recorded fast-path state function, so
+   both paths agree on what counts — including the duplicate skip. *)
 let bump t cell packet =
-  if counts_packet t packet then cell.count <- cell.count + 1;
+  (if counts_packet t packet then
+     match Packet.proto packet with
+     | Packet.Udp -> cell.count <- cell.count + 1
+     | Packet.Tcp ->
+         let seq = Tcp.get_seq packet.Packet.buf (Packet.l4_offset packet) in
+         if not (cell.has_last && Int32.equal cell.last_seq seq) then begin
+           cell.count <- cell.count + 1;
+           cell.last_seq <- seq;
+           cell.has_last <- true
+         end);
   Sb_sim.Cycles.monitor_count
 
 let process t ctx packet =
   let tuple = Five_tuple.of_packet packet in
-  let cell = Tuple_map.find_or_add t.flows tuple ~default:(fun () -> { count = 0 }) in
+  let cell =
+    Tuple_map.find_or_add t.flows tuple ~default:(fun () ->
+        { count = 0; last_seq = 0l; has_last = false })
+  in
   let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify in
   if cell.count >= t.threshold then begin
     (* Over budget: the flow is cut off before any further counting. *)

@@ -33,6 +33,13 @@
 # 8.0) of the 10k-flow figure — a linear expiry sweep fails this by
 # orders of magnitude.  Skipped when the JSON predates the scale sweep.
 #
+# Impairment contract (PR 7, same-run ratio): the burst fast path over a
+# moderately impaired trace (reorder+dup+loss) must stay within
+# IMPAIR_OVERHEAD (default 1.5) of the clean run_trace over the same
+# trace shape — adversarial traffic may break up bursts and churn flows,
+# but must not collapse the fast path.  Skipped when the JSON predates
+# the impairment bench.
+#
 # Usage: scripts/check_bench.sh [BENCH_fastpath.json]
 set -eu
 
@@ -42,19 +49,21 @@ BURST_SPEEDUP="${BURST_SPEEDUP:-0.75}"
 SHARD_OVERHEAD="${SHARD_OVERHEAD:-1.10}"
 SHARD_SPEEDUP="${SHARD_SPEEDUP:-1.5}"
 SCALE_GROWTH="${SCALE_GROWTH:-8.0}"
+IMPAIR_OVERHEAD="${IMPAIR_OVERHEAD:-1.5}"
 
 if [ ! -f "$BENCH_FILE" ]; then
   echo "check_bench: $BENCH_FILE not found" >&2
   exit 1
 fi
 
-python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" <<'EOF'
+python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" "$IMPAIR_OVERHEAD" <<'EOF'
 import json
 import sys
 
 path, tolerance, burst_speedup = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 shard_overhead, shard_speedup = float(sys.argv[4]), float(sys.argv[5])
 scale_growth = float(sys.argv[6])
+impair_overhead = float(sys.argv[7])
 data = json.load(open(path))
 
 GUARDED = [
@@ -73,6 +82,10 @@ GUARDED = [
     (
         "speedybox/runtime/burst lru-churn (64 flows, 32-rule cap, per packet)",
         "the burst lru-churn path regressed",
+    ),
+    (
+        "speedybox/runtime/impaired-fastpath burst-32 (reorder+dup+loss, per packet)",
+        "the fast path over impaired traffic regressed",
     ),
 ]
 
@@ -187,6 +200,29 @@ else:
         print(
             "check_bench: per-packet cost blows up with the flow population "
             "(is idle expiry scanning linearly?)",
+            file=sys.stderr,
+        )
+        failed = True
+
+# Impairment overhead (PR 7): the burst fast path over an impaired trace
+# vs the clean unsharded run_trace (same trace shape: 64 flows x 32
+# packets of 64B TCP through a Monitor chain).  Same-run ratio.
+impaired = data["current"].get(
+    "speedybox/runtime/impaired-fastpath burst-32 (reorder+dup+loss, per packet)"
+)
+if impaired is None:
+    print("check_bench: impaired-fastpath entry absent -> SKIPPED (re-record to gate)")
+else:
+    ratio = impaired / unsharded
+    verdict = "OK" if ratio <= impair_overhead else "FAIL"
+    print(
+        f"check_bench: impaired-traffic overhead (reorder+dup+loss)\n"
+        f"  clean {unsharded:.1f} ns, impaired {impaired:.1f} ns/packet, "
+        f"ratio {ratio:.2f} (need <= {impair_overhead:.2f}) -> {verdict}"
+    )
+    if ratio > impair_overhead:
+        print(
+            "check_bench: adversarial traffic collapses the burst fast path",
             file=sys.stderr,
         )
         failed = True

@@ -20,9 +20,20 @@ let prop_conntrack_model =
         (fun f ->
           let v = Sb_flow.Conntrack.observe ct key (Test_util.tcp_packet ~flags:f ()) in
           let expected =
+            (* The hardened machine: SYN / SYN-ACK retransmits never
+               downgrade an established (or further-along) connection. *)
             if f.Tcp.Flags.rst || f.Tcp.Flags.fin then `Closing
-            else if f.Tcp.Flags.syn && f.Tcp.Flags.ack then `Syn_received
-            else if f.Tcp.Flags.syn then `Syn_sent
+            else if f.Tcp.Flags.syn && f.Tcp.Flags.ack then begin
+              match !model with
+              | `Established -> `Established
+              | `Fresh | `Syn_sent | `Syn_received | `Closing -> `Syn_received
+            end
+            else if f.Tcp.Flags.syn then begin
+              match !model with
+              | `Established -> `Established
+              | `Syn_received -> `Syn_received
+              | `Fresh | `Syn_sent | `Closing -> `Syn_sent
+            end
             else begin
               match !model with
               | `Fresh | `Syn_sent | `Syn_received | `Established -> `Established
