@@ -31,10 +31,12 @@ let sections json : (string * string * (unit -> unit)) list =
     ( "micro",
       "Bechamel wall-clock microbenchmarks",
       fun () ->
-        (* When recording JSON the scale sweep rides along (it runs first:
-           single-threaded, before any Domain spawns) so its per-packet
-           figures land in the same file check_bench.sh reads. *)
-        let extra = match json with Some _ -> Scale_sweep.run () | None -> [] in
+        (* When recording JSON the scale sweep rides along so its
+           per-packet figures land in the same file check_bench.sh reads.
+           Microbench.run invokes it only after the micro measurements —
+           the sweep's million-flow heap would otherwise inflate every
+           figure recorded after it. *)
+        let extra = match json with Some _ -> Scale_sweep.run | None -> fun () -> [] in
         Microbench.run ?json ~extra () );
   ]
 

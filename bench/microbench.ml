@@ -331,6 +331,28 @@ let test_shard_parallel_4 =
          let sh, trace = Lazy.force state in
          Sb_shard.Parallel_exec.run_trace ~burst:burst_size sh trace))
 
+let test_shard_parallel_4_armed =
+  (* The same parallel run with a metrics-armed sink: per-domain child
+     registries on the hot path, merge + mesh-telemetry fold at end of
+     run.  check_bench.sh holds this within OBS_PARALLEL_OVERHEAD of the
+     unarmed parallel bench above.  Metrics pillar only — tracing records
+     several spans per packet and measures ring capacity, not the armed
+     branch. *)
+  let state =
+    lazy
+      (let obs = Sb_obs.Sink.create ~metrics:true () in
+       let sh =
+         Sb_shard.Sharded.create ~shards:4 (Speedybox.Runtime.config ~obs ()) shard_chain
+       in
+       let trace = shard_trace () in
+       ignore (Sb_shard.Parallel_exec.run_trace ~burst:burst_size sh trace);
+       (sh, trace))
+  in
+  Test.make ~name:"shard/parallel-4 obs-armed (64 flows x 32, per packet)"
+    (Staged.stage (fun () ->
+         let sh, trace = Lazy.force state in
+         Sb_shard.Parallel_exec.run_trace ~burst:burst_size sh trace))
+
 (* The robustness bench: the burst fast path fed a deterministically
    impaired trace (moderate reorder + duplication + loss over 64 flows x
    32 packets).  Duplicates exercise the DoS-style dedup window and the
@@ -412,7 +434,8 @@ let tests_single_threaded () =
       test_shard_deterministic_4;
     ]
 
-let tests_parallel () = Test.make_grouped ~name:"speedybox" [ test_shard_parallel_4 ]
+let tests_parallel () =
+  Test.make_grouped ~name:"speedybox" [ test_shard_parallel_4; test_shard_parallel_4_armed ]
 
 (* Benches whose run processes more than one packet: their measured ns/run
    divides by the batch size before printing/recording. *)
@@ -426,6 +449,7 @@ let per_run_packets =
     ("speedybox/shard/deterministic-1 (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/deterministic-4 (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/parallel-4 (64 flows x 32, per packet)", shard_trace_len);
+    ("speedybox/shard/parallel-4 obs-armed (64 flows x 32, per packet)", shard_trace_len);
   ]
 
 (* ---- JSON emission (hand-rolled; the build has no JSON library) ----
@@ -549,7 +573,7 @@ let measure ~ols ~instances ~cfg ~warm_cfg tests =
           (name, best))
         first
 
-let run ?json ?(extra = []) () =
+let run ?json ?(extra = fun () -> []) () =
   print_endline
     "\n=== Microbench: wall-clock costs of hot operations (Bechamel, min of 3 runs) ===";
   let ols =
@@ -574,8 +598,12 @@ let run ?json ?(extra = []) () =
      only applies when the machine that recorded the figures had spare
      cores, so the core count rides along in the same JSON. *)
   let by_name =
-    by_name @ extra
+    by_name
     @ [ ("speedybox/shard/available-cores", float_of_int (Domain.recommended_domain_count ())) ]
   in
   List.iter (fun (name, ns) -> Printf.printf "  %-60s %10.1f ns/run\n" name ns) by_name;
-  Option.iter (fun path -> emit_json path by_name) json
+  (* Extra sections (the scale sweep) run only now, after every micro
+     measurement: the 1M-flow sweep leaves a ~140MB major heap whose GC
+     pressure inflates any figure measured after it. *)
+  let extra = extra () in
+  Option.iter (fun path -> emit_json path (by_name @ extra)) json

@@ -117,8 +117,10 @@ let shards_arg =
 let shard_parallel_arg =
   let doc =
     "Run the shards on one OCaml domain each (the parallel executor).  \
-     Requires $(b,--shards) > 1, no $(b,--inject) and no observability \
-     exports; without it the deterministic single-threaded executor runs."
+     Requires $(b,--shards) > 1 and no $(b,--inject); without it the \
+     deterministic single-threaded executor runs.  Observability exports \
+     work here too: each domain records into its own child sink, merged \
+     after the join."
   in
   Arg.(value & flag & info [ "shard-parallel" ] ~doc)
 
@@ -145,6 +147,15 @@ let trace_flows_arg =
   in
   Arg.(value & opt (some int) None & info [ "trace-flows" ] ~docv:"N" ~doc)
 
+let metrics_interval_arg =
+  let doc =
+    "Capture a metrics snapshot every $(docv) instrumented packets (simulated \
+     clock timestamps, so snapshot series are deterministic).  Requires \
+     $(b,--metrics-out) $(i,FILE); the series lands in \
+     $(i,FILE)$(b,.snapshots.json).  Per shard under $(b,--shards) > 1."
+  in
+  Arg.(value & opt (some int) None & info [ "metrics-interval" ] ~docv:"N" ~doc)
+
 (* One failed write is one stderr line and a nonzero exit, like the trace
    loaders. *)
 let write_file path contents =
@@ -160,20 +171,25 @@ let export_obs obs ~metrics_out ~trace_out =
   let* () =
     match (metrics_out, Sb_obs.Sink.metrics obs) with
     | Some path, Some m ->
-        write_file path
-          (if Filename.check_suffix path ".json" then Sb_obs.Metrics.to_json m
-           else Sb_obs.Metrics.to_prometheus m)
+        let* () =
+          write_file path
+            (if Filename.check_suffix path ".json" then Sb_obs.Metrics.to_json m
+             else Sb_obs.Metrics.to_prometheus m)
+        in
+        if Sb_obs.Sink.snapshot_every obs <> None then
+          write_file (path ^ ".snapshots.json") (Sb_obs.Sink.snapshots_json obs)
+        else Ok ()
     | _ -> Ok ()
   in
   match (trace_out, Sb_obs.Sink.tracer obs) with
   | Some path, Some tr -> write_file path (Sb_obs.Tracer.to_chrome_json tr)
   | _ -> Ok ()
 
-let build_sink ~metrics_out ~trace_out ~trace_flows =
+let build_sink ~metrics_out ~trace_out ~trace_flows ~metrics_interval =
   if metrics_out = None && trace_out = None then Sb_obs.Sink.null
   else
     Sb_obs.Sink.create ~metrics:(metrics_out <> None) ~trace:(trace_out <> None)
-      ?trace_flows ()
+      ?trace_flows ?snapshot_every:metrics_interval ()
 
 (* Impairment stage (see lib/impair) *)
 
@@ -272,7 +288,7 @@ let staged_run build ?injector ~obs ~burst trace rate =
 
 let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_state show_rules
     show_stages staged_rate burst shards shard_parallel inject fault_seed on_failure
-    impair impair_seed metrics_out trace_out trace_flows =
+    impair impair_seed metrics_out trace_out trace_flows metrics_interval =
   if burst < 1 then begin
     prerr_endline "speedybox: --burst must be >= 1";
     exit 2
@@ -297,14 +313,16 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
         "speedybox: --shard-parallel cannot run with --inject (fault schedules are \
          global); drop --shard-parallel for the deterministic executor";
       exit 2
-    end;
-    if metrics_out <> None || trace_out <> None then begin
-      prerr_endline
-        "speedybox: --shard-parallel cannot export observability (sinks are \
-         unsynchronised); drop --shard-parallel or the export flags";
-      exit 2
     end
   end;
+  (match metrics_interval with
+  | Some n when n < 1 ->
+      prerr_endline "speedybox: --metrics-interval must be >= 1";
+      exit 2
+  | Some _ when metrics_out = None ->
+      prerr_endline "speedybox: --metrics-interval requires --metrics-out";
+      exit 2
+  | _ -> ());
   let finish_with_exports obs code =
     if code <> 0 then code
     else
@@ -348,12 +366,12 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
               List.exists (function Sb_impair.Impair.Corrupt _ -> true | _ -> false) spec )
       in
       if staged_rate <> None then begin
-        let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+        let obs = build_sink ~metrics_out ~trace_out ~trace_flows ~metrics_interval in
         finish_with_exports obs
           (staged_run build ?injector ~obs ~burst trace (Option.get staged_rate))
       end
       else if shards > 1 then begin
-        let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+        let obs = build_sink ~metrics_out ~trace_out ~trace_flows ~metrics_interval in
         let cfg =
           Speedybox.Runtime.config ~platform ~mode ~verify_checksums
             ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
@@ -393,7 +411,7 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
         finish_with_exports obs 0
       end
       else begin
-        let obs = build_sink ~metrics_out ~trace_out ~trace_flows in
+        let obs = build_sink ~metrics_out ~trace_out ~trace_flows ~metrics_interval in
         let built = build () in
         let rt =
           Speedybox.Runtime.create
@@ -430,7 +448,7 @@ let run_cmd =
       $ packets_arg $ trace_file_arg $ show_state_arg $ show_rules_arg $ show_stages_arg
       $ staged_rate_arg $ burst_arg $ shards_arg $ shard_parallel_arg $ inject_arg
       $ fault_seed_arg $ on_failure_arg $ impair_arg $ impair_seed_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_flows_arg)
+      $ trace_out_arg $ trace_flows_arg $ metrics_interval_arg)
 
 (* equivalence ----------------------------------------------------------- *)
 

@@ -52,6 +52,9 @@ type instruments = {
   c_dropped : Sb_obs.Metrics.Counter.t;
   h_latency_slow : Sb_obs.Histogram.t;
   h_latency_fast : Sb_obs.Histogram.t;
+  h_sojourn : Sb_obs.Histogram.t option;
+      (* per-shard end-to-end sojourn, resolved only when the sink is a
+         split child (carries a shard index) *)
 }
 
 type t = {
@@ -148,6 +151,18 @@ let create cfg chain =
             ~labels:[ chain_label; ("path", path) ]
             "speedybox_packet_latency_us"
         in
+        let sojourn =
+          (* Only a split child sink carries a shard index: per-shard
+             sojourn series exist exactly when the run is sharded. *)
+          match Sb_obs.Sink.shard cfg.obs with
+          | s when s < 0 -> None
+          | s ->
+              Some
+                (Sb_obs.Metrics.histogram m
+                   ~help:"Per-packet sojourn on this shard in microseconds"
+                   ~labels:[ chain_label; ("shard", string_of_int s) ]
+                   "speedybox_shard_sojourn_us")
+        in
         Some
           {
             c_slow = packets "slow";
@@ -156,6 +171,7 @@ let create cfg chain =
             c_dropped = verdicts "dropped";
             h_latency_slow = latency "slow";
             h_latency_fast = latency "fast";
+            h_sojourn = sojourn;
           }
   in
   let t =
@@ -640,19 +656,24 @@ let instrument t packet out =
   t.obs_now_us <- ts0;
   (match t.ins with
   | Some ins ->
+      let latency_us = Sb_sim.Cycles.to_microseconds out.latency_cycles in
       (match out.path with
       | Slow_path ->
           Sb_obs.Metrics.Counter.incr ins.c_slow;
-          Sb_obs.Histogram.observe ins.h_latency_slow
-            (Sb_sim.Cycles.to_microseconds out.latency_cycles)
+          Sb_obs.Histogram.observe ins.h_latency_slow latency_us
       | Fast_path ->
           Sb_obs.Metrics.Counter.incr ins.c_fast;
-          Sb_obs.Histogram.observe ins.h_latency_fast
-            (Sb_sim.Cycles.to_microseconds out.latency_cycles));
+          Sb_obs.Histogram.observe ins.h_latency_fast latency_us);
       (match out.verdict with
       | Sb_mat.Header_action.Forwarded -> Sb_obs.Metrics.Counter.incr ins.c_forwarded
-      | Sb_mat.Header_action.Dropped -> Sb_obs.Metrics.Counter.incr ins.c_dropped)
+      | Sb_mat.Header_action.Dropped -> Sb_obs.Metrics.Counter.incr ins.c_dropped);
+      (match ins.h_sojourn with
+      | Some h -> Sb_obs.Histogram.observe h latency_us
+      | None -> ())
   | None -> ());
+  (* Snapshot cadence rides the same armed branch; derives from the
+     simulated clock, so snapshot series are deterministic. *)
+  Sb_obs.Sink.packet_tick obs ~now_us:ts0;
   match Sb_obs.Sink.tracer obs with
   | Some tr when Sb_obs.Tracer.sampled tr fid ->
       (* One span per visited stage: per-NF spans on the slow path, one

@@ -56,6 +56,19 @@ let bounds_of_index i =
 
 let bucket_bounds v = bounds_of_index (index v)
 
+(* Bucket-wise accumulation: both histograms share the fixed bucket table,
+   so merging never re-buckets a value — counts are exact, and the merged
+   percentile error stays one bucket width, same as observing the union
+   directly. *)
+let merge_into dst src =
+  for i = 0 to n_buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.total <- dst.total +. src.total;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi
+
 let observe t v =
   if not (Float.is_nan v || v < 0.) then begin
     t.counts.(index v) <- t.counts.(index v) + 1;

@@ -25,6 +25,14 @@ val clear : t -> unit
 val observe : t -> float -> unit
 (** O(1).  Negative and NaN values are ignored. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src] into [dst] bucket-wise ([src] is left
+    untouched): counts add exactly (the bucket table is shared, nothing is
+    re-bucketed), [count]/[sum] accumulate, the exact observed [min]/[max]
+    combine.  Merging is commutative and associative on counts;
+    [sum] commutes bit-exactly and reassociates within float rounding.
+    Merging an empty histogram (in either position) is the identity. *)
+
 val observe_int : t -> int -> unit
 
 val count : t -> int

@@ -1,14 +1,46 @@
+type snapshot = { shard : int; seq : int; ts_us : float; packets : int; body : string }
+
 type t = {
   armed : bool;
+  shard : int;  (* -1 = parent / unsharded; >= 0 = child index *)
   metrics : Metrics.t option;
   tracer : Tracer.t option;
   timeline : Timeline.t option;
+  (* Tracer construction parameters, kept so [split] can build children
+     with the same ring size and flow-sampling cap. *)
+  trace_capacity : int option;
+  trace_flows : int option;
+  (* Periodic snapshot state: every [snapshot_every] packets the metrics
+     registry is serialised into [snaps] (newest-first).  Touched only by
+     the one domain that owns this sink's hot path. *)
+  snapshot_every : int option;
+  mutable tick_count : int;
+  mutable packet_total : int;
+  mutable snap_seq : int;
+  mutable snaps : snapshot list;
 }
 
-let null = { armed = false; metrics = None; tracer = None; timeline = None }
+let null =
+  {
+    armed = false;
+    shard = -1;
+    metrics = None;
+    tracer = None;
+    timeline = None;
+    trace_capacity = None;
+    trace_flows = None;
+    snapshot_every = None;
+    tick_count = 0;
+    packet_total = 0;
+    snap_seq = 0;
+    snaps = [];
+  }
 
 let create ?(metrics = false) ?(trace = false) ?trace_capacity ?trace_flows
-    ?(timeline = false) () =
+    ?(timeline = false) ?snapshot_every () =
+  (match snapshot_every with
+  | Some n when n < 1 -> invalid_arg "Sink.create: snapshot_every must be positive"
+  | Some _ | None -> ());
   let m = if metrics then Some (Metrics.create ()) else None in
   let tr =
     if trace then
@@ -16,12 +48,120 @@ let create ?(metrics = false) ?(trace = false) ?trace_capacity ?trace_flows
     else None
   in
   let tl = if timeline then Some (Timeline.create ()) else None in
-  { armed = m <> None || tr <> None || tl <> None; metrics = m; tracer = tr; timeline = tl }
+  {
+    null with
+    armed = m <> None || tr <> None || tl <> None;
+    metrics = m;
+    tracer = tr;
+    timeline = tl;
+    trace_capacity;
+    trace_flows;
+    snapshot_every = (if m = None then None else snapshot_every);
+  }
 
 let armed t = t.armed
+
+let shard t = t.shard
 
 let metrics t = t.metrics
 
 let tracer t = t.tracer
 
 let timeline t = t.timeline
+
+let snapshot_every t = t.snapshot_every
+
+(* ---- Split / merge ---- *)
+
+let split parent n =
+  if n < 1 then invalid_arg "Sink.split: need at least one child";
+  if not parent.armed then invalid_arg "Sink.split: cannot split a disarmed sink";
+  Array.init n (fun i ->
+      {
+        parent with
+        shard = i;
+        metrics = Option.map (fun _ -> Metrics.create ()) parent.metrics;
+        tracer =
+          Option.map
+            (fun _ ->
+              Tracer.create ?capacity:parent.trace_capacity
+                ?max_flows:parent.trace_flows ~pid:(i + 1) ())
+            parent.tracer;
+        timeline = Option.map (fun _ -> Timeline.create ()) parent.timeline;
+        tick_count = 0;
+        packet_total = 0;
+        snap_seq = 0;
+        snaps = [];
+      })
+
+let merge parent children =
+  if Array.length children > 0 && children.(0) != parent then begin
+    let opts f = Array.to_list children |> List.filter_map f |> Array.of_list in
+    (match parent.metrics with
+    | Some m ->
+        Metrics.clear m;
+        Array.iter
+          (fun c -> Option.iter (fun cm -> Metrics.merge_into m cm) c.metrics)
+          children
+    | None -> ());
+    (match parent.tracer with
+    | Some tr -> Tracer.merge tr (opts (fun c -> c.tracer))
+    | None -> ());
+    (match parent.timeline with
+    | Some tl -> Timeline.merge tl (opts (fun c -> c.timeline))
+    | None -> ());
+    (* [snaps] is newest-first per sink; reversing the child order (and
+       keeping each child's own newest-first list) makes the oldest-first
+       [snapshots] view read child 0's series, then child 1's, ... *)
+    parent.snaps <- List.concat_map (fun c -> c.snaps) (List.rev (Array.to_list children))
+  end
+
+(* ---- Periodic snapshots ---- *)
+
+let capture t ~ts_us =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      let snap =
+        {
+          shard = (if t.shard < 0 then 0 else t.shard);
+          seq = t.snap_seq;
+          ts_us;
+          packets = t.packet_total;
+          body = Metrics.to_json m;
+        }
+      in
+      t.snap_seq <- t.snap_seq + 1;
+      t.snaps <- snap :: t.snaps
+
+let packet_tick t ~now_us =
+  match t.snapshot_every with
+  | None -> ()
+  | Some every ->
+      t.packet_total <- t.packet_total + 1;
+      t.tick_count <- t.tick_count + 1;
+      if t.tick_count >= every then begin
+        t.tick_count <- 0;
+        capture t ~ts_us:now_us
+      end
+
+let snapshots t = List.rev t.snaps
+
+let snapshots_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"speedybox-metrics-snapshots/1\",\n  \"snapshots\": [\n";
+  let snaps = snapshots t in
+  let n = List.length snaps in
+  List.iteri
+    (fun i s ->
+      (* [body] is a complete metrics JSON document; strip its trailing
+         newline and embed it verbatim. *)
+      let body = String.trim s.body in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"shard\": %d, \"seq\": %d, \"ts_us\": %.3f, \"packets\": %d, \"metrics\": %s}%s\n"
+           s.shard s.seq s.ts_us s.packets body
+           (if i < n - 1 then "," else "")))
+    snaps;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

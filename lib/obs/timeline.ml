@@ -46,5 +46,30 @@ let flows t =
 
 let total_events t = t.total
 
+(* Rebuild [dst] from per-shard children: each fid's events concatenate
+   across children (in child-index order) and sort stably by timestamp, so
+   one child's events keep their record order and cross-shard fid
+   collisions interleave by simulated time.  A fid key is only ever
+   created by [record], so every entry list is non-empty — but the merge
+   is total regardless: zero children, or children with no flows, leave
+   [dst] empty and exportable. *)
+let merge dst sources =
+  Hashtbl.reset dst.flows;
+  dst.total <- 0;
+  let fids = Hashtbl.create 64 in
+  Array.iter
+    (fun s -> Hashtbl.iter (fun fid _ -> Hashtbl.replace fids fid ()) s.flows)
+    sources;
+  Hashtbl.iter
+    (fun fid () ->
+      let entries =
+        List.stable_sort
+          (fun a b -> Float.compare a.ts_us b.ts_us)
+          (List.concat_map (fun s -> events s fid) (Array.to_list sources))
+      in
+      dst.total <- dst.total + List.length entries;
+      if entries <> [] then Hashtbl.replace dst.flows fid (ref (List.rev entries)))
+    fids
+
 let pp_entry fmt e =
   Format.fprintf fmt "%10.3fus  %-15s %s" e.ts_us (kind_label e.kind) e.detail

@@ -35,4 +35,13 @@ val flows : t -> int list
 
 val total_events : t -> int
 
+val merge : t -> t array -> unit
+(** [merge dst sources] rebuilds [dst] from per-shard child timelines
+    ([sources] are left untouched): each fid's events concatenate across
+    children in child-index order and sort stably by [ts_us], so a single
+    child's events keep their record order and cross-shard fid collisions
+    interleave by simulated time.  Total on empty inputs — zero children
+    or childless fids leave [dst] empty and queryable ({!events} stays
+    [[]] for unknown flows). *)
+
 val pp_entry : Format.formatter -> entry -> unit

@@ -5,6 +5,7 @@ type span = {
   cat : string;
   ts_us : float;
   dur_us : float;
+  pid : int;
   tid : int;
   args : (string * arg) list;
 }
@@ -13,20 +14,26 @@ type t = {
   ring : span option array;
   mutable write : int;  (* next slot, wraps *)
   mutable total : int;  (* spans ever recorded *)
+  mutable merged_dropped : int;  (* drops inherited from merged children *)
   sampled_flows : (int, unit) Hashtbl.t;
   max_flows : int;
+  pid : int;  (* stamped into every span this tracer records *)
 }
 
-let create ?(capacity = 65536) ?(max_flows = max_int) () =
+let create ?(capacity = 65536) ?(max_flows = max_int) ?(pid = 1) () =
   if capacity < 1 then invalid_arg "Tracer.create: capacity must be positive";
   if max_flows < 0 then invalid_arg "Tracer.create: max_flows must be non-negative";
   {
     ring = Array.make capacity None;
     write = 0;
     total = 0;
+    merged_dropped = 0;
     sampled_flows = Hashtbl.create 64;
     max_flows;
+    pid;
   }
+
+let pid t = t.pid
 
 let sampled t fid =
   Hashtbl.mem t.sampled_flows fid
@@ -38,14 +45,14 @@ let sampled t fid =
 
 let record t ~name ~cat ~ts_us ~dur_us ~tid args =
   if sampled t tid then begin
-    t.ring.(t.write) <- Some { name; cat; ts_us; dur_us; tid; args };
+    t.ring.(t.write) <- Some { name; cat; ts_us; dur_us; pid = t.pid; tid; args };
     t.write <- (t.write + 1) mod Array.length t.ring;
     t.total <- t.total + 1
   end
 
 let recorded t = min t.total (Array.length t.ring)
 
-let dropped t = max 0 (t.total - Array.length t.ring)
+let dropped t = max 0 (t.total - Array.length t.ring) + t.merged_dropped
 
 let spans t =
   let cap = Array.length t.ring in
@@ -55,6 +62,34 @@ let spans t =
       match t.ring.((first + i) mod cap) with
       | Some s -> s
       | None -> assert false (* slots below [recorded] are filled *))
+
+(* Rebuild [dst] from its children: retained spans interleave by timestamp
+   (stable, so same-timestamp spans keep source order — and each source's
+   spans are already time-ordered), each keeping the pid its recording
+   child stamped.  When the union exceeds [dst]'s capacity the oldest
+   spans drop, counted in [dropped] together with the children's own ring
+   drops.  Total with zero sources or zero spans: the result is simply an
+   empty (but valid, exportable) ring. *)
+let merge dst sources =
+  let cap = Array.length dst.ring in
+  Array.fill dst.ring 0 cap None;
+  Hashtbl.reset dst.sampled_flows;
+  let all =
+    List.stable_sort
+      (fun a b -> Float.compare a.ts_us b.ts_us)
+      (List.concat_map spans (Array.to_list sources))
+  in
+  let n = List.length all in
+  let keep = if n > cap then List.filteri (fun i _ -> i >= n - cap) all else all in
+  let kept = List.length keep in
+  dst.write <- kept mod cap;
+  dst.total <- kept;
+  dst.merged_dropped <-
+    (n - kept) + Array.fold_left (fun acc s -> acc + dropped s) 0 sources;
+  List.iteri (fun i s -> dst.ring.(i) <- Some s) keep;
+  Array.iter
+    (fun s -> Hashtbl.iter (fun fid () -> Hashtbl.replace dst.sampled_flows fid ()) s.sampled_flows)
+    sources
 
 let escape s =
   let b = Buffer.create (String.length s) in
@@ -72,7 +107,10 @@ let arg_json = function
   | Int i -> string_of_int i
 
 (* Chrome trace-event format: complete events (ph "X"), timestamps in
-   microseconds — loads directly in Perfetto / chrome://tracing. *)
+   microseconds — loads directly in Perfetto / chrome://tracing.  The pid
+   is the recording shard's track (1 unsharded; shard i records as i+1),
+   so a merged parallel run renders one lane per shard.  An empty ring
+   exports a valid trace with an empty [traceEvents] array. *)
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -85,8 +123,8 @@ let to_chrome_json t =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}%s\n"
-           (escape s.name) (escape s.cat) s.ts_us s.dur_us s.tid args
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{%s}}%s\n"
+           (escape s.name) (escape s.cat) s.ts_us s.dur_us s.pid s.tid args
            (if i < List.length all - 1 then "," else "")))
     all;
   Buffer.add_string buf "]}\n";

@@ -4,7 +4,9 @@
 
     Spans carry the simulated clock in microseconds ([ph: "X"] complete
     events); the flow ID becomes the Chrome [tid], so each traced flow
-    renders as its own track.  Retention is flow-sampled: the first
+    renders as its own track, and the recording tracer's [pid] (1 by
+    default; shard [i]'s child tracer records as [i + 1]) groups tracks by
+    shard after a {!merge}.  Retention is flow-sampled: the first
     [max_flows] distinct flow IDs seen are retained and every later flow
     is ignored ([--trace-flows N] on the CLI), bounding both the ring
     pressure and the export size on large runs.  When the ring wraps, the
@@ -18,16 +20,20 @@ type span = {
   cat : string;  (** taxonomy: ["slow" | "fast" | "consolidate" | "event" | "stage"] *)
   ts_us : float;
   dur_us : float;
+  pid : int;  (** the recording tracer's process track (shard + 1; 1 unsharded) *)
   tid : int;  (** the flow ID *)
   args : (string * arg) list;
 }
 
 type t
 
-val create : ?capacity:int -> ?max_flows:int -> unit -> t
+val create : ?capacity:int -> ?max_flows:int -> ?pid:int -> unit -> t
 (** [capacity] (default 65536) spans are retained, oldest overwritten
-    first; [max_flows] (default unlimited) caps the distinct flows traced.
+    first; [max_flows] (default unlimited) caps the distinct flows traced;
+    [pid] (default 1) is stamped into every span recorded here.
     @raise Invalid_argument when [capacity < 1] or [max_flows < 0]. *)
+
+val pid : t -> int
 
 val sampled : t -> int -> bool
 (** Whether spans for this flow ID are retained; admits unseen flows while
@@ -42,11 +48,23 @@ val recorded : t -> int
 (** Spans currently held (≤ capacity). *)
 
 val dropped : t -> int
-(** Spans overwritten by ring wrap-around. *)
+(** Spans overwritten by ring wrap-around, plus — after a {!merge} — the
+    children's drops and any spans the merge shed over [t]'s capacity. *)
 
 val spans : t -> span list
 (** Retained spans, oldest first. *)
 
+val merge : t -> t array -> unit
+(** [merge dst sources] rebuilds [dst] from per-shard child tracers
+    ([sources] are left untouched): retained spans interleave by [ts_us]
+    (stable, so simultaneous spans keep child-index order), each keeping
+    the [pid] its child stamped; when the union exceeds [dst]'s capacity
+    the oldest spans drop and count in {!dropped} along with the
+    children's own ring drops.  Total on empty inputs: merging zero
+    sources, or sources with zero spans, leaves a valid empty ring whose
+    {!to_chrome_json} is well-formed. *)
+
 val to_chrome_json : t -> string
 (** The Chrome trace-event JSON (a [traceEvents] array of [ph: "X"]
-    events, [pid] 1, [tid] = flow ID, timestamps in microseconds). *)
+    events, [pid] = recording shard's track, [tid] = flow ID, timestamps
+    in microseconds).  Valid JSON even with zero spans. *)

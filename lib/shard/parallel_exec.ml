@@ -11,10 +11,23 @@ let pool_capacity = ring_capacity + 2
    originals.  The receiving shard copies them into its own scratch pool
    before processing — the copy the old feeder did serially now happens in
    parallel on the consuming domain, and no allocation happens per batch:
-   buffers recycle over the free rings for the whole run. *)
-type batch = { pkts : Sb_packet.Packet.t array; mutable len : int }
+   buffers recycle over the free rings for the whole run.  [enq_t] stamps
+   the wall-clock enqueue instant when the sink is armed, feeding the
+   consumer's queueing-delay histogram. *)
+type batch = { pkts : Sb_packet.Packet.t array; mutable len : int; mutable enq_t : float }
 
-let dummy_batch = { pkts = [||]; len = 0 }
+let dummy_batch = { pkts = [||]; len = 0; enq_t = 0. }
+
+(* Per-worker mesh telemetry: plain fields written by exactly one domain
+   during the run and folded into that shard's child registry after the
+   join (armed sinks only — unarmed runs never touch these). *)
+type wstats = {
+  mutable scan_s : float;  (* wall-clock seconds inside the steering prescan *)
+  misdirected : int array;  (* packets this worker steered to each other shard *)
+  mutable spins : int;  (* cpu_relax iterations while pushing/acquiring *)
+  queue_delay_us : Sb_obs.Histogram.t;  (* batch enqueue-to-drain delay *)
+  batch_fill : Sb_obs.Histogram.t;  (* drained batch sizes *)
+}
 
 let run_trace ?(burst = Runtime.default_burst) t packets =
   if burst < 1 then invalid_arg "Parallel_exec.run_trace: burst must be positive";
@@ -23,13 +36,14 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
     invalid_arg
       "Parallel_exec.run_trace: fault injection requires the deterministic executor \
        (injector draw sequences are global mutable state)";
-  if Sb_obs.Sink.armed cfg.Runtime.obs then
-    invalid_arg
-      "Parallel_exec.run_trace: observability sinks are unsynchronised; use the \
-       deterministic executor or a disarmed sink";
   let n = Sharded.shard_count t in
   if n = 1 then Sharded.run_trace ~burst t packets
   else begin
+    (* An armed sink was split into per-domain children at plan creation;
+       each worker records into its own child only, so the hot path stays
+       free of cross-domain writes and the single-branch unarmed contract
+       holds per domain. *)
+    let armed = Sb_obs.Sink.armed cfg.Runtime.obs in
     let originals = Array.of_list packets in
     let total = Array.length originals in
     let filler = Sb_packet.Packet.scratch () in
@@ -46,7 +60,9 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
           Array.init n (fun _ ->
               let r = Shard_ring.create ~capacity:pool_capacity ~dummy:dummy_batch in
               for _ = 1 to pool_capacity do
-                if not (Shard_ring.try_push r { pkts = Array.make burst filler; len = 0 })
+                if not
+                     (Shard_ring.try_push r
+                        { pkts = Array.make burst filler; len = 0; enq_t = 0. })
                 then assert false
               done;
               r))
@@ -54,9 +70,20 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
     let accs =
       Array.init n (fun _ -> Runtime.Acc.create ~fid_bits:cfg.Runtime.fid_bits ())
     in
+    let wstats =
+      Array.init n (fun _ ->
+          {
+            scan_s = 0.;
+            misdirected = Array.make n 0;
+            spins = 0;
+            queue_delay_us = Sb_obs.Histogram.create ();
+            batch_fill = Sb_obs.Histogram.create ();
+          })
+    in
     let worker d =
       let rt = Sharded.runtime t d in
       let acc = accs.(d) in
+      let ws = wstats.(d) in
       (* This domain's slice of the trace: it steers these packets itself,
          keeping the home-shard ones and exchanging the rest — there is no
          central feeder to serialise behind. *)
@@ -75,6 +102,11 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
            boundaries. *)
         Sharded.drain_control t d;
         let len = b.len in
+        if armed then begin
+          Sb_obs.Histogram.observe ws.queue_delay_us
+            ((Unix.gettimeofday () -. b.enq_t) *. 1e6);
+          Sb_obs.Histogram.observe_int ws.batch_fill len
+        end;
         for k = 0 to len - 1 do
           Sb_packet.Packet.copy_into ~src:b.pkts.(k) ~dst:scratch.(k)
         done;
@@ -125,8 +157,12 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
          bursty per-flow traces; the slice-order constraint forbids the
          obvious escape of draining a later source early). *)
       let rec push_data ring b =
+        if armed then b.enq_t <- Unix.gettimeofday ();
         if not (Shard_ring.try_push ring b) then begin
-          if not (consume_step ~blocking:false) then Domain.cpu_relax ();
+          if not (consume_step ~blocking:false) then begin
+            ws.spins <- ws.spins + 1;
+            Domain.cpu_relax ()
+          end;
           push_data ring b
         end
       in
@@ -134,7 +170,10 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
         match Shard_ring.try_pop ring with
         | Some b -> b
         | None ->
-            if not (consume_step ~blocking:false) then Domain.cpu_relax ();
+            if not (consume_step ~blocking:false) then begin
+              ws.spins <- ws.spins + 1;
+              Domain.cpu_relax ()
+            end;
             acquire_batch ring
       in
       let scan_pos = ref lo in
@@ -143,6 +182,7 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
         while !remaining > 0 && !scan_pos < hi do
           let p = originals.(!scan_pos) in
           let s = Sharded.shard_of_packet t p in
+          if armed && s <> d then ws.misdirected.(s) <- ws.misdirected.(s) + 1;
           let ob =
             if outbox.(s) == dummy_batch then begin
               let b = acquire_batch free.(d).(s) in
@@ -162,7 +202,12 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
         done
       in
       while !scan_pos < hi do
-        scan_chunk (4 * burst);
+        if armed then begin
+          let t0 = Unix.gettimeofday () in
+          scan_chunk (4 * burst);
+          ws.scan_s <- ws.scan_s +. (Unix.gettimeofday () -. t0)
+        end
+        else scan_chunk (4 * burst);
         ignore (consume_step ~blocking:false : bool)
       done;
       (* Flush partial batches and close this domain's outgoing rings —
@@ -198,5 +243,86 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
     for s = 1 to n - 1 do
       Runtime.Acc.absorb merged accs.(s)
     done;
-    Runtime.Acc.result merged
+    let result = Runtime.Acc.result merged in
+    if armed then begin
+      (* Fold the mesh and ring telemetry into each shard's child registry
+         — after the join (the counters are owner-written plain fields)
+         and after the last packet tick, so periodic snapshots never
+         contain these wall-clock-dependent families. *)
+      for d = 0 to n - 1 do
+        match Sb_obs.Sink.metrics (Sharded.obs_child t d) with
+        | None -> ()
+        | Some m ->
+            let chain_label = ("chain", Chain.name (Runtime.chain (Sharded.runtime t d))) in
+            let shard_labels = [ chain_label; ("shard", string_of_int d) ] in
+            let ws = wstats.(d) in
+            for s = 0 to n - 1 do
+              if s <> d && ws.misdirected.(s) > 0 then
+                Sb_obs.Metrics.Counter.add
+                  (Sb_obs.Metrics.counter m
+                     ~help:"Packets a scanning domain steered to another shard"
+                     ~labels:
+                       [ chain_label; ("src", string_of_int d); ("dst", string_of_int s) ]
+                     "speedybox_mesh_misdirected_total")
+                  ws.misdirected.(s)
+            done;
+            Sb_obs.Metrics.Gauge.set
+              (Sb_obs.Metrics.gauge m
+                 ~help:"Wall-clock microseconds this domain spent in the steering prescan"
+                 ~labels:shard_labels "speedybox_mesh_scan_us")
+              (ws.scan_s *. 1e6);
+            Sb_obs.Metrics.Counter.add
+              (Sb_obs.Metrics.counter m
+                 ~help:"cpu_relax iterations while pushing to or acquiring from the mesh"
+                 ~labels:shard_labels "speedybox_mesh_spins_total")
+              ws.spins;
+            Sb_obs.Histogram.merge_into
+              (Sb_obs.Metrics.histogram m
+                 ~help:"Batch enqueue-to-drain wall-clock delay in microseconds"
+                 ~labels:shard_labels "speedybox_mesh_queue_delay_us")
+              ws.queue_delay_us;
+            Sb_obs.Histogram.merge_into
+              (Sb_obs.Metrics.histogram m
+                 ~help:"Packets per drained mesh batch" ~labels:shard_labels
+                 "speedybox_mesh_batch_fill")
+              ws.batch_fill;
+            (* Inbound ring telemetry, aggregated over sources: shard [d]
+               consumes rings [src -> d]. *)
+            let pushes = ref 0
+            and pops = ref 0
+            and spins = ref 0
+            and parks = ref 0
+            and hw = ref 0 in
+            for src = 0 to n - 1 do
+              let st = Shard_ring.stats data.(src).(d) in
+              pushes := !pushes + st.Shard_ring.pushes;
+              pops := !pops + st.Shard_ring.pops;
+              spins := !spins + st.Shard_ring.push_spins + st.Shard_ring.pop_spins;
+              parks := !parks + st.Shard_ring.push_parks + st.Shard_ring.pop_parks;
+              if st.Shard_ring.highwater > !hw then hw := st.Shard_ring.highwater
+            done;
+            let c name help v =
+              Sb_obs.Metrics.Counter.add
+                (Sb_obs.Metrics.counter m ~help ~labels:shard_labels name) v
+            in
+            c "speedybox_ring_pushes_total" "Batches pushed into this shard's inbound rings"
+              !pushes;
+            c "speedybox_ring_pops_total" "Batches drained from this shard's inbound rings"
+              !pops;
+            c "speedybox_ring_spins_total"
+              "cpu_relax iterations inside blocking ring ops on this shard's inbound rings"
+              !spins;
+            c "speedybox_ring_parks_total"
+              "Times a side parked on this shard's inbound rings" !parks;
+            Sb_obs.Metrics.Gauge.set
+              (Sb_obs.Metrics.gauge m
+                 ~help:"Highest occupancy observed across this shard's inbound rings"
+                 ~merge:Sb_obs.Metrics.Max ~labels:shard_labels
+                 "speedybox_ring_occupancy_highwater")
+              (float_of_int !hw)
+      done;
+      Sharded.finish_obs t result;
+      Sharded.merge_obs t
+    end;
+    result
   end

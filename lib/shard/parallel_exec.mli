@@ -20,12 +20,23 @@
     counts, the flow directory) is kept per domain and merged into the
     plan after the join.
 
-    Restrictions, both checked up front: no fault injector (the injector's
+    One restriction, checked up front: no fault injector (the injector's
     per-NF draw sequences are global mutable state — racing domains over
-    them would corrupt the schedule, not just reorder it), and a disarmed
-    observability sink (metrics/trace/timeline sinks are unsynchronised).
-    Organic NF behaviour, including raising NFs, is fine — containment is
-    per-shard and health broadcasts are mutex-protected. *)
+    them would corrupt the schedule, not just reorder it).  Organic NF
+    behaviour, including raising NFs, is fine — containment is per-shard
+    and health broadcasts are mutex-protected.
+
+    Armed observability runs domain-local: the plan's sink was
+    {!Sb_obs.Sink.split} into per-shard children at {!Sharded.create}, each
+    domain records only into its own child (no atomics on the hot path —
+    the single-branch unarmed contract holds per domain), and after the
+    join the executor folds mesh telemetry into the children
+    ([speedybox_mesh_*] steering-prescan time, misdirected src→dst
+    counters, queueing-delay and batch-fill histograms; [speedybox_ring_*]
+    push/pop/spin/park counts and occupancy high-water from
+    {!Shard_ring.stats}) and recomputes the parent via
+    {!Sharded.merge_obs} — merged counters are bit-identical to the
+    deterministic executor's, modulo those parallel-only families. *)
 
 val run_trace :
   ?burst:int ->
@@ -35,5 +46,5 @@ val run_trace :
 (** [run_trace ~burst t packets] processes the trace across one domain per
     shard — shard 0 on the calling thread — in batches of [burst] (default
     {!Speedybox.Runtime.default_burst}).
-    @raise Invalid_argument when [burst < 1], when the plan carries an
-    injector, or when its observability sink is armed. *)
+    @raise Invalid_argument when [burst < 1] or when the plan carries an
+    injector. *)

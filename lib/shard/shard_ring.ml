@@ -8,12 +8,14 @@
 type side = {
   pos : int Atomic.t;  (* owned cursor: monotonically increasing *)
   mutable peer_cache : int;  (* peer cursor lower bound, refreshed on demand *)
+  (* Telemetry, owner-written plain fields (no atomics — each is stored by
+     exactly one domain; readers wait for quiescence, see [stats]). *)
+  mutable ops : int;  (* successful pushes / pops (items) *)
+  mutable spin_iters : int;  (* cpu_relax iterations in blocking ops *)
+  mutable parks : int;  (* times this side parked on the condvar *)
+  mutable highwater : int;  (* producer side: max occupancy lower bound seen *)
   mutable pad0 : int;
   mutable pad1 : int;
-  mutable pad2 : int;
-  mutable pad3 : int;
-  mutable pad4 : int;
-  mutable pad5 : int;
 }
 
 type 'a t = {
@@ -37,8 +39,8 @@ type 'a t = {
 let spin_budget = 128
 
 let make_side () =
-  { pos = Atomic.make 0; peer_cache = 0; pad0 = 0; pad1 = 0; pad2 = 0; pad3 = 0;
-    pad4 = 0; pad5 = 0 }
+  { pos = Atomic.make 0; peer_cache = 0; ops = 0; spin_iters = 0; parks = 0;
+    highwater = 0; pad0 = 0; pad1 = 0 }
 
 (* Minor-heap allocation is a bump pointer, so an ignored allocation
    between the two sides spaces their blocks at least a line apart. *)
@@ -105,6 +107,9 @@ let try_push t v =
   else begin
     t.slots.(tail land t.mask) <- v;
     Atomic.set t.prod.pos (tail + 1);
+    t.prod.ops <- t.prod.ops + 1;
+    let occ = tail + 1 - t.prod.peer_cache in
+    if occ > t.prod.highwater then t.prod.highwater <- occ;
     wake t t.cons_parked;
     true
   end
@@ -114,9 +119,11 @@ let push t v =
   while not (try_push t v) do
     if !spins > 0 then begin
       decr spins;
+      t.prod.spin_iters <- t.prod.spin_iters + 1;
       Domain.cpu_relax ()
     end
     else begin
+      t.prod.parks <- t.prod.parks + 1;
       park t t.prod_parked (fun () ->
           Atomic.get t.prod.pos - Atomic.get t.cons.pos < t.mask + 1);
       spins := spin_budget
@@ -137,6 +144,9 @@ let push_batch t src ~pos ~len =
       t.slots.((tail + i) land t.mask) <- src.(pos + i)
     done;
     Atomic.set t.prod.pos (tail + n);
+    t.prod.ops <- t.prod.ops + n;
+    let occ = tail + n - t.prod.peer_cache in
+    if occ > t.prod.highwater then t.prod.highwater <- occ;
     wake t t.cons_parked
   end;
   n
@@ -150,6 +160,7 @@ let try_pop t =
     let v = t.slots.(i) in
     t.slots.(i) <- t.dummy;
     Atomic.set t.cons.pos (head + 1);
+    t.cons.ops <- t.cons.ops + 1;
     wake t t.prod_parked;
     Some v
   end
@@ -166,10 +177,12 @@ let pop t =
     | None ->
         if closed_and_drained t then None
         else if spins > 0 then begin
+          t.cons.spin_iters <- t.cons.spin_iters + 1;
           Domain.cpu_relax ();
           go (spins - 1)
         end
         else begin
+          t.cons.parks <- t.cons.parks + 1;
           park t t.cons_parked (fun () ->
               Atomic.get t.closed
               || Atomic.get t.cons.pos <> Atomic.get t.prod.pos);
@@ -190,9 +203,34 @@ let pop_batch t dst =
       t.slots.(s) <- t.dummy
     done;
     Atomic.set t.cons.pos (head + n);
+    t.cons.ops <- t.cons.ops + n;
     wake t t.prod_parked
   end;
   n
+
+type stats = {
+  pushes : int;
+  pops : int;
+  push_spins : int;
+  pop_spins : int;
+  push_parks : int;
+  pop_parks : int;
+  highwater : int;
+}
+
+(* Plain reads of owner-written fields: exact only after both sides have
+   quiesced (the parallel executor reads them after [Domain.join], which
+   publishes every worker store). *)
+let stats t =
+  {
+    pushes = t.prod.ops;
+    pops = t.cons.ops;
+    push_spins = t.prod.spin_iters;
+    pop_spins = t.cons.spin_iters;
+    push_parks = t.prod.parks;
+    pop_parks = t.cons.parks;
+    highwater = t.prod.highwater;
+  }
 
 let close t =
   Atomic.set t.closed true;

@@ -64,3 +64,21 @@ val is_closed : 'a t -> bool
 
 val closed_and_drained : 'a t -> bool
 (** The consumer will never see another item. *)
+
+(** Ring telemetry, accumulated in owner-written plain fields — the hot
+    path pays ordinary stores on memory the owning domain alone writes, no
+    atomics. *)
+type stats = {
+  pushes : int;  (** items successfully pushed (batch pushes count items) *)
+  pops : int;  (** items successfully popped *)
+  push_spins : int;  (** [cpu_relax] iterations inside blocking {!push} *)
+  pop_spins : int;  (** [cpu_relax] iterations inside blocking {!pop} *)
+  push_parks : int;  (** times the producer parked on the condvar *)
+  pop_parks : int;  (** times the consumer parked on the condvar *)
+  highwater : int;  (** max occupancy lower bound observed at a push *)
+}
+
+val stats : 'a t -> stats
+(** Exact only once both sides are quiescent (e.g. after [Domain.join]);
+    mid-run reads are racy lower bounds.  The parallel executor folds
+    these into per-shard [speedybox_ring_*] metrics after the join. *)

@@ -3,6 +3,13 @@ open Speedybox
 type t = {
   cfg : Runtime.config;
   runtimes : Runtime.t array;
+  (* Per-shard child sinks split off [cfg.obs] when it is armed and the
+     plan is multi-shard (otherwise every slot aliases the parent): shard
+     [i]'s runtime records into [obs_children.(i)] only — its own
+     registry, tracer ring and timeline, no cross-domain writes — and the
+     executors recompute the parent from the children at end of run
+     ([merge_obs]). *)
+  obs_children : Sb_obs.Sink.t array;
   control : Control.t;
   (* Steering state.  [overrides] redirects a migrated flow away from its
      hash home; [directory] remembers each flow's ingress tuple and owner
@@ -20,7 +27,15 @@ type t = {
 let create ?(shards = 1) cfg build_chain =
   if shards < 1 then invalid_arg "Sharded.create: shards must be positive";
   let control = Control.create ~shards in
-  let runtimes = Array.init shards (fun i -> Runtime.create cfg (build_chain i)) in
+  let obs_children =
+    if shards > 1 && Sb_obs.Sink.armed cfg.Runtime.obs then
+      Sb_obs.Sink.split cfg.Runtime.obs shards
+    else Array.make shards cfg.Runtime.obs
+  in
+  let runtimes =
+    Array.init shards (fun i ->
+        Runtime.create { cfg with Runtime.obs = obs_children.(i) } (build_chain i))
+  in
   (* Faults are chain-wide: whatever shard records one, every other shard
      must advance the NF's health before its next packet. *)
   Array.iteri
@@ -31,6 +46,7 @@ let create ?(shards = 1) cfg build_chain =
   {
     cfg;
     runtimes;
+    obs_children;
     control;
     overrides = Hashtbl.create 256;
     directory = Hashtbl.create 256;
@@ -45,6 +61,14 @@ let shard_count t = Array.length t.runtimes
 let runtime t i = t.runtimes.(i)
 
 let config t = t.cfg
+
+let obs_child t i = t.obs_children.(i)
+
+(* Recompute the parent sink from the per-shard children (a no-op when the
+   children alias the parent — disarmed, or a single shard).  Idempotent:
+   the merge clears the parent first, so calling it after every run, or
+   between runs to take a consistent reading, never double-counts. *)
+let merge_obs t = Sb_obs.Sink.merge t.cfg.Runtime.obs t.obs_children
 
 let fid_of t tuple = Sb_flow.Fid.of_tuple ~bits:t.cfg.Runtime.fid_bits tuple
 
@@ -125,9 +149,13 @@ let absorb_parallel_trace t originals =
 
 (* ---- Migration ---- *)
 
+(* Migration events record into the SOURCE shard's child timeline (the
+   shard that owned the flow when the event happened).  Recording into the
+   parent would be lost at the next [merge_obs], which recomputes the
+   parent from the children. *)
 let obs_migrated t fid src dest =
-  if Sb_obs.Sink.armed t.cfg.Runtime.obs then
-    match Sb_obs.Sink.timeline t.cfg.Runtime.obs with
+  if Sb_obs.Sink.armed t.obs_children.(src) then
+    match Sb_obs.Sink.timeline t.obs_children.(src) with
     | Some tl ->
         Sb_obs.Timeline.record tl ~fid ~ts_us:t.now_us
           ~detail:(Printf.sprintf "shard %d -> %d" src dest)
@@ -236,14 +264,21 @@ let rebalance t =
 
 (* ---- The deterministic executor ---- *)
 
-let emit_shard_gauges t (result : Runtime.run_result) =
-  match Sb_obs.Sink.metrics t.cfg.Runtime.obs with
-  | None -> ()
-  | Some m ->
-      let chain_label = ("chain", Chain.name (Runtime.chain t.runtimes.(0))) in
-      let flows = ownership_counts t in
-      Array.iteri
-        (fun i rt ->
+(* End-of-run gauges, written into each shard's CHILD registry — never the
+   parent, which the next [merge_obs] would wipe.  Per-shard series carry a
+   [shard] label; the run-level gauges an unsharded run_trace would set
+   become per-shard contributions under the same (chain-labelled) series,
+   summed by the merge — so a merged sharded export totals exactly what the
+   unsharded run reports.  The sentinel non-flow bucket is a whole-run
+   figure and lands on child 0. *)
+let finish_obs t (result : Runtime.run_result) =
+  let flows = ownership_counts t in
+  Array.iteri
+    (fun i rt ->
+      match Sb_obs.Sink.metrics t.obs_children.(i) with
+      | None -> ()
+      | Some m ->
+          let chain_label = ("chain", Chain.name (Runtime.chain rt)) in
           let g name help v =
             Sb_obs.Metrics.Gauge.set
               (Sb_obs.Metrics.gauge m ~help
@@ -254,29 +289,26 @@ let emit_shard_gauges t (result : Runtime.run_result) =
           g "speedybox_shard_packets" "Packets steered to this shard" t.steered.(i);
           g "speedybox_shard_flows" "Flows owned by this shard" flows.(i);
           g "speedybox_shard_rules" "Consolidated rules installed on this shard"
-            (Sb_mat.Global_mat.flow_count (Runtime.global_mat rt)))
-        t.runtimes;
-      (* The run-level gauges an unsharded run_trace would have set. *)
-      let g name help v =
-        Sb_obs.Metrics.Gauge.set
-          (Sb_obs.Metrics.gauge m ~help ~labels:[ chain_label ] name)
-          v
-      in
-      g "speedybox_rules_installed" "Consolidated rules in the Global MAT"
-        (float_of_int
-           (Array.fold_left
-              (fun acc rt -> acc + Sb_mat.Global_mat.flow_count (Runtime.global_mat rt))
-              0 t.runtimes));
-      g "speedybox_events_armed" "Event Table conditions currently armed"
-        (float_of_int
-           (Array.fold_left
-              (fun acc rt -> acc + Sb_mat.Event_table.total_armed (Chain.events (Runtime.chain rt)))
-              0 t.runtimes));
-      (match Sb_flow.Flow_table.find result.Runtime.flow_time_us Runtime.no_flow_fid with
-      | Some us ->
-          g "speedybox_non_flow_time_us"
-            "Processing time spent on packets with no 5-tuple (non-TCP/UDP)" us
-      | None -> ())
+            (Sb_mat.Global_mat.flow_count (Runtime.global_mat rt));
+          let run_level name help v =
+            Sb_obs.Metrics.Gauge.set
+              (Sb_obs.Metrics.gauge m ~help ~labels:[ chain_label ] name)
+              v
+          in
+          run_level "speedybox_rules_installed" "Consolidated rules in the Global MAT"
+            (float_of_int (Sb_mat.Global_mat.flow_count (Runtime.global_mat rt)));
+          run_level "speedybox_events_armed" "Event Table conditions currently armed"
+            (float_of_int
+               (Sb_mat.Event_table.total_armed (Chain.events (Runtime.chain rt))));
+          if i = 0 then
+            match
+              Sb_flow.Flow_table.find result.Runtime.flow_time_us Runtime.no_flow_fid
+            with
+            | Some us ->
+                run_level "speedybox_non_flow_time_us"
+                  "Processing time spent on packets with no 5-tuple (non-TCP/UDP)" us
+            | None -> ())
+    t.runtimes
 
 let run_trace ?on_output ?(burst = Runtime.default_burst) t packets =
   if burst < 1 then invalid_arg "Sharded.run_trace: burst must be positive";
@@ -350,7 +382,8 @@ let run_trace ?on_output ?(burst = Runtime.default_burst) t packets =
       drain_control t s
     done;
     let result = Runtime.Acc.result acc in
-    emit_shard_gauges t result;
+    finish_obs t result;
+    merge_obs t;
     result
   end
 

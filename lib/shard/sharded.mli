@@ -33,7 +33,11 @@ val create : ?shards:int -> Speedybox.Runtime.config -> (int -> Speedybox.Chain.
 (** [create ~shards cfg build_chain] builds [shards] (default 1) runtimes,
     each over its own [build_chain i].  The config is shared — including
     the injector (one global fault schedule, drawn in arrival order by the
-    deterministic executor) and the observability sink.
+    deterministic executor).  An armed observability sink on a multi-shard
+    plan is {!Sb_obs.Sink.split} into per-shard children — shard [i]
+    records into its own registry/tracer/timeline, and both executors
+    recompute the parent sink from the children at end of run
+    ({!merge_obs}), so reading [cfg.obs] after a run sees merged totals.
     @raise Invalid_argument when [shards < 1]. *)
 
 val shard_count : t -> int
@@ -94,6 +98,23 @@ val stats : t -> Speedybox.Report.shard_row list
     user-facing API. *)
 
 val config : t -> Speedybox.Runtime.config
+
+val obs_child : t -> int -> Sb_obs.Sink.t
+(** Shard [i]'s child sink (the parent itself when the plan is single-shard
+    or disarmed).  The parallel executor folds its post-join mesh/ring
+    telemetry into these before merging. *)
+
+val merge_obs : t -> unit
+(** Recompute the parent sink ([config t].obs) from the per-shard children
+    ({!Sb_obs.Sink.merge}): call after a run — both executors already do —
+    or between runs for a consistent point-in-time reading (e.g. after
+    {!migrate_flow}, whose timeline entry lands in the source shard's
+    child).  Idempotent; a no-op on single-shard or disarmed plans. *)
+
+val finish_obs : t -> Speedybox.Runtime.run_result -> unit
+(** Write the end-of-run gauges (per-shard packets/flows/rules, plus each
+    shard's contribution to the run-level rules/events/non-flow series)
+    into the child registries.  Executors call this before {!merge_obs}. *)
 
 val drain_control : t -> int -> unit
 (** Absorb every control message queued for shard [i]. *)

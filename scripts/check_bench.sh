@@ -40,6 +40,13 @@
 # but must not collapse the fast path.  Skipped when the JSON predates
 # the impairment bench.
 #
+# Armed-parallel observability contract (PR 8, same-run ratio): the
+# parallel executor with a metrics-armed sink (per-domain child
+# registries, end-of-run merge + mesh-telemetry fold) must stay within
+# OBS_PARALLEL_OVERHEAD (default 1.10) of the unarmed parallel run over
+# the same plan — domain-local recording may not tax the parallel hot
+# path.  Skipped when the JSON predates the armed-parallel bench.
+#
 # Usage: scripts/check_bench.sh [BENCH_fastpath.json]
 set -eu
 
@@ -50,13 +57,14 @@ SHARD_OVERHEAD="${SHARD_OVERHEAD:-1.10}"
 SHARD_SPEEDUP="${SHARD_SPEEDUP:-1.5}"
 SCALE_GROWTH="${SCALE_GROWTH:-8.0}"
 IMPAIR_OVERHEAD="${IMPAIR_OVERHEAD:-1.5}"
+OBS_PARALLEL_OVERHEAD="${OBS_PARALLEL_OVERHEAD:-1.10}"
 
 if [ ! -f "$BENCH_FILE" ]; then
   echo "check_bench: $BENCH_FILE not found" >&2
   exit 1
 fi
 
-python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" "$IMPAIR_OVERHEAD" <<'EOF'
+python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" "$IMPAIR_OVERHEAD" "$OBS_PARALLEL_OVERHEAD" <<'EOF'
 import json
 import sys
 
@@ -64,6 +72,7 @@ path, tolerance, burst_speedup = sys.argv[1], float(sys.argv[2]), float(sys.argv
 shard_overhead, shard_speedup = float(sys.argv[4]), float(sys.argv[5])
 scale_growth = float(sys.argv[6])
 impair_overhead = float(sys.argv[7])
+obs_parallel_overhead = float(sys.argv[8])
 data = json.load(open(path))
 
 GUARDED = [
@@ -223,6 +232,29 @@ else:
     if ratio > impair_overhead:
         print(
             "check_bench: adversarial traffic collapses the burst fast path",
+            file=sys.stderr,
+        )
+        failed = True
+
+# Armed-parallel observability overhead (PR 8): the parallel executor with
+# per-domain metrics registries vs the same plan unarmed.  Same-run ratio.
+armed_par4 = data["current"].get(
+    "speedybox/shard/parallel-4 obs-armed (64 flows x 32, per packet)"
+)
+if armed_par4 is None:
+    print("check_bench: armed-parallel entry absent -> SKIPPED (re-record to gate)")
+else:
+    ratio = armed_par4 / par4
+    verdict = "OK" if ratio <= obs_parallel_overhead else "FAIL"
+    print(
+        f"check_bench: armed-parallel observability overhead (4 shards)\n"
+        f"  unarmed {par4:.1f} ns, armed {armed_par4:.1f} ns/packet, "
+        f"ratio {ratio:.2f} (need <= {obs_parallel_overhead:.2f}) -> {verdict}"
+    )
+    if ratio > obs_parallel_overhead:
+        print(
+            "check_bench: domain-local observability taxes the parallel hot "
+            "path beyond tolerance",
             file=sys.stderr,
         )
         failed = True

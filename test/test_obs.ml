@@ -369,6 +369,162 @@ let test_stage_breakdown_deterministic () =
   Alcotest.(check bool) "alpha before mid before zeta" true
     (pos "alpha" >= 0 && pos "alpha" < pos "mid" && pos "mid" < pos "zeta")
 
+(* ------------------------------------------------------------------ *)
+(* Split/merge algebra *)
+
+let hist_of vs =
+  let h = Histogram.create () in
+  List.iter (fun v -> Histogram.observe h (float_of_int v /. 16.)) vs;
+  h
+
+let merged hs =
+  let dst = Histogram.create () in
+  List.iter (Histogram.merge_into dst) hs;
+  dst
+
+let qcheck_histogram_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"histogram merge commutes and preserves count/sum"
+    QCheck.(pair (list (int_range 0 2_000_000)) (list (int_range 0 2_000_000)))
+    (fun (a, b) ->
+      let ha = hist_of a and hb = hist_of b in
+      let ab = merged [ ha; hb ] and ba = merged [ hb; ha ] in
+      Histogram.buckets ab = Histogram.buckets ba
+      && Histogram.count ab = Histogram.count ha + Histogram.count hb
+      && Histogram.sum ab = Histogram.sum ba
+      && Float.abs (Histogram.sum ab -. (Histogram.sum ha +. Histogram.sum hb)) <= 1e-9
+      && (Histogram.count ab = 0
+         || Histogram.min_value ab
+            = Float.min_num (Histogram.min_value ha) (Histogram.min_value hb)))
+
+let qcheck_histogram_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"histogram merge associates on counts"
+    QCheck.(
+      triple (list (int_range 0 2_000_000)) (list (int_range 0 2_000_000))
+        (list (int_range 0 2_000_000)))
+    (fun (a, b, c) ->
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      let left = merged [ merged [ ha; hb ]; hc ] in
+      let right = merged [ ha; merged [ hb; hc ] ] in
+      Histogram.buckets left = Histogram.buckets right
+      && Histogram.count left = Histogram.count right
+      && Float.abs (Histogram.sum left -. Histogram.sum right)
+         <= 1e-9 *. (1. +. Float.abs (Histogram.sum left)))
+
+let test_metrics_merge_kinds () =
+  let child i =
+    let m = Metrics.create () in
+    Metrics.Counter.add (Metrics.counter m ~labels:[ ("shard", "x") ] "pkts_total") (10 * (i + 1));
+    Metrics.Gauge.set (Metrics.gauge m "occupancy") (float_of_int (i + 1));
+    Metrics.Gauge.set (Metrics.gauge m ~merge:Metrics.Max "highwater") (float_of_int (5 - i));
+    Histogram.observe (Metrics.histogram m "lat_us") (float_of_int (i + 1));
+    m
+  in
+  let dst = Metrics.create () in
+  Metrics.merge_into dst (child 0);
+  Metrics.merge_into dst (child 1);
+  Alcotest.(check int) "counters sum" 30
+    (Metrics.Counter.value (Metrics.counter dst ~labels:[ ("shard", "x") ] "pkts_total"));
+  Alcotest.(check (float 1e-9)) "Sum gauges add" 3.0
+    (Metrics.Gauge.value (Metrics.gauge dst "occupancy"));
+  Alcotest.(check (float 1e-9)) "Max gauges keep the high-water" 5.0
+    (Metrics.Gauge.value (Metrics.gauge dst ~merge:Metrics.Max "highwater"));
+  Alcotest.(check int) "histograms merge bucket-wise" 2
+    (Histogram.count (Metrics.histogram dst "lat_us"));
+  (* A series existing under different instrument kinds cannot merge. *)
+  let bad = Metrics.create () in
+  ignore (Metrics.gauge bad ~labels:[ ("shard", "x") ] "pkts_total");
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       Metrics.merge_into dst bad;
+       false
+     with Invalid_argument _ -> true);
+  (* clear + re-merge is how Sink.merge stays idempotent *)
+  Metrics.clear dst;
+  Metrics.merge_into dst (child 0);
+  Alcotest.(check int) "clear drops previous totals" 10
+    (Metrics.Counter.value (Metrics.counter dst ~labels:[ ("shard", "x") ] "pkts_total"))
+
+let test_tracer_merge_interleaves_with_pid () =
+  let parent = Tracer.create ~capacity:8 () in
+  let c1 = Tracer.create ~capacity:8 ~pid:1 () in
+  let c2 = Tracer.create ~capacity:8 ~pid:2 () in
+  Tracer.record c1 ~name:"a" ~cat:"fast" ~ts_us:1.0 ~dur_us:0.5 ~tid:1 [];
+  Tracer.record c1 ~name:"c" ~cat:"fast" ~ts_us:3.0 ~dur_us:0.5 ~tid:1 [];
+  Tracer.record c2 ~name:"b" ~cat:"fast" ~ts_us:2.0 ~dur_us:0.5 ~tid:2 [];
+  Tracer.merge parent [| c1; c2 |];
+  let names = List.map (fun s -> s.Tracer.name) (Tracer.spans parent) in
+  Alcotest.(check (list string)) "spans interleave by timestamp" [ "a"; "b"; "c" ] names;
+  let json = Tracer.to_chrome_json parent in
+  Alcotest.(check bool) "per-shard pids survive the merge" true
+    (occurs "\"pid\":1" json && occurs "\"pid\":2" json)
+
+let test_tracer_merge_overflow_counts_dropped () =
+  let parent = Tracer.create ~capacity:2 () in
+  let child = Tracer.create ~capacity:8 ~pid:1 () in
+  for i = 1 to 5 do
+    Tracer.record child ~name:"s" ~cat:"fast" ~ts_us:(float_of_int i) ~dur_us:0.1 ~tid:1 []
+  done;
+  Tracer.merge parent [| child |];
+  Alcotest.(check int) "ring keeps the newest spans" 2 (Tracer.recorded parent);
+  Alcotest.(check int) "merge overflow counted as drops" 3 (Tracer.dropped parent);
+  match Tracer.spans parent with
+  | [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "newest-but-one kept" 4.0 a.Tracer.ts_us;
+      Alcotest.(check (float 1e-9)) "newest kept" 5.0 b.Tracer.ts_us
+  | _ -> Alcotest.fail "expected exactly two spans"
+
+let test_empty_merges_export_valid_json () =
+  (* Satellite fix: exports must be total.  A merged zero-span ring and an
+     empty-fid timeline still produce valid documents. *)
+  let parent = Tracer.create ~capacity:4 () in
+  Tracer.merge parent [| Tracer.create ~capacity:4 ~pid:1 () |];
+  Alcotest.(check string) "zero-span chrome trace is valid JSON"
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+    (Tracer.to_chrome_json parent);
+  let tl = Timeline.create () in
+  Timeline.merge tl [| Timeline.create (); Timeline.create () |];
+  Alcotest.(check (list int)) "empty timeline merge stays empty" [] (Timeline.flows tl);
+  Alcotest.(check bool) "empty timeline stays queryable" true (Timeline.events tl 42 = []);
+  let sink = Sink.create ~metrics:true ~snapshot_every:1000 () in
+  Alcotest.(check string) "snapshotless series is valid JSON"
+    "{\n  \"schema\": \"speedybox-metrics-snapshots/1\",\n  \"snapshots\": [\n  ]\n}\n"
+    (Sink.snapshots_json sink)
+
+let test_sink_split_merge_and_snapshots () =
+  let parent = Sink.create ~metrics:true ~snapshot_every:4 () in
+  let children = Sink.split parent 2 in
+  Alcotest.(check int) "children carry shard indices" 1 (Sink.shard children.(1));
+  Alcotest.(check int) "parent is unsharded" (-1) (Sink.shard parent);
+  Array.iteri
+    (fun i c ->
+      let m = Option.get (Sink.metrics c) in
+      Metrics.Counter.add (Metrics.counter m "pkts_total") (i + 1))
+    children;
+  (* 10 ticks at cadence 4 -> snapshots at packets 4 and 8 *)
+  for i = 1 to 10 do
+    Sink.packet_tick children.(0) ~now_us:(float_of_int i)
+  done;
+  Sink.merge parent children;
+  Alcotest.(check int) "counters merged across children" 3
+    (Metrics.Counter.value (Metrics.counter (Option.get (Sink.metrics parent)) "pkts_total"));
+  let snaps = Sink.snapshots parent in
+  Alcotest.(check int) "snapshot cadence" 2 (List.length snaps);
+  Alcotest.(check (list int)) "snapshot packet marks" [ 4; 8 ]
+    (List.map (fun s -> s.Sink.packets) snaps);
+  Alcotest.(check (list int)) "snapshot sequence numbers" [ 0; 1 ]
+    (List.map (fun s -> s.Sink.seq) snaps);
+  (* Idempotence: merging again must not double-count. *)
+  Sink.merge parent children;
+  Alcotest.(check int) "re-merge does not double-count" 3
+    (Metrics.Counter.value (Metrics.counter (Option.get (Sink.metrics parent)) "pkts_total"));
+  Alcotest.(check int) "re-merge does not duplicate snapshots" 2
+    (List.length (Sink.snapshots parent));
+  Alcotest.(check bool) "split requires an armed parent" true
+    (try
+       ignore (Sink.split Sink.null 2);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "histogram bucket bounds" `Quick test_histogram_bucket_bounds;
@@ -392,4 +548,15 @@ let suite =
     Alcotest.test_case "report handles zero-packet runs" `Quick test_report_zero_packet_run;
     Alcotest.test_case "stage breakdown deterministic" `Quick
       test_stage_breakdown_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_histogram_merge_commutative;
+    QCheck_alcotest.to_alcotest qcheck_histogram_merge_associative;
+    Alcotest.test_case "metrics merge kinds" `Quick test_metrics_merge_kinds;
+    Alcotest.test_case "tracer merge interleaves with per-shard pids" `Quick
+      test_tracer_merge_interleaves_with_pid;
+    Alcotest.test_case "tracer merge overflow counts dropped" `Quick
+      test_tracer_merge_overflow_counts_dropped;
+    Alcotest.test_case "empty merges export valid JSON" `Quick
+      test_empty_merges_export_valid_json;
+    Alcotest.test_case "sink split/merge and snapshot cadence" `Quick
+      test_sink_split_merge_and_snapshots;
   ]

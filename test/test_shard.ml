@@ -403,6 +403,9 @@ let test_migrate_logs_timeline () =
   let src = Sb_shard.Sharded.shard_of_packet sh (Test_util.tcp_packet ~sport:40000 ()) in
   let dest = 1 - src in
   Alcotest.(check bool) "moved" true (Sb_shard.Sharded.migrate_flow sh ~fid ~dest);
+  (* The migration entry lands in the source shard's child sink; the
+     parent view is recomputed on demand. *)
+  Sb_shard.Sharded.merge_obs sh;
   match Sb_obs.Sink.timeline obs with
   | None -> Alcotest.fail "timeline was armed"
   | Some tl ->
@@ -514,20 +517,129 @@ let test_parallel_guards () =
   (match Sb_shard.Parallel_exec.run_trace with_inj [] with
   | _ -> Alcotest.fail "injector must be rejected"
   | exception Invalid_argument _ -> ());
-  let armed_obs =
-    Sb_shard.Sharded.create ~shards:2
-      (Speedybox.Runtime.config ~obs:(Sb_obs.Sink.create ~metrics:true ()) ())
-      (fun _ -> build ())
-  in
-  (match Sb_shard.Parallel_exec.run_trace armed_obs [] with
-  | _ -> Alcotest.fail "armed sink must be rejected"
-  | exception Invalid_argument _ -> ());
   let plain =
     Sb_shard.Sharded.create ~shards:2 (Speedybox.Runtime.config ()) (fun _ -> build ())
   in
   (match Sb_shard.Parallel_exec.run_trace ~burst:0 plain [] with
   | _ -> Alcotest.fail "burst 0 must be rejected"
   | exception Invalid_argument _ -> ())
+
+(* --- armed observability under the parallel executor --- *)
+
+(* Mesh and ring telemetry only exists in a parallel run (the
+   deterministic executor never touches the SPSC mesh): strip those
+   families before comparing exports across executors. *)
+let strip_parallel_only prom =
+  String.concat "\n"
+    (List.filter
+       (fun line ->
+         not
+           (Sb_nf.Str_search.occurs ~pattern:"speedybox_mesh_" line
+           || Sb_nf.Str_search.occurs ~pattern:"speedybox_ring_" line))
+       (String.split_on_char '\n' prom))
+
+let run_armed ~shards ~snapshot_every exec trace =
+  let build = builder "monitor,dosguard:5" in
+  let obs =
+    Sb_obs.Sink.create ~metrics:true ~trace:true ~timeline:true ~snapshot_every ()
+  in
+  let sh =
+    Sb_shard.Sharded.create ~shards (Speedybox.Runtime.config ~obs ()) (fun _ -> build ())
+  in
+  ignore (exec sh trace : Speedybox.Runtime.run_result);
+  obs
+
+let test_parallel_armed_matches_deterministic () =
+  (* The headline differential: a metrics+trace+timeline sink armed on the
+     parallel 4-shard executor must merge to the exact exports the
+     deterministic 4-shard executor produces — counter for counter,
+     bucket for bucket, span for span, snapshot for snapshot — modulo the
+     parallel-only mesh/ring families.  Holds because each shard observes
+     its packets in global trace order under both executors. *)
+  let trace = Test_burst.random_trace 23 in
+  let det = run_armed ~shards:4 ~snapshot_every:64 (Sb_shard.Sharded.run_trace ~burst:16) trace in
+  let par =
+    run_armed ~shards:4 ~snapshot_every:64 (Sb_shard.Parallel_exec.run_trace ~burst:16) trace
+  in
+  let metrics o = Option.get (Sb_obs.Sink.metrics o) in
+  Alcotest.(check string) "merged Prometheus export identical"
+    (strip_parallel_only (Sb_obs.Metrics.to_prometheus (metrics det)))
+    (strip_parallel_only (Sb_obs.Metrics.to_prometheus (metrics par)));
+  Alcotest.(check string) "merged Chrome trace identical"
+    (Sb_obs.Tracer.to_chrome_json (Option.get (Sb_obs.Sink.tracer det)))
+    (Sb_obs.Tracer.to_chrome_json (Option.get (Sb_obs.Sink.tracer par)));
+  let tl o = Option.get (Sb_obs.Sink.timeline o) in
+  Alcotest.(check (list int)) "timeline flows identical"
+    (Sb_obs.Timeline.flows (tl det))
+    (Sb_obs.Timeline.flows (tl par));
+  List.iter
+    (fun fid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "timeline events identical (fid %d)" fid)
+        true
+        (Sb_obs.Timeline.events (tl det) fid = Sb_obs.Timeline.events (tl par) fid))
+    (Sb_obs.Timeline.flows (tl det));
+  (* Snapshots tick on the simulated clock per child, so even the periodic
+     time series is bit-identical. *)
+  Alcotest.(check string) "snapshot series identical"
+    (Sb_obs.Sink.snapshots_json det)
+    (Sb_obs.Sink.snapshots_json par)
+
+let test_parallel_armed_matches_unsharded () =
+  (* Sink.merge of the split children equals the unsharded sink's view:
+     run-level counters and gauges from a parallel-4 armed run agree with
+     a deterministic single-runtime armed run over the same trace. *)
+  let trace = Test_burst.random_trace 29 in
+  let build = builder "monitor,dosguard:5" in
+  let obs1 = Sb_obs.Sink.create ~metrics:true () in
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ~obs:obs1 ()) (build ()) in
+  ignore (Speedybox.Runtime.run_trace ~burst:16 rt trace);
+  let obs4 =
+    let obs = Sb_obs.Sink.create ~metrics:true () in
+    let sh =
+      Sb_shard.Sharded.create ~shards:4 (Speedybox.Runtime.config ~obs ()) (fun _ -> build ())
+    in
+    ignore (Sb_shard.Parallel_exec.run_trace ~burst:16 sh trace);
+    obs
+  in
+  let m1 = Option.get (Sb_obs.Sink.metrics obs1) in
+  let m4 = Option.get (Sb_obs.Sink.metrics obs4) in
+  let chain = ("chain", Speedybox.Chain.name (build ())) in
+  let counter m name labels =
+    Sb_obs.Metrics.Counter.value (Sb_obs.Metrics.counter m ~labels name)
+  in
+  let total = counter m1 "speedybox_packets_total" [ chain; ("path", "fast") ] in
+  Alcotest.(check bool) "trace exercised the fast path" true (total > 0);
+  List.iter
+    (fun (name, labels) ->
+      Alcotest.(check int) name (counter m1 name labels) (counter m4 name labels))
+    [
+      ("speedybox_packets_total", [ chain; ("path", "fast") ]);
+      ("speedybox_packets_total", [ chain; ("path", "slow") ]);
+      ("speedybox_verdicts_total", [ chain; ("verdict", "forwarded") ]);
+      ("speedybox_verdicts_total", [ chain; ("verdict", "dropped") ]);
+      ("speedybox_consolidations_total", []);
+    ];
+  let gauge m name =
+    Sb_obs.Metrics.Gauge.value (Sb_obs.Metrics.gauge m ~labels:[ chain ] name)
+  in
+  List.iter
+    (fun name -> Alcotest.(check (float 0.0)) name (gauge m1 name) (gauge m4 name))
+    [ "speedybox_rules_installed"; "speedybox_events_armed" ];
+  (* Histogram observation counts are exact under merge (shared bucket
+     table); float sums reassociate, so compare counts. *)
+  List.iter
+    (fun path ->
+      let hist m =
+        Sb_obs.Metrics.histogram m
+          ~labels:[ chain; ("path", path) ]
+          "speedybox_packet_latency_us"
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "latency observations (%s)" path)
+        (Sb_obs.Histogram.count (hist m1))
+        (Sb_obs.Histogram.count (hist m4)))
+    [ "fast"; "slow" ]
 
 let suite =
   [
@@ -553,4 +665,8 @@ let suite =
     Alcotest.test_case "parallel directory under fid collisions" `Quick
       test_parallel_dir_collisions;
     Alcotest.test_case "parallel executor guards" `Quick test_parallel_guards;
+    Alcotest.test_case "armed parallel = armed deterministic (merged exports)" `Quick
+      test_parallel_armed_matches_deterministic;
+    Alcotest.test_case "armed parallel = armed unsharded (counters)" `Quick
+      test_parallel_armed_matches_unsharded;
   ]
