@@ -27,7 +27,14 @@ let sections json : (string * string * (unit -> unit)) list =
     ("staged", "staged ONVM executor: races, reordering, queueing (extension)", Sb_experiments.Staged_pipeline.run);
     ("ablations", "design-choice ablations (A1-A4)", Sb_experiments.Ablations.run);
     ("impair", "adversarial-impairment correctness matrix (robustness extension)", Sb_experiments.Impair_matrix.run);
-    ("scale", "million-flow idle-expiry load sweep", fun () -> ignore (Scale_sweep.run ()));
+    ( "scale",
+      "million-flow idle-expiry load sweep",
+      fun () ->
+        (* Run standalone with --json (e.g. the CI 10k/100k tiers): the
+           sweep's per-packet figures land in their own file for
+           check_bench.sh's scale-only mode. *)
+        let results = Scale_sweep.run () in
+        match json with Some path -> Microbench.emit_json path results | None -> () );
     ( "micro",
       "Bechamel wall-clock microbenchmarks",
       fun () ->

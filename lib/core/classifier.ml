@@ -1,6 +1,7 @@
 type classification = {
   mutable fid : Sb_flow.Fid.t;
   mutable tuple : Sb_flow.Five_tuple.t;
+  mutable thash : int;
   mutable established : bool;
   mutable final : bool;
   mutable malformed : bool;
@@ -25,6 +26,7 @@ let scratch () =
   {
     fid = 0;
     tuple = Sb_flow.Five_tuple.dummy;
+    thash = 0;
     established = false;
     final = false;
     malformed = false;
@@ -35,6 +37,7 @@ let reject t cls =
   t.rejected <- t.rejected + 1;
   cls.fid <- -1;
   cls.tuple <- Sb_flow.Five_tuple.dummy;
+  cls.thash <- 0;
   cls.established <- false;
   cls.final <- false;
   cls.malformed <- true;
@@ -44,11 +47,20 @@ let reject t cls =
    burst costs no classification allocations (the tuple itself is still
    built fresh: it outlives the packet as a conntrack / liveness key).
 
-   A packet that does not parse to a 5-tuple — or, with [verify_checksums],
-   whose checksums are stale — is marked [malformed] and never touches
-   conntrack: corrupted headers are rejected here, before any NF state can
-   absorb them. *)
-let classify_into t packet cls =
+   Classification is split into two phases so the burst prescan can
+   pipeline lookups DPDK-style.  [prepare_into] is a pure function of the
+   packet bytes: admission checks, tuple extraction, one FNV hash shared
+   by the FID fold and every conntrack operation, and a prefetch hint for
+   the conntrack slot the second phase will probe.  [observe_into]
+   advances the flow's connection state.  Running phase one over a whole
+   burst before any phase two means every conntrack probe lands on a line
+   whose fill started a burst ago.
+
+   A packet that does not parse to a 5-tuple — or, with
+   [verify_checksums], whose checksums are stale — is marked [malformed]
+   in phase one and never touches conntrack: corrupted headers are
+   rejected before any NF state can absorb them. *)
+let prepare_into t packet cls =
   (* A bare proto-byte read, not [Five_tuple.of_packet_opt]: the hot path
      pays two integer compares instead of an option allocation. *)
   let proto =
@@ -59,16 +71,27 @@ let classify_into t packet cls =
   else if t.verify_checksums && not (Sb_packet.Packet.checksums_ok packet) then reject t cls
   else begin
     let tuple = Sb_flow.Five_tuple.of_packet packet in
-    let fid = Sb_flow.Fid.of_tuple ~bits:t.fid_bits tuple in
+    let h = Sb_flow.Five_tuple.hash tuple in
+    let fid = Sb_flow.Fid.of_hash ~bits:t.fid_bits h in
     packet.Sb_packet.Packet.fid <- fid;
-    let verdict = Sb_flow.Conntrack.observe t.conntrack tuple packet in
     cls.fid <- fid;
     cls.tuple <- tuple;
-    cls.established <- verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
-    cls.final <- verdict.Sb_flow.Conntrack.final;
+    cls.thash <- h;
+    cls.established <- false;
+    cls.final <- false;
     cls.malformed <- false;
-    cls.cycles <- Sb_sim.Cycles.classifier
+    cls.cycles <- Sb_sim.Cycles.classifier;
+    Sb_flow.Conntrack.prefetch t.conntrack h
   end
+
+let observe_into t packet cls =
+  let verdict = Sb_flow.Conntrack.observe_h t.conntrack ~hash:cls.thash cls.tuple packet in
+  cls.established <- verdict.Sb_flow.Conntrack.state = Sb_flow.Conntrack.Established;
+  cls.final <- verdict.Sb_flow.Conntrack.final
+
+let classify_into t packet cls =
+  prepare_into t packet cls;
+  if not cls.malformed then observe_into t packet cls
 
 let classify t packet =
   let cls = scratch () in

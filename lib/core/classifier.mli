@@ -12,6 +12,9 @@ type classification = {
   mutable fid : Sb_flow.Fid.t;
   mutable tuple : Sb_flow.Five_tuple.t;
       (** the tuple as seen at chain ingress, before any NF rewrites it *)
+  mutable thash : int;
+      (** [Five_tuple.hash tuple], computed once in {!prepare_into} and
+          shared by the FID fold and every conntrack operation *)
   mutable established : bool;
       (** the flow is past its handshake — recording may begin when no
           consolidated rule exists yet *)
@@ -51,7 +54,22 @@ val scratch : unit -> classification
 
 val classify_into : t -> Sb_packet.Packet.t -> classification -> unit
 (** Like {!classify} but fills a caller-owned scratch record in place —
-    the burst path's allocation-free variant. *)
+    the burst path's allocation-free variant.  Equivalent to
+    {!prepare_into} followed (when not malformed) by {!observe_into}. *)
+
+val prepare_into : t -> Sb_packet.Packet.t -> classification -> unit
+(** Phase one of classification, a pure function of the packet bytes:
+    admission checks, tuple extraction, the single per-packet FNV hash,
+    the FID (written into the packet metadata) — plus a prefetch hint for
+    the conntrack slot {!observe_into} will probe.  Leaves [established]/
+    [final] false; conntrack is not touched.  The burst prescan runs this
+    over the whole burst first, so every later probe lands on a warming
+    cache line. *)
+
+val observe_into : t -> Sb_packet.Packet.t -> classification -> unit
+(** Phase two: advances the flow's connection state (one conntrack
+    observation reusing [thash]) and fills [established]/[final].  Must
+    only run on a classification {!prepare_into} left non-malformed. *)
 
 val export_flow : t -> Sb_flow.Five_tuple.t -> Sb_flow.Conntrack.state option
 (** The connection state tracked under this (direction-sensitive) tuple,

@@ -36,12 +36,6 @@ let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     verify_checksums;
   }
 
-type liveness = {
-  mutable last_seen : int;
-  tuple : Sb_flow.Five_tuple.t;
-  epoch : int;  (* incarnation tag matching this entry's timer-wheel stamp *)
-}
-
 (* Hot-path metric instruments, resolved against the registry once at
    construction so per-packet recording is field updates only — the
    registry's hashtable is never touched while packets flow. *)
@@ -64,7 +58,9 @@ type t = {
   classifier : Classifier.t;
   sup : Sb_fault.Supervisor.t;
   nf_names : string array;
-  live : liveness Sb_flow.Flow_table.t;  (* idle-expiry bookkeeping *)
+  live : Sb_flow.Live_table.t;
+      (* idle-expiry bookkeeping, SoA: the per-packet liveness touch is
+         one probe plus one int-lane store, no boxed record per flow *)
   wheel : Sb_flow.Timer_wheel.t option;  (* Some iff idle expiry is on *)
   mutable expired : int;
   mutable live_epoch : int;  (* next incarnation tag for [live] entries *)
@@ -73,6 +69,9 @@ type t = {
                                   in hand (the LRU-eviction callback) *)
   mutable cls_scratch : Classifier.classification array;
       (* per-burst classification scratch, grown to the largest burst seen *)
+  mutable rule_scratch : Sb_mat.Global_mat.rule option array;
+      (* per-burst pre-resolved rules (the prescan's pipelined Global MAT
+         probes), validated against the MAT generation at execution *)
   mutable fault_listener : (string -> unit) option;
       (* notified after every locally-recorded fault — how a sharded
          runtime broadcasts NF health changes to its sibling shards *)
@@ -191,7 +190,7 @@ let create cfg chain =
         Classifier.create ~fid_bits:cfg.fid_bits ~verify_checksums:cfg.verify_checksums ();
       sup = Sb_fault.Supervisor.create ?injector:cfg.injector ~obs:cfg.obs cfg.fault_policy;
       nf_names = Array.of_list (List.map (fun nf -> nf.Nf.name) (Chain.nfs chain));
-      live = Sb_flow.Flow_table.create ();
+      live = Sb_flow.Live_table.create ();
       wheel =
         (match cfg.idle_timeout_cycles with
         | None -> None
@@ -204,6 +203,7 @@ let create cfg chain =
       ins;
       obs_now_us = 0.;
       cls_scratch = [||];
+      rule_scratch = [||];
       fault_listener = None;
     }
   in
@@ -409,13 +409,13 @@ let cleanup t cls =
   (* Any timer-wheel entry for the flow dangles until it fires, where its
      stale epoch identifies it as dead — O(1) now beats finding it in its
      slot. *)
-  Sb_flow.Flow_table.remove t.live cls.Classifier.fid
+  Sb_flow.Live_table.remove t.live cls.Classifier.fid
 
-let expire_flow t fid entry now =
-  Chain.remove_flow ~tuple:entry.tuple t.chain fid;
+let expire_flow t fid ~tuple now =
+  Chain.remove_flow ~tuple t.chain fid;
   Sb_mat.Global_mat.remove_flow t.global fid;
-  Classifier.forget t.classifier entry.tuple;
-  Sb_flow.Flow_table.remove t.live fid;
+  Classifier.forget t.classifier tuple;
+  Sb_flow.Live_table.remove t.live fid;
   t.expired <- t.expired + 1;
   if Sb_obs.Sink.armed t.cfg.obs then
     obs_timeline t ~fid ~ts_us:(Sb_sim.Cycles.to_microseconds now)
@@ -430,23 +430,26 @@ let expire_flow t fid entry now =
    the cost stays flat at a million tracked flows. *)
 let expire_idle_flows t wheel timeout now =
   Sb_flow.Timer_wheel.advance wheel ~now (fun fid stamp ->
-      match Sb_flow.Flow_table.find t.live fid with
-      | Some entry when entry.epoch = stamp ->
-          if now - entry.last_seen > timeout then begin
-            expire_flow t fid entry now;
-            Sb_flow.Timer_wheel.Expire
-          end
-          else Sb_flow.Timer_wheel.Rearm (entry.last_seen + timeout)
-      | Some _ | None ->
-          (* A stale incarnation: the flow was cleaned up (and possibly
-             re-recorded with a fresh stamp) since this timer was armed. *)
-          Sb_flow.Timer_wheel.Expire)
+      let live = t.live in
+      let s = Sb_flow.Live_table.probe live fid in
+      if s >= 0 && Sb_flow.Live_table.epoch_at live s = stamp then begin
+        let last_seen = Sb_flow.Live_table.last_seen_at live s in
+        if now - last_seen > timeout then begin
+          expire_flow t fid ~tuple:(Sb_flow.Live_table.tuple_at live s) now;
+          Sb_flow.Timer_wheel.Expire
+        end
+        else Sb_flow.Timer_wheel.Rearm (last_seen + timeout)
+      end
+      else
+        (* A stale incarnation: the flow was cleaned up (and possibly
+           re-recorded with a fresh stamp) since this timer was armed. *)
+        Sb_flow.Timer_wheel.Expire)
 
 let record_arrival t wheel timeout cls now =
   let epoch = t.live_epoch in
   t.live_epoch <- epoch + 1;
-  Sb_flow.Flow_table.set t.live cls.Classifier.fid
-    { last_seen = now; tuple = cls.Classifier.tuple; epoch };
+  Sb_flow.Live_table.set t.live cls.Classifier.fid ~last_seen:now ~epoch
+    ~tuple:cls.Classifier.tuple;
   Sb_flow.Timer_wheel.add wheel ~key:cls.Classifier.fid ~stamp:epoch
     ~deadline:(now + timeout)
 
@@ -458,19 +461,21 @@ let touch t cls now =
          wheel tears it down here and the packet re-records below like a
          fresh flow. *)
       expire_idle_flows t wheel timeout now;
-      (match Sb_flow.Flow_table.find t.live cls.Classifier.fid with
-      | Some entry when now - entry.last_seen > timeout ->
-          (* Only reachable when arrivals outrun the wheel's tick
-             quantisation: treat exactly like a wheel-fired expiry. *)
-          cleanup t cls;
-          t.expired <- t.expired + 1;
-          if Sb_obs.Sink.armed t.cfg.obs then
-            obs_timeline t ~fid:cls.Classifier.fid
-              ~ts_us:(Sb_sim.Cycles.to_microseconds now)
-              ~detail:"expired on arrival" Sb_obs.Timeline.Idle_expired;
-          record_arrival t wheel timeout cls now
-      | Some entry -> entry.last_seen <- now
-      | None -> record_arrival t wheel timeout cls now)
+      let live = t.live in
+      let s = Sb_flow.Live_table.probe live cls.Classifier.fid in
+      if s < 0 then record_arrival t wheel timeout cls now
+      else if now - Sb_flow.Live_table.last_seen_at live s > timeout then begin
+        (* Only reachable when arrivals outrun the wheel's tick
+           quantisation: treat exactly like a wheel-fired expiry. *)
+        cleanup t cls;
+        t.expired <- t.expired + 1;
+        if Sb_obs.Sink.armed t.cfg.obs then
+          obs_timeline t ~fid:cls.Classifier.fid
+            ~ts_us:(Sb_sim.Cycles.to_microseconds now)
+            ~detail:"expired on arrival" Sb_obs.Timeline.Idle_expired;
+        record_arrival t wheel timeout cls now
+      end
+      else Sb_flow.Live_table.set_last_seen_at live s now
 
 (* Forwarded packets pay the metadata detach at egress; a dropped packet's
    descriptor is simply released.  One preallocated item, threaded into the
@@ -712,8 +717,10 @@ let process_packet t packet =
 let default_burst = 32
 
 let ensure_cls_scratch t n =
-  if Array.length t.cls_scratch < n then
+  if Array.length t.cls_scratch < n then begin
     t.cls_scratch <- Array.init n (fun _ -> Classifier.scratch ());
+    t.rule_scratch <- Array.make n None
+  end;
   t.cls_scratch
 
 (* Process [packets.(off .. off+len-1)] as one burst, calling [emit k out]
@@ -728,13 +735,23 @@ let ensure_cls_scratch t n =
    re-establish).  Every other mid-burst state change (fault quarantine,
    idle expiry) yields the same classification either way.
 
-   Execution then resolves each packet's rule through a one-entry
-   last-flow memo: consecutive packets of one flow skip the Global MAT
-   lookup.  The memo is valid only while the MAT's generation is
-   unchanged — any eviction, removal or quarantine bumps it — and an
-   absent rule is never memoized (the slow path may consolidate one
-   without a generation bump).  In-place event rewrites keep the memoized
-   rule record current by construction. *)
+   Prescan phase one ([Classifier.prepare_into], the whole burst) is a
+   pure function of the packet bytes — tuple, one FNV hash, FID — and
+   issues prefetch hints for the three tables the later passes will probe
+   (conntrack slot, Global MAT rule slot, liveness slot), so the line
+   fills for packet [k]'s probes are in flight while packets [k+1 .. n-1]
+   are still being parsed.  Phase two observes conntrack and pre-resolves
+   each packet's rule on the now-warm slots, hinting the rule record
+   itself for the executor.
+
+   Execution resolves each packet's rule from the pre-probe, guarded two
+   ways: a pre-resolved rule is used only while the MAT's generation is
+   unchanged (any eviction, removal or quarantine bumps it), and an
+   absent rule is always re-probed (an earlier slow-path packet in the
+   segment may have consolidated one without a generation bump).  The
+   one-entry last-flow memo backs both the pre-probe and the re-probe, so
+   consecutive packets of one flow still cost a single lookup.  In-place
+   event rewrites keep resolved rule records current by construction. *)
 let process_burst_into t packets ~off ~len:n emit =
   match t.cfg.mode with
   | Original ->
@@ -746,15 +763,53 @@ let process_burst_into t packets ~off ~len:n emit =
       done
   | Speedybox ->
       let cls_arr = ensure_cls_scratch t n in
+      let rule_arr = t.rule_scratch in
+      let track_live = t.wheel <> None in
+      (* Phase one: parse + hash + prefetch for the whole burst. *)
+      for k = 0 to n - 1 do
+        let cls = Array.unsafe_get cls_arr k in
+        Classifier.prepare_into t.classifier packets.(off + k) cls;
+        if not cls.Classifier.malformed then begin
+          Sb_mat.Global_mat.prefetch t.global cls.Classifier.fid;
+          if track_live then Sb_flow.Live_table.prefetch t.live cls.Classifier.fid
+        end
+      done;
       let memo_fid = ref (-1) and memo_rule = ref None and memo_gen = ref (-1) in
+      let resolve fid gen =
+        if fid = !memo_fid && gen = !memo_gen then !memo_rule
+        else begin
+          let r = Sb_mat.Global_mat.find t.global fid in
+          (match r with
+          | Some _ ->
+              memo_fid := fid;
+              memo_gen := gen;
+              memo_rule := r
+          | None -> memo_fid := -1);
+          r
+        end
+      in
       let i = ref 0 in
       while !i < n do
+        (* Phase two: conntrack observation up to (and including) the first
+           FIN/RST — its execution tears down the flow's conntrack entry,
+           so a same-flow packet observed beyond it would read state the
+           per-packet order has already erased — plus the pipelined rule
+           pre-probe.  Nothing executes during this phase, so the MAT
+           generation is constant across the segment. *)
+        let gen = Sb_mat.Global_mat.generation t.global in
         let j = ref !i in
         let stop = ref false in
         while (not !stop) && !j < n do
           let cls = Array.unsafe_get cls_arr !j in
-          Classifier.classify_into t.classifier packets.(off + !j) cls;
-          if cls.Classifier.final then stop := true;
+          if cls.Classifier.malformed then Array.unsafe_set rule_arr !j None
+          else begin
+            Classifier.observe_into t.classifier packets.(off + !j) cls;
+            if cls.Classifier.final then stop := true;
+            let r = resolve cls.Classifier.fid gen in
+            Array.unsafe_set rule_arr !j r;
+            (* Start the rule record's own line fill for the executor. *)
+            match r with Some rule -> Sb_flow.Prefetch.value rule | None -> ()
+          end;
           incr j
         done;
         for k = !i to !j - 1 do
@@ -764,21 +819,13 @@ let process_burst_into t packets ~off ~len:n emit =
             if cls.Classifier.malformed then process_malformed t packet cls
             else begin
               touch t cls packet.Sb_packet.Packet.ingress_cycle;
-              let fid = cls.Classifier.fid in
-              let gen = Sb_mat.Global_mat.generation t.global in
+              let gen_now = Sb_mat.Global_mat.generation t.global in
               let rule =
-                if fid = !memo_fid && gen = !memo_gen then !memo_rule
-                else begin
-                  let r = Sb_mat.Global_mat.find t.global fid in
-                  (match r with
-                  | Some _ ->
-                      memo_fid := fid;
-                      memo_gen := gen;
-                      memo_rule := r
-                  | None -> memo_fid := -1);
-                  r
-                end
+                match Array.unsafe_get rule_arr k with
+                | Some _ as r when gen_now = gen -> r
+                | Some _ | None -> resolve cls.Classifier.fid gen_now
               in
+              Array.unsafe_set rule_arr k None;
               process_with_rule t packet cls rule
             end
           in

@@ -152,15 +152,19 @@ val default_burst : int
 
 val process_burst : t -> Sb_packet.Packet.t array -> output array
 (** Processes a burst of packets (mutating them), semantically identical
-    to {!process_packet} in sequence but cheaper per packet: the burst is
-    classified ahead of execution (a FIN/RST classification ends the
-    prescan, since executing it tears down conntrack state later same-flow
-    packets would re-read), and execution resolves rules through a
-    one-entry last-flow memo so consecutive packets of one flow skip the
-    Global MAT lookup.  The memo is validated against
-    {!Sb_mat.Global_mat.generation}, so mid-burst evictions, quarantines
-    and FIN teardowns invalidate it; in-place event rewrites update the
-    memoized rule record directly. *)
+    to {!process_packet} in sequence but cheaper per packet — the burst
+    pipelines DPDK-style.  A pure prepare pass over the whole burst
+    parses, hashes and FIDs every packet and prefetches the conntrack,
+    Global MAT and liveness slots the later passes will probe; an observe
+    pass advances conntrack and pre-resolves each packet's rule (a FIN/RST
+    classification ends this pass, since executing it tears down conntrack
+    state later same-flow packets would re-read); execution then uses each
+    pre-resolved rule after re-validating it against
+    {!Sb_mat.Global_mat.generation} (a pre-resolved miss is always
+    re-probed — an earlier slow-path packet may have installed a rule
+    without a generation bump).  Consecutive packets of one flow share a
+    one-entry last-flow memo, so they cost a single Global MAT lookup;
+    in-place event rewrites update the resolved rule record directly. *)
 
 val process_burst_into :
   t -> Sb_packet.Packet.t array -> off:int -> len:int -> (int -> output -> unit) -> unit

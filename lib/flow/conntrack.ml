@@ -16,19 +16,22 @@ type t = state Tuple_map.t
 
 let create () = Tuple_map.create 1024
 
-(* Each [Tuple_map] operation rehashes the 13-byte tuple, so the steady-state
-   path does exactly one: a single [find_opt], and no [replace] when the
-   state would not change (the common case — an established flow's
-   mid-stream segment). *)
-let observe t key p =
+let prefetch t hash = Tuple_map.prefetch t hash
+
+(* The 13-byte tuple is hashed exactly once per observation ([observe_h]
+   lets the classifier share the hash it computed for the FID, so the
+   packet's whole admission costs one FNV pass); the steady-state path then
+   does a single [find_opt_h] and no [replace] when the state would not
+   change (the common case — an established flow's mid-stream segment). *)
+let observe_h t ~hash key p =
   match Packet.proto p with
   | Packet.Udp ->
-      let found = Tuple_map.find_opt t key in
-      if found <> Some Established then Tuple_map.replace t key Established;
+      let found = Tuple_map.find_opt_h t ~hash key in
+      if found <> Some Established then Tuple_map.replace_h t ~hash key Established;
       { state = Established; established_now = found = None; final = false }
   | Packet.Tcp ->
       let flags = Packet.tcp_flags p in
-      let found = Tuple_map.find_opt t key in
+      let found = Tuple_map.find_opt_h t ~hash key in
       let fresh = found = None in
       let prev = Option.value found ~default:Closing in
       let next =
@@ -56,13 +59,15 @@ let observe t key p =
           | Established -> Established
           | Closing -> if fresh then Established else Closing
       in
-      if found <> Some next then Tuple_map.replace t key next;
+      if found <> Some next then Tuple_map.replace_h t ~hash key next;
       {
         state = next;
         established_now =
           next = Established && (fresh || prev = Syn_sent || prev = Syn_received);
         final = flags.Tcp.Flags.fin || flags.Tcp.Flags.rst;
       }
+
+let observe t key p = observe_h t ~hash:(Five_tuple.hash key) key p
 
 let state t key = Tuple_map.find_opt t key
 

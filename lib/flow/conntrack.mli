@@ -44,6 +44,17 @@ val observe : t -> Five_tuple.t -> Sb_packet.Packet.t -> verdict
     data after FIN re-establishes as a fresh flow (the entry was removed
     at cleanup). *)
 
+val observe_h : t -> hash:int -> Five_tuple.t -> Sb_packet.Packet.t -> verdict
+(** {!observe} with [hash = Five_tuple.hash key] supplied by the caller —
+    the classifier computes the tuple hash once per packet (for the FID)
+    and shares it here, so admission hashes the 13 wire bytes exactly
+    once. *)
+
+val prefetch : t -> int -> unit
+(** [prefetch t hash] hints that the flow with this tuple hash is about to
+    be observed (the burst prescan issues these a burst ahead of the
+    probes).  Semantically a no-op. *)
+
 val state : t -> Five_tuple.t -> state option
 
 val adopt : t -> Five_tuple.t -> state -> unit

@@ -77,6 +77,23 @@ let hash t =
   mix t.proto;
   !h land max_int
 
+(* The 104-bit tuple packs into two OCaml ints (56 + 48 bits), which is
+   how the SoA flow tables store keys: two adjacent int-array cells per
+   entry, no boxed record and no boxed [int32] fields to chase. *)
+let pack1 t =
+  ((Int32.to_int t.src_ip land 0xFFFFFFFF) lsl 24) lor (t.src_port lsl 8) lor t.proto
+
+let pack2 t = ((Int32.to_int t.dst_ip land 0xFFFFFFFF) lsl 16) lor t.dst_port
+
+let of_packed k1 k2 =
+  {
+    src_ip = Int32.of_int (k1 lsr 24);
+    dst_ip = Int32.of_int (k2 lsr 16);
+    src_port = (k1 lsr 8) land 0xFFFF;
+    dst_port = k2 land 0xFFFF;
+    proto = k1 land 0xFF;
+  }
+
 let pp fmt t =
   Format.fprintf fmt "%a:%d -> %a:%d/%s" Ipv4_addr.pp t.src_ip t.src_port Ipv4_addr.pp
     t.dst_ip t.dst_port

@@ -30,4 +30,18 @@ val hash : t -> int
 (** A well-mixed non-cryptographic hash (FNV-1a over the wire fields),
     used by {!Fid} and flow tables. *)
 
+val pack1 : t -> int
+(** Source address, source port and protocol packed into one non-negative
+    int (56 bits).  Together with {!pack2} this is the tuple's SoA wire
+    form: flow tables store the pair in adjacent int-array cells instead
+    of a boxed record. *)
+
+val pack2 : t -> int
+(** Destination address and port packed into one non-negative int
+    (48 bits). *)
+
+val of_packed : int -> int -> t
+(** [of_packed (pack1 t) (pack2 t) = t] — rebuilds the record from its
+    packed form (used on cold paths such as idle expiry). *)
+
 val pp : Format.formatter -> t -> unit

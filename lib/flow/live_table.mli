@@ -1,0 +1,42 @@
+(** The runtime's idle-expiry liveness table, in structure-of-arrays form.
+
+    Maps a {!Fid.t} to (last-seen cycle, timer-wheel epoch, packed ingress
+    tuple) stored in parallel int lanes — the per-packet liveness touch is
+    one probe plus one int store, with no boxed record and nothing for the
+    GC to trace.  Same open-addressing geometry as {!Flat_table}
+    (multiplicative hash, linear probe, backward-shift deletion).
+
+    Reads go through a transient slot returned by {!probe}: any {!set} or
+    {!remove} invalidates outstanding slots, so callers probe, read and
+    write without interleaving table mutations. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+val length : t -> int
+
+val prefetch : t -> Fid.t -> unit
+(** Hints that the fid's probe window is about to be probed (issued by the
+    burst prescan).  Semantically a no-op; see {!Prefetch}. *)
+
+val probe : t -> Fid.t -> int
+(** The fid's slot, or [-1] when untracked.  The slot is invalidated by
+    the next [set]/[remove]. *)
+
+val last_seen_at : t -> int -> int
+val epoch_at : t -> int -> int
+
+val set_last_seen_at : t -> int -> int -> unit
+(** [set_last_seen_at t slot now] — the per-packet liveness touch: one
+    int-lane store, the only write a packet for an already-tracked flow
+    performs here. *)
+
+val tuple_at : t -> int -> Five_tuple.t
+(** Rebuilds the flow's ingress tuple from its packed lanes (allocates —
+    expiry path only). *)
+
+val set : t -> Fid.t -> last_seen:int -> epoch:int -> tuple:Five_tuple.t -> unit
+(** Inserts or overwrites the fid's entry. *)
+
+val remove : t -> Fid.t -> unit
+val clear : t -> unit

@@ -1,0 +1,33 @@
+/* Software-prefetch stubs for the batched lookup pipeline.
+ *
+ * Both primitives compute an address and issue a non-faulting prefetch
+ * hint; neither reads or writes OCaml heap memory, so they are [@@noalloc]
+ * externals with no GC interaction.  On compilers without
+ * __builtin_prefetch they compile to nothing, matching the pure-OCaml
+ * no-op fallback selected at build time (see lib/flow/dune).
+ */
+
+#include <caml/mlvalues.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SB_PREFETCH(p) __builtin_prefetch((p), 0, 3)
+#else
+#define SB_PREFETCH(p) ((void)(p))
+#endif
+
+/* Prefetch the cache line holding element [i] of a flat OCaml array
+ * (int array, float array or pointer array: all have 8-byte elements). */
+CAMLprim value sb_prefetch_field(value arr, value i)
+{
+  SB_PREFETCH((const char *)arr + Long_val(i) * sizeof(value));
+  return Val_unit;
+}
+
+/* Prefetch the first line of a heap block (e.g. a rule record about to be
+ * executed).  Immediates are skipped: their "address" is a tagged int. */
+CAMLprim value sb_prefetch_value(value v)
+{
+  if (Is_block(v))
+    SB_PREFETCH((const char *)v);
+  return Val_unit;
+}

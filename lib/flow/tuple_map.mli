@@ -2,9 +2,15 @@
     internally (their original code keys on the tuple it sees, not on the
     SpeedyBox FID).
 
-    Flat open-addressing layout: keys, their precomputed hashes and values
-    live in parallel arrays, probed linearly, so lookups compare ints
-    before ever dereferencing a tuple record. *)
+    Flat structure-of-arrays layout: each slot is a precomputed hash in an
+    int lane plus the tuple packed into two adjacent int cells
+    ({!Five_tuple.pack1}/{!Five_tuple.pack2}), probed linearly — a lookup
+    compares ints only and never dereferences a tuple record, and the GC
+    traces three flat arrays instead of one boxed key per flow.
+
+    The [_h] variants take the key's {!Five_tuple.hash}, letting a caller
+    that already computed it (the classifier hashes each packet's tuple
+    exactly once) skip rehashing the 13 wire bytes per operation. *)
 
 type key = Five_tuple.t
 
@@ -16,6 +22,20 @@ val create : int -> 'a t
 
 val find_opt : 'a t -> key -> 'a option
 
+val find_opt_h : 'a t -> hash:int -> key -> 'a option
+(** [find_opt_h t ~hash:(Five_tuple.hash key) key = find_opt t key]. *)
+
+val prefetch : 'a t -> int -> unit
+(** [prefetch t (Five_tuple.hash key)] hints that [key]'s probe window is
+    about to be probed.  Semantically a no-op; see {!Prefetch}. *)
+
+val find_batch : 'a t -> key array -> off:int -> len:int -> 'a option array -> unit
+(** [find_batch t keys ~off ~len out] writes
+    [out.(k) <- find_opt t keys.(off+k)] for [k < len] — pipelined: a
+    hash+prefetch pass over the whole range, then a probe pass.
+    Bit-identical to [len] scalar {!find_opt}s.
+    @raise Invalid_argument when the range or [out] is too short. *)
+
 val find_or_add : 'a t -> key -> default:(unit -> 'a) -> 'a
 (** Returns the existing binding or inserts [default ()] first — a single
     probe either way. *)
@@ -23,9 +43,15 @@ val find_or_add : 'a t -> key -> default:(unit -> 'a) -> 'a
 val replace : 'a t -> key -> 'a -> unit
 (** Inserts or overwrites. *)
 
+val replace_h : 'a t -> hash:int -> key -> 'a -> unit
+(** {!replace} with the key's hash supplied by the caller. *)
+
 val mem : 'a t -> key -> bool
 
 val remove : 'a t -> key -> unit
+
+val remove_h : 'a t -> hash:int -> key -> unit
+(** {!remove} with the key's hash supplied by the caller. *)
 
 val clear : 'a t -> unit
 

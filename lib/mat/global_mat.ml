@@ -36,7 +36,7 @@ type rule = {
   mutable overall : Consolidate.t;  (* position-insensitive merge, introspection *)
   mutable n_source_actions : int;
   mutable last_use : int;  (* logical clock, exposed for debugging *)
-  node : Sb_flow.Lru.node;  (* position in the eviction order *)
+  mutable node : Sb_flow.Lru.node;  (* position in the eviction order *)
 }
 
 let rule_action r = r.overall
@@ -89,6 +89,13 @@ type t = {
   mutable snap : Bytes.t;
   mutable snap_len : int;
   mutable aux : Bytes.t;
+  (* Free list of scrubbed rule records: rules churn at flow rate under
+     LRU and idle eviction, and recycling the (boxed) record keeps
+     steady-state consolidation from allocating one per flow and from
+     handing the major GC a dead record per eviction.  Bounded so a mass
+     flush cannot pin an arbitrarily large arena. *)
+  mutable spare : rule list;
+  mutable spare_len : int;
 }
 
 let create ?(policy = Parallel.Table_one) ?max_rules ?(exec = Compiled)
@@ -117,6 +124,8 @@ let create ?(policy = Parallel.Table_one) ?max_rules ?(exec = Compiled)
     snap = Bytes.create 256;
     snap_len = 0;
     aux = Bytes.create 256;
+    spare = [];
+    spare_len = 0;
   }
 
 let policy t = t.policy
@@ -129,6 +138,21 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+let spare_cap = 1024
+
+(* Scrub a dead rule of everything it retains (steps and program embed NF
+   closures) and keep the husk for reuse.  Callers must have already
+   dropped the fid binding's LRU node — the handle may be reallocated. *)
+let recycle t (r : rule) =
+  if t.spare_len < spare_cap then begin
+    r.steps <- [];
+    r.program <- { code = [||]; transforms = 0; static_head = 0 };
+    r.overall <- Consolidate.forward;
+    r.n_source_actions <- 0;
+    t.spare <- r :: t.spare;
+    t.spare_len <- t.spare_len + 1
+  end
+
 (* Make room for one rule when the table sits at its cap: drop the flow at
    the cold end of the recency list, telling the owner so Local MATs
    follow.  O(1), where the fold-based predecessor scanned every rule. *)
@@ -136,6 +160,9 @@ let evict_lru t =
   match Sb_flow.Lru.pop_coldest t.lru with
   | None -> ()
   | Some fid ->
+      (match Sb_flow.Flow_table.find t.rules fid with
+      | Some r -> recycle t r
+      | None -> ());
       Sb_flow.Flow_table.remove t.rules fid;
       t.evicted <- t.evicted + 1;
       t.generation <- t.generation + 1;
@@ -280,8 +307,21 @@ let consolidate t fid locals =
       | Some cap when Sb_flow.Flow_table.length t.rules >= cap -> evict_lru t
       | Some _ | None -> ());
       let node = Sb_flow.Lru.add t.lru fid in
-      Sb_flow.Flow_table.set t.rules fid
-        { steps; program; overall; n_source_actions; last_use = tick t; node });
+      let r =
+        match t.spare with
+        | r :: rest ->
+            t.spare <- rest;
+            t.spare_len <- t.spare_len - 1;
+            r.steps <- steps;
+            r.program <- program;
+            r.overall <- overall;
+            r.n_source_actions <- n_source_actions;
+            r.last_use <- tick t;
+            r.node <- node;
+            r
+        | [] -> { steps; program; overall; n_source_actions; last_use = tick t; node }
+      in
+      Sb_flow.Flow_table.set t.rules fid r);
   t.consolidations <- t.consolidations + 1;
   (match t.obs_consolidations with
   | Some c -> Sb_obs.Metrics.Counter.incr c
@@ -289,6 +329,10 @@ let consolidate t fid locals =
   List.length locals * Sb_sim.Cycles.global_consolidate_per_nf
 
 let find t fid = Sb_flow.Flow_table.find t.rules fid
+
+(* Burst-prescan hint: start the line fill for the fid's rule-table probe
+   window while the prescan still has the rest of the burst to chew on. *)
+let prefetch t fid = Sb_flow.Flow_table.prefetch t.rules fid
 
 let mem t fid = Sb_flow.Flow_table.mem t.rules fid
 
@@ -298,6 +342,7 @@ let remove_flow t fid =
   | Some r ->
       Sb_flow.Lru.remove t.lru r.node;
       Sb_flow.Flow_table.remove t.rules fid;
+      recycle t r;
       t.generation <- t.generation + 1
 
 (* Flow-migration handoff: install a copy of a rule exported from another
@@ -310,6 +355,7 @@ let adopt t fid (src : rule) =
   | Some r ->
       Sb_flow.Lru.remove t.lru r.node;
       Sb_flow.Flow_table.remove t.rules fid;
+      recycle t r;
       t.generation <- t.generation + 1
   | None -> ());
   (match t.max_rules with

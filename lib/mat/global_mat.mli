@@ -92,6 +92,11 @@ val consolidate : t -> Sb_flow.Fid.t -> Local_mat.t list -> int
 
 val find : t -> Sb_flow.Fid.t -> rule option
 
+val prefetch : t -> Sb_flow.Fid.t -> unit
+(** [prefetch t fid] hints that [fid]'s rule-table probe window is about
+    to be probed (the burst prescan issues one per packet, a burst ahead
+    of the lookups).  Semantically a no-op. *)
+
 val mem : t -> Sb_flow.Fid.t -> bool
 
 val remove_flow : t -> Sb_flow.Fid.t -> unit

@@ -1,0 +1,313 @@
+(* Differential properties for the SoA flow tables (PR 9): the batched /
+   prefetched probe paths must be bit-identical to scalar probes, and the
+   flat layouts must agree with a boxed reference model under arbitrary
+   insert / remove / resize interleavings.
+
+   The tables under test keep no shadow of the reference model — every
+   check drives both from the same random op stream and compares final
+   answers, so backward-shift deletion bugs, wraparound-cluster probe bugs
+   and grow-time rehash bugs all surface as a model divergence with a
+   printable seed. *)
+
+open Sb_flow
+
+let ip = Sb_packet.Ipv4_addr.of_octets
+
+(* Deterministic op streams: a (seed, size) pair drives a Random.State, so
+   a failing case reproduces from its printed seed. *)
+let seeded ~name ~count gen_size prop =
+  QCheck.Test.make ~count ~name
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       QCheck.Gen.(pair (int_bound 1_000_000) gen_size))
+    prop
+
+let random_tuple st =
+  {
+    Five_tuple.src_ip = ip (Random.State.int st 256) (Random.State.int st 256)
+                          (Random.State.int st 256) (Random.State.int st 256);
+    dst_ip = ip (Random.State.int st 256) (Random.State.int st 256)
+               (Random.State.int st 256) (Random.State.int st 256);
+    src_port = Random.State.int st 65536;
+    dst_port = Random.State.int st 65536;
+    proto = Random.State.int st 256;
+  }
+
+(* A small pool of keys, so op streams revisit them: inserts overwrite,
+   removes hit, probe clusters pile up and small initial sizes force
+   several grows mid-stream. *)
+let tuple_pool st = Array.init 24 (fun _ -> random_tuple st)
+
+(* --- Five_tuple packed form ------------------------------------------- *)
+
+let prop_pack_roundtrip =
+  seeded ~name:"pack1/pack2 round-trip through of_packed" ~count:200
+    (QCheck.Gen.return 1) (fun (seed, _) ->
+      let st = Random.State.make [| seed; 0xbeef |] in
+      let t = random_tuple st in
+      let t' = Five_tuple.of_packed (Five_tuple.pack1 t) (Five_tuple.pack2 t) in
+      Five_tuple.equal t t'
+      && Five_tuple.pack1 t >= 0
+      && Five_tuple.pack2 t >= 0
+      && Five_tuple.hash t = Five_tuple.hash t')
+
+(* --- Flat_table ------------------------------------------------------- *)
+
+let prop_flat_table_model =
+  seeded ~name:"Flat_table: random churn agrees with Hashtbl model" ~count:60
+    QCheck.Gen.(int_range 50 400) (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0xf1a7 |] in
+      let t = Flat_table.create ~initial_size:8 () in
+      let model = Hashtbl.create 64 in
+      for _ = 1 to n do
+        let k = Random.State.int st 64 in
+        match Random.State.int st 3 with
+        | 0 | 1 ->
+            let v = Random.State.int st 1_000_000 in
+            Flat_table.set t k v;
+            Hashtbl.replace model k v
+        | _ ->
+            Flat_table.remove t k;
+            Hashtbl.remove model k
+      done;
+      Flat_table.length t = Hashtbl.length model
+      && List.for_all
+           (fun k -> Flat_table.find t k = Hashtbl.find_opt model k)
+           (List.init 64 Fun.id))
+
+let prop_flat_table_batch =
+  seeded ~name:"Flat_table: find_batch bit-identical to scalar find" ~count:60
+    QCheck.Gen.(int_range 1 200) (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0xba7c |] in
+      let t = Flat_table.create ~initial_size:8 () in
+      for _ = 1 to n do
+        let k = Random.State.int st 64 in
+        if Random.State.int st 4 = 0 then Flat_table.remove t k
+        else Flat_table.set t k (Random.State.int st 1_000_000)
+      done;
+      (* Batch windows deliberately misaligned with the query count: a
+         random [len] at a random offset, so cells beyond the window must
+         stay untouched. *)
+      let total = 1 + Random.State.int st 70 in
+      let keys = Array.init total (fun _ -> Random.State.int st 64) in
+      let off = Random.State.int st total in
+      let len = Random.State.int st (total - off + 1) in
+      let out = Array.make total (Some (-1)) in
+      Flat_table.find_batch t keys ~off ~len out;
+      (* Prefetch is a semantic no-op on any key, present or not. *)
+      Array.iter (fun k -> Flat_table.prefetch t k) keys;
+      let ok = ref true in
+      for k = 0 to total - 1 do
+        let expect =
+          if k < len then Flat_table.find t keys.(off + k) else Some (-1)
+        in
+        if out.(k) <> expect then ok := false
+      done;
+      !ok)
+
+(* --- Tuple_map -------------------------------------------------------- *)
+
+let prop_tuple_map_model =
+  seeded ~name:"Tuple_map: random churn agrees with Hashtbl model" ~count:60
+    QCheck.Gen.(int_range 50 400) (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0x70b1 |] in
+      let t = Tuple_map.create 4 in
+      let model = Hashtbl.create 64 in
+      let pool = tuple_pool st in
+      for _ = 1 to n do
+        let k = pool.(Random.State.int st (Array.length pool)) in
+        let h = Five_tuple.hash k in
+        match Random.State.int st 6 with
+        | 0 | 1 ->
+            let v = Random.State.int st 1_000_000 in
+            Tuple_map.replace t k v;
+            Hashtbl.replace model k v
+        | 2 ->
+            let v = Random.State.int st 1_000_000 in
+            Tuple_map.replace_h t ~hash:h k v;
+            Hashtbl.replace model k v
+        | 3 ->
+            let v =
+              Tuple_map.find_or_add t k ~default:(fun () -> Random.State.int st 1_000_000)
+            in
+            if not (Hashtbl.mem model k) then Hashtbl.replace model k v
+        | 4 ->
+            Tuple_map.remove t k;
+            Hashtbl.remove model k
+        | _ ->
+            Tuple_map.remove_h t ~hash:h k;
+            Hashtbl.remove model k
+      done;
+      Tuple_map.length t = Hashtbl.length model
+      && Array.for_all
+           (fun k ->
+             let expect = Hashtbl.find_opt model k in
+             Tuple_map.find_opt t k = expect
+             && Tuple_map.find_opt_h t ~hash:(Five_tuple.hash k) k = expect
+             && Tuple_map.mem t k = Option.is_some expect)
+           pool)
+
+let prop_tuple_map_batch =
+  seeded ~name:"Tuple_map: find_batch bit-identical to scalar find_opt" ~count:60
+    QCheck.Gen.(int_range 1 200) (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0x7ba7 |] in
+      let t = Tuple_map.create 4 in
+      let pool = tuple_pool st in
+      let pick () = pool.(Random.State.int st (Array.length pool)) in
+      for _ = 1 to n do
+        let k = pick () in
+        if Random.State.int st 4 = 0 then Tuple_map.remove t k
+        else Tuple_map.replace t k (Random.State.int st 1_000_000)
+      done;
+      let total = 1 + Random.State.int st 70 in
+      let keys = Array.init total (fun _ -> pick ()) in
+      let off = Random.State.int st total in
+      let len = Random.State.int st (total - off + 1) in
+      let out = Array.make total (Some (-1)) in
+      Tuple_map.find_batch t keys ~off ~len out;
+      Array.iter (fun k -> Tuple_map.prefetch t (Five_tuple.hash k)) keys;
+      let ok = ref true in
+      for k = 0 to total - 1 do
+        let expect =
+          if k < len then Tuple_map.find_opt t keys.(off + k) else Some (-1)
+        in
+        if out.(k) <> expect then ok := false
+      done;
+      !ok)
+
+(* Backward-shift deletion in a saturated cluster that wraps the table
+   end: fill a minimum-size table close to its load limit, delete from the
+   middle of clusters, and require every survivor to stay reachable. *)
+let test_wraparound_cluster () =
+  let t = Flat_table.create ~initial_size:8 () in
+  (* 12 keys in a 16-slot table (3/4 load): with only 16 slots, several
+     keys collide and at least one probe cluster wraps the table end. *)
+  let keys = List.init 12 (fun i -> (i * 7919) + 1) in
+  List.iter (fun k -> Flat_table.set t k (k * 3)) keys;
+  List.iteri
+    (fun i k ->
+      if i mod 3 = 1 then begin
+        Flat_table.remove t k;
+        Alcotest.(check bool) "removed key gone" true (Flat_table.find t k = None)
+      end)
+    keys;
+  List.iteri
+    (fun i k ->
+      if i mod 3 <> 1 then
+        Alcotest.(check (option int))
+          (Printf.sprintf "survivor %d intact after backward shift" k)
+          (Some (k * 3)) (Flat_table.find t k))
+    keys
+
+(* --- Live_table ------------------------------------------------------- *)
+
+let prop_live_table_model =
+  seeded ~name:"Live_table: probe/set/remove agree with Hashtbl model" ~count:60
+    QCheck.Gen.(int_range 50 300) (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0x11fe |] in
+      let t = Live_table.create ~initial_size:8 () in
+      let model = Hashtbl.create 64 in
+      for _ = 1 to n do
+        let fid = Random.State.int st 48 in
+        match Random.State.int st 4 with
+        | 0 | 1 ->
+            let last_seen = Random.State.int st 1_000_000 in
+            let epoch = Random.State.int st 1000 in
+            let tuple = random_tuple st in
+            Live_table.set t fid ~last_seen ~epoch ~tuple;
+            Hashtbl.replace model fid (last_seen, epoch, tuple)
+        | 2 -> (
+            (* The per-packet touch: bump last_seen through the slot. *)
+            let s = Live_table.probe t fid in
+            match Hashtbl.find_opt model fid with
+            | Some (_, epoch, tuple) ->
+                if s < 0 then failwith "tracked fid not found";
+                let now = Random.State.int st 1_000_000 in
+                Live_table.set_last_seen_at t s now;
+                Hashtbl.replace model fid (now, epoch, tuple)
+            | None -> if s >= 0 then failwith "untracked fid found")
+        | _ ->
+            Live_table.remove t fid;
+            Hashtbl.remove model fid
+      done;
+      Live_table.length t = Hashtbl.length model
+      && List.for_all
+           (fun fid ->
+             Live_table.prefetch t fid;
+             let s = Live_table.probe t fid in
+             match Hashtbl.find_opt model fid with
+             | None -> s < 0
+             | Some (last_seen, epoch, tuple) ->
+                 s >= 0
+                 && Live_table.last_seen_at t s = last_seen
+                 && Live_table.epoch_at t s = epoch
+                 && Five_tuple.equal (Live_table.tuple_at t s) tuple)
+           (List.init 48 Fun.id))
+
+(* --- Lru arena -------------------------------------------------------- *)
+
+let prop_lru_model =
+  seeded ~name:"Lru arena: recency order agrees with list model" ~count:60
+    QCheck.Gen.(int_range 20 200) (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0x14a |] in
+      let t = Lru.create () in
+      (* Model: (key, node) pairs, hottest first; keys are unique (the
+         loop counter) and nodes are dropped on removal, per the arena
+         reuse contract. *)
+      let model = ref [] in
+      for i = 1 to n do
+        match Random.State.int st 5 with
+        | 0 | 1 -> model := (i, Lru.add t i) :: !model
+        | 2 when !model <> [] ->
+            let k, node = List.nth !model (Random.State.int st (List.length !model)) in
+            Lru.touch t node;
+            model := (k, node) :: List.filter (fun (k', _) -> k' <> k) !model
+        | 3 when !model <> [] ->
+            let k, node = List.nth !model (Random.State.int st (List.length !model)) in
+            Lru.remove t node;
+            model := List.filter (fun (k', _) -> k' <> k) !model
+        | _ -> (
+            match (Lru.pop_coldest t, List.rev !model) with
+            | None, [] -> ()
+            | Some k, (k', _) :: _ when k = k' ->
+                model := List.filter (fun (k'', _) -> k'' <> k) !model
+            | got, _ ->
+                failwith
+                  (Printf.sprintf "pop_coldest mismatch: got %s"
+                     (match got with None -> "None" | Some k -> string_of_int k)))
+      done;
+      Lru.length t = List.length !model
+      && Lru.coldest t = (match List.rev !model with [] -> None | (k, _) :: _ -> Some k)
+      && List.for_all (fun (k, node) -> Lru.key t node = k) !model)
+
+let test_lru_handle_reuse () =
+  let t = Lru.create () in
+  let a = Lru.add t 1 in
+  let b = Lru.add t 2 in
+  Lru.remove t a;
+  (* The freed handle is recycled by the next add: the arena's free list
+     hands the same slot back, and recency still reflects only live
+     entries. *)
+  let _c = Lru.add t 3 in
+  Alcotest.(check int) "length counts live entries" 2 (Lru.length t);
+  Lru.touch t b;
+  Alcotest.(check (option int)) "recency intact" (Some 3) (Lru.coldest t);
+  Alcotest.(check (option int)) "pop order" (Some 3) (Lru.pop_coldest t);
+  Alcotest.(check (option int)) "then hot survivor" (Some 2) (Lru.pop_coldest t);
+  Alcotest.(check (option int)) "empty" None (Lru.pop_coldest t)
+
+let suite =
+  [
+    Alcotest.test_case "wraparound cluster backward-shift" `Quick test_wraparound_cluster;
+    Alcotest.test_case "lru arena handle reuse" `Quick test_lru_handle_reuse;
+  ]
+  @ Test_util.qcheck_cases
+      [
+        prop_pack_roundtrip;
+        prop_flat_table_model;
+        prop_flat_table_batch;
+        prop_tuple_map_model;
+        prop_tuple_map_batch;
+        prop_live_table_model;
+        prop_lru_model;
+      ]
