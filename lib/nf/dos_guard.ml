@@ -14,13 +14,32 @@ type cell = {
   mutable has_last : bool;
 }
 
-type t = { name : string; mode : count_mode; threshold : int; flows : cell Tuple_map.t }
+type t = {
+  name : string;
+  mode : count_mode;
+  threshold : int;
+  budget : int option;
+  (* Chain-wide packet budget bookkeeping for [global_budget].  KNOWN
+     LIMITATION: this total lives in the NF instance, so a sharded
+     deployment — one instance per shard — partitions it silently and a
+     budget crossed only by the sum across shards never fires (the
+     regression test in test_state_diff.ml pins this down). *)
+  mutable total : int;
+  flows : cell Tuple_map.t;
+}
 
-let create ?(name = "dosguard") ?(mode = All_packets) ~threshold () =
+let create ?(name = "dosguard") ?(mode = All_packets) ?global_budget ~threshold () =
   if threshold < 1 then invalid_arg "Dos_guard.create: threshold must be positive";
-  { name; mode; threshold; flows = Tuple_map.create 256 }
+  (match global_budget with
+  | Some b when b < 1 -> invalid_arg "Dos_guard.create: global budget must be positive"
+  | Some _ | None -> ());
+  { name; mode; threshold; budget = global_budget; total = 0; flows = Tuple_map.create 256 }
 
 let name t = t.name
+
+let global_total t = t.total
+
+let over_budget t = match t.budget with Some b -> t.total >= b | None -> false
 
 let count t tuple =
   match Tuple_map.find_opt t.flows tuple with Some c -> c.count | None -> 0
@@ -46,13 +65,17 @@ let counts_packet t packet =
 (* Shared by the slow path and the recorded fast-path state function, so
    both paths agree on what counts — including the duplicate skip. *)
 let bump t cell packet =
+  let count_one () =
+    cell.count <- cell.count + 1;
+    t.total <- t.total + 1
+  in
   (if counts_packet t packet then
      match Packet.proto packet with
-     | Packet.Udp -> cell.count <- cell.count + 1
+     | Packet.Udp -> count_one ()
      | Packet.Tcp ->
          let seq = Tcp.get_seq packet.Packet.buf (Packet.l4_offset packet) in
          if not (cell.has_last && Int32.equal cell.last_seq seq) then begin
-           cell.count <- cell.count + 1;
+           count_one ();
            cell.last_seq <- seq;
            cell.has_last <- true
          end);
@@ -65,7 +88,7 @@ let process t ctx packet =
         { count = 0; last_seq = 0l; has_last = false })
   in
   let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify in
-  if cell.count >= t.threshold then begin
+  if cell.count >= t.threshold || over_budget t then begin
     (* Over budget: the flow is cut off before any further counting. *)
     Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
     Speedybox.Nf.dropped (base + Sb_sim.Cycles.ha_drop)
@@ -78,7 +101,7 @@ let process t ctx packet =
          ~mode:Sb_mat.State_function.Ignore
          (fun pkt -> bump t cell pkt));
     Speedybox.Api.register_event ctx
-      ~condition:(fun () -> cell.count >= t.threshold)
+      ~condition:(fun () -> cell.count >= t.threshold || over_budget t)
       ~new_actions:(fun () -> [ Sb_mat.Header_action.Drop ])
         (* once the flow is cut off the original NF stops counting too *)
       ~new_state_functions:(fun () -> [])

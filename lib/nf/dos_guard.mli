@@ -13,8 +13,18 @@ type count_mode = All_packets | Syn_only
 
 type t
 
-val create : ?name:string -> ?mode:count_mode -> threshold:int -> unit -> t
-(** @raise Invalid_argument when [threshold < 1]. *)
+val create :
+  ?name:string -> ?mode:count_mode -> ?global_budget:int -> threshold:int -> unit -> t
+(** [global_budget] arms a chain-wide cut-off on top of the per-flow
+    [threshold]: once the instance has counted that many packets {e in
+    total} (across all flows), every flow's armed event fires and further
+    packets drop — the paper's "DoS budget" reading of the Event Table
+    walkthrough, where the attack is spread over many flows that each stay
+    under the per-flow threshold.
+    @raise Invalid_argument when [threshold < 1] or [global_budget < 1]. *)
+
+val global_total : t -> int
+(** Packets counted against the global budget so far by this instance. *)
 
 val name : t -> string
 

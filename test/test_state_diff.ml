@@ -1,0 +1,77 @@
+(* The silent-partitioning regression (ROADMAP open item 2): cross-flow NF
+   state — a DoS budget here — lives in per-shard NF instances, so a
+   threshold crossed only by the SUM across shards never fires in a
+   sharded deployment even though the unsharded run blocks.  This file
+   pins the bug down with a concrete trace; the store-backed fix must
+   flip the divergence assertion into an equality. *)
+
+open Sb_packet
+
+let ip = Ipv4_addr.of_string
+
+(* 32 flows x 20 packets, arrivals round-robin across flows so every
+   shard keeps receiving traffic after the budget is crossed.  The
+   per-flow threshold is unreachably high: only the chain-wide budget can
+   block anything.  640 packets total cross the 300-packet budget, but no
+   4-way shard split of 32 flows puts 300 packets on one shard. *)
+let flows = 32
+let pkts_per_flow = 20
+let budget = 300
+let threshold = 1_000_000
+
+let trace () =
+  List.concat
+    (List.init pkts_per_flow (fun p ->
+         List.init flows (fun f ->
+             Packet.tcp ~payload:"x"
+               ~seq:(Int32.of_int (p * 1000))
+               ~src:(ip (Printf.sprintf "10.9.0.%d" (f + 1)))
+               ~dst:(ip "192.168.1.10") ~src_port:(45000 + f) ~dst_port:80 ())))
+
+let dos_chain i =
+  Speedybox.Chain.create
+    ~name:(Printf.sprintf "dos-budget-%d" i)
+    [ Sb_nf.Dos_guard.nf (Sb_nf.Dos_guard.create ~threshold ~global_budget:budget ()) ]
+
+let burst = 32
+
+let run_unsharded () =
+  let rt = Speedybox.Runtime.create (Speedybox.Runtime.config ()) (dos_chain 0) in
+  Speedybox.Runtime.run_trace ~burst rt (trace ())
+
+let run_sharded ~shards =
+  let sh = Sb_shard.Sharded.create ~shards (Speedybox.Runtime.config ()) dos_chain in
+  let result = Sb_shard.Sharded.run_trace ~burst sh (trace ()) in
+  (sh, result)
+
+let test_cross_shard_budget_regression () =
+  let res_u = run_unsharded () in
+  let sh, res_s = run_sharded ~shards:4 in
+  (* The workload must actually spread: at least two shards saw packets,
+     and no shard alone crossed the budget. *)
+  let stats = Sb_shard.Sharded.stats sh in
+  let busy = List.filter (fun r -> r.Speedybox.Report.packets > 0) stats in
+  Alcotest.(check bool) "trace spreads over >= 2 shards" true (List.length busy >= 2);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d alone stays under the budget" r.Speedybox.Report.shard)
+        true
+        (r.Speedybox.Report.packets < budget))
+    stats;
+  (* The unsharded run crosses the budget and starts dropping. *)
+  Alcotest.(check bool) "unsharded run blocks traffic" true (res_u.Speedybox.Runtime.dropped > 0);
+  (* THE BUG (pre-store): the sharded run drops nothing — each shard's
+     instance-local total stays under the budget.  This assertion
+     documents the defect; the scoped state store must flip it to
+     [dropped_s = dropped_u] with bit-exact digests. *)
+  Alcotest.(check int) "sharded run silently fails to block (the bug)" 0
+    res_s.Speedybox.Runtime.dropped;
+  Alcotest.(check bool) "sharded and unsharded verdicts diverge (the bug)" true
+    (res_s.Speedybox.Runtime.dropped <> res_u.Speedybox.Runtime.dropped)
+
+let suite =
+  [
+    Alcotest.test_case "cross-shard DoS budget: silent partitioning" `Quick
+      test_cross_shard_budget_regression;
+  ]
