@@ -311,6 +311,36 @@ let test_shard_deterministic_4 =
          let sh, trace = Lazy.force state in
          Sb_shard.Sharded.run_trace ~burst:burst_size sh trace))
 
+let test_shard_deterministic_4_state =
+  (* The state-store tax: the same monitor chain, but with its cells
+     declared on a shared 4-shard store — per-flow entries live in the
+     replica's tuple map, global counters (packets/bytes/active/max_len)
+     are merged at every same-shard stretch boundary.  check_bench.sh
+     holds this within STATE_OVERHEAD of the plain deterministic-4 bench
+     above: global-scope state must ride the hot path with plain field
+     writes, no locks or atomics. *)
+  let state =
+    lazy
+      (let store = Sb_state.Store.create ~shards:4 () in
+       let chain i =
+         Speedybox.Chain.create
+           ~name:(Printf.sprintf "bench-shard-state-%d" i)
+           [
+             Sb_nf.Monitor.nf (Sb_nf.Monitor.create ~cells:(Sb_state.Store.replica store i) ());
+           ]
+       in
+       let sh =
+         Sb_shard.Sharded.create ~shards:4 (Speedybox.Runtime.config ~state:store ()) chain
+       in
+       let trace = shard_trace () in
+       ignore (Sb_shard.Sharded.run_trace ~burst:burst_size sh trace);
+       (sh, trace))
+  in
+  Test.make ~name:"shard/deterministic-4 state-store (64 flows x 32, per packet)"
+    (Staged.stage (fun () ->
+         let sh, trace = Lazy.force state in
+         Sb_shard.Sharded.run_trace ~burst:burst_size sh trace))
+
 let test_shard_parallel_4 =
   (* 4 worker domains spawned per run, each steering its own trace slice
      and exchanging misdirected batches over the SPSC mesh: on a
@@ -432,6 +462,7 @@ let tests_single_threaded () =
       test_shard_unsharded;
       test_shard_deterministic_1;
       test_shard_deterministic_4;
+      test_shard_deterministic_4_state;
     ]
 
 let tests_parallel () =
@@ -448,6 +479,7 @@ let per_run_packets =
     ("speedybox/shard/unsharded run_trace (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/deterministic-1 (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/deterministic-4 (64 flows x 32, per packet)", shard_trace_len);
+    ("speedybox/shard/deterministic-4 state-store (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/parallel-4 (64 flows x 32, per packet)", shard_trace_len);
     ("speedybox/shard/parallel-4 obs-armed (64 flows x 32, per packet)", shard_trace_len);
   ]

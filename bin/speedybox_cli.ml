@@ -372,12 +372,25 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
       end
       else if shards > 1 then begin
         let obs = build_sink ~metrics_out ~trace_out ~trace_flows ~metrics_interval in
+        (* One state store across the shard chains: each shard's NFs build
+           against their replica, so global-scope cells (chain-wide DoS
+           budgets, monitor totals, backend health) span the deployment
+           and the report's global-state section matches the unsharded
+           run byte for byte. *)
+        let store = Sb_state.Store.create ~shards () in
         let cfg =
           Speedybox.Runtime.config ~platform ~mode ~verify_checksums
             ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
-            ?injector ~obs ()
+            ?injector ~obs ~state:store ()
         in
-        let sh = Sb_shard.Sharded.create ~shards cfg (fun _ -> build ()) in
+        let build_shard =
+          match Sb_experiments.Chain_registry.build_sharded ~store chain with
+          | Ok b -> b
+          | Error msg ->
+              (* unreachable: [build] already validated the same spec *)
+              invalid_arg msg
+        in
+        let sh = Sb_shard.Sharded.create ~shards cfg build_shard in
         let result =
           if shard_parallel then Sb_shard.Parallel_exec.run_trace ~burst sh trace
           else Sb_shard.Sharded.run_trace ~burst sh trace
@@ -412,12 +425,17 @@ let run_cmd_impl chain platform mode seed flows mean_packets trace_file show_sta
       end
       else begin
         let obs = build_sink ~metrics_out ~trace_out ~trace_flows ~metrics_interval in
-        let built = build () in
+        let store = Sb_state.Store.create ~shards:1 () in
+        let built =
+          match Sb_experiments.Chain_registry.build_sharded ~store chain with
+          | Ok b -> b 0
+          | Error _ -> build ()
+        in
         let rt =
           Speedybox.Runtime.create
             (Speedybox.Runtime.config ~platform ~mode ~verify_checksums
                ~fault_policy:(Sb_fault.Health.policy ~on_failure ())
-               ?injector ~obs ())
+               ?injector ~obs ~state:store ())
             built
         in
         let result = Speedybox.Runtime.run_trace ~burst rt trace in

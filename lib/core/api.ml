@@ -15,9 +15,9 @@ let localmat_add_ha ctx action =
 let localmat_add_sf ctx sf =
   if ctx.recording then Sb_mat.Local_mat.add_state_function ctx.local_mat ctx.fid sf
 
-let register_event ctx ?one_shot ~condition ?new_actions ?new_state_functions ?update_fn
-    () =
+let register_event ctx ?one_shot ?global_state ~condition ?new_actions
+    ?new_state_functions ?update_fn () =
   if ctx.recording then
     Sb_mat.Event_table.register ctx.events ~fid:ctx.fid
       ~nf:(Sb_mat.Local_mat.nf_name ctx.local_mat)
-      ?one_shot ~condition ?new_actions ?new_state_functions ?update_fn ()
+      ?one_shot ?global_state ~condition ?new_actions ?new_state_functions ?update_fn ()

@@ -29,6 +29,7 @@ val localmat_add_sf : nf_context -> Sb_mat.State_function.t -> unit
 val register_event :
   nf_context ->
   ?one_shot:bool ->
+  ?global_state:bool ->
   condition:(unit -> bool) ->
   ?new_actions:(unit -> Sb_mat.Header_action.t list) ->
   ?new_state_functions:(unit -> Sb_mat.State_function.t list) ->
@@ -38,4 +39,6 @@ val register_event :
 (** Registers a runtime event for the flow: when [condition] becomes true
     the NF's recorded header actions (and, when given, state functions) are
     replaced with the freshly computed lists and [update_fn] runs, after
-    which the Global MAT re-consolidates. *)
+    which the Global MAT re-consolidates.  Pass [~global_state:true] when
+    the condition reads global-scope state-store cells (so it can become
+    true through another shard's contribution at a merge point). *)

@@ -43,6 +43,26 @@ let flow_time_lines buf (result : Runtime.run_result) =
   | Some us -> line "  non-flow   : %.2fus (packets with no 5-tuple)" us
   | None -> ()
 
+(* The state-store section, shared verbatim by the unsharded and sharded
+   summaries so the two reports diff clean: declared-cell counts per scope
+   and every global cell's merged value (sorted by name).  Executor-
+   dependent figures like merge rounds stay out of here. *)
+let state_lines buf store =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  if Sb_state.Store.cell_count store > 0 then begin
+    let c = Sb_state.Store.cell_counts store in
+    line "  state cells: %d per-flow, %d per-shard, %d global"
+      c.Sb_state.Store.per_flow c.Sb_state.Store.per_shard c.Sb_state.Store.global;
+    match Sb_state.Store.merged_values store with
+    | [] -> ()
+    | values ->
+        line "  global state:";
+        List.iter
+          (fun (name, kind, v) ->
+            line "    %-28s %-10s %d" name (Sb_state.Kind.to_string kind) v)
+          values
+  end
+
 let run_summary ?(label = "run") rt (result : Runtime.run_result) =
   let buf = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -65,6 +85,7 @@ let run_summary ?(label = "run") rt (result : Runtime.run_result) =
   List.iter (fun s -> line "  %s" s) (Sb_fault.Supervisor.summary (Runtime.supervisor rt));
   let cond_faults = Sb_mat.Event_table.condition_faults (Chain.events (Runtime.chain rt)) in
   if cond_faults > 0 then line "  events     : %d raising conditions disarmed" cond_faults;
+  state_lines buf (Runtime.state rt);
   Buffer.contents buf
 
 let sharded_run_summary ?(label = "run") rts (result : Runtime.run_result) =
@@ -105,6 +126,15 @@ let sharded_run_summary ?(label = "run") rts (result : Runtime.run_result) =
       if Sb_fault.Supervisor.active sup then
         List.iter (fun s -> line "  shard %d: %s" i s) (Sb_fault.Supervisor.summary sup))
     rts;
+  (* Every shard runtime carries the same (shared) store: report it once,
+     identically to the unsharded summary; the merge-round count is the
+     one executor-specific line and stays outside the diffable section. *)
+  (match rts with
+  | rt :: _ ->
+      state_lines buf (Runtime.state rt);
+      let rounds = Sb_state.Store.merge_rounds (Runtime.state rt) in
+      if rounds > 0 then line "  state merge: %d rounds" rounds
+  | [] -> ());
   Buffer.contents buf
 
 let chain_state chain =
@@ -152,6 +182,8 @@ type shard_row = {
   control_msgs : int;
   migrated_in : int;
   migrated_out : int;
+  state_entries : int;
+      (* live per-flow state-store entries held by this shard's replica *)
 }
 
 (* Report depends only on this row type, not on the shard library (which
@@ -170,8 +202,11 @@ let shard_summary rows =
       let ctrl =
         if r.control_msgs = 0 then "" else Printf.sprintf "  ctrl %d" r.control_msgs
       in
-      line "  shard %-3d: %7d pkts  %5d flows  %5d rules%s%s" r.shard r.packets r.flows
-        r.rules ctrl migr)
+      let st =
+        if r.state_entries = 0 then "" else Printf.sprintf "  state %d" r.state_entries
+      in
+      line "  shard %-3d: %7d pkts  %5d flows  %5d rules%s%s%s" r.shard r.packets r.flows
+        r.rules ctrl migr st)
     rows;
   (let total = List.fold_left (fun acc r -> acc + r.packets) 0 rows in
    let peak = List.fold_left (fun acc r -> max acc r.packets) 0 rows in

@@ -7,7 +7,10 @@ val run_summary :
     percentiles, model throughput, Global MAT occupancy and sharing, flow
     processing times (the sentinel non-TCP/UDP bucket appears as a named
     "non-flow" line, never as a raw FID), and eviction/expiry counters
-    when those features are active. *)
+    when those features are active.  When the chain declared state-store
+    cells, a "global state" section lists every global cell's merged
+    value, sorted by name — byte-identical to the section a sharded run
+    over the same traffic prints. *)
 
 val sharded_run_summary :
   ?label:string -> Runtime.t list -> Runtime.run_result -> string
@@ -27,6 +30,9 @@ type shard_row = {
   control_msgs : int;  (** broadcast control messages absorbed *)
   migrated_in : int;
   migrated_out : int;
+  state_entries : int;
+      (** live per-flow state-store entries held by this shard's replica
+          of the shared store ([0] when no store is shared) *)
 }
 
 val shard_summary : shard_row list -> string

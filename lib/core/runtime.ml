@@ -15,13 +15,19 @@ type config = {
   injector : Sb_fault.Injector.t option;
   obs : Sb_obs.Sink.t;
   verify_checksums : bool;
+  state : Sb_state.Store.t;
+      (* the chain's declared-cell state store; shared across shard
+         runtimes in a sharded deployment, private otherwise *)
 }
 
 let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     ?(policy = Sb_mat.Parallel.Table_one) ?(fid_bits = Sb_flow.Fid.default_bits)
     ?idle_timeout_cycles ?max_rules ?(fastpath = Sb_mat.Global_mat.Compiled)
     ?(fault_policy = Sb_fault.Health.default_policy) ?injector
-    ?(obs = Sb_obs.Sink.null) ?(verify_checksums = false) () =
+    ?(obs = Sb_obs.Sink.null) ?(verify_checksums = false) ?state () =
+  let state =
+    match state with Some s -> s | None -> Sb_state.Store.create ~shards:1 ()
+  in
   {
     platform;
     mode;
@@ -34,6 +40,7 @@ let config ?(platform = Sb_sim.Platform.Bess) ?(mode = Speedybox)
     injector;
     obs;
     verify_checksums;
+    state;
   }
 
 (* Hot-path metric instruments, resolved against the registry once at
@@ -219,6 +226,8 @@ let create cfg chain =
   t
 
 let chain t = t.chain
+
+let state t = t.cfg.state
 
 let global_mat t = t.global
 
@@ -1046,6 +1055,38 @@ let run_trace ?on_output ?(burst = 1) t packets =
       | Some us ->
           g "speedybox_non_flow_time_us"
             "Processing time spent on packets with no 5-tuple (non-TCP/UDP)" us
-      | None -> ())
+      | None -> ());
+      (* State-store surface: declared cells per scope, merge rounds run
+         (delta-folded, so repeated reports never double-count), armed
+         global-state conditions, and the distribution of merged global
+         cell values. *)
+      let counts = Sb_state.Store.cell_counts t.cfg.state in
+      let gs scope help v =
+        Sb_obs.Metrics.Gauge.set
+          (Sb_obs.Metrics.gauge m ~help
+             ~labels:[ ("chain", Chain.name t.chain); ("scope", scope) ]
+             "speedybox_state_cells")
+          (float_of_int v)
+      in
+      let cells_help = "Declared state-store cells by scope" in
+      gs "per-flow" cells_help counts.Sb_state.Store.per_flow;
+      gs "per-shard" cells_help counts.Sb_state.Store.per_shard;
+      gs "global" cells_help counts.Sb_state.Store.global;
+      Sb_obs.Metrics.Counter.add
+        (Sb_obs.Metrics.counter m ~help:"Cross-shard state merge rounds run"
+           ~labels:[ ("chain", Chain.name t.chain) ]
+           "speedybox_state_merge_rounds_total")
+        (Sb_state.Store.merge_rounds_delta t.cfg.state);
+      g "speedybox_state_global_events_armed"
+        "Armed Event Table conditions reading global-scope state"
+        (float_of_int (Sb_mat.Event_table.total_global_armed (Chain.events t.chain)));
+      let h_global =
+        Sb_obs.Metrics.histogram m ~help:"Merged values of global-scope state cells"
+          ~labels:[ ("chain", Chain.name t.chain); ("scope", "global") ]
+          "speedybox_state_cell_value"
+      in
+      List.iter
+        (fun (_, _, v) -> Sb_obs.Histogram.observe_int h_global v)
+        (Sb_state.Store.merged_values t.cfg.state)
   | None -> ());
   Acc.result acc

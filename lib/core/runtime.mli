@@ -56,6 +56,12 @@ type config = {
           5-tuple are rejected regardless of this flag (in SpeedyBox
           mode; Original mode runs no classifier, so an NF's own parse
           failure is contained as a fault instead). *)
+  state : Sb_state.Store.t;
+      (** The chain's declared-cell state store (lib/state).  A sharded
+          deployment passes one multi-shard store to every shard's config
+          (each chain building against its own replica), making
+          global-scope cells chain-wide; by default each runtime gets a
+          private single-shard store. *)
 }
 
 val config :
@@ -70,12 +76,13 @@ val config :
   ?injector:Sb_fault.Injector.t ->
   ?obs:Sb_obs.Sink.t ->
   ?verify_checksums:bool ->
+  ?state:Sb_state.Store.t ->
   unit ->
   config
 (** Defaults: BESS, SpeedyBox mode, Table I policy, 20-bit FIDs, no
     expiry, unbounded rule table, compiled fast path, default fault
     policy, no injector, disarmed observability sink, no checksum
-    verification. *)
+    verification, private single-shard state store. *)
 
 type t
 
@@ -85,6 +92,10 @@ val create : config -> Chain.t -> t
     14-core testbed). *)
 
 val chain : t -> Chain.t
+
+val state : t -> Sb_state.Store.t
+(** The config's state store — shared between shard runtimes when the
+    deployment is sharded. *)
 
 val global_mat : t -> Sb_mat.Global_mat.t
 

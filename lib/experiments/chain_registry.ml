@@ -20,7 +20,12 @@ log ip any any -> any any (msg:"beacon string"; content:"beacon"; sid:9003;)
 
 let ( let* ) = Result.bind
 
-(* One NF constructor from a spec atom like "maglev:4". *)
+(* One NF constructor from a spec atom like "maglev:4".  The constructor
+   takes the state-store replica the chain is being built against: the
+   stateful NFs (monitor, maglev, dosguard) declare their cells on it, so
+   a sharded deployment building each shard's chain over the same store
+   gets chain-wide global scopes, while [build]'s thunk hands every fresh
+   chain a private solo replica. *)
 let nf_of_atom ~suffix atom =
   let kind, arg =
     match String.index_opt atom ':' with
@@ -40,17 +45,19 @@ let nf_of_atom ~suffix atom =
   match kind with
   | "mazunat" ->
       Ok
-        (fun () ->
+        (fun _cells ->
           Sb_nf.Mazunat.nf (Sb_nf.Mazunat.create ~name:(named "mazunat") ~external_ip ()))
   | "maglev" ->
       let* n = int_arg ~default:8 in
       if n < 1 then Error "maglev needs at least one backend"
       else
         Ok
-          (fun () ->
-            Sb_nf.Maglev.nf (Sb_nf.Maglev.create ~name:(named "maglev") ~backends:(backends n) ()))
+          (fun cells ->
+            Sb_nf.Maglev.nf
+              (Sb_nf.Maglev.create ~name:(named "maglev") ~cells ~backends:(backends n) ()))
   | "monitor" ->
-      Ok (fun () -> Sb_nf.Monitor.nf (Sb_nf.Monitor.create ~name:(named "monitor") ()))
+      Ok
+        (fun cells -> Sb_nf.Monitor.nf (Sb_nf.Monitor.create ~name:(named "monitor") ~cells ()))
   | "ipfilter" ->
       let* port = int_arg ~default:0 in
       let rules =
@@ -60,15 +67,16 @@ let nf_of_atom ~suffix atom =
         else [ Sb_nf.Ipfilter.rule ~dst_ports:(port, port) Sb_nf.Ipfilter.Deny ]
       in
       Ok
-        (fun () -> Sb_nf.Ipfilter.nf (Sb_nf.Ipfilter.create ~name:(named "ipfilter") ~rules ()))
+        (fun _cells ->
+          Sb_nf.Ipfilter.nf (Sb_nf.Ipfilter.create ~name:(named "ipfilter") ~rules ()))
   | "statefulfw" ->
       Ok
-        (fun () ->
+        (fun _cells ->
           Sb_nf.Stateful_firewall.nf (Sb_nf.Stateful_firewall.create ~name:(named "statefulfw") ()))
   | "gateway" ->
       let* port = int_arg ~default:80 in
       Ok
-        (fun () ->
+        (fun _cells ->
           Sb_nf.Gateway.nf
             (Sb_nf.Gateway.create ~name:(named "gateway")
                ~services:
@@ -76,23 +84,45 @@ let nf_of_atom ~suffix atom =
                ()))
   | "snort" ->
       Ok
-        (fun () ->
+        (fun _cells ->
           Sb_nf.Snort.nf (Sb_nf.Snort.create ~name:(named "snort") ~rules:(stock_snort_rules ()) ()))
   | "dosguard" ->
-      let* threshold = int_arg ~default:100 in
-      if threshold < 1 then Error "dosguard threshold must be positive"
-      else
-        Ok
-          (fun () ->
-            Sb_nf.Dos_guard.nf (Sb_nf.Dos_guard.create ~name:(named "dosguard") ~threshold ()))
+      (* dosguard:k caps each flow at k packets; dosguard:k:b additionally
+         arms the chain-wide (cross-shard) budget of b packets total. *)
+      let* threshold, budget =
+        match arg with
+        | None -> Ok (100, None)
+        | Some a -> (
+            let parse_pos what v =
+              match int_of_string_opt v with
+              | Some n when n >= 1 -> Ok n
+              | Some _ -> Error (Printf.sprintf "dosguard %s must be positive" what)
+              | None -> Error (Printf.sprintf "bad argument %S for dosguard" v)
+            in
+            match String.index_opt a ':' with
+            | None ->
+                let* t = parse_pos "threshold" a in
+                Ok (t, None)
+            | Some i ->
+                let* t = parse_pos "threshold" (String.sub a 0 i) in
+                let* b =
+                  parse_pos "budget" (String.sub a (i + 1) (String.length a - i - 1))
+                in
+                Ok (t, Some b))
+      in
+      Ok
+        (fun cells ->
+          Sb_nf.Dos_guard.nf
+            (Sb_nf.Dos_guard.create ~name:(named "dosguard") ?global_budget:budget ~cells
+               ~threshold ()))
   | "vpn-in" ->
-      Ok (fun () -> Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ~name:(named "vpn-in") ()))
+      Ok (fun _cells -> Sb_nf.Vpn.nf (Sb_nf.Vpn.encapsulator ~name:(named "vpn-in") ()))
   | "vpn-out" ->
-      Ok (fun () -> Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ~name:(named "vpn-out") ()))
+      Ok (fun _cells -> Sb_nf.Vpn.nf (Sb_nf.Vpn.decapsulator ~name:(named "vpn-out") ()))
   | "synthetic" ->
       let* cost = int_arg ~default:2600 in
       Ok
-        (fun () ->
+        (fun _cells ->
           Sb_nf.Synthetic.nf
             (Sb_nf.Synthetic.create ~name:(named "synthetic") ~cost_cycles:cost ()))
   | other -> Error (Printf.sprintf "unknown NF kind %S" other)
@@ -119,7 +149,9 @@ let build_spec spec =
     in
     let* constructors = constructors in
     let constructors = List.rev constructors in
-    Ok (fun () -> Speedybox.Chain.create ~name:spec (List.map (fun make -> make ()) constructors))
+    Ok
+      (fun cells ->
+        Speedybox.Chain.create ~name:spec (List.map (fun make -> make cells) constructors))
   end
 
 let predefined =
@@ -133,7 +165,15 @@ let predefined =
 
 let registry () = List.map (fun (name, descr, _) -> (name, descr)) predefined
 
-let build name =
+let resolve name =
   match List.find_opt (fun (n, _, _) -> String.equal n name) predefined with
   | Some (_, _, spec) -> build_spec spec
   | None -> build_spec name
+
+let build name =
+  let* builder = resolve name in
+  Ok (fun () -> builder (Sb_state.Store.solo ()))
+
+let build_sharded ~store name =
+  let* builder = resolve name in
+  Ok (fun i -> builder (Sb_state.Store.replica store i))

@@ -11,7 +11,9 @@
     statefulfw       SYN-gated stateful firewall
     gateway[:port]   app gateway fronting the port (default 80)
     snort            IDS with the stock rule set
-    dosguard[:k]     per-flow packet budget k (default 100)
+    dosguard[:k[:b]] per-flow packet budget k (default 100); with [:b],
+                     also a chain-wide budget of b packets total, summed
+                     across shards through the state store
     vpn-in, vpn-out  AH encapsulator / decapsulator
     synthetic[:c]    synthetic NF with a c-cycle READ state function
     v}
@@ -24,5 +26,15 @@ val registry : unit -> (string * string) list
 
 val build : string -> ((unit -> Speedybox.Chain.t), string) result
 (** [build s] resolves [s] as a predefined chain name first, then as a
-    spec.  The returned thunk creates a fresh chain (fresh NF state) on
-    every call. *)
+    spec.  The returned thunk creates a fresh chain (fresh NF state, over
+    a private solo state-store replica) on every call. *)
+
+val build_sharded :
+  store:Sb_state.Store.t -> string -> ((int -> Speedybox.Chain.t), string) result
+(** Like {!build}, but the returned builder takes a shard index and
+    constructs that shard's chain against [Store.replica store i]: the
+    stateful NFs declare their cells on the shared store, so global-scope
+    state (the monitor's totals, dosguard's chain-wide budget, maglev's
+    backend health and assignment counts) spans the whole deployment.
+    Pass the same [store] in the runtime config ([Runtime.config ~state])
+    so the executors run its merge rounds. *)

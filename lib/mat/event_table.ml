@@ -7,6 +7,11 @@ type update = {
 
 type event = {
   one_shot : bool;
+  (* The condition reads global-scope state (lib/state): it depends on
+     other shards' contributions, so it must only be trusted at merge
+     points.  Purely diagnostic here — the executors use the count to
+     decide whether merge rounds are worth running. *)
+  global_state : bool;
   condition : unit -> bool;
   update : update;
   mutable armed : bool;
@@ -45,11 +50,12 @@ let obs_count t name ~nf =
 
 let condition_faults t = t.condition_faults
 
-let register t ~fid ~nf ?(one_shot = true) ~condition ?new_actions ?new_state_functions
-    ?update_fn () =
+let register t ~fid ~nf ?(one_shot = true) ?(global_state = false) ~condition ?new_actions
+    ?new_state_functions ?update_fn () =
   let event =
     {
       one_shot;
+      global_state;
       condition;
       update = { nf; new_actions; new_state_functions; update_fn };
       armed = true;
@@ -103,4 +109,10 @@ let remove_flow t fid = Sb_flow.Flow_table.remove t.flows fid
 let total_armed t =
   Sb_flow.Flow_table.fold
     (fun _ events acc -> acc + List.length (List.filter (fun e -> e.armed) !events))
+    t.flows 0
+
+let total_global_armed t =
+  Sb_flow.Flow_table.fold
+    (fun _ events acc ->
+      acc + List.length (List.filter (fun e -> e.armed && e.global_state) !events))
     t.flows 0

@@ -32,6 +32,7 @@ val register :
   fid:Sb_flow.Fid.t ->
   nf:string ->
   ?one_shot:bool ->
+  ?global_state:bool ->
   condition:(unit -> bool) ->
   ?new_actions:(unit -> Header_action.t list) ->
   ?new_state_functions:(unit -> State_function.t list) ->
@@ -39,7 +40,11 @@ val register :
   unit ->
   unit
 (** Arms an event for the flow.  [one_shot] (default [true]) disarms the
-    event after it fires; recurring events re-evaluate on every packet. *)
+    event after it fires; recurring events re-evaluate on every packet.
+    [global_state] (default [false]) declares that the condition reads
+    global-scope cells of the state store, i.e. it can only become true
+    through other shards' contributions arriving at a merge point —
+    see {!total_global_armed}. *)
 
 val armed_count : t -> Sb_flow.Fid.t -> int
 (** Number of conditions the fast path must evaluate for this flow — each
@@ -75,3 +80,8 @@ val poll : t -> Sb_flow.Fid.t -> int * update list
 val remove_flow : t -> Sb_flow.Fid.t -> unit
 
 val total_armed : t -> int
+
+val total_global_armed : t -> int
+(** Armed events whose condition was declared [~global_state:true] —
+    the sharded executors consult this to decide whether cross-shard
+    merge rounds can affect event firing at all. *)

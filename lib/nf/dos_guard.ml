@@ -1,55 +1,57 @@
 open Sb_packet
 open Sb_flow
+module Store = Sb_state.Store
 
 type count_mode = All_packets | Syn_only
-
-type cell = {
-  mutable count : int;
-  (* Sequence number of the last TCP packet this cell counted: a packet
-     re-presenting the same seq (a duplicate or an immediate retransmit)
-     is not counted again, so duplication cannot push a flow over its
-     budget or double-fire the armed budget event.  UDP has no sequence
-     numbers, so UDP duplicates stay indistinguishable from new packets. *)
-  mutable last_seq : int32;
-  mutable has_last : bool;
-}
 
 type t = {
   name : string;
   mode : count_mode;
   threshold : int;
   budget : int option;
-  (* Chain-wide packet budget bookkeeping for [global_budget].  KNOWN
-     LIMITATION: this total lives in the NF instance, so a sharded
-     deployment — one instance per shard — partitions it silently and a
-     budget crossed only by the sum across shards never fires (the
-     regression test in test_state_diff.ml pins this down). *)
-  mutable total : int;
-  flows : cell Tuple_map.t;
+  (* Declared state cells (lib/state): the per-flow counters live in a
+     Per_flow cell keyed by 5-tuple — entry lanes are [x]=count,
+     [y]=last counted TCP seq, [set]=seq valid — and the chain-wide
+     budget total is a Global G-counter, so a sharded deployment (one
+     instance per shard over one shared store) sums the per-shard
+     contributions instead of silently partitioning them. *)
+  flows : Store.flow_cell;
+  total : Store.handle;
 }
 
-let create ?(name = "dosguard") ?(mode = All_packets) ?global_budget ~threshold () =
+let create ?(name = "dosguard") ?(mode = All_packets) ?global_budget ?cells ~threshold () =
   if threshold < 1 then invalid_arg "Dos_guard.create: threshold must be positive";
   (match global_budget with
   | Some b when b < 1 -> invalid_arg "Dos_guard.create: global budget must be positive"
   | Some _ | None -> ());
-  { name; mode; threshold; budget = global_budget; total = 0; flows = Tuple_map.create 256 }
+  let cells = match cells with Some r -> r | None -> Store.solo () in
+  {
+    name;
+    mode;
+    threshold;
+    budget = global_budget;
+    flows = Store.flow cells ~name:(name ^ ".flows");
+    total = Store.global cells ~name:(name ^ ".total") Sb_state.Kind.G_counter;
+  }
 
 let name t = t.name
 
-let global_total t = t.total
+let global_total t = Store.read_merged t.total
 
-let over_budget t = match t.budget with Some b -> t.total >= b | None -> false
+let over_budget t =
+  match t.budget with Some b -> Store.read_merged t.total >= b | None -> false
 
 let count t tuple =
-  match Tuple_map.find_opt t.flows tuple with Some c -> c.count | None -> 0
+  match Store.flow_find t.flows tuple with Some e -> e.Store.x | None -> 0
 
 let blocked_flows t =
-  Tuple_map.fold (fun _ c acc -> if c.count >= t.threshold then acc + 1 else acc) t.flows 0
+  Store.flow_fold
+    (fun _ e acc -> if e.Store.x >= t.threshold then acc + 1 else acc)
+    t.flows 0
 
 let dump t =
-  Tuple_map.fold
-    (fun tuple c acc -> Format.asprintf "%a cnt=%d" Five_tuple.pp tuple c.count :: acc)
+  Store.flow_fold
+    (fun tuple e acc -> Format.asprintf "%a cnt=%d" Five_tuple.pp tuple e.Store.x :: acc)
     t.flows []
   |> List.sort String.compare
   |> String.concat "\n"
@@ -63,32 +65,33 @@ let counts_packet t packet =
       | Packet.Udp -> false)
 
 (* Shared by the slow path and the recorded fast-path state function, so
-   both paths agree on what counts — including the duplicate skip. *)
-let bump t cell packet =
+   both paths agree on what counts — including the duplicate skip.  The
+   duplicate check compares the entry's [y] lane against the packet's
+   seq; UDP has no sequence numbers, so UDP duplicates stay
+   indistinguishable from new packets. *)
+let bump t (cell : Store.entry) packet =
   let count_one () =
-    cell.count <- cell.count + 1;
-    t.total <- t.total + 1
+    cell.Store.x <- cell.Store.x + 1;
+    Store.add t.total 1
   in
   (if counts_packet t packet then
      match Packet.proto packet with
      | Packet.Udp -> count_one ()
      | Packet.Tcp ->
          let seq = Tcp.get_seq packet.Packet.buf (Packet.l4_offset packet) in
-         if not (cell.has_last && Int32.equal cell.last_seq seq) then begin
+         let seq_i = Int32.to_int seq land 0xFFFFFFFF in
+         if not (cell.Store.set && cell.Store.y = seq_i) then begin
            count_one ();
-           cell.last_seq <- seq;
-           cell.has_last <- true
+           cell.Store.y <- seq_i;
+           cell.Store.set <- true
          end);
   Sb_sim.Cycles.monitor_count
 
 let process t ctx packet =
   let tuple = Five_tuple.of_packet packet in
-  let cell =
-    Tuple_map.find_or_add t.flows tuple ~default:(fun () ->
-        { count = 0; last_seq = 0l; has_last = false })
-  in
+  let cell = Store.flow_entry t.flows tuple in
   let base = Sb_sim.Cycles.parse + Sb_sim.Cycles.classify in
-  if cell.count >= t.threshold || over_budget t then begin
+  if cell.Store.x >= t.threshold || over_budget t then begin
     (* Over budget: the flow is cut off before any further counting. *)
     Speedybox.Api.localmat_add_ha ctx Sb_mat.Header_action.Drop;
     Speedybox.Nf.dropped (base + Sb_sim.Cycles.ha_drop)
@@ -101,7 +104,8 @@ let process t ctx packet =
          ~mode:Sb_mat.State_function.Ignore
          (fun pkt -> bump t cell pkt));
     Speedybox.Api.register_event ctx
-      ~condition:(fun () -> cell.count >= t.threshold || over_budget t)
+      ~global_state:(t.budget <> None)
+      ~condition:(fun () -> cell.Store.x >= t.threshold || over_budget t)
       ~new_actions:(fun () -> [ Sb_mat.Header_action.Drop ])
         (* once the flow is cut off the original NF stops counting too *)
       ~new_state_functions:(fun () -> [])
@@ -115,7 +119,7 @@ let nf t =
       (* Idle teardown reclaims counters below the threshold; a flow that
          earned a block keeps it even through a quiet spell. *)
     ~remove_flow:(fun tuple ->
-      match Tuple_map.find_opt t.flows tuple with
-      | Some c when c.count < t.threshold -> Tuple_map.remove t.flows tuple
+      match Store.flow_find t.flows tuple with
+      | Some e when e.Store.x < t.threshold -> Store.flow_remove t.flows tuple
       | Some _ | None -> ())
     (fun ctx packet -> process t ctx packet)

@@ -14,17 +14,31 @@ type count_mode = All_packets | Syn_only
 type t
 
 val create :
-  ?name:string -> ?mode:count_mode -> ?global_budget:int -> threshold:int -> unit -> t
+  ?name:string ->
+  ?mode:count_mode ->
+  ?global_budget:int ->
+  ?cells:Sb_state.Store.replica ->
+  threshold:int ->
+  unit ->
+  t
 (** [global_budget] arms a chain-wide cut-off on top of the per-flow
-    [threshold]: once the instance has counted that many packets {e in
-    total} (across all flows), every flow's armed event fires and further
-    packets drop — the paper's "DoS budget" reading of the Event Table
+    [threshold]: once that many packets have been counted {e in total}
+    (across all flows, and — when instances share a state store — across
+    all shards), every flow's armed event fires and further packets
+    drop — the paper's "DoS budget" reading of the Event Table
     walkthrough, where the attack is spread over many flows that each stay
     under the per-flow threshold.
+
+    [cells] is the shard's replica of a shared state store: the per-flow
+    counters become a [Per_flow] cell ([NAME.flows]) and the budget total
+    a [Global] G-counter ([NAME.total]).  Defaults to a private
+    single-shard store, which behaves exactly like the old instance-local
+    fields.
     @raise Invalid_argument when [threshold < 1] or [global_budget < 1]. *)
 
 val global_total : t -> int
-(** Packets counted against the global budget so far by this instance. *)
+(** Packets counted against the global budget so far — merged across
+    shards when the instance was created over a shared store. *)
 
 val name : t -> string
 

@@ -1,5 +1,6 @@
 open Sb_packet
 open Sb_flow
+module Store = Sb_state.Store
 
 type backend = { bname : string; ip : Ipv4_addr.t; mutable alive : bool }
 
@@ -11,7 +12,17 @@ type t = {
   algorithm : algorithm;
   backends : backend array;
   mutable table : int array;  (* slot -> backend index; -1 when no backend alive *)
-  assignments : int Tuple_map.t;  (* tuple -> backend index *)
+  (* Declared state cells (lib/state).  The conntrack table is a Per_flow
+     cell ([x]=backend index, [set]=assigned — an unassigned flow has no
+     entry, exactly like the old Tuple_map); per-backend assignment
+     counts are Global PN-counters and per-backend health a Global LWW
+     register (1 alive / 0 dead) stamped by a per-instance operation
+     counter, so every shard applying the same fail/restore sequence
+     converges on the same verdict. *)
+  assignments : Store.flow_cell;
+  conns : Store.handle array;  (* by backend index *)
+  health : Store.handle array;  (* by backend index *)
+  mutable stamp : int;
 }
 
 let is_prime n =
@@ -72,7 +83,49 @@ let populate algorithm table_size backends =
   | Consistent -> populate_consistent table_size backends
   | Mod_hash -> populate_mod_hash table_size backends
 
-let create ?(name = "maglev") ?(table_size = 251) ?(algorithm = Consistent) ~backends () =
+(* Health writes are LWW: the stamp is a per-instance operation counter,
+   so shards replaying the same create/fail/restore sequence write equal
+   stamps and the shard-index tie-break keeps the merge deterministic. *)
+let mark_health t i alive =
+  t.stamp <- t.stamp + 1;
+  Store.write t.health.(i) ~stamp:t.stamp (if alive then 1 else 0)
+
+(* Assignment bookkeeping: the flow entry mirrors the old Tuple_map (no
+   entry = untracked), and every transition retargets the per-backend
+   PN-counters — decrement the backend the flow leaves, increment the one
+   it joins. *)
+let track t tuple i =
+  match Store.flow_find t.assignments tuple with
+  | Some e when e.Store.set ->
+      if e.Store.x <> i then begin
+        Store.sub t.conns.(e.Store.x) 1;
+        Store.add t.conns.(i) 1;
+        e.Store.x <- i
+      end
+  | Some e ->
+      e.Store.x <- i;
+      e.Store.set <- true;
+      Store.add t.conns.(i) 1
+  | None ->
+      let e = Store.flow_entry t.assignments tuple in
+      e.Store.x <- i;
+      e.Store.set <- true;
+      Store.add t.conns.(i) 1
+
+let untrack t tuple =
+  match Store.flow_find t.assignments tuple with
+  | Some e ->
+      if e.Store.set then Store.sub t.conns.(e.Store.x) 1;
+      Store.flow_remove t.assignments tuple
+  | None -> ()
+
+let tracked t tuple =
+  match Store.flow_find t.assignments tuple with
+  | Some e when e.Store.set -> Some e.Store.x
+  | Some _ | None -> None
+
+let create ?(name = "maglev") ?(table_size = 251) ?(algorithm = Consistent) ?cells
+    ~backends () =
   if backends = [] then invalid_arg "Maglev.create: no backends";
   if not (is_prime table_size) then invalid_arg "Maglev.create: table size must be prime";
   let names = List.map fst backends in
@@ -81,14 +134,30 @@ let create ?(name = "maglev") ?(table_size = 251) ?(algorithm = Consistent) ~bac
   let backends =
     Array.of_list (List.map (fun (bname, ip) -> { bname; ip; alive = true }) backends)
   in
-  {
-    name;
-    table_size;
-    algorithm;
-    backends;
-    table = populate algorithm table_size backends;
-    assignments = Tuple_map.create 256;
-  }
+  let cells = match cells with Some r -> r | None -> Store.solo () in
+  let t =
+    {
+      name;
+      table_size;
+      algorithm;
+      backends;
+      table = populate algorithm table_size backends;
+      assignments = Store.flow cells ~name:(name ^ ".assign");
+      conns =
+        Array.map
+          (fun b ->
+            Store.global cells ~name:(name ^ ".conns." ^ b.bname) Sb_state.Kind.Pn_counter)
+          backends;
+      health =
+        Array.map
+          (fun b ->
+            Store.global cells ~name:(name ^ ".alive." ^ b.bname) Sb_state.Kind.Lww_register)
+          backends;
+      stamp = 0;
+    }
+  in
+  Array.iteri (fun i _ -> mark_health t i true) t.backends;
+  t
 
 let name t = t.name
 
@@ -99,11 +168,15 @@ let backend_index t bname =
   !found
 
 let fail_backend t bname =
-  t.backends.(backend_index t bname).alive <- false;
+  let i = backend_index t bname in
+  t.backends.(i).alive <- false;
+  mark_health t i false;
   t.table <- populate t.algorithm t.table_size t.backends
 
 let restore_backend t bname =
-  t.backends.(backend_index t bname).alive <- true;
+  let i = backend_index t bname in
+  t.backends.(i).alive <- true;
+  mark_health t i true;
   t.table <- populate t.algorithm t.table_size t.backends
 
 let alive_backends t =
@@ -112,16 +185,19 @@ let alive_backends t =
 let lookup_table t =
   Array.map (fun i -> if i < 0 then "-" else t.backends.(i).bname) t.table
 
-let backend_of_flow t tuple =
-  Option.map (fun i -> t.backends.(i).bname) (Tuple_map.find_opt t.assignments tuple)
+let backend_of_flow t tuple = Option.map (fun i -> t.backends.(i).bname) (tracked t tuple)
 
-let tracked_flows t = Tuple_map.length t.assignments
+let tracked_flows t = Store.flow_count t.assignments
+
+let backend_conns t bname = Store.read_merged t.conns.(backend_index t bname)
+
+let backend_health t bname = Store.read_merged t.health.(backend_index t bname) = 1
 
 let dump t =
   let assignments =
-    Tuple_map.fold
-      (fun tuple i acc ->
-        Format.asprintf "%a -> %s" Five_tuple.pp tuple t.backends.(i).bname :: acc)
+    Store.flow_fold
+      (fun tuple e acc ->
+        Format.asprintf "%a -> %s" Five_tuple.pp tuple t.backends.(e.Store.x).bname :: acc)
       t.assignments []
     |> List.sort String.compare
   in
@@ -142,15 +218,15 @@ let current_backend t tuple =
   let select () =
     let i = table_lookup t tuple in
     if i < 0 then begin
-      Tuple_map.remove t.assignments tuple;
+      untrack t tuple;
       None
     end
     else begin
-      Tuple_map.replace t.assignments tuple i;
+      track t tuple i;
       Some t.backends.(i)
     end
   in
-  match Tuple_map.find_opt t.assignments tuple with
+  match tracked t tuple with
   | Some i when t.backends.(i).alive -> Some t.backends.(i)
   | Some _ | None -> select ()
 
@@ -170,7 +246,7 @@ let process t ctx packet =
        comes back. *)
     Speedybox.Api.register_event ctx ~one_shot:false
       ~condition:(fun () ->
-        match Tuple_map.find_opt t.assignments tuple with
+        match tracked t tuple with
         | Some i -> not (t.backends.(i).alive)
         | None -> Array.exists (fun b -> b.alive) t.backends)
       ~new_actions:(reroute_actions t tuple)

@@ -33,11 +33,17 @@ val create :
   ?name:string ->
   ?table_size:int ->
   ?algorithm:algorithm ->
+  ?cells:Sb_state.Store.replica ->
   backends:(string * Sb_packet.Ipv4_addr.t) list ->
   unit ->
   t
 (** [table_size] must be prime (default 251; Maglev production uses 65537);
-    [algorithm] defaults to [Consistent].
+    [algorithm] defaults to [Consistent].  [cells] is the shard's replica
+    of a shared state store: conntrack becomes a [Per_flow] cell
+    ([NAME.assign]) that migrates with the flow, and each backend gets a
+    [Global] PN-counter of assignments ([NAME.conns.B]) and a [Global]
+    LWW health register ([NAME.alive.B]).  Defaults to a private
+    single-shard store.
     @raise Invalid_argument on a non-prime size, empty backend list or
     duplicate backend names. *)
 
@@ -62,5 +68,15 @@ val backend_of_flow : t -> Sb_flow.Five_tuple.t -> string option
     flow's next packet reroutes it). *)
 
 val tracked_flows : t -> int
+
+val backend_conns : t -> string -> int
+(** Flows currently assigned to the backend, merged across shards
+    (PN-counter: reroutes and releases retract).
+    @raise Invalid_argument on an unknown name. *)
+
+val backend_health : t -> string -> bool
+(** The merged LWW health verdict for the backend — the last
+    fail/restore write anywhere wins.
+    @raise Invalid_argument on an unknown name. *)
 
 val dump : t -> string

@@ -1,24 +1,60 @@
 open Sb_packet
 open Sb_flow
+module Store = Sb_state.Store
 
 type counters = { mutable packets : int; mutable bytes : int }
 
-type t = { name : string; flows : counters Tuple_map.t }
+type t = {
+  name : string;
+  (* Declared state cells (lib/state).  Per-flow counters use entry lanes
+     [x]=packets, [y]=bytes; [set] marks the flow as counted in the
+     Global active-flow PN-counter (so idle teardown can retract it).
+     The chain-wide packet/byte totals and the largest-frame watermark are
+     Global cells; [shard_packets] is a Per_shard diagnostic counter. *)
+  flows : Store.flow_cell;
+  packets : Store.handle;
+  bytes : Store.handle;
+  active : Store.handle;
+  max_len : Store.handle;
+  shard_packets : Store.handle;
+}
 
-let create ?(name = "monitor") () = { name; flows = Tuple_map.create 256 }
+let create ?(name = "monitor") ?cells () =
+  let cells = match cells with Some r -> r | None -> Store.solo () in
+  {
+    name;
+    flows = Store.flow cells ~name:(name ^ ".flows");
+    packets = Store.global cells ~name:(name ^ ".packets") Sb_state.Kind.G_counter;
+    bytes = Store.global cells ~name:(name ^ ".bytes") Sb_state.Kind.G_counter;
+    active = Store.global cells ~name:(name ^ ".active") Sb_state.Kind.Pn_counter;
+    max_len = Store.global cells ~name:(name ^ ".max_len") Sb_state.Kind.Max_register;
+    shard_packets =
+      Store.per_shard cells ~name:(name ^ ".shard.packets") Sb_state.Kind.G_counter;
+  }
 
 let name t = t.name
 
-let counters t tuple = Tuple_map.find_opt t.flows tuple
+let counters t tuple =
+  match Store.flow_find t.flows tuple with
+  | Some e -> Some { packets = e.Store.x; bytes = e.Store.y }
+  | None -> None
 
-let flow_count t = Tuple_map.length t.flows
+let flow_count t = Store.flow_count t.flows
 
-let total_packets t = Tuple_map.fold (fun _ c acc -> acc + c.packets) t.flows 0
+let total_packets t = Store.flow_fold (fun _ e acc -> acc + e.Store.x) t.flows 0
+
+let global_packets t = Store.read_merged t.packets
+
+let global_bytes t = Store.read_merged t.bytes
+
+let global_flows t = Store.read_merged t.active
+
+let global_max_len t = Store.read_merged t.max_len
 
 let dump t =
-  Tuple_map.fold
-    (fun tuple c acc ->
-      Format.asprintf "%a pkts=%d bytes=%d" Five_tuple.pp tuple c.packets c.bytes :: acc)
+  Store.flow_fold
+    (fun tuple e acc ->
+      Format.asprintf "%a pkts=%d bytes=%d" Five_tuple.pp tuple e.Store.x e.Store.y :: acc)
     t.flows []
   |> List.sort String.compare
   |> String.concat "\n"
@@ -29,11 +65,18 @@ let dump t =
    and new tuples just as they do on the original path. *)
 let count t packet =
   let tuple = Five_tuple.of_packet packet in
-  let cell =
-    Tuple_map.find_or_add t.flows tuple ~default:(fun () -> { packets = 0; bytes = 0 })
-  in
-  cell.packets <- cell.packets + 1;
-  cell.bytes <- cell.bytes + packet.Packet.len;
+  let cell = Store.flow_entry t.flows tuple in
+  if not cell.Store.set then begin
+    cell.Store.set <- true;
+    Store.add t.active 1
+  end;
+  let len = packet.Packet.len in
+  cell.Store.x <- cell.Store.x + 1;
+  cell.Store.y <- cell.Store.y + len;
+  Store.add t.packets 1;
+  Store.add t.bytes len;
+  Store.observe t.max_len len;
+  Store.add t.shard_packets 1;
   Sb_sim.Cycles.monitor_count
 
 let process t ctx packet =
@@ -49,5 +92,10 @@ let process t ctx packet =
 let nf t =
   Speedybox.Nf.make ~name:t.name
     ~state_digest:(fun () -> dump t)
-    ~remove_flow:(fun tuple -> Tuple_map.remove t.flows tuple)
+    ~remove_flow:(fun tuple ->
+      match Store.flow_find t.flows tuple with
+      | Some e ->
+          if e.Store.set then Store.sub t.active 1;
+          Store.flow_remove t.flows tuple
+      | None -> ())
     (fun ctx packet -> process t ctx packet)

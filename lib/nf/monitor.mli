@@ -11,7 +11,13 @@ type counters = { mutable packets : int; mutable bytes : int }
 
 type t
 
-val create : ?name:string -> unit -> t
+val create : ?name:string -> ?cells:Sb_state.Store.replica -> unit -> t
+(** [cells] is the shard's replica of a shared state store.  The monitor
+    declares per-flow counters ([NAME.flows]), Global chain-wide totals
+    ([NAME.packets], [NAME.bytes] G-counters, [NAME.active] PN-counter of
+    live flows, [NAME.max_len] max-register watermark) and a Per_shard
+    diagnostic counter ([NAME.shard.packets]).  Defaults to a private
+    single-shard store. *)
 
 val name : t -> string
 
@@ -24,6 +30,19 @@ val counters : t -> Sb_flow.Five_tuple.t -> counters option
 val flow_count : t -> int
 
 val total_packets : t -> int
+(** Sum over this instance's per-flow counters (removal forgets). *)
+
+val global_packets : t -> int
+(** Chain-wide packets counted, merged across shards — unlike
+    {!total_packets} this survives flow teardown. *)
+
+val global_bytes : t -> int
+
+val global_flows : t -> int
+(** Live flows merged across shards (PN-counter: teardown retracts). *)
+
+val global_max_len : t -> int
+(** Largest frame observed anywhere (max-register), [0] before traffic. *)
 
 val dump : t -> string
 (** Sorted, human-readable counter table (the state digest). *)

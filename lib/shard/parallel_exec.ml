@@ -80,8 +80,15 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
             batch_fill = Sb_obs.Histogram.create ();
           })
     in
+    let store = cfg.Runtime.state in
+    let sync_state = Sb_state.Store.has_global store && Sb_state.Store.shards store = n in
     let worker d =
       let rt = Sharded.runtime t d in
+      (* This shard's state-store replica: flushed (own contributions
+         published, other shards' cached view refreshed) at batch
+         boundaries only — single-writer atomics on a cold path, nothing
+         on the per-packet path. *)
+      let state_replica = if sync_state then Some (Sb_state.Store.replica store d) else None in
       let acc = accs.(d) in
       let ws = wstats.(d) in
       (* This domain's slice of the trace: it steers these packets itself,
@@ -99,8 +106,14 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
          order) and keeps the parallel hot path lean. *)
       let process_batch src b =
         (* Health broadcasts from sibling shards converge at batch
-           boundaries. *)
+           boundaries; so do global state-cell contributions.  Mid-batch,
+           a global read is a locally-consistent lower bound (own live
+           contribution plus the others as of this flush): a cross-shard
+           threshold fires within a batch of where the deterministic
+           executor fires it, still exactly once per flow, and the
+           post-join merge makes the final merged values exact. *)
         Sharded.drain_control t d;
+        (match state_replica with Some r -> Sb_state.Store.flush r | None -> ());
         let len = b.len in
         if armed then begin
           Sb_obs.Histogram.observe ws.queue_delay_us
@@ -237,7 +250,11 @@ let run_trace ?(burst = Runtime.default_burst) t packets =
     done;
     (* Join gives the happens-before edge that makes every worker's
        accumulator safely readable here; the steering tables were never
-       shared at all — replay them now, in trace order. *)
+       shared at all — replay them now, in trace order.  One final merge
+       round converges every replica's view of the global cells, so
+       post-run reads ([Report]'s global-state section, NF accessors) are
+       exact. *)
+    if sync_state then Sb_state.Store.merge_round store;
     Sharded.absorb_parallel_trace t originals;
     let merged = accs.(0) in
     for s = 1 to n - 1 do

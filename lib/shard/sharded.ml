@@ -36,6 +36,19 @@ let create ?(shards = 1) cfg build_chain =
     Array.init shards (fun i ->
         Runtime.create { cfg with Runtime.obs = obs_children.(i) } (build_chain i))
   in
+  (* The chains have now declared their cells.  A store sized for a
+     different shard count would alias replicas across shards (or leave
+     some unreachable) — reject it rather than partition state silently,
+     which is the failure mode this subsystem exists to kill.  A store
+     that stayed empty is fine at any size: nothing was declared against
+     it, so nothing can be partitioned. *)
+  let st = cfg.Runtime.state in
+  if Sb_state.Store.cell_count st > 0 && Sb_state.Store.shards st <> shards then
+    invalid_arg
+      (Printf.sprintf
+         "Sharded.create: state store sized for %d shard(s) but the deployment has %d \
+          — create it with Store.create ~shards:%d"
+         (Sb_state.Store.shards st) shards shards);
   (* Faults are chain-wide: whatever shard records one, every other shard
      must advance the NF's health before its next packet. *)
   Array.iteri
@@ -170,6 +183,15 @@ let obs_migrated t fid src dest =
    by steering alone, deliberately NOT resurrecting anything. *)
 let migrate_direction t ~src ~dest tuple fid =
   let src_rt = t.runtimes.(src) and dst_rt = t.runtimes.(dest) in
+  (* Scope-aware state transplant, before the rule/record teardown below:
+     the flow's per-flow store entries (counters, conntrack) move to the
+     destination replica, so [dest]'s re-recording resumes from the same
+     state the unsharded chain would hold.  Global and per-shard cells
+     don't move — global contributions stay where they were earned (the
+     merge sums them regardless of owner), per-shard cells are pinned by
+     definition. *)
+  if Sb_state.Store.shards t.cfg.Runtime.state > 1 then
+    ignore (Sb_state.Store.transplant t.cfg.Runtime.state ~src ~dest tuple);
   (match Classifier.export_flow (Runtime.classifier src_rt) tuple with
   | Some st ->
       Classifier.adopt_flow (Runtime.classifier dst_rt) tuple st;
@@ -180,7 +202,21 @@ let migrate_direction t ~src ~dest tuple fid =
       let armed =
         Sb_mat.Event_table.armed_count (Chain.events (Runtime.chain src_rt)) fid
       in
-      if armed = 0 then Sb_mat.Global_mat.adopt (Runtime.global_mat dst_rt) fid rule;
+      (* A consolidated rule's state-function closures are bound to the
+         SOURCE shard's NF instances.  With instance-local NF state that
+         was harmless (the state stayed put and kept accruing at the
+         source); with a shared store the per-flow entries just
+         transplanted to [dest], so executing source-bound closures would
+         resurrect stale entries in the drained replica and starve the
+         transplanted ones.  Adopt only closure-free rules then — a rule
+         with state functions tears down and re-records on [dest], where
+         the rebuilt closures resume from the transplanted entries. *)
+      let portable =
+        Sb_state.Store.shards t.cfg.Runtime.state <= 1
+        || Sb_mat.Global_mat.rule_batches rule = []
+      in
+      if armed = 0 && portable then
+        Sb_mat.Global_mat.adopt (Runtime.global_mat dst_rt) fid rule;
       Chain.remove_flow (Runtime.chain src_rt) fid;
       Sb_mat.Global_mat.remove_flow (Runtime.global_mat src_rt) fid
   | None -> ());
@@ -290,6 +326,14 @@ let finish_obs t (result : Runtime.run_result) =
           g "speedybox_shard_flows" "Flows owned by this shard" flows.(i);
           g "speedybox_shard_rules" "Consolidated rules installed on this shard"
             (Sb_mat.Global_mat.flow_count (Runtime.global_mat rt));
+          let st = t.cfg.Runtime.state in
+          if
+            Sb_state.Store.cell_count st > 0
+            && Sb_state.Store.shards st = Array.length t.runtimes
+          then
+            g "speedybox_state_flow_entries"
+              "Live per-flow state-store entries on this shard"
+              (Sb_state.Store.flow_entries (Sb_state.Store.replica st i));
           let run_level name help v =
             Sb_obs.Metrics.Gauge.set
               (Sb_obs.Metrics.gauge m ~help ~labels:[ chain_label ] name)
@@ -300,14 +344,47 @@ let finish_obs t (result : Runtime.run_result) =
           run_level "speedybox_events_armed" "Event Table conditions currently armed"
             (float_of_int
                (Sb_mat.Event_table.total_armed (Chain.events (Runtime.chain rt))));
-          if i = 0 then
-            match
-              Sb_flow.Flow_table.find result.Runtime.flow_time_us Runtime.no_flow_fid
-            with
+          run_level "speedybox_state_global_events_armed"
+            "Armed Event Table conditions reading global-scope state"
+            (float_of_int
+               (Sb_mat.Event_table.total_global_armed (Chain.events (Runtime.chain rt))));
+          if i = 0 then begin
+            (match
+               Sb_flow.Flow_table.find result.Runtime.flow_time_us Runtime.no_flow_fid
+             with
             | Some us ->
                 run_level "speedybox_non_flow_time_us"
                   "Processing time spent on packets with no 5-tuple (non-TCP/UDP)" us
-            | None -> ())
+            | None -> ());
+            (* Store-wide state figures are whole-run, like the non-flow
+               bucket: one contribution on child 0, or the merge would
+               multiply them by the shard count. *)
+            let st = t.cfg.Runtime.state in
+            let counts = Sb_state.Store.cell_counts st in
+            let gs scope v =
+              Sb_obs.Metrics.Gauge.set
+                (Sb_obs.Metrics.gauge m ~help:"Declared state-store cells by scope"
+                   ~labels:[ chain_label; ("scope", scope) ]
+                   "speedybox_state_cells")
+                (float_of_int v)
+            in
+            gs "per-flow" counts.Sb_state.Store.per_flow;
+            gs "per-shard" counts.Sb_state.Store.per_shard;
+            gs "global" counts.Sb_state.Store.global;
+            Sb_obs.Metrics.Counter.add
+              (Sb_obs.Metrics.counter m ~help:"Cross-shard state merge rounds run"
+                 ~labels:[ chain_label ] "speedybox_state_merge_rounds_total")
+              (Sb_state.Store.merge_rounds_delta st);
+            let h_global =
+              Sb_obs.Metrics.histogram m
+                ~help:"Merged values of global-scope state cells"
+                ~labels:[ chain_label; ("scope", "global") ]
+                "speedybox_state_cell_value"
+            in
+            List.iter
+              (fun (_, _, v) -> Sb_obs.Histogram.observe_int h_global v)
+              (Sb_state.Store.merged_values st)
+          end)
     t.runtimes
 
 let run_trace ?on_output ?(burst = Runtime.default_burst) t packets =
@@ -373,6 +450,16 @@ let run_trace ?on_output ?(burst = Runtime.default_burst) t packets =
         note_seen t s originals.(base + k);
         prune_if_final t originals.(base + k)
       done;
+      (* Stretch-boundary state merge: publish shard [s]'s global-cell
+         contributions and refresh every shard's cached view before the
+         next stretch runs.  Only one shard executes per stretch, so a
+         condition reading [read_merged] inside the stretch sees fresh
+         other-shard contributions plus its own live ones — exactly the
+         value the unsharded chain would compute — and a global threshold
+         crossed only by the cross-shard sum fires on the same packet it
+         would have unsharded. *)
+      if Sb_state.Store.has_global t.cfg.Runtime.state then
+        Sb_state.Store.merge_round t.cfg.Runtime.state;
       i := !j
     done;
     (* Converge at end of run: a shard that received no packet after the
@@ -389,6 +476,8 @@ let run_trace ?on_output ?(burst = Runtime.default_burst) t packets =
 
 let stats t =
   let flows = ownership_counts t in
+  let st = t.cfg.Runtime.state in
+  let shared = Sb_state.Store.shards st = Array.length t.runtimes in
   List.init (Array.length t.runtimes) (fun i ->
       {
         Report.shard = i;
@@ -398,4 +487,6 @@ let stats t =
         control_msgs = Control.absorbed t.control ~shard:i;
         migrated_in = t.migrated_in.(i);
         migrated_out = t.migrated_out.(i);
+        state_entries =
+          (if shared then Sb_state.Store.flow_entries (Sb_state.Store.replica st i) else 0);
       })

@@ -1,0 +1,69 @@
+type t = G_counter | Pn_counter | Lww_register | Min_register | Max_register
+
+let to_string = function
+  | G_counter -> "g-counter"
+  | Pn_counter -> "pn-counter"
+  | Lww_register -> "lww"
+  | Min_register -> "min"
+  | Max_register -> "max"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)
+
+type snap = { p : int; n : int; stamp : int; shard : int; v : int; set : bool }
+
+let identity = { p = 0; n = 0; stamp = 0; shard = -1; v = 0; set = false }
+
+(* Canonical form: only the fields the kind reads survive, so [join] and
+   [combine] are idempotent and commutative on the records themselves
+   (two snaps the kind cannot distinguish compare structurally equal). *)
+let normalize kind s =
+  match kind with
+  | G_counter -> if s.p = 0 then identity else { identity with p = s.p }
+  | Pn_counter ->
+      if s.p = 0 && s.n = 0 then identity else { identity with p = s.p; n = s.n }
+  | Lww_register ->
+      if s.set then { identity with stamp = s.stamp; shard = s.shard; v = s.v; set = true }
+      else identity
+  | Min_register | Max_register ->
+      if s.set then { identity with v = s.v; set = true } else identity
+
+(* The LWW total order: stamp, then shard index, then value.  Shard
+   breaks same-stamp ties deterministically; the value component only
+   matters for ill-formed inputs (two writes with one stamp from one
+   shard), keeping the order total — and the algebra ACI — on arbitrary
+   snaps, which the qcheck suite exploits. *)
+let lww_le a b =
+  a.stamp < b.stamp
+  || (a.stamp = b.stamp && (a.shard < b.shard || (a.shard = b.shard && a.v <= b.v)))
+
+let join kind a b =
+  match kind with
+  | G_counter -> { identity with p = max a.p b.p }
+  | Pn_counter -> { identity with p = max a.p b.p; n = max a.n b.n }
+  | Lww_register -> (
+      match (a.set, b.set) with
+      | false, _ -> normalize kind b
+      | _, false -> normalize kind a
+      | true, true -> if lww_le a b then normalize kind b else normalize kind a)
+  | Min_register -> (
+      match (a.set, b.set) with
+      | false, _ -> normalize kind b
+      | _, false -> normalize kind a
+      | true, true -> { identity with v = min a.v b.v; set = true })
+  | Max_register -> (
+      match (a.set, b.set) with
+      | false, _ -> normalize kind b
+      | _, false -> normalize kind a
+      | true, true -> { identity with v = max a.v b.v; set = true })
+
+let combine kind a b =
+  match kind with
+  | G_counter -> { identity with p = a.p + b.p }
+  | Pn_counter -> { identity with p = a.p + b.p; n = a.n + b.n }
+  | Lww_register | Min_register | Max_register -> join kind a b
+
+let value kind s =
+  match kind with
+  | G_counter -> s.p
+  | Pn_counter -> s.p - s.n
+  | Lww_register | Min_register | Max_register -> if s.set then s.v else 0

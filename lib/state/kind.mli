@@ -1,0 +1,54 @@
+(** The merge algebra behind global-scope state cells.
+
+    A global cell is a state-based CRDT: its full state is one
+    {!snap} (contribution) per shard, each written only by its owning
+    shard.  Reconciling two {e versions} of the same shard's
+    contribution uses {!join} — a semilattice operation (associative,
+    commutative, idempotent), so replays and re-merges are harmless.
+    Producing the cell's merged value aggregates contributions {e
+    across} shards with {!combine} — associative and commutative (so the
+    result is independent of shard order), but summing for the counter
+    kinds, hence deliberately not idempotent: each shard contributes
+    once, by construction, because each shard owns exactly one slot.
+
+    The qcheck suite (test/test_state.ml) checks these laws over random
+    snaps for every kind. *)
+
+type t =
+  | G_counter  (** grow-only counter: adds only, value = sum of shard totals *)
+  | Pn_counter  (** increment/decrement counter: two G-counters, value = P - N *)
+  | Lww_register
+      (** last-writer-wins register: the (stamp, shard)-greatest write wins,
+          shard index breaking same-stamp ties deterministically *)
+  | Min_register  (** monotone minimum of all observed values *)
+  | Max_register  (** monotone maximum of all observed values *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** One shard's contribution, as an immutable snapshot.  Counters use
+    [p]/[n] (absolute totals, monotone); registers use [v]/[set] plus,
+    for LWW, the [stamp]/[shard] order.  Unused fields are zeroed by
+    {!normalize} so structural equality coincides with semantic
+    equality. *)
+type snap = { p : int; n : int; stamp : int; shard : int; v : int; set : bool }
+
+val identity : snap
+(** Neutral for both {!join} and {!combine}, every kind. *)
+
+val normalize : t -> snap -> snap
+(** Canonical form under [kind]: fields the kind ignores are zeroed. *)
+
+val join : t -> snap -> snap -> snap
+(** Same-shard reconcile (version semilattice): counters take the
+    pointwise max (totals are monotone, so newer beats older), registers
+    their respective order.  ACI on normalized snaps. *)
+
+val combine : t -> snap -> snap -> snap
+(** Cross-shard aggregate: counters add, registers coincide with
+    {!join}.  Associative and commutative; identity {!identity}. *)
+
+val value : t -> snap -> int
+(** The observable value of an aggregated snap ([0] for a register
+    nothing has written). *)

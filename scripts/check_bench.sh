@@ -50,6 +50,13 @@
 # the same plan — domain-local recording may not tax the parallel hot
 # path.  Skipped when the JSON predates the armed-parallel bench.
 #
+# State-store contract (PR 10, same-run ratio): the deterministic 4-shard
+# executor over a store-backed monitor chain (per-flow cells in the
+# replica tuple map, global counters merged at stretch boundaries) must
+# stay within STATE_OVERHEAD (default 1.10) of the same plan with
+# instance-local NF state.  Skipped when the JSON predates the
+# state-store bench.
+#
 # SCALE_ONLY=1 restricts the run to the scale-sweep contract — for JSON
 # files recorded by `main.exe --json OUT scale`, which carry only the
 # scale entries.
@@ -69,6 +76,7 @@ SHARD_SPEEDUP="${SHARD_SPEEDUP:-1.5}"
 SCALE_GROWTH="${SCALE_GROWTH:-3.0}"
 IMPAIR_OVERHEAD="${IMPAIR_OVERHEAD:-1.5}"
 OBS_PARALLEL_OVERHEAD="${OBS_PARALLEL_OVERHEAD:-1.10}"
+STATE_OVERHEAD="${STATE_OVERHEAD:-1.10}"
 SCALE_ONLY="${SCALE_ONLY:-0}"
 
 if [ ! -f "$BENCH_FILE" ]; then
@@ -76,7 +84,7 @@ if [ ! -f "$BENCH_FILE" ]; then
   exit 1
 fi
 
-python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" "$IMPAIR_OVERHEAD" "$OBS_PARALLEL_OVERHEAD" "$SCALE_ONLY" <<'EOF'
+python3 - "$BENCH_FILE" "$TOLERANCE" "$BURST_SPEEDUP" "$SHARD_OVERHEAD" "$SHARD_SPEEDUP" "$SCALE_GROWTH" "$IMPAIR_OVERHEAD" "$OBS_PARALLEL_OVERHEAD" "$STATE_OVERHEAD" "$SCALE_ONLY" <<'EOF'
 import json
 import sys
 
@@ -85,7 +93,8 @@ shard_overhead, shard_speedup = float(sys.argv[4]), float(sys.argv[5])
 scale_growth = float(sys.argv[6])
 impair_overhead = float(sys.argv[7])
 obs_parallel_overhead = float(sys.argv[8])
-scale_only = sys.argv[9] not in ("", "0")
+state_overhead = float(sys.argv[9])
+scale_only = sys.argv[10] not in ("", "0")
 data = json.load(open(path))
 
 passed = failed = skipped = 0
@@ -300,6 +309,29 @@ else:
     )
     if ratio > obs_parallel_overhead:
         fail("domain-local observability taxes the parallel hot path beyond tolerance")
+    else:
+        ok()
+
+# State-store overhead (PR 10): the deterministic 4-shard executor over a
+# chain whose monitor declares its cells on a shared 4-shard store (per-
+# flow tuple-map entries, global counters merged at stretch boundaries)
+# vs the same plan with instance-local NF state.  Same-run ratio.
+det4_state = data["current"].get(
+    "speedybox/shard/deterministic-4 state-store (64 flows x 32, per packet)"
+)
+if det4_state is None:
+    print("check_bench: state-store entry absent -> SKIPPED (re-record to gate)")
+    skip()
+else:
+    ratio = det4_state / det4
+    verdict = "OK" if ratio <= state_overhead else "FAIL"
+    print(
+        f"check_bench: state-store overhead (deterministic, 4 shards)\n"
+        f"  plain {det4:.1f} ns, store-backed {det4_state:.1f} ns/packet, "
+        f"ratio {ratio:.2f} (need <= {state_overhead:.2f}) -> {verdict}"
+    )
+    if ratio > state_overhead:
+        fail("the scoped state store taxes the deterministic hot path beyond tolerance")
     else:
         ok()
 

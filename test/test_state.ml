@@ -1,0 +1,271 @@
+(* Property suite for the lib/state merge algebra and the store built on
+   it.  The kinds' laws (ACI joins, associative/commutative combines,
+   shard-order independence) are what make the deterministic executor's
+   burst-boundary merge — and hence the sharded-vs-unsharded differential
+   in test_state_diff.ml — bit-exact, so they are pinned here over random
+   snaps rather than assumed. *)
+
+module Kind = Sb_state.Kind
+module Store = Sb_state.Store
+
+let kinds =
+  [ Kind.G_counter; Kind.Pn_counter; Kind.Lww_register; Kind.Min_register; Kind.Max_register ]
+
+let kind_gen = QCheck.Gen.oneofl kinds
+
+(* Random snaps stay small so collisions (equal stamps, equal values)
+   actually happen and exercise the tie-break paths. *)
+let snap_gen =
+  QCheck.Gen.(
+    map
+      (fun (p, n, stamp, shard, v, set) -> { Kind.p; n; stamp; shard; v; set })
+      (tup6 (int_bound 50) (int_bound 50) (int_bound 8) (int_bound 3)
+         (map (fun v -> v - 25) (int_bound 50))
+         bool))
+
+let pp_snap (s : Kind.snap) =
+  Printf.sprintf "{p=%d;n=%d;stamp=%d;shard=%d;v=%d;set=%b}" s.Kind.p s.Kind.n s.Kind.stamp
+    s.Kind.shard s.Kind.v s.Kind.set
+
+let arb_kind_snaps n =
+  QCheck.make
+    ~print:(fun (k, snaps) ->
+      Printf.sprintf "%s [%s]" (Kind.to_string k) (String.concat "; " (List.map pp_snap snaps)))
+    QCheck.Gen.(map2 (fun k s -> (k, s)) kind_gen (list_size (return n) snap_gen))
+
+let norm2 k (a, b) = (Kind.normalize k a, Kind.normalize k b)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let join_commutative =
+  prop "join commutative" 500 (arb_kind_snaps 2) (fun (k, snaps) ->
+      match snaps with
+      | [ a; b ] ->
+          let a, b = norm2 k (a, b) in
+          Kind.join k a b = Kind.join k b a
+      | _ -> false)
+
+let join_associative =
+  prop "join associative" 500 (arb_kind_snaps 3) (fun (k, snaps) ->
+      match snaps with
+      | [ a; b; c ] ->
+          let a = Kind.normalize k a and b = Kind.normalize k b and c = Kind.normalize k c in
+          Kind.join k (Kind.join k a b) c = Kind.join k a (Kind.join k b c)
+      | _ -> false)
+
+let join_idempotent =
+  prop "join idempotent" 500 (arb_kind_snaps 1) (fun (k, snaps) ->
+      match snaps with
+      | [ a ] ->
+          let a = Kind.normalize k a in
+          Kind.join k a a = a
+      | _ -> false)
+
+let combine_commutative =
+  prop "combine commutative" 500 (arb_kind_snaps 2) (fun (k, snaps) ->
+      match snaps with
+      | [ a; b ] ->
+          let a, b = norm2 k (a, b) in
+          Kind.combine k a b = Kind.combine k b a
+      | _ -> false)
+
+let combine_associative =
+  prop "combine associative" 500 (arb_kind_snaps 3) (fun (k, snaps) ->
+      match snaps with
+      | [ a; b; c ] ->
+          let a = Kind.normalize k a and b = Kind.normalize k b and c = Kind.normalize k c in
+          Kind.combine k (Kind.combine k a b) c = Kind.combine k a (Kind.combine k b c)
+      | _ -> false)
+
+let combine_identity =
+  prop "identity is neutral for join and combine" 500 (arb_kind_snaps 1) (fun (k, snaps) ->
+      match snaps with
+      | [ a ] ->
+          let a = Kind.normalize k a in
+          Kind.join k a Kind.identity = a
+          && Kind.join k Kind.identity a = a
+          && Kind.combine k a Kind.identity = a
+          && Kind.combine k Kind.identity a = a
+      | _ -> false)
+
+let normalize_idempotent =
+  prop "normalize idempotent and value-preserving" 500 (arb_kind_snaps 1) (fun (k, snaps) ->
+      match snaps with
+      | [ a ] ->
+          let n = Kind.normalize k a in
+          Kind.normalize k n = n && Kind.value k n = Kind.value k a
+      | _ -> false)
+
+(* Shard-order determinism: aggregating one contribution per shard gives
+   the same value under any permutation of the contributions — the law
+   the executors lean on when they merge replicas in shard order. *)
+let combine_order_independent =
+  prop "combine is shard-order independent" 300 (arb_kind_snaps 5) (fun (k, snaps) ->
+      let snaps = List.map (Kind.normalize k) snaps in
+      let agg l = List.fold_left (Kind.combine k) Kind.identity l in
+      let rev = Kind.value k (agg (List.rev snaps)) = Kind.value k (agg snaps) in
+      let rot = match snaps with [] -> [] | x :: tl -> tl @ [ x ] in
+      rev && Kind.value k (agg rot) = Kind.value k (agg snaps))
+
+(* A random operation script applied to a solo store versus the same
+   script split across the shards of a 4-way store: merged values must
+   coincide.  Each op is (shard, cell, amount); cell 0 is a G-counter,
+   1 a PN-counter, 2 an LWW register, 3 a min register, 4 a max
+   register.  LWW stamps come from the script position, so both sides
+   issue identical (stamp, value) writes and the winner is the same. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (tup3 (int_bound 3) (int_bound 4) (map (fun v -> v - 20) (int_bound 40))))
+
+let cell_names = [| "c.g"; "c.pn"; "c.lww"; "c.min"; "c.max" |]
+let cell_kinds =
+  [| Kind.G_counter; Kind.Pn_counter; Kind.Lww_register; Kind.Min_register; Kind.Max_register |]
+
+let apply_one handles_of i (shard, cell, amount) =
+  let h = handles_of shard cell in
+  match cell_kinds.(cell) with
+  | Kind.G_counter -> Store.add h (abs amount)
+  | Kind.Pn_counter -> if amount >= 0 then Store.add h amount else Store.sub h (-amount)
+  | Kind.Lww_register -> Store.write h ~stamp:i amount
+  | Kind.Min_register | Kind.Max_register -> Store.observe h amount
+
+let apply_ops handles_of ops = List.iteri (apply_one handles_of) ops
+
+let declare_handles replica =
+  Array.init 5 (fun c -> Store.global replica ~name:cell_names.(c) cell_kinds.(c))
+
+let split_merge_roundtrip =
+  prop "split/merge round-trip: solo = 4-shard merged" 200
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map (fun (s, c, a) -> Printf.sprintf "(%d,%s,%d)" s cell_names.(c) a) ops))
+       ops_gen)
+    (fun ops ->
+      let solo = Store.create ~shards:1 () in
+      let solo_handles = declare_handles (Store.replica solo 0) in
+      apply_ops (fun _ c -> solo_handles.(c)) ops;
+      let sharded = Store.create ~shards:4 () in
+      let handles = Array.init 4 (fun i -> declare_handles (Store.replica sharded i)) in
+      apply_ops (fun s c -> handles.(s).(c)) ops;
+      (* Merged reads are exact without any flush/merge_round: the store
+         reconciles each shard's published slot with its live state. *)
+      Store.merged_values solo = Store.merged_values sharded)
+
+(* Publishing mid-script (what the parallel executor's per-batch flush
+   does) must never change the final merged outcome. *)
+let flush_is_transparent =
+  prop "mid-script flush does not change merged values" 200
+    (QCheck.make ops_gen)
+    (fun ops ->
+      let plain = Store.create ~shards:4 () in
+      let ph = Array.init 4 (fun i -> declare_handles (Store.replica plain i)) in
+      apply_ops (fun s c -> ph.(s).(c)) ops;
+      let flushed = Store.create ~shards:4 () in
+      let fh = Array.init 4 (fun i -> declare_handles (Store.replica flushed i)) in
+      let n = List.length ops in
+      List.iteri
+        (fun i op ->
+          apply_one (fun s c -> fh.(s).(c)) i op;
+          if i = n / 2 then (
+            for s = 0 to 3 do
+              Store.flush (Store.replica flushed s)
+            done;
+            Store.merge_round flushed))
+        ops;
+      Store.merged_values plain = Store.merged_values flushed)
+
+(* ---- direct store unit tests ---- *)
+
+let test_declare_mismatch () =
+  let store = Store.create ~shards:1 () in
+  let r = Store.replica store 0 in
+  ignore (Store.global r ~name:"x" Kind.G_counter);
+  (match Store.global r ~name:"x" Kind.Pn_counter with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  match Store.per_shard r ~name:"x" Kind.G_counter with
+  | _ -> Alcotest.fail "scope mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_scope_counts () =
+  let store = Store.create ~shards:2 () in
+  let r0 = Store.replica store 0 and r1 = Store.replica store 1 in
+  List.iter
+    (fun r ->
+      ignore (Store.flow r ~name:"f");
+      ignore (Store.per_shard r ~name:"s" Kind.G_counter);
+      ignore (Store.global r ~name:"g1" Kind.G_counter);
+      ignore (Store.global r ~name:"g2" Kind.Max_register))
+    [ r0; r1 ];
+  let c = Store.cell_counts store in
+  Alcotest.(check int) "per-flow cells" 1 c.Store.per_flow;
+  Alcotest.(check int) "per-shard cells" 1 c.Store.per_shard;
+  Alcotest.(check int) "global cells" 2 c.Store.global;
+  Alcotest.(check int) "total" 4 (Store.cell_count store)
+
+let tuple i =
+  Sb_flow.Five_tuple.of_packet
+    (Sb_packet.Packet.tcp
+       ~src:(Sb_packet.Ipv4_addr.of_octets 10 0 0 (i + 1))
+       ~dst:(Sb_packet.Ipv4_addr.of_octets 10 0 1 1)
+       ~src_port:(4000 + i) ~dst_port:80 ())
+
+let test_transplant () =
+  let store = Store.create ~shards:2 () in
+  let r0 = Store.replica store 0 and r1 = Store.replica store 1 in
+  let f0 = Store.flow r0 ~name:"f" and f1 = Store.flow r1 ~name:"f" in
+  let e = Store.flow_entry f0 (tuple 0) in
+  e.Store.x <- 7;
+  ignore (Store.flow_entry f0 (tuple 1));
+  Alcotest.(check int) "moved one cell's entry" 1 (Store.transplant store ~src:0 ~dest:1 (tuple 0));
+  Alcotest.(check int) "src keeps the other flow" 1 (Store.flow_entries r0);
+  (match Store.flow_find f1 (tuple 0) with
+  | Some moved -> Alcotest.(check int) "entry record moved intact" 7 moved.Store.x
+  | None -> Alcotest.fail "entry not found on dest");
+  Alcotest.(check int) "moving a missing tuple is a no-op" 0
+    (Store.transplant store ~src:0 ~dest:1 (tuple 0))
+
+let test_per_shard_isolation () =
+  let store = Store.create ~shards:2 () in
+  let h0 = Store.per_shard (Store.replica store 0) ~name:"local" Kind.G_counter in
+  let h1 = Store.per_shard (Store.replica store 1) ~name:"local" Kind.G_counter in
+  Store.add h0 5;
+  Store.add h1 9;
+  Alcotest.(check int) "shard 0 sees its own" 5 (Store.read_merged h0);
+  Alcotest.(check int) "shard 1 sees its own" 9 (Store.read_merged h1)
+
+let test_global_visibility () =
+  let store = Store.create ~shards:2 () in
+  let h0 = Store.global (Store.replica store 0) ~name:"g" Kind.G_counter in
+  let h1 = Store.global (Store.replica store 1) ~name:"g" Kind.G_counter in
+  Store.add h0 5;
+  Store.add h1 9;
+  (* Before any publish, each shard sees its own live contribution only
+     (the other's slot is still empty) — the documented lower bound. *)
+  Alcotest.(check int) "pre-publish lower bound" 5 (Store.read_merged h0);
+  Store.flush (Store.replica store 1);
+  Store.merge_round store;
+  Alcotest.(check int) "post-merge exact" 14 (Store.read_merged h0);
+  Alcotest.(check int) "merged_values exact regardless" 14
+    (match Store.merged_values store with [ (_, _, v) ] -> v | _ -> -1)
+
+let suite =
+  [
+    join_commutative;
+    join_associative;
+    join_idempotent;
+    combine_commutative;
+    combine_associative;
+    combine_identity;
+    normalize_idempotent;
+    combine_order_independent;
+    split_merge_roundtrip;
+    flush_is_transparent;
+    Alcotest.test_case "declare mismatch raises" `Quick test_declare_mismatch;
+    Alcotest.test_case "scope counts" `Quick test_scope_counts;
+    Alcotest.test_case "transplant moves the entry record" `Quick test_transplant;
+    Alcotest.test_case "per-shard cells stay shard-local" `Quick test_per_shard_isolation;
+    Alcotest.test_case "global cells merge across shards" `Quick test_global_visibility;
+  ]
